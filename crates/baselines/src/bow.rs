@@ -1,0 +1,251 @@
+//! Bag-of-words + logistic regression (the paper's statistical baseline).
+//!
+//! Token order is discarded: each snippet becomes a count vector over the
+//! training vocabulary, and an L2-regularized logistic regression is
+//! trained by mini-batch gradient descent. Matches §5.2's
+//! "BoW + Logistic" row.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Training hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct BowTrainConfig {
+    /// Full passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// L2 penalty on the weights (not the bias).
+    pub l2: f32,
+    /// Shuffle seed.
+    pub seed: u64,
+    /// Maximum vocabulary size (most frequent first).
+    pub max_features: usize,
+}
+
+impl Default for BowTrainConfig {
+    fn default() -> Self {
+        Self { epochs: 30, batch_size: 64, lr: 0.1, l2: 1e-4, seed: 1, max_features: 20_000 }
+    }
+}
+
+/// A trained bag-of-words classifier.
+pub struct BowModel {
+    vocab: HashMap<String, usize>,
+    weights: Vec<f32>,
+    bias: f32,
+}
+
+impl BowModel {
+    /// Trains on token sequences with binary labels.
+    ///
+    /// # Panics
+    /// Panics when `sequences` and `labels` disagree in length or are
+    /// empty.
+    pub fn train(
+        sequences: &[Vec<String>],
+        labels: &[bool],
+        cfg: &BowTrainConfig,
+    ) -> Self {
+        assert_eq!(sequences.len(), labels.len(), "features/labels mismatch");
+        assert!(!sequences.is_empty(), "empty training set");
+        let vocab = build_vocab(sequences, cfg.max_features);
+        let features: Vec<Vec<(usize, f32)>> =
+            sequences.iter().map(|s| vectorize(s, &vocab)).collect();
+        let mut model =
+            BowModel { vocab, weights: vec![0.0; 0], bias: 0.0 };
+        model.weights = vec![0.0; model.vocab.len()];
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut order: Vec<usize> = (0..features.len()).collect();
+        for _ in 0..cfg.epochs {
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            for chunk in order.chunks(cfg.batch_size.max(1)) {
+                let mut grad_w: HashMap<usize, f32> = HashMap::new();
+                let mut grad_b = 0.0f32;
+                for &i in chunk {
+                    let p = model.proba_sparse(&features[i]);
+                    let err = p - f32::from(labels[i]);
+                    grad_b += err;
+                    for &(fi, count) in &features[i] {
+                        *grad_w.entry(fi).or_default() += err * count;
+                    }
+                }
+                let scale = cfg.lr / chunk.len() as f32;
+                for (fi, g) in grad_w {
+                    model.weights[fi] -= scale * (g + cfg.l2 * model.weights[fi]);
+                }
+                model.bias -= scale * grad_b;
+            }
+        }
+        model
+    }
+
+    /// Probability of the positive class.
+    pub fn predict_proba(&self, tokens: &[String]) -> f32 {
+        let features = vectorize_ref(tokens, &self.vocab);
+        self.proba_sparse(&features)
+    }
+
+    /// Hard prediction at threshold 0.5.
+    pub fn predict(&self, tokens: &[String]) -> bool {
+        self.predict_proba(tokens) > 0.5
+    }
+
+    /// Vocabulary size (for reports).
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// The learned weight of a token (`None` if out of vocabulary).
+    /// Exposes the model for inspection/explainability comparisons.
+    pub fn token_weight(&self, token: &str) -> Option<f32> {
+        self.vocab.get(token).map(|&i| self.weights[i])
+    }
+
+    fn proba_sparse(&self, features: &[(usize, f32)]) -> f32 {
+        let z: f32 = self.bias
+            + features.iter().map(|&(i, c)| self.weights[i] * c).sum::<f32>();
+        1.0 / (1.0 + (-z).exp())
+    }
+}
+
+fn build_vocab(sequences: &[Vec<String>], max_features: usize) -> HashMap<String, usize> {
+    let mut freq: HashMap<&str, usize> = HashMap::new();
+    for s in sequences {
+        for t in s {
+            *freq.entry(t.as_str()).or_default() += 1;
+        }
+    }
+    let mut entries: Vec<(&str, usize)> = freq.into_iter().collect();
+    entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+    entries.truncate(max_features);
+    entries
+        .into_iter()
+        .enumerate()
+        .map(|(i, (t, _))| (t.to_string(), i))
+        .collect()
+}
+
+fn vectorize(tokens: &[String], vocab: &HashMap<String, usize>) -> Vec<(usize, f32)> {
+    vectorize_ref(tokens, vocab)
+}
+
+fn vectorize_ref(tokens: &[String], vocab: &HashMap<String, usize>) -> Vec<(usize, f32)> {
+    let mut counts: HashMap<usize, f32> = HashMap::new();
+    for t in tokens {
+        if let Some(&i) = vocab.get(t) {
+            *counts.entry(i).or_default() += 1.0;
+        }
+    }
+    // Sub-linear count scaling: raw counts reach the hundreds on long
+    // snippets and saturate the sigmoid; log(1+c) keeps features O(1)
+    // without losing the multiplicity signal.
+    let mut v: Vec<(usize, f32)> =
+        counts.into_iter().map(|(i, c)| (i, (1.0 + c).ln())).collect();
+    v.sort_by_key(|&(i, _)| i);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seqs(data: &[&str]) -> Vec<Vec<String>> {
+        data.iter()
+            .map(|s| s.split_whitespace().map(str::to_string).collect())
+            .collect()
+    }
+
+    #[test]
+    fn learns_keyword_separation() {
+        // Positives contain "hot"; negatives contain "cold".
+        let train = seqs(&[
+            "for i hot a b", "x hot y", "hot loop body", "z w hot",
+            "for i cold a b", "x cold y", "cold loop body", "z w cold",
+        ]);
+        let labels = vec![true, true, true, true, false, false, false, false];
+        let model = BowModel::train(&train, &labels, &BowTrainConfig::default());
+        assert!(model.predict(&seqs(&["new hot thing"])[0]));
+        assert!(!model.predict(&seqs(&["new cold thing"])[0]));
+        assert!(model.token_weight("hot").unwrap() > 0.0);
+        assert!(model.token_weight("cold").unwrap() < 0.0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        // One step of the analytic gradient vs a numeric probe of the
+        // regularized negative log-likelihood for a single example.
+        let x = [(0usize, 2.0f32), (1, 1.0)];
+        let y = 1.0f32;
+        let l2 = 0.0f32;
+        let loss = |w: &[f32; 2], b: f32| -> f32 {
+            let z = b + w[0] * 2.0 + w[1] * 1.0;
+            let p = 1.0 / (1.0 + (-z).exp());
+            -(y * p.ln() + (1.0 - y) * (1.0 - p).ln())
+        };
+        let w = [0.3f32, -0.2];
+        let b = 0.1f32;
+        let p = 1.0 / (1.0 + (-(b + w[0] * 2.0 + w[1] * 1.0)).exp());
+        let err = p - y;
+        let analytic = [err * 2.0 + l2 * w[0], err * 1.0 + l2 * w[1]];
+        let eps = 1e-3f32;
+        for k in 0..2 {
+            let mut wp = w;
+            wp[k] += eps;
+            let mut wm = w;
+            wm[k] -= eps;
+            let num = (loss(&wp, b) - loss(&wm, b)) / (2.0 * eps);
+            assert!((num - analytic[k]).abs() < 1e-3, "{num} vs {}", analytic[k]);
+        }
+        let _ = x;
+    }
+
+    #[test]
+    fn unseen_tokens_are_ignored() {
+        let train = seqs(&["a b", "c d"]);
+        let model = BowModel::train(&train, &[true, false], &BowTrainConfig::default());
+        // Entirely OOV input falls back to the bias.
+        let p = model.predict_proba(&seqs(&["zz yy xx"])[0]);
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn order_is_irrelevant() {
+        let train = seqs(&["hot a b c", "cold a b c"]);
+        let model = BowModel::train(&train, &[true, false], &BowTrainConfig::default());
+        let p1 = model.predict_proba(&seqs(&["a hot b"])[0]);
+        let p2 = model.predict_proba(&seqs(&["b a hot"])[0]);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn max_features_caps_vocab() {
+        let train = seqs(&["a a a b b c"]);
+        let cfg = BowTrainConfig { max_features: 2, ..Default::default() };
+        let model = BowModel::train(&train, &[true], &cfg);
+        assert_eq!(model.vocab_size(), 2);
+        assert!(model.token_weight("c").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "features/labels mismatch")]
+    fn mismatched_lengths_panic() {
+        let train = seqs(&["a"]);
+        let _ = BowModel::train(&train, &[true, false], &BowTrainConfig::default());
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let train = seqs(&["hot x", "cold y", "hot z", "cold w"]);
+        let labels = vec![true, false, true, false];
+        let m1 = BowModel::train(&train, &labels, &BowTrainConfig::default());
+        let m2 = BowModel::train(&train, &labels, &BowTrainConfig::default());
+        assert_eq!(m1.predict_proba(&train[0]), m2.predict_proba(&train[0]));
+    }
+}

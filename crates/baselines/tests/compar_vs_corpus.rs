@@ -1,0 +1,148 @@
+//! Integration: the ComPar-style engine against generated corpus labels.
+//!
+//! The paper's Table 8 places ComPar near 0.5 accuracy on the directive
+//! task (conservative refusals + parse failures) with decent precision on
+//! reductions (Table 10). These tests pin the engine to that qualitative
+//! profile without requiring exact numbers.
+
+use pragformer_baselines::{analyze_snippet, ComparResult, Strictness};
+use pragformer_corpus::{generate, GeneratorConfig};
+
+fn confusion(db: &pragformer_corpus::Database) -> (usize, usize, usize, usize, usize) {
+    let (mut tp, mut fp, mut fn_, mut tn, mut parse_fail) = (0, 0, 0, 0, 0);
+    for r in db.records() {
+        let result = analyze_snippet(&r.code(), Strictness::Strict);
+        if result.is_parse_failure() {
+            parse_fail += 1;
+        }
+        match (result.predicts_directive(), r.has_directive()) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => fn_ += 1,
+            (false, false) => tn += 1,
+        }
+    }
+    (tp, fp, fn_, tn, parse_fail)
+}
+
+#[test]
+fn compar_is_mediocre_on_the_directive_task() {
+    let db = generate(&GeneratorConfig { target_records: 1000, seed: 77, ..Default::default() });
+    let (tp, fp, fn_, tn, parse_fail) = confusion(&db);
+    let total = tp + fp + fn_ + tn;
+    let acc = (tp + tn) as f64 / total as f64;
+    // The engine must be meaningfully better than coin-flip-on-negatives
+    // but clearly below a learned model (paper: ComPar ≈ 0.5, PragFormer
+    // ≈ 0.8).
+    assert!(acc > 0.45 && acc < 0.85, "accuracy {acc} (tp={tp} fp={fp} fn={fn_} tn={tn})");
+    // It must miss a decent share of true positives (helper calls,
+    // imbalanced loops, ambiguous snippets).
+    let recall = tp as f64 / (tp + fn_) as f64;
+    assert!(recall < 0.9, "recall {recall} suspiciously high");
+    assert!(recall > 0.2, "recall {recall} suspiciously low");
+    // And some snippets must defeat the strict front-end outright.
+    assert!(parse_fail > 0, "no parse failures on {total} snippets");
+}
+
+#[test]
+fn compar_never_claims_io_loops() {
+    let db = generate(&GeneratorConfig { target_records: 600, seed: 78, ..Default::default() });
+    for r in db.records() {
+        if r.template == "neg/io_print" || r.template == "neg/io_read" {
+            let result = analyze_snippet(&r.code(), Strictness::Strict);
+            assert!(
+                !result.predicts_directive(),
+                "claimed parallelizable I/O loop:\n{}",
+                r.code()
+            );
+        }
+    }
+}
+
+#[test]
+fn compar_finds_most_clean_reductions() {
+    let db = generate(&GeneratorConfig { target_records: 800, seed: 79, ..Default::default() });
+    let (mut found, mut total) = (0usize, 0usize);
+    for r in db.records() {
+        if r.template.starts_with("pos/") && r.has_reduction() {
+            total += 1;
+            let result = analyze_snippet(&r.code(), Strictness::Strict);
+            if result.predicts_reduction() {
+                found += 1;
+            }
+        }
+    }
+    assert!(total > 10, "not enough reduction records ({total})");
+    let rate = found as f64 / total as f64;
+    // The surface-realism pass wraps ~40% of positives in project-function
+    // calls or struct accesses, which the engine (correctly) refuses —
+    // low recall with high precision is exactly the paper's Table 10
+    // profile. "Most clean reductions" therefore means well above the
+    // roughening survival floor, not near 1.0.
+    assert!(rate > 0.4, "reduction detection rate {rate} ({found}/{total})");
+}
+
+#[test]
+fn compar_reduction_precision_is_high() {
+    // Table 10: ComPar precision 0.92 — when it says "reduction", it is
+    // almost always right.
+    let db = generate(&GeneratorConfig { target_records: 800, seed: 80, ..Default::default() });
+    let (mut tp, mut fp) = (0usize, 0usize);
+    for r in db.records() {
+        let result = analyze_snippet(&r.code(), Strictness::Strict);
+        if result.predicts_reduction() {
+            if r.has_reduction() {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+        }
+    }
+    assert!(tp + fp > 5, "engine produced almost no reduction predictions");
+    let precision = tp as f64 / (tp + fp) as f64;
+    assert!(precision > 0.75, "reduction precision {precision} (tp={tp} fp={fp})");
+}
+
+#[test]
+fn strict_mode_fails_more_spec_snippets_than_lenient() {
+    let spec = pragformer_corpus::suites::spec_omp(81);
+    let strict_failures = spec
+        .records()
+        .iter()
+        .filter(|r| analyze_snippet(&r.code(), Strictness::Strict).is_parse_failure())
+        .count();
+    let lenient_failures = spec
+        .records()
+        .iter()
+        .filter(|r| analyze_snippet(&r.code(), Strictness::Lenient).is_parse_failure())
+        .count();
+    assert!(
+        strict_failures > spec.len() / 5,
+        "strict front-end only failed {strict_failures}/{}",
+        spec.len()
+    );
+    assert!(lenient_failures < strict_failures);
+}
+
+#[test]
+fn compar_result_is_deterministic() {
+    let db = generate(&GeneratorConfig { target_records: 100, seed: 82, ..Default::default() });
+    for r in db.records() {
+        let a = analyze_snippet(&r.code(), Strictness::Strict);
+        let b = analyze_snippet(&r.code(), Strictness::Strict);
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn emitted_directives_reparse() {
+    let db = generate(&GeneratorConfig { target_records: 400, seed: 83, ..Default::default() });
+    for r in db.records() {
+        if let ComparResult::Parallelized(d) = analyze_snippet(&r.code(), Strictness::Strict) {
+            let shown = d.to_string();
+            let stripped = shown.strip_prefix("#pragma omp").unwrap();
+            pragformer_cparse::omp::OmpDirective::parse(stripped)
+                .unwrap_or_else(|e| panic!("emitted directive does not reparse: {e}: {shown}"));
+        }
+    }
+}

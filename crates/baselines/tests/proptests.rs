@@ -1,0 +1,129 @@
+//! Property tests for the dependence-analysis engine: soundness on
+//! generated affine loops and invariants of the verdict structure.
+
+use proptest::prelude::*;
+use pragformer_baselines::{analyze_snippet, ComparResult, Strictness};
+
+/// Strategy for affine subscript pieces: `i`, `i+c`, `i-c`, `c*i+b`, `c`.
+fn subscript(loop_var: &'static str) -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(loop_var.to_string()),
+        (1i64..5).prop_map(move |c| format!("{loop_var} + {c}")),
+        (1i64..5).prop_map(move |c| format!("{loop_var} - {c}")),
+        (2i64..4, 0i64..4).prop_map(move |(a, b)| format!("{a} * {loop_var} + {b}")),
+        (0i64..6).prop_map(|c| c.to_string()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn same_subscript_read_write_is_always_parallelizable(sub in subscript("i")) {
+        // `a[f(i)] = a[f(i)] op c` touches one cell per iteration; when f
+        // is affine with nonzero i-coefficient the engine must accept.
+        let src = format!("for (i = 0; i < n; i++) a[{sub}] = a[{sub}] * 2;");
+        let verdict = analyze_snippet(&src, Strictness::Strict);
+        if sub.contains('i') {
+            prop_assert!(
+                verdict.predicts_directive(),
+                "refused identical-subscript loop: {src} → {verdict:?}"
+            );
+        } else {
+            // Constant subscript ⇒ every iteration writes the same cell.
+            prop_assert!(!verdict.predicts_directive(), "{src}");
+        }
+    }
+
+    #[test]
+    fn shifted_write_to_same_array_is_refused(c in 1i64..5) {
+        // Classic carried dependence a[i] ← a[i−c].
+        let src = format!("for (i = {c}; i < n; i++) a[i] = a[i - {c}] + 1;");
+        let verdict = analyze_snippet(&src, Strictness::Strict);
+        prop_assert!(!verdict.predicts_directive(), "{src} → {verdict:?}");
+    }
+
+    #[test]
+    fn shifted_read_from_other_array_is_accepted(c in 1i64..5) {
+        let src = format!("for (i = {c}; i < n; i++) a[i] = b[i - {c}] + 1;");
+        let verdict = analyze_snippet(&src, Strictness::Strict);
+        prop_assert!(verdict.predicts_directive(), "{src} → {verdict:?}");
+    }
+
+    #[test]
+    fn trip_count_gate_is_monotone(n in 1i64..200) {
+        // Constant-bound loops below the profitability floor are refused,
+        // above it accepted (body is trivially parallel).
+        let src = format!("for (i = 0; i < {n}; i++) a[i] = i;");
+        let verdict = analyze_snippet(&src, Strictness::Strict);
+        let expected = n > pragformer_baselines::compar::MIN_PROFITABLE_TRIP;
+        prop_assert_eq!(
+            verdict.predicts_directive(),
+            expected,
+            "n = {}: {:?}", n, verdict
+        );
+    }
+
+    #[test]
+    fn reduction_ops_are_detected_uniformly(op in prop::sample::select(vec!["+", "*"])) {
+        let stmt = match op {
+            "+" => "s += a[i];",
+            _ => "s *= a[i];",
+        };
+        let src = format!("for (i = 0; i < n; i++) {stmt}");
+        match analyze_snippet(&src, Strictness::Strict) {
+            ComparResult::Parallelized(d) => prop_assert!(d.has_reduction(), "{src}"),
+            other => prop_assert!(false, "refused {}: {:?}", src, other),
+        }
+    }
+
+    #[test]
+    fn verdicts_never_mix_parallelized_and_blockers(seed in 0u64..500) {
+        // Structural invariant: Parallelized carries a well-formed
+        // directive; NotParallelizable carries at least one reason.
+        let db = pragformer_corpus::generate(&pragformer_corpus::GeneratorConfig {
+            target_records: 20,
+            seed,
+            ..Default::default()
+        });
+        for r in db.records() {
+            match analyze_snippet(&r.code(), Strictness::Strict) {
+                ComparResult::Parallelized(d) => {
+                    prop_assert!(d.parallel && d.for_loop);
+                    prop_assert!(d.has_private(), "engine always privatizes the counter");
+                }
+                ComparResult::NotParallelizable(reasons) => {
+                    prop_assert!(!reasons.is_empty());
+                }
+                ComparResult::ParseFailure(msg) => prop_assert!(!msg.is_empty()),
+            }
+        }
+    }
+
+    #[test]
+    fn gcd_test_agrees_with_brute_force(a1 in 1i64..5, b1 in 0i64..8, a2 in 1i64..5, b2 in 0i64..8) {
+        // write a1·i+b1, read a2·i+b2: brute-force over a window to find a
+        // cross-iteration collision; the engine must refuse whenever one
+        // exists (soundness), though it may also refuse when none does
+        // (it is conservative).
+        let src = format!(
+            "for (i = 0; i < n; i++) a[{a1} * i + {b1}] = a[{a2} * i + {b2}] + 1;"
+        );
+        let mut collision = false;
+        'outer: for i1 in 0i64..64 {
+            for i2 in 0i64..64 {
+                if i1 != i2 && a1 * i1 + b1 == a2 * i2 + b2 {
+                    collision = true;
+                    break 'outer;
+                }
+            }
+        }
+        let verdict = analyze_snippet(&src, Strictness::Strict);
+        if collision {
+            prop_assert!(
+                !verdict.predicts_directive(),
+                "missed dependence in {src} (i-window collision exists)"
+            );
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Per-snippet inference latency: PragFormer vs BoW vs the ComPar-style
+//! S2S engine (the paper's "negligible inference time (contrary to S2S
+//! compilers)" claim, §2.1, and the basis of the advisor use-case).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pragformer_baselines::{analyze_snippet, BowModel, BowTrainConfig, Strictness};
+use pragformer_model::{ModelConfig, PragFormer};
+use pragformer_tensor::init::SeededRng;
+use pragformer_tokenize::{tokens_for, Representation, Vocab};
+
+const SNIPPET: &str =
+    "for (i = 0; i < n; i++)\n  for (j = 0; j < n; j++)\n    x1[i] = x1[i] + A[i][j] * y_1[j];";
+
+fn bench_inference(c: &mut Criterion) {
+    let stmts = pragformer_cparse::parse_snippet(SNIPPET).unwrap();
+    let tokens = tokens_for(&stmts, Representation::Text);
+    let vocab = Vocab::build([tokens.clone()].iter(), 1, 10_000);
+
+    // Reproduction-scale transformer (eval mode).
+    let cfg = ModelConfig::small(vocab.len().max(64));
+    let mut rng = SeededRng::new(1);
+    let mut model = PragFormer::new(&cfg, &mut rng);
+    let (ids, valid) = vocab.encode(&tokens, cfg.max_len);
+
+    // Token-trained BoW (weights don't matter for latency).
+    let bow = BowModel::train(
+        &[tokens.clone(), tokens.clone()],
+        &[true, false],
+        &BowTrainConfig { epochs: 1, ..Default::default() },
+    );
+
+    let mut group = c.benchmark_group("inference_latency");
+    group.bench_function("pragformer_forward", |b| {
+        b.iter_batched(
+            || (ids.clone(), vec![valid]),
+            |(ids, valid)| model.predict_proba(&ids, &valid),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("bow_predict", |b| {
+        b.iter(|| bow.predict_proba(std::hint::black_box(&tokens)))
+    });
+    group.bench_function("compar_analyze", |b| {
+        b.iter(|| analyze_snippet(std::hint::black_box(SNIPPET), Strictness::Strict))
+    });
+    group.bench_function("tokenize_only", |b| {
+        b.iter(|| {
+            let stmts = pragformer_cparse::parse_snippet(std::hint::black_box(SNIPPET)).unwrap();
+            tokens_for(&stmts, Representation::Text)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_inference
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Micro-benchmarks of the tensor-engine kernels that dominate training
+//! time (GEMM variants, softmax, LayerNorm) — the numbers behind the
+//! train-step throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pragformer_tensor::init::SeededRng;
+use pragformer_tensor::nn::{Layer, LayerNorm};
+use pragformer_tensor::{ops, Tensor};
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = SeededRng::new(5);
+    let mut group = c.benchmark_group("kernels");
+    for n in [64usize, 128, 256] {
+        let a = Tensor::randn(&[n, n], 1.0, &mut rng);
+        let b = Tensor::randn(&[n, n], 1.0, &mut rng);
+        let flops = 2 * n as u64 * n as u64 * n as u64;
+        group.throughput(Throughput::Elements(flops));
+        group.bench_with_input(BenchmarkId::new("matmul", n), &n, |bch, _| {
+            bch.iter(|| ops::matmul(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("matmul_nt", n), &n, |bch, _| {
+            bch.iter(|| ops::matmul_nt(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("matmul_tn", n), &n, |bch, _| {
+            bch.iter(|| ops::matmul_tn(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+    }
+    let x = Tensor::randn(&[512, 128], 1.0, &mut rng);
+    group.throughput(Throughput::Elements(x.len() as u64));
+    group.bench_function("softmax_rows_512x128", |b| {
+        b.iter(|| {
+            let mut y = x.clone();
+            ops::softmax_rows(&mut y, None);
+            y
+        })
+    });
+    let mut ln = LayerNorm::new("ln", 128);
+    group.bench_function("layernorm_512x128", |b| {
+        b.iter(|| ln.forward(std::hint::black_box(&x), false))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_kernels
+}
+criterion_main!(benches);

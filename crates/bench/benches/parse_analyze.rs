@@ -1,0 +1,45 @@
+//! Parser and dependence-analysis cost as a function of loop-body length
+//! (the paper's §1.1 claim: "applying the data dependence algorithm on
+//! the AST representation … consumes significant time and memory
+//! dependent on the number of lines inside the loop's scope").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pragformer_baselines::{analyze_snippet, Strictness};
+use pragformer_cparse::parse_snippet;
+use pragformer_tokenize::{tokens_for, Representation};
+
+/// Builds a loop with `n` independent body statements.
+fn loop_with_body(n: usize) -> String {
+    let mut s = String::from("for (i = 0; i < len; i++) {\n");
+    for k in 0..n {
+        s.push_str(&format!("a{k}[i] = b{k}[i] * {} + c{k}[i];\n", k + 1));
+    }
+    s.push('}');
+    s
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parse_analyze");
+    for lines in [4usize, 16, 64, 256] {
+        let src = loop_with_body(lines);
+        group.throughput(Throughput::Elements(lines as u64));
+        group.bench_with_input(BenchmarkId::new("parse", lines), &src, |b, src| {
+            b.iter(|| parse_snippet(std::hint::black_box(src)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("dependence_analysis", lines), &src, |b, src| {
+            b.iter(|| analyze_snippet(std::hint::black_box(src), Strictness::Strict))
+        });
+        let stmts = parse_snippet(&src).unwrap();
+        group.bench_with_input(BenchmarkId::new("ast_serialize", lines), &stmts, |b, stmts| {
+            b.iter(|| tokens_for(std::hint::black_box(stmts), Representation::Ast))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Training-step throughput of the transformer at the three model
+//! profiles (supports the §4.3 implementation discussion: the
+//! reproduction must fine-tune on 2 CPU cores in minutes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pragformer_model::{ModelConfig, PragFormer};
+use pragformer_tensor::init::SeededRng;
+
+fn synthetic_batch(cfg: &ModelConfig, batch: usize) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+    let mut ids = Vec::with_capacity(batch * cfg.max_len);
+    let mut valid = Vec::with_capacity(batch);
+    let mut labels = Vec::with_capacity(batch);
+    for b in 0..batch {
+        for t in 0..cfg.max_len {
+            ids.push(if t == 0 { 2 } else { 4 + (b * 7 + t) % (cfg.vocab - 4) });
+        }
+        valid.push(cfg.max_len);
+        labels.push(b % 2);
+    }
+    (ids, valid, labels)
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_step");
+    for (name, cfg) in [
+        ("tiny", ModelConfig::tiny(512)),
+        ("small", ModelConfig::small(2048)),
+    ] {
+        let batch = 16usize;
+        let mut rng = SeededRng::new(3);
+        let mut model = PragFormer::new(&cfg, &mut rng);
+        let (ids, valid, labels) = synthetic_batch(&cfg, batch);
+        group.throughput(Throughput::Elements((batch * cfg.max_len) as u64));
+        group.bench_with_input(BenchmarkId::new("fwd_bwd", name), &cfg, |b, _| {
+            b.iter(|| {
+                model.zero_grad();
+                model.train_step(&ids, &valid, &labels)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fwd_only", name), &cfg, |b, _| {
+            b.iter(|| model.predict_proba(&ids, &valid))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_train_step
+}
+criterion_main!(benches);

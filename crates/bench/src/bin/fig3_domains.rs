@@ -1,0 +1,27 @@
+//! Figure 3: the distribution of OpenMP snippet sources.
+
+use pragformer_bench::{emit, parse_args, pct};
+use pragformer_corpus::generate;
+use pragformer_eval::report::Table;
+
+fn main() {
+    let opts = parse_args();
+    let db = generate(&opts.scale.generator(opts.seed));
+    let mut t = Table::new(
+        "Figure 3 — distribution of snippet sources (README-derived domain)",
+        &["Domain", "Count", "Share", "Paper share"],
+    );
+    for ((domain, count), (_, target)) in db
+        .domain_distribution()
+        .into_iter()
+        .zip(pragformer_corpus::Domain::DISTRIBUTION)
+    {
+        t.row(&[
+            domain.name().into(),
+            count.to_string(),
+            pct(count, db.len()),
+            format!("{:.1}%", target * 100.0),
+        ]);
+    }
+    emit("fig3_domains", &t);
+}

@@ -1,0 +1,51 @@
+//! Figures 4, 5 and 6: validation accuracy, training loss and validation
+//! loss per epoch for the four code representations.
+//!
+//! One training run per representation produces all three series, so this
+//! binary regenerates all three figures at once.
+
+use pragformer_bench::{emit, parse_args};
+use pragformer_core::experiments::run_repr_sweep;
+use pragformer_corpus::generate;
+use pragformer_eval::report::{f3, Table};
+
+fn main() {
+    let opts = parse_args();
+    eprintln!("running 4 training runs ({:?} scale)…", opts.scale);
+    let db = generate(&opts.scale.generator(opts.seed));
+    let sweep = run_repr_sweep(&db, opts.scale, opts.seed);
+
+    let epochs = sweep[0].1.len();
+    for (figure, name, pick) in [
+        ("fig4_repr_accuracy", "Figure 4 — validation accuracy by epoch", 0usize),
+        ("fig5_train_loss", "Figure 5 — training loss by epoch", 1),
+        ("fig6_valid_loss", "Figure 6 — validation loss by epoch", 2),
+    ] {
+        let mut header = vec!["Epoch"];
+        for (repr, _) in &sweep {
+            header.push(repr.name());
+        }
+        let mut t = Table::new(name, &header);
+        for e in 0..epochs {
+            let mut row = vec![(e + 1).to_string()];
+            for (_, history) in &sweep {
+                let m = &history[e];
+                let v = match pick {
+                    0 => m.valid_accuracy,
+                    1 => m.train_loss,
+                    _ => m.valid_loss,
+                };
+                row.push(f3(v as f64));
+            }
+            t.row(&row);
+        }
+        emit(figure, &t);
+    }
+    // Final-epoch summary matching the §5.1 reading of Figure 4.
+    println!("final validation accuracy per representation:");
+    for (repr, history) in &sweep {
+        let best = history.iter().map(|m| m.valid_accuracy).fold(0.0f32, f32::max);
+        println!("  {:>14}: best {:.3}", repr.name(), best);
+    }
+    println!("paper reference (Fig 4): Text 0.81 > R-Text 0.78 > AST 0.76 > R-AST 0.69");
+}

@@ -1,0 +1,41 @@
+//! Figure 7: PragFormer's prediction error rate by example length.
+
+use pragformer_bench::{emit, parse_args};
+use pragformer_core::experiments::run_directive_experiment;
+use pragformer_corpus::generate;
+use pragformer_eval::error_rate_by_length;
+use pragformer_eval::report::Table;
+
+fn main() {
+    let opts = parse_args();
+    eprintln!("training directive classifier ({:?} scale)…", opts.scale);
+    let db = generate(&opts.scale.generator(opts.seed));
+    let out = run_directive_experiment(&db, opts.scale, opts.seed);
+
+    let lengths: Vec<usize> = out.per_example.iter().map(|(l, _)| *l).collect();
+    let correct: Vec<bool> = out.per_example.iter().map(|(_, c)| *c).collect();
+    let buckets = error_rate_by_length(&lengths, &correct, &[10, 20, 30, 40, 50]);
+
+    let mut t = Table::new(
+        "Figure 7 — prediction error rate by snippet length (lines)",
+        &["Length", "Examples", "Errors", "Error rate %"],
+    );
+    let total_errors: usize = buckets.iter().map(|b| b.errors).sum();
+    for b in &buckets {
+        t.row(&[
+            b.label(),
+            b.total.to_string(),
+            b.errors.to_string(),
+            format!("{:.1}", 100.0 * b.error_rate()),
+        ]);
+    }
+    emit("fig7_error_by_length", &t);
+    let short_errors: usize = buckets.iter().take(2).map(|b| b.errors).sum();
+    if total_errors > 0 {
+        println!(
+            "errors on snippets ≤ 20 lines: {short_errors}/{total_errors} ({:.0}%)",
+            100.0 * short_errors as f64 / total_errors as f64
+        );
+    }
+    println!("paper reference: >80% of errors on snippets shorter than 20 lines");
+}

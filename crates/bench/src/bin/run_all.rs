@@ -1,0 +1,42 @@
+//! Runs every table/figure harness in sequence (convenience wrapper used
+//! to regenerate EXPERIMENTS.md).
+
+use std::process::Command;
+
+const HARNESSES: &[&str] = &[
+    "table3_corpus_stats",
+    "table4_lengths",
+    "fig3_domains",
+    "table5_datasets",
+    "table6_representations",
+    "table7_vocab",
+    "table8_directive",
+    "fig7_error_by_length",
+    "table9_private",
+    "table10_reduction",
+    "table11_benchmarks",
+    "fig4_repr_accuracy",
+    "fig8_lime",
+    "ablation_pretrain",
+    "ablation_frontend",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .expect("current_exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    let start = std::time::Instant::now();
+    for name in HARNESSES {
+        println!("\n================ {name} ================");
+        let bin = exe_dir.join(name);
+        let status = Command::new(&bin)
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn {}: {e}", bin.display()));
+        assert!(status.success(), "{name} failed with {status}");
+    }
+    println!("\nall harnesses completed in {:.1?}", start.elapsed());
+}

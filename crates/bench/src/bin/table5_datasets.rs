@@ -1,0 +1,34 @@
+//! Table 5: amount of examples in each dataset split for the directive
+//! and clause classification tasks.
+
+use pragformer_bench::{emit, parse_args};
+use pragformer_corpus::{generate, ClauseKind, Dataset};
+use pragformer_eval::report::Table;
+
+fn main() {
+    let opts = parse_args();
+    let db = generate(&opts.scale.generator(opts.seed));
+    let directive = Dataset::directive(&db, opts.seed);
+    let clause = Dataset::clause(&db, ClauseKind::Private, opts.seed);
+    let mut t = Table::new(
+        "Table 5 — dataset sizes (80/10/10 stratified)",
+        &["Split", "Directive", "Clause"],
+    );
+    t.row(&[
+        "Training".into(),
+        directive.split.train.len().to_string(),
+        clause.split.train.len().to_string(),
+    ]);
+    t.row(&[
+        "Validation".into(),
+        directive.split.valid.len().to_string(),
+        clause.split.valid.len().to_string(),
+    ]);
+    t.row(&[
+        "Test".into(),
+        directive.split.test.len().to_string(),
+        clause.split.test.len().to_string(),
+    ]);
+    emit("table5_datasets", &t);
+    println!("paper reference: directive 14,442/1,274/1,274; clause 6,482/572/572");
+}

@@ -1,0 +1,22 @@
+//! Table 6: the four code representations of one example snippet.
+
+use pragformer_bench::{emit, parse_args};
+use pragformer_cparse::parse_snippet;
+use pragformer_eval::report::Table;
+use pragformer_tokenize::{tokens_for, Representation};
+
+fn main() {
+    let _opts = parse_args();
+    // The paper's example: for (i = 0; i < len; i++) a[i] = i;
+    let code = "for (i = 0; i < len; i++) a[i] = i;";
+    let stmts = parse_snippet(code).expect("example parses");
+    let mut t = Table::new(
+        "Table 6 — code representations of `for (i = 0; i < len; i++) a[i] = i;`",
+        &["Representation", "Token stream"],
+    );
+    for repr in Representation::ALL {
+        let tokens = tokens_for(&stmts, repr);
+        t.row(&[repr.name().to_string(), tokens.join(" ")]);
+    }
+    emit("table6_representations", &t);
+}

@@ -1,0 +1,238 @@
+//! The on-the-fly parallelization advisor (§2.1 of the paper).
+//!
+//! The paper positions PragFormer as "an immediate 'advisor' for
+//! developers to identify locations that can benefit from an OpenMP
+//! directive", optionally cross-checked against an S2S compiler ("in
+//! cases both the model and the S2S compilers agree on a directive, it
+//! will remain"). [`Advisor`] packages exactly that: three fine-tuned
+//! classifiers (directive / private / reduction) plus the ComPar-style
+//! engine for agreement checks and clause-variable synthesis.
+
+use crate::encode::encode_dataset;
+use crate::scale::Scale;
+use pragformer_baselines::{analyze_snippet, ComparResult, Strictness};
+use pragformer_corpus::{generate, ClauseKind, Database, Dataset};
+use pragformer_cparse::omp::{OmpClause, OmpDirective};
+use pragformer_cparse::{parse_snippet, ParseError};
+use pragformer_model::trainer::Trainer;
+use pragformer_model::PragFormer;
+use pragformer_tensor::init::SeededRng;
+use pragformer_tokenize::{tokens_for, Representation, Vocab};
+
+/// Advice for one code snippet.
+#[derive(Clone, Debug)]
+pub struct Advice {
+    /// Should this loop get `#pragma omp parallel for`?
+    pub needs_directive: bool,
+    /// Model probability behind `needs_directive`.
+    pub confidence: f32,
+    /// Probability a `private` clause is needed (only meaningful when
+    /// `needs_directive`).
+    pub private_probability: f32,
+    /// Probability a `reduction` clause is needed.
+    pub reduction_probability: f32,
+    /// Whether the deterministic S2S engine agrees a directive fits
+    /// (`None` when it failed to parse the snippet).
+    pub compar_agrees: Option<bool>,
+    /// A synthesized directive: presence decided by the model, clause
+    /// *variables* filled in from the S2S analysis when available.
+    pub suggestion: Option<OmpDirective>,
+}
+
+/// A trained advisor.
+pub struct Advisor {
+    vocab: Vocab,
+    directive_model: PragFormer,
+    private_model: PragFormer,
+    reduction_model: PragFormer,
+    max_len: usize,
+}
+
+impl Advisor {
+    /// Trains all three classifiers on a database.
+    pub fn train(db: &Database, scale: Scale, seed: u64) -> Advisor {
+        let (min_freq, max_vocab) = scale.vocab_limits();
+        let max_len = scale.model(8).max_len;
+
+        let directive_ds = Dataset::directive(db, seed);
+        let enc = encode_dataset(db, &directive_ds, Representation::Text, max_len, min_freq, max_vocab);
+        let mut rng = SeededRng::new(seed);
+        let model_cfg = scale.model(enc.vocab.len());
+        let trainer = Trainer::new(scale.train(seed));
+        let mut directive_model = PragFormer::new(&model_cfg, &mut rng);
+        trainer.fit(&mut directive_model, &enc.train, &enc.valid);
+
+        let mut train_clause = |kind: ClauseKind, salt: u64| -> PragFormer {
+            let ds = Dataset::clause(db, kind, seed ^ salt).balanced(seed ^ salt ^ 1);
+            let mut model = PragFormer::new(&model_cfg, &mut rng);
+            // Re-encode with the shared vocabulary so one tokenizer serves
+            // all three models (clause datasets are subsets of the same
+            // records).
+            let encode = |examples: &[pragformer_corpus::Example]| {
+                examples
+                    .iter()
+                    .map(|ex| {
+                        let toks =
+                            tokens_for(&db.records()[ex.record].stmts, Representation::Text);
+                        let (ids, valid) = enc.vocab.encode(&toks, max_len);
+                        pragformer_model::trainer::EncodedExample {
+                            ids,
+                            valid,
+                            label: ex.label,
+                        }
+                    })
+                    .collect::<Vec<_>>()
+            };
+            let train = encode(&ds.split.train);
+            let valid = encode(&ds.split.valid);
+            if train.is_empty() {
+                return model; // degenerate corpus (tests); untrained model
+            }
+            trainer.fit(&mut model, &train, &valid);
+            model
+        };
+        let private_model = train_clause(ClauseKind::Private, 0xAAAA);
+        let reduction_model = train_clause(ClauseKind::Reduction, 0xBBBB);
+
+        Advisor { vocab: enc.vocab, directive_model, private_model, reduction_model, max_len }
+    }
+
+    /// Convenience: generate a corpus and train, in one call.
+    pub fn train_from_scratch(scale: Scale, seed: u64) -> Advisor {
+        let db = generate(&scale.generator(seed));
+        Advisor::train(&db, scale, seed)
+    }
+
+    /// Classifies a C snippet. Errors if the snippet does not parse.
+    pub fn advise(&mut self, source: &str) -> Result<Advice, ParseError> {
+        let stmts = parse_snippet(source)?;
+        let tokens = tokens_for(&stmts, Representation::Text);
+        let (ids, valid) = self.vocab.encode(&tokens, self.max_len);
+        let p_dir = self.directive_model.predict_proba(&ids, &[valid])[0];
+        let p_priv = self.private_model.predict_proba(&ids, &[valid])[0];
+        let p_red = self.reduction_model.predict_proba(&ids, &[valid])[0];
+        let needs_directive = p_dir > 0.5;
+
+        let compar = analyze_snippet(source, Strictness::Strict);
+        let compar_agrees = match &compar {
+            ComparResult::ParseFailure(_) => None,
+            other => Some(other.predicts_directive()),
+        };
+
+        let suggestion = if needs_directive {
+            let mut d = OmpDirective::parallel_for();
+            // Clause variables come from the dependence analysis when it
+            // succeeded; otherwise the clause is suggested without
+            // variables (presence-only, like the paper's task definition).
+            let analyzed = match &compar {
+                ComparResult::Parallelized(cd) => Some(cd.clone()),
+                _ => None,
+            };
+            if p_priv > 0.5 {
+                let vars: Vec<String> = analyzed
+                    .as_ref()
+                    .map(|cd| cd.private_vars().iter().map(|s| s.to_string()).collect())
+                    .unwrap_or_default();
+                d = d.with(OmpClause::Private(if vars.is_empty() {
+                    vec!["<var>".to_string()]
+                } else {
+                    vars
+                }));
+            }
+            if p_red > 0.5 {
+                let from_compar = analyzed.as_ref().and_then(|cd| {
+                    cd.clauses.iter().find_map(|c| match c {
+                        OmpClause::Reduction { op, vars } => {
+                            Some(OmpClause::Reduction { op: *op, vars: vars.clone() })
+                        }
+                        _ => None,
+                    })
+                });
+                d = d.with(from_compar.unwrap_or(OmpClause::Reduction {
+                    op: pragformer_cparse::omp::ReductionOp::Add,
+                    vars: vec!["<var>".to_string()],
+                }));
+            }
+            Some(d)
+        } else {
+            None
+        };
+
+        Ok(Advice {
+            needs_directive,
+            confidence: if needs_directive { p_dir } else { 1.0 - p_dir },
+            private_probability: p_priv,
+            reduction_probability: p_red,
+            compar_agrees,
+            suggestion,
+        })
+    }
+
+    /// The tokenizer vocabulary size (for reports).
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Mutable access to the directive model (explainability harnesses
+    /// re-use it for LIME queries).
+    pub fn directive_model_mut(&mut self) -> &mut PragFormer {
+        &mut self.directive_model
+    }
+
+    /// Probability that a *token sequence* needs a directive — the
+    /// black-box interface LIME perturbs (Figure 8).
+    pub fn directive_probability_of_tokens(&mut self, tokens: &[String]) -> f32 {
+        let (ids, valid) = self.vocab.encode(tokens, self.max_len);
+        self.directive_model.predict_proba(&ids, &[valid])[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, OnceLock};
+
+    /// Training even the tiny advisor costs tens of seconds; every test
+    /// shares one instance.
+    fn shared() -> &'static Mutex<Advisor> {
+        static ADVISOR: OnceLock<Mutex<Advisor>> = OnceLock::new();
+        ADVISOR.get_or_init(|| Mutex::new(Advisor::train_from_scratch(Scale::Tiny, 21)))
+    }
+
+    #[test]
+    fn advisor_end_to_end_tiny() {
+        let mut advisor = shared().lock().unwrap();
+        // A canonical parallel loop.
+        let pos = advisor.advise("for (i = 0; i < n; i++) a[i] = b[i] + c[i];").unwrap();
+        assert!(pos.confidence > 0.5);
+        // An I/O loop.
+        let neg = advisor
+            .advise("for (i = 0; i < n; i++) printf(\"%d\\n\", a[i]);")
+            .unwrap();
+        // At tiny scale the model may err, but the call contract holds.
+        assert!((0.0..=1.0).contains(&neg.private_probability));
+        assert!((0.0..=1.0).contains(&neg.reduction_probability));
+        if pos.needs_directive {
+            assert!(pos.suggestion.is_some());
+        }
+        // ComPar agreement is well-defined on parseable snippets.
+        assert!(pos.compar_agrees.is_some());
+    }
+
+    #[test]
+    fn advise_rejects_unparseable_code() {
+        let mut advisor = shared().lock().unwrap();
+        assert!(advisor.advise("for (i = 0; i < ; i++ {").is_err());
+    }
+
+    #[test]
+    fn token_probability_interface_is_stable() {
+        let mut advisor = shared().lock().unwrap();
+        let toks: Vec<String> =
+            ["for", "(", "i", "=", "0", ";", ")"].iter().map(|s| s.to_string()).collect();
+        let a = advisor.directive_probability_of_tokens(&toks);
+        let b = advisor.directive_probability_of_tokens(&toks);
+        assert_eq!(a, b);
+        assert!((0.0..=1.0).contains(&a));
+    }
+}

@@ -1,0 +1,139 @@
+//! Dataset encoding: corpus records → model-ready id sequences.
+
+use pragformer_corpus::{Database, Dataset};
+use pragformer_model::trainer::EncodedExample;
+use pragformer_tokenize::{tokens_for, Representation, Vocab};
+
+/// An encoded train/valid/test bundle with the vocabulary that produced
+/// it.
+pub struct EncodedDataset {
+    /// Vocabulary built on the training split only (OOV semantics of
+    /// Table 7).
+    pub vocab: Vocab,
+    /// Training examples.
+    pub train: Vec<EncodedExample>,
+    /// Validation examples.
+    pub valid: Vec<EncodedExample>,
+    /// Test examples.
+    pub test: Vec<EncodedExample>,
+    /// For every test example: the record's source line count (Figure 7)
+    /// and its index in the database.
+    pub test_meta: Vec<(usize, usize)>,
+    /// Token sequences per split (reused by BoW and Table 7 stats).
+    pub train_tokens: Vec<Vec<String>>,
+    /// Validation token sequences.
+    pub valid_tokens: Vec<Vec<String>>,
+    /// Test token sequences.
+    pub test_tokens: Vec<Vec<String>>,
+    /// Labels aligned with the splits (convenience for baselines).
+    pub train_labels: Vec<bool>,
+    /// Validation labels.
+    pub valid_labels: Vec<bool>,
+    /// Test labels.
+    pub test_labels: Vec<bool>,
+}
+
+/// Encodes a dataset under one representation.
+pub fn encode_dataset(
+    db: &Database,
+    ds: &Dataset<'_>,
+    repr: Representation,
+    max_len: usize,
+    min_freq: usize,
+    max_vocab: usize,
+) -> EncodedDataset {
+    let tokens_of = |record_idx: usize| -> Vec<String> {
+        tokens_for(&db.records()[record_idx].stmts, repr)
+    };
+    let train_tokens: Vec<Vec<String>> =
+        ds.split.train.iter().map(|e| tokens_of(e.record)).collect();
+    let valid_tokens: Vec<Vec<String>> =
+        ds.split.valid.iter().map(|e| tokens_of(e.record)).collect();
+    let test_tokens: Vec<Vec<String>> =
+        ds.split.test.iter().map(|e| tokens_of(e.record)).collect();
+    let vocab = Vocab::build(train_tokens.iter(), min_freq, max_vocab);
+    let encode = |tokens: &[Vec<String>], examples: &[pragformer_corpus::Example]| {
+        tokens
+            .iter()
+            .zip(examples)
+            .map(|(toks, ex)| {
+                let (ids, valid) = vocab.encode(toks, max_len);
+                EncodedExample { ids, valid, label: ex.label }
+            })
+            .collect::<Vec<_>>()
+    };
+    let train = encode(&train_tokens, &ds.split.train);
+    let valid = encode(&valid_tokens, &ds.split.valid);
+    let test = encode(&test_tokens, &ds.split.test);
+    let test_meta = ds
+        .split
+        .test
+        .iter()
+        .map(|e| (db.records()[e.record].line_count(), e.record))
+        .collect();
+    EncodedDataset {
+        vocab,
+        train,
+        valid,
+        test,
+        test_meta,
+        train_labels: ds.split.train.iter().map(|e| e.label).collect(),
+        valid_labels: ds.split.valid.iter().map(|e| e.label).collect(),
+        test_labels: ds.split.test.iter().map(|e| e.label).collect(),
+        train_tokens,
+        valid_tokens,
+        test_tokens,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pragformer_corpus::{generate, GeneratorConfig};
+
+    #[test]
+    fn encoding_aligns_labels_and_shapes() {
+        let db = generate(&GeneratorConfig { target_records: 200, seed: 5, ..Default::default() });
+        let ds = Dataset::directive(&db, 1);
+        let enc = encode_dataset(&db, &ds, Representation::Text, 48, 1, 3000);
+        assert_eq!(enc.train.len(), ds.split.train.len());
+        assert_eq!(enc.test.len(), enc.test_meta.len());
+        assert_eq!(enc.test.len(), enc.test_labels.len());
+        for (ex, label) in enc.train.iter().zip(&enc.train_labels) {
+            assert_eq!(ex.ids.len(), 48);
+            assert!(ex.valid >= 1 && ex.valid <= 48);
+            assert_eq!(ex.label, *label);
+        }
+    }
+
+    #[test]
+    fn vocab_is_train_only() {
+        let db = generate(&GeneratorConfig { target_records: 300, seed: 6, ..Default::default() });
+        let ds = Dataset::directive(&db, 2);
+        let enc = encode_dataset(&db, &ds, Representation::Text, 48, 1, 50_000);
+        // Every training token must be in-vocab at min_freq 1…
+        for seq in &enc.train_tokens {
+            for t in seq {
+                assert!(enc.vocab.contains(t), "train token {t} missing");
+            }
+        }
+        // …while some test tokens are OOV (fresh identifiers).
+        let oov = enc
+            .test_tokens
+            .iter()
+            .flatten()
+            .filter(|t| !enc.vocab.contains(t))
+            .count();
+        assert!(oov > 0, "suspiciously zero OOV tokens");
+    }
+
+    #[test]
+    fn representations_differ() {
+        let db = generate(&GeneratorConfig { target_records: 120, seed: 7, ..Default::default() });
+        let ds = Dataset::directive(&db, 3);
+        let text = encode_dataset(&db, &ds, Representation::Text, 48, 1, 3000);
+        let ast = encode_dataset(&db, &ds, Representation::Ast, 48, 1, 3000);
+        assert_ne!(text.train_tokens[0], ast.train_tokens[0]);
+        assert!(ast.train_tokens[0].iter().any(|t| t.ends_with(':')));
+    }
+}

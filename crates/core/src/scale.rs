@@ -1,0 +1,122 @@
+//! Experiment scale profiles.
+//!
+//! `Small` keeps every table/figure binary in the minutes range on two
+//! CPU cores; `Paper` matches the paper's corpus size (17k records) and
+//! sequence cap (110) at proportionally higher cost. `Tiny` exists for
+//! integration tests.
+
+use pragformer_corpus::GeneratorConfig;
+use pragformer_model::{ModelConfig, TrainConfig};
+
+/// Experiment size.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// A few hundred records, tiny model — integration tests.
+    Tiny,
+    /// ~3k records, reproduction-scale model — default for benches.
+    Small,
+    /// Paper-sized corpus (17k records), wider model, max_len 110.
+    Paper,
+}
+
+impl Scale {
+    /// Parses `small`/`paper`/`tiny` (the `--scale` CLI flag).
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// Corpus generator settings.
+    pub fn generator(self, seed: u64) -> GeneratorConfig {
+        match self {
+            Scale::Tiny => GeneratorConfig { target_records: 500, seed, ..Default::default() },
+            Scale::Small => GeneratorConfig { target_records: 3000, seed, ..Default::default() },
+            Scale::Paper => GeneratorConfig::paper(seed),
+        }
+    }
+
+    /// Model settings for a given vocabulary size.
+    pub fn model(self, vocab: usize) -> ModelConfig {
+        match self {
+            Scale::Tiny => ModelConfig::tiny(vocab),
+            Scale::Small => ModelConfig::small(vocab),
+            Scale::Paper => ModelConfig::paper(vocab),
+        }
+    }
+
+    /// Fine-tuning settings.
+    pub fn train(self, seed: u64) -> TrainConfig {
+        match self {
+            Scale::Tiny => TrainConfig {
+                epochs: 6,
+                batch_size: 16,
+                lr: 2e-3,
+                clip: 1.0,
+                seed,
+                warmup_frac: 0.1,
+            },
+            Scale::Small => TrainConfig {
+                epochs: 8,
+                batch_size: 32,
+                lr: 8e-4,
+                clip: 1.0,
+                seed,
+                warmup_frac: 0.1,
+            },
+            Scale::Paper => TrainConfig {
+                epochs: 10,
+                batch_size: 32,
+                lr: 5e-4,
+                clip: 1.0,
+                seed,
+                warmup_frac: 0.1,
+            },
+        }
+    }
+
+    /// Vocabulary limits `(min_freq, max_size)`.
+    pub fn vocab_limits(self) -> (usize, usize) {
+        match self {
+            Scale::Tiny => (1, 2_000),
+            Scale::Small => (2, 6_000),
+            Scale::Paper => (2, 10_000),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_flags() {
+        assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("tiny"), Some(Scale::Tiny));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn profiles_are_consistent() {
+        for s in [Scale::Tiny, Scale::Small, Scale::Paper] {
+            let g = s.generator(1);
+            assert!(g.target_records >= 300);
+            let m = s.model(500);
+            assert!(m.validate().is_ok());
+            let t = s.train(1);
+            assert!(t.epochs >= 4);
+        }
+    }
+
+    #[test]
+    fn paper_scale_matches_paper_numbers() {
+        let g = Scale::Paper.generator(0);
+        assert_eq!(g.target_records, 17_013);
+        let m = Scale::Paper.model(500);
+        assert_eq!(m.max_len, 110);
+    }
+}

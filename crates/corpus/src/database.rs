@@ -1,0 +1,211 @@
+//! The assembled corpus with dedup and the statistics of Tables 3-4 and
+//! Figure 3.
+
+use crate::domain::Domain;
+use crate::record::Record;
+use pragformer_cparse::omp::ScheduleKind;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+/// The Open-OMP database equivalent.
+#[derive(Default)]
+pub struct Database {
+    records: Vec<Record>,
+    seen_keys: HashSet<u64>,
+}
+
+/// Table 3 row counts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DbStats {
+    /// Total snippets.
+    pub total: usize,
+    /// Snippets with an OpenMP directive.
+    pub with_directive: usize,
+    /// Directives with (implicit or explicit) static schedule.
+    pub schedule_static: usize,
+    /// Directives with `schedule(dynamic…)`.
+    pub schedule_dynamic: usize,
+    /// Directives with a `reduction` clause.
+    pub reduction: usize,
+    /// Directives with a `private` clause.
+    pub private: usize,
+}
+
+/// Table 4 length buckets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LengthHistogram {
+    /// Snippets with ≤ 10 lines.
+    pub upto_10: usize,
+    /// 11–50 lines.
+    pub from_11_to_50: usize,
+    /// 51–100 lines.
+    pub from_51_to_100: usize,
+    /// More than 100 lines.
+    pub over_100: usize,
+}
+
+impl Database {
+    /// Empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deduplication probe: registers the record's normalized code key and
+    /// reports whether it was new. The paper scans for replicas because
+    /// GitHub code is heavily copy-pasted (§3.1.2).
+    pub fn try_insert_key(&mut self, record: &Record) -> bool {
+        let mut hasher = DefaultHasher::new();
+        // Normalize whitespace so formatting differences don't defeat dedup.
+        for tok in record.code().split_whitespace() {
+            tok.hash(&mut hasher);
+        }
+        self.seen_keys.insert(hasher.finish())
+    }
+
+    /// Installs the final record list.
+    pub fn set_records(&mut self, records: Vec<Record>) {
+        self.records = records;
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the database holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Table 3 statistics.
+    pub fn stats(&self) -> DbStats {
+        let mut s = DbStats {
+            total: self.records.len(),
+            with_directive: 0,
+            schedule_static: 0,
+            schedule_dynamic: 0,
+            reduction: 0,
+            private: 0,
+        };
+        for r in &self.records {
+            if let Some(d) = &r.directive {
+                s.with_directive += 1;
+                match d.schedule_kind() {
+                    ScheduleKind::Dynamic => s.schedule_dynamic += 1,
+                    _ => s.schedule_static += 1,
+                }
+                if d.has_reduction() {
+                    s.reduction += 1;
+                }
+                if d.has_private() {
+                    s.private += 1;
+                }
+            }
+        }
+        s
+    }
+
+    /// Table 4 histogram over code-segment line counts.
+    pub fn length_histogram(&self) -> LengthHistogram {
+        let mut h = LengthHistogram {
+            upto_10: 0,
+            from_11_to_50: 0,
+            from_51_to_100: 0,
+            over_100: 0,
+        };
+        for r in &self.records {
+            match r.line_count() {
+                0..=10 => h.upto_10 += 1,
+                11..=50 => h.from_11_to_50 += 1,
+                51..=100 => h.from_51_to_100 += 1,
+                _ => h.over_100 += 1,
+            }
+        }
+        h
+    }
+
+    /// Figure 3 domain shares, as `(domain, count)` in a fixed order.
+    pub fn domain_distribution(&self) -> Vec<(Domain, usize)> {
+        Domain::DISTRIBUTION
+            .iter()
+            .map(|(d, _)| (*d, self.records.iter().filter(|r| r.domain == *d).count()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pragformer_cparse::omp::{OmpClause, OmpDirective, ReductionOp};
+    use pragformer_cparse::parse_snippet;
+
+    fn mk(id: usize, directive: Option<OmpDirective>, body: &str) -> Record {
+        Record {
+            id,
+            stmts: parse_snippet(body).unwrap(),
+            helpers: vec![],
+            directive,
+            domain: Domain::Unknown,
+            template: "t",
+        }
+    }
+
+    #[test]
+    fn stats_count_clauses() {
+        let d_priv = OmpDirective::parallel_for().with(OmpClause::Private(vec!["j".into()]));
+        let d_red = OmpDirective::parallel_for().with(OmpClause::Reduction {
+            op: ReductionOp::Add,
+            vars: vec!["s".into()],
+        });
+        let d_dyn = OmpDirective::parallel_for().with(OmpClause::Schedule {
+            kind: ScheduleKind::Dynamic,
+            chunk: None,
+        });
+        let mut db = Database::new();
+        db.set_records(vec![
+            mk(0, Some(d_priv), "for (i = 0; i < n; i++) a[i] = 0;"),
+            mk(1, Some(d_red), "for (i = 0; i < n; i++) s += a[i];"),
+            mk(2, Some(d_dyn), "for (i = 0; i < n; i++) b[i] = f(i);"),
+            mk(3, None, "for (i = 0; i < n; i++) printf(\"%d\", i);"),
+        ]);
+        let s = db.stats();
+        assert_eq!(s.total, 4);
+        assert_eq!(s.with_directive, 3);
+        assert_eq!(s.schedule_static, 2);
+        assert_eq!(s.schedule_dynamic, 1);
+        assert_eq!(s.reduction, 1);
+        assert_eq!(s.private, 1);
+    }
+
+    #[test]
+    fn dedup_rejects_whitespace_variants() {
+        let mut db = Database::new();
+        let a = mk(0, None, "for (i = 0; i < n; i++) a[i] = 0;");
+        assert!(db.try_insert_key(&a));
+        let b = mk(1, None, "for (i = 0;  i < n;   i++)\n  a[i] = 0;");
+        assert!(!db.try_insert_key(&b), "whitespace variant not deduped");
+    }
+
+    #[test]
+    fn length_histogram_buckets() {
+        let mut long_body = String::from("for (i = 0; i < n; i++) {\n");
+        for k in 0..60 {
+            long_body.push_str(&format!("a{k}[i] = i;\n"));
+        }
+        long_body.push('}');
+        let mut db = Database::new();
+        db.set_records(vec![
+            mk(0, None, "for (i = 0; i < n; i++) a[i] = 0;"),
+            mk(1, None, &long_body),
+        ]);
+        let h = db.length_histogram();
+        assert_eq!(h.upto_10, 1);
+        assert_eq!(h.from_51_to_100, 1);
+    }
+}

@@ -1,0 +1,259 @@
+//! Train/validation/test datasets (paper §3.2, Table 5).
+//!
+//! Two datasets are derived from the database:
+//!
+//! * the **directive** dataset: all records, label = has a directive (RQ1);
+//! * the **clause** dataset: records *with* a directive only, labels =
+//!   has `private` / has `reduction` (RQ2) — §5.3 evaluates each clause
+//!   with balanced labels, which [`Dataset::balanced`] provides by
+//!   subsampling the majority class.
+//!
+//! Splits are 80/10/10, random at the instance level, label-stratified so
+//! each split keeps the positive/negative mixture.
+
+use crate::database::Database;
+use crate::record::Record;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which clause a clause-task dataset labels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClauseKind {
+    /// `private(...)` presence.
+    Private,
+    /// `reduction(...)` presence.
+    Reduction,
+}
+
+/// One labelled example: an index into the database plus its label.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Example {
+    /// Record index within the originating database's `records()`.
+    pub record: usize,
+    /// Binary label for the task at hand.
+    pub label: bool,
+}
+
+/// A train/valid/test split of examples.
+#[derive(Clone, Debug, Default)]
+pub struct Split {
+    /// Training examples (80%).
+    pub train: Vec<Example>,
+    /// Validation examples (10%).
+    pub valid: Vec<Example>,
+    /// Test examples (10%).
+    pub test: Vec<Example>,
+}
+
+impl Split {
+    /// Total example count.
+    pub fn len(&self) -> usize {
+        self.train.len() + self.valid.len() + self.test.len()
+    }
+
+    /// True when all splits are empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A labelled dataset bound to a database.
+pub struct Dataset<'db> {
+    db: &'db Database,
+    /// The split (80/10/10).
+    pub split: Split,
+    /// Task name for reports.
+    pub task: &'static str,
+}
+
+impl<'db> Dataset<'db> {
+    /// Builds the RQ1 directive dataset over every record.
+    pub fn directive(db: &'db Database, seed: u64) -> Self {
+        let examples: Vec<Example> = db
+            .records()
+            .iter()
+            .enumerate()
+            .map(|(idx, r)| Example { record: idx, label: r.has_directive() })
+            .collect();
+        Self { db, split: stratified_split(examples, seed), task: "directive" }
+    }
+
+    /// Builds an RQ2 clause dataset over directive-bearing records.
+    pub fn clause(db: &'db Database, kind: ClauseKind, seed: u64) -> Self {
+        let examples: Vec<Example> = db
+            .records()
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.has_directive())
+            .map(|(idx, r)| Example {
+                record: idx,
+                label: match kind {
+                    ClauseKind::Private => r.has_private(),
+                    ClauseKind::Reduction => r.has_reduction(),
+                },
+            })
+            .collect();
+        let task = match kind {
+            ClauseKind::Private => "private",
+            ClauseKind::Reduction => "reduction",
+        };
+        Self { db, split: stratified_split(examples, seed), task }
+    }
+
+    /// The record behind an example.
+    pub fn record(&self, ex: &Example) -> &Record {
+        &self.db.records()[ex.record]
+    }
+
+    /// Balances a split's training set by subsampling the majority class
+    /// (the paper trains clause models on balanced labels, §3.2/§5.3).
+    pub fn balanced(mut self, seed: u64) -> Self {
+        self.split.train = balance(std::mem::take(&mut self.split.train), seed);
+        self.split.valid = balance(std::mem::take(&mut self.split.valid), seed ^ 1);
+        self.split.test = balance(std::mem::take(&mut self.split.test), seed ^ 2);
+        self
+    }
+}
+
+fn balance(mut examples: Vec<Example>, seed: u64) -> Vec<Example> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pos: Vec<Example> = examples.iter().filter(|e| e.label).cloned().collect();
+    let neg: Vec<Example> = examples.iter().filter(|e| !e.label).cloned().collect();
+    let keep = pos.len().min(neg.len());
+    if keep == 0 {
+        return examples;
+    }
+    let mut subsample = |mut v: Vec<Example>| {
+        for i in (1..v.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            v.swap(i, j);
+        }
+        v.truncate(keep);
+        v
+    };
+    let mut out = subsample(pos);
+    out.extend(subsample(neg));
+    // Final shuffle so labels interleave.
+    for i in (1..out.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        out.swap(i, j);
+    }
+    examples.clear();
+    out
+}
+
+/// 80/10/10 stratified split.
+fn stratified_split(examples: Vec<Example>, seed: u64) -> Split {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pos: Vec<Example> = examples.iter().filter(|e| e.label).cloned().collect();
+    let mut neg: Vec<Example> = examples.into_iter().filter(|e| !e.label).collect();
+    let mut shuffle = |v: &mut Vec<Example>| {
+        for i in (1..v.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            v.swap(i, j);
+        }
+    };
+    shuffle(&mut pos);
+    shuffle(&mut neg);
+    let mut split = Split::default();
+    for class in [pos, neg] {
+        let n = class.len();
+        let n_test = n / 10;
+        let n_valid = n / 10;
+        for (i, ex) in class.into_iter().enumerate() {
+            if i < n_test {
+                split.test.push(ex);
+            } else if i < n_test + n_valid {
+                split.valid.push(ex);
+            } else {
+                split.train.push(ex);
+            }
+        }
+    }
+    let mut rng2 = StdRng::seed_from_u64(seed ^ 0xDEAD);
+    let mut shuffle2 = |v: &mut Vec<Example>| {
+        for i in (1..v.len()).rev() {
+            let j = rng2.gen_range(0..=i);
+            v.swap(i, j);
+        }
+    };
+    shuffle2(&mut split.train);
+    shuffle2(&mut split.valid);
+    shuffle2(&mut split.test);
+    split
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GeneratorConfig};
+
+    fn db() -> Database {
+        generate(&GeneratorConfig { target_records: 800, seed: 31, ..Default::default() })
+    }
+
+    #[test]
+    fn split_ratios_are_80_10_10() {
+        let db = db();
+        let ds = Dataset::directive(&db, 1);
+        let total = ds.split.len();
+        assert_eq!(total, db.len());
+        let frac_train = ds.split.train.len() as f64 / total as f64;
+        assert!((0.78..0.84).contains(&frac_train), "{frac_train}");
+        assert!(ds.split.valid.len().abs_diff(ds.split.test.len()) <= 2);
+    }
+
+    #[test]
+    fn splits_are_disjoint_and_cover() {
+        let db = db();
+        let ds = Dataset::directive(&db, 2);
+        let mut seen = std::collections::HashSet::new();
+        for ex in ds.split.train.iter().chain(&ds.split.valid).chain(&ds.split.test) {
+            assert!(seen.insert(ex.record), "record {} in two splits", ex.record);
+        }
+        assert_eq!(seen.len(), db.len());
+    }
+
+    #[test]
+    fn stratification_preserves_label_mix() {
+        let db = db();
+        let ds = Dataset::directive(&db, 3);
+        let frac = |v: &[Example]| {
+            v.iter().filter(|e| e.label).count() as f64 / v.len().max(1) as f64
+        };
+        let overall = frac(&ds.split.train);
+        assert!((frac(&ds.split.valid) - overall).abs() < 0.08);
+        assert!((frac(&ds.split.test) - overall).abs() < 0.08);
+    }
+
+    #[test]
+    fn clause_dataset_only_contains_positives_of_rq1() {
+        let db = db();
+        let ds = Dataset::clause(&db, ClauseKind::Private, 4);
+        for ex in ds.split.train.iter().chain(&ds.split.valid).chain(&ds.split.test) {
+            assert!(ds.record(ex).has_directive());
+        }
+        let stats = db.stats();
+        assert_eq!(ds.split.len(), stats.with_directive);
+    }
+
+    #[test]
+    fn balanced_subsamples_majority() {
+        let db = db();
+        let ds = Dataset::clause(&db, ClauseKind::Reduction, 5).balanced(6);
+        let pos = ds.split.train.iter().filter(|e| e.label).count();
+        let neg = ds.split.train.len() - pos;
+        assert_eq!(pos, neg, "train not balanced: {pos} vs {neg}");
+    }
+
+    #[test]
+    fn splits_are_deterministic() {
+        let db = db();
+        let a = Dataset::directive(&db, 7);
+        let b = Dataset::directive(&db, 7);
+        assert_eq!(a.split.train, b.split.train);
+        assert_eq!(a.split.test, b.split.test);
+        let c = Dataset::directive(&db, 8);
+        assert_ne!(a.split.train, c.split.train);
+    }
+}

@@ -1,0 +1,82 @@
+//! Source-domain labels (paper Figure 3).
+
+/// Where a snippet's repository "comes from", per the paper's README-based
+/// classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// Repository without a README — domain unknown (33.5%).
+    Unknown,
+    /// README mentions "benchmark" (16.5%).
+    Benchmark,
+    /// README mentions "testing" (7%).
+    Testing,
+    /// Everything else — assumed generic application (43%).
+    GenericApplication,
+}
+
+impl Domain {
+    /// All domains with the paper's Figure 3 shares.
+    pub const DISTRIBUTION: [(Domain, f32); 4] = [
+        (Domain::Unknown, 0.335),
+        (Domain::Benchmark, 0.165),
+        (Domain::Testing, 0.07),
+        (Domain::GenericApplication, 0.43),
+    ];
+
+    /// Display name as in Figure 3.
+    pub fn name(self) -> &'static str {
+        match self {
+            Domain::Unknown => "Unknown (no README)",
+            Domain::Benchmark => "Benchmark",
+            Domain::Testing => "Testing",
+            Domain::GenericApplication => "Generic Application",
+        }
+    }
+
+    /// Samples a domain from the Figure 3 distribution given a uniform
+    /// draw in `[0, 1)`.
+    pub fn sample(u: f32) -> Domain {
+        let mut acc = 0.0f32;
+        for (d, p) in Domain::DISTRIBUTION {
+            acc += p;
+            if u < acc {
+                return d;
+            }
+        }
+        Domain::GenericApplication
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_sums_to_one() {
+        let total: f32 = Domain::DISTRIBUTION.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sample_boundaries() {
+        assert_eq!(Domain::sample(0.0), Domain::Unknown);
+        assert_eq!(Domain::sample(0.34), Domain::Benchmark);
+        assert_eq!(Domain::sample(0.51), Domain::Testing);
+        assert_eq!(Domain::sample(0.6), Domain::GenericApplication);
+        assert_eq!(Domain::sample(0.9999), Domain::GenericApplication);
+    }
+
+    #[test]
+    fn empirical_frequencies_track_targets() {
+        let n = 100_000;
+        let mut counts = std::collections::HashMap::new();
+        for t in 0..n {
+            let u = t as f32 / n as f32;
+            *counts.entry(Domain::sample(u)).or_insert(0usize) += 1;
+        }
+        for (d, p) in Domain::DISTRIBUTION {
+            let freq = counts[&d] as f32 / n as f32;
+            assert!((freq - p).abs() < 0.01, "{d:?}: {freq} vs {p}");
+        }
+    }
+}

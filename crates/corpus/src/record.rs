@@ -1,0 +1,135 @@
+//! A single Open-OMP record: a code snippet plus its directive label.
+//!
+//! Mirrors the paper's record structure (§3.1.2): (1) the code segment,
+//! (2) the OpenMP directive (if any), (3) the AST — here the AST *is* the
+//! primary representation and the source text is printed from it.
+
+use crate::domain::Domain;
+use pragformer_cparse::omp::OmpDirective;
+use pragformer_cparse::printer::print_stmts;
+use pragformer_cparse::{FuncDef, Stmt};
+
+/// One corpus record.
+#[derive(Clone, Debug)]
+pub struct Record {
+    /// Stable id within the database.
+    pub id: usize,
+    /// The loop snippet (declarations + loop nest), *without* the pragma.
+    pub stmts: Vec<Stmt>,
+    /// Implementations of helper functions called inside the loop, when
+    /// the generator produced any (kept in the record like the paper's
+    /// "implementations of functions called inside the loop segment";
+    /// model input stays the loop itself, which the 110-token cap forces).
+    pub helpers: Vec<FuncDef>,
+    /// The directive, `None` for negative records.
+    pub directive: Option<OmpDirective>,
+    /// Repository-domain label (Figure 3).
+    pub domain: Domain,
+    /// Generating template, for ablations and debugging.
+    pub template: &'static str,
+}
+
+impl Record {
+    /// True when the snippet carries an OpenMP directive (RQ1 label).
+    pub fn has_directive(&self) -> bool {
+        self.directive.is_some()
+    }
+
+    /// RQ2 label: directive contains a `private` clause.
+    pub fn has_private(&self) -> bool {
+        self.directive.as_ref().is_some_and(OmpDirective::has_private)
+    }
+
+    /// RQ2 label: directive contains a `reduction` clause.
+    pub fn has_reduction(&self) -> bool {
+        self.directive.as_ref().is_some_and(OmpDirective::has_reduction)
+    }
+
+    /// The snippet's C source (loop only, no pragma) — the model input.
+    pub fn code(&self) -> String {
+        print_stmts(&self.stmts)
+    }
+
+    /// The full record source as it would sit in a `.c` file: pragma (if
+    /// any), loop, then helper implementations.
+    pub fn full_source(&self) -> String {
+        let mut out = String::new();
+        if let Some(d) = &self.directive {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&self.code());
+        for h in &self.helpers {
+            out.push('\n');
+            out.push_str(&pragformer_cparse::printer::print_translation_unit(
+                &pragformer_cparse::TranslationUnit {
+                    items: vec![pragformer_cparse::Item::Func(h.clone())],
+                },
+            ));
+        }
+        out
+    }
+
+    /// Number of source lines of the code segment (Table 4 buckets on
+    /// this).
+    pub fn line_count(&self) -> usize {
+        self.code().lines().filter(|l| !l.trim().is_empty()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pragformer_cparse::omp::OmpClause;
+    use pragformer_cparse::parse_snippet;
+
+    fn record_with(directive: Option<OmpDirective>) -> Record {
+        Record {
+            id: 0,
+            stmts: parse_snippet("for (i = 0; i < n; i++) a[i] = i;").unwrap(),
+            helpers: Vec::new(),
+            directive,
+            domain: Domain::Unknown,
+            template: "test",
+        }
+    }
+
+    #[test]
+    fn labels_follow_directive() {
+        let neg = record_with(None);
+        assert!(!neg.has_directive() && !neg.has_private() && !neg.has_reduction());
+
+        let pos = record_with(Some(
+            OmpDirective::parallel_for()
+                .with(OmpClause::Private(vec!["j".into()]))
+                .with(OmpClause::Reduction {
+                    op: pragformer_cparse::omp::ReductionOp::Add,
+                    vars: vec!["s".into()],
+                }),
+        ));
+        assert!(pos.has_directive() && pos.has_private() && pos.has_reduction());
+    }
+
+    #[test]
+    fn full_source_includes_pragma_and_code() {
+        let pos = record_with(Some(OmpDirective::parallel_for()));
+        let src = pos.full_source();
+        assert!(src.starts_with("#pragma omp parallel for\n"));
+        assert!(src.contains("for (i = 0; i < n; i++)"));
+        // And the pragma-free view does not leak it.
+        assert!(!pos.code().contains("pragma"));
+    }
+
+    #[test]
+    fn line_count_ignores_blanks() {
+        let r = record_with(None);
+        assert_eq!(r.line_count(), 2); // for-line + body line
+    }
+
+    #[test]
+    fn full_source_reparses_with_pragma_attached() {
+        let pos = record_with(Some(OmpDirective::parallel_for()));
+        let reparsed = parse_snippet(&pos.full_source()).unwrap();
+        assert!(matches!(&reparsed[0], Stmt::Pragma { .. }));
+    }
+}

@@ -1,0 +1,95 @@
+//! Ambiguous templates — loops developers annotate inconsistently.
+//!
+//! These reproduce the label noise of crawled data: the *same* code shape
+//! appears with and without a directive in real repositories (e.g. short
+//! init loops that one project parallelizes for cc-NUMA first-touch and
+//! another leaves serial, §2.1.1 of the paper). The generator assigns the
+//! label by coin flip, so no classifier can reach 100% on these — which is
+//! what keeps the reproduction's ceiling near the paper's ~0.8-0.85.
+
+use super::*;
+use pragformer_cparse::omp::OmpClause;
+
+/// All ambiguous templates, with the probability that a draw is labelled
+/// positive.
+pub fn ambiguous_templates() -> &'static [(Template, f32)] {
+    &[
+        (medium_init, 0.5),
+        (unknown_bound_copy, 0.5),
+        (guarded_update, 0.45),
+        (accumulate_then_store, 0.35),
+        (first_touch_init, 0.6),
+    ]
+}
+
+/// Medium-size init loop: cheap body, bound is a bare variable — whether
+/// parallelization pays off depends on runtime values the text cannot
+/// reveal.
+fn medium_init(pool: &mut NamePool) -> TemplateOutput {
+    let (i, n, a) = (pool.loop_var(), pool.bound(), pool.array());
+    let body = assign_stmt(idx(&a, &i), Expr::id(&i));
+    TemplateOutput {
+        stmts: vec![count_loop(&i, Expr::id(&n), body)],
+        helpers: vec![],
+        directive: Some(OmpDirective::parallel_for()), // generator may strip
+        template: "amb/medium_init",
+    }
+}
+
+/// Copy with unknown bound.
+fn unknown_bound_copy(pool: &mut NamePool) -> TemplateOutput {
+    let (i, n, a, b) = (pool.loop_var(), pool.bound(), pool.array(), pool.array());
+    let body = assign_stmt(idx(&b, &i), idx(&a, &i));
+    TemplateOutput {
+        stmts: vec![count_loop(&i, Expr::id(&n), body)],
+        helpers: vec![],
+        directive: Some(OmpDirective::parallel_for()),
+        template: "amb/unknown_bound_copy",
+    }
+}
+
+/// Guarded element update — independent but branchy.
+fn guarded_update(pool: &mut NamePool) -> TemplateOutput {
+    let (i, n, a, t) = (pool.loop_var(), pool.bound(), pool.array(), pool.scalar());
+    let body = Stmt::If {
+        cond: Expr::bin(BinOp::Lt, idx(&a, &i), Expr::id(&t)),
+        then: Box::new(assign_stmt(idx(&a, &i), Expr::id(&t))),
+        else_: None,
+    };
+    TemplateOutput {
+        stmts: vec![count_loop(&i, Expr::id(&n), body)],
+        helpers: vec![],
+        directive: Some(OmpDirective::parallel_for()),
+        template: "amb/guarded_update",
+    }
+}
+
+/// Per-element accumulate-then-store with a fresh temporary — developers
+/// split on whether the temporary warrants `private`.
+fn accumulate_then_store(pool: &mut NamePool) -> TemplateOutput {
+    let (i, n) = (pool.loop_var(), pool.bound());
+    let (a, b, t) = (pool.array(), pool.array(), pool.scalar());
+    let body = Stmt::Compound(vec![
+        assign_stmt(Expr::id(&t), Expr::bin(BinOp::Add, idx(&a, &i), flit(2.0))),
+        assign_stmt(idx(&b, &i), Expr::id(&t)),
+    ]);
+    TemplateOutput {
+        stmts: vec![decl(double_ty(), &t, None), count_loop(&i, Expr::id(&n), body)],
+        helpers: vec![],
+        directive: Some(OmpDirective::parallel_for().with(OmpClause::Private(vec![t.clone()]))),
+        template: "amb/accumulate_then_store",
+    }
+}
+
+/// cc-NUMA first-touch init: beneficial on NUMA boxes, pointless on small
+/// machines — the paper's own example of a judgement call (§2.1.1).
+fn first_touch_init(pool: &mut NamePool) -> TemplateOutput {
+    let (i, n, a) = (pool.loop_var(), pool.bound(), pool.array());
+    let body = assign_stmt(idx(&a, &i), flit(0.0));
+    TemplateOutput {
+        stmts: vec![count_loop(&i, Expr::id(&n), body)],
+        helpers: vec![],
+        directive: Some(OmpDirective::parallel_for()),
+        template: "amb/first_touch_init",
+    }
+}

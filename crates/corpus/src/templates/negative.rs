@@ -1,0 +1,420 @@
+//! Negative templates: loops from OpenMP-using files that developers left
+//! serial, with the concrete reasons the paper lists — I/O, loop-carried
+//! dependences, tiny trip counts, unsafe calls, pointer chasing, early
+//! exits and side-effecting helpers.
+
+use super::*;
+
+/// All negative templates.
+pub fn negative_templates() -> &'static [Template] {
+    &[
+        io_print,
+        io_read,
+        file_batch,
+        loop_carried_flow,
+        in_place_stencil,
+        prefix_sum,
+        recurrence_fib,
+        stride_dependence,
+        running_extreme,
+        induction_pointer,
+        small_trip,
+        rand_fill,
+        alloc_in_loop,
+        pointer_chase,
+        early_break_search,
+        impure_helper_call,
+        string_accumulate,
+        reverse_overlap,
+    ]
+}
+
+/// I/O in the body (the paper's Table 12 example #2).
+fn io_print(pool: &mut NamePool) -> TemplateOutput {
+    let (i, n, x) = (pool.loop_var(), pool.bound(), pool.array());
+    let print_call = Stmt::Expr(Expr::call(
+        "fprintf",
+        vec![
+            Expr::id("stderr"),
+            Expr::StrLit("%0.2lf ".into()),
+            idx(&x, &i),
+        ],
+    ));
+    let body = if pool.chance(0.5) {
+        Stmt::Compound(vec![
+            print_call,
+            Stmt::If {
+                cond: Expr::bin(
+                    BinOp::Eq,
+                    Expr::bin(BinOp::Mod, Expr::id(&i), Expr::int(pool.int_in(10, 30))),
+                    Expr::int(0),
+                ),
+                then: Box::new(Stmt::Expr(Expr::call(
+                    "fprintf",
+                    vec![Expr::id("stderr"), Expr::StrLit(" \\n".into())],
+                ))),
+                else_: None,
+            },
+        ])
+    } else {
+        Stmt::Expr(Expr::call(
+            "printf",
+            vec![Expr::StrLit("%d ".into()), idx(&x, &i)],
+        ))
+    };
+    TemplateOutput {
+        stmts: vec![count_loop(&i, Expr::id(&n), body)],
+        helpers: vec![],
+        directive: None,
+        template: "neg/io_print",
+    }
+}
+
+/// `scanf`/`fscanf` input loop.
+fn io_read(pool: &mut NamePool) -> TemplateOutput {
+    let (i, n, x) = (pool.loop_var(), pool.bound(), pool.array());
+    let body = if pool.chance(0.5) {
+        Stmt::Expr(Expr::call(
+            "scanf",
+            vec![
+                Expr::StrLit("%lf".into()),
+                Expr::Unary { op: UnOp::AddrOf, expr: Box::new(idx(&x, &i)) },
+            ],
+        ))
+    } else {
+        Stmt::Expr(Expr::call(
+            "fscanf",
+            vec![
+                Expr::id("fp"),
+                Expr::StrLit("%d".into()),
+                Expr::Unary { op: UnOp::AddrOf, expr: Box::new(idx(&x, &i)) },
+            ],
+        ))
+    };
+    TemplateOutput {
+        stmts: vec![count_loop(&i, Expr::id(&n), body)],
+        helpers: vec![],
+        directive: None,
+        template: "neg/io_read",
+    }
+}
+
+/// File writes in a loop (`fwrite`/`fputs`).
+fn file_batch(pool: &mut NamePool) -> TemplateOutput {
+    let (i, n, buf) = (pool.loop_var(), pool.bound(), pool.array());
+    let body = Stmt::Compound(vec![
+        Stmt::Expr(Expr::call(
+            "fwrite",
+            vec![
+                Expr::Unary { op: UnOp::AddrOf, expr: Box::new(idx(&buf, &i)) },
+                Expr::Sizeof(Box::new(pragformer_cparse::SizeofArg::Type(double_ty()))),
+                Expr::int(1),
+                Expr::id("fp"),
+            ],
+        )),
+    ]);
+    TemplateOutput {
+        stmts: vec![count_loop(&i, Expr::id(&n), body)],
+        helpers: vec![],
+        directive: None,
+        template: "neg/file_batch",
+    }
+}
+
+/// `a[i] = a[i-1] + b[i];` — classic flow dependence.
+fn loop_carried_flow(pool: &mut NamePool) -> TemplateOutput {
+    let (i, n, a, b) = (pool.loop_var(), pool.bound(), pool.array(), pool.array());
+    let prev = Expr::index(
+        Expr::id(&a),
+        Expr::bin(BinOp::Sub, Expr::id(&i), Expr::int(1)),
+    );
+    let body = assign_stmt(idx(&a, &i), Expr::bin(BinOp::Add, prev, idx(&b, &i)));
+    let outer = Stmt::For {
+        init: ForInit::Expr(Expr::assign(Expr::id(&i), Expr::int(1))),
+        cond: Some(Expr::bin(BinOp::Lt, Expr::id(&i), Expr::id(&n))),
+        step: Some(Expr::Unary { op: UnOp::PostInc, expr: Box::new(Expr::id(&i)) }),
+        body: Box::new(body),
+    };
+    TemplateOutput {
+        stmts: vec![outer],
+        helpers: vec![],
+        directive: None,
+        template: "neg/loop_carried_flow",
+    }
+}
+
+/// In-place smoothing `a[i] = 0.5 * (a[i-1] + a[i+1]);` — flow + anti.
+fn in_place_stencil(pool: &mut NamePool) -> TemplateOutput {
+    let (i, n, a) = (pool.loop_var(), pool.bound(), pool.array());
+    let left = Expr::index(Expr::id(&a), Expr::bin(BinOp::Sub, Expr::id(&i), Expr::int(1)));
+    let right = Expr::index(Expr::id(&a), Expr::bin(BinOp::Add, Expr::id(&i), Expr::int(1)));
+    let body = assign_stmt(
+        idx(&a, &i),
+        Expr::bin(BinOp::Mul, flit(0.5), Expr::bin(BinOp::Add, left, right)),
+    );
+    let outer = Stmt::For {
+        init: ForInit::Expr(Expr::assign(Expr::id(&i), Expr::int(1))),
+        cond: Some(Expr::bin(
+            BinOp::Lt,
+            Expr::id(&i),
+            Expr::bin(BinOp::Sub, Expr::id(&n), Expr::int(1)),
+        )),
+        step: Some(Expr::Unary { op: UnOp::PostInc, expr: Box::new(Expr::id(&i)) }),
+        body: Box::new(body),
+    };
+    TemplateOutput { stmts: vec![outer], helpers: vec![], directive: None, template: "neg/in_place_stencil" }
+}
+
+/// Prefix sum where the running value is *stored per iteration* — an
+/// ordered dependence, not a reduction.
+fn prefix_sum(pool: &mut NamePool) -> TemplateOutput {
+    let (i, n) = (pool.loop_var(), pool.bound());
+    let (a, out, s) = (pool.array(), pool.array(), pool.scalar());
+    let body = Stmt::Compound(vec![
+        add_assign_stmt(Expr::id(&s), idx(&a, &i)),
+        assign_stmt(idx(&out, &i), Expr::id(&s)),
+    ]);
+    TemplateOutput {
+        stmts: vec![decl(double_ty(), &s, Some(flit(0.0))), count_loop(&i, Expr::id(&n), body)],
+        helpers: vec![],
+        directive: None,
+        template: "neg/prefix_sum",
+    }
+}
+
+/// Fibonacci-style second-order recurrence.
+fn recurrence_fib(pool: &mut NamePool) -> TemplateOutput {
+    let (i, n, f) = (pool.loop_var(), pool.bound(), pool.array());
+    let f1 = Expr::index(Expr::id(&f), Expr::bin(BinOp::Sub, Expr::id(&i), Expr::int(1)));
+    let f2 = Expr::index(Expr::id(&f), Expr::bin(BinOp::Sub, Expr::id(&i), Expr::int(2)));
+    let body = assign_stmt(idx(&f, &i), Expr::bin(BinOp::Add, f1, f2));
+    let outer = Stmt::For {
+        init: ForInit::Expr(Expr::assign(Expr::id(&i), Expr::int(2))),
+        cond: Some(Expr::bin(BinOp::Lt, Expr::id(&i), Expr::id(&n))),
+        step: Some(Expr::Unary { op: UnOp::PostInc, expr: Box::new(Expr::id(&i)) }),
+        body: Box::new(body),
+    };
+    TemplateOutput { stmts: vec![outer], helpers: vec![], directive: None, template: "neg/recurrence_fib" }
+}
+
+/// `a[i+1] = a[i] * c;` — write hits the next iteration's read.
+fn stride_dependence(pool: &mut NamePool) -> TemplateOutput {
+    let (i, n, a) = (pool.loop_var(), pool.bound(), pool.array());
+    let c = pool.int_in(2, 5);
+    let next = Expr::index(Expr::id(&a), Expr::bin(BinOp::Add, Expr::id(&i), Expr::int(1)));
+    let body = assign_stmt(next, Expr::bin(BinOp::Mul, idx(&a, &i), Expr::int(c)));
+    let outer = Stmt::For {
+        init: ForInit::Expr(Expr::assign(Expr::id(&i), Expr::int(0))),
+        cond: Some(Expr::bin(
+            BinOp::Lt,
+            Expr::id(&i),
+            Expr::bin(BinOp::Sub, Expr::id(&n), Expr::int(1)),
+        )),
+        step: Some(Expr::Unary { op: UnOp::PostInc, expr: Box::new(Expr::id(&i)) }),
+        body: Box::new(body),
+    };
+    TemplateOutput { stmts: vec![outer], helpers: vec![], directive: None, template: "neg/stride_dependence" }
+}
+
+/// Running maximum stored per element — ordered, unlike `reduction(max:)`.
+fn running_extreme(pool: &mut NamePool) -> TemplateOutput {
+    let (i, n) = (pool.loop_var(), pool.bound());
+    let (a, out, m) = (pool.array(), pool.array(), pool.scalar());
+    let body = Stmt::Compound(vec![
+        Stmt::If {
+            cond: Expr::bin(BinOp::Gt, idx(&a, &i), Expr::id(&m)),
+            then: Box::new(assign_stmt(Expr::id(&m), idx(&a, &i))),
+            else_: None,
+        },
+        assign_stmt(idx(&out, &i), Expr::id(&m)),
+    ]);
+    TemplateOutput {
+        stmts: vec![decl(double_ty(), &m, Some(flit(0.0))), count_loop(&i, Expr::id(&n), body)],
+        helpers: vec![],
+        directive: None,
+        template: "neg/running_extreme",
+    }
+}
+
+/// Non-affine induction variable used as a subscript.
+fn induction_pointer(pool: &mut NamePool) -> TemplateOutput {
+    let (i, n) = (pool.loop_var(), pool.bound());
+    let (a, b, pos, step) = (pool.array(), pool.array(), pool.scalar(), pool.scalar());
+    let body = Stmt::Compound(vec![
+        assign_stmt(
+            Expr::index(Expr::id(&b), Expr::id(&pos)),
+            idx(&a, &i),
+        ),
+        add_assign_stmt(
+            Expr::id(&pos),
+            Expr::bin(BinOp::Add, Expr::id(&step), Expr::bin(BinOp::Mod, idx(&a, &i), Expr::int(3))),
+        ),
+    ]);
+    TemplateOutput {
+        stmts: vec![decl(int_ty(), &pos, Some(Expr::int(0))), count_loop(&i, Expr::id(&n), body)],
+        helpers: vec![],
+        directive: None,
+        template: "neg/induction_pointer",
+    }
+}
+
+/// Tiny constant trip count — threads cost more than the loop.
+fn small_trip(pool: &mut NamePool) -> TemplateOutput {
+    let (i, a) = (pool.loop_var(), pool.array());
+    let n = pool.int_in(2, 8);
+    let body = assign_stmt(
+        idx(&a, &i),
+        Expr::bin(BinOp::Mul, Expr::id(&i), Expr::int(pool.int_in(1, 5))),
+    );
+    TemplateOutput {
+        stmts: vec![count_loop(&i, Expr::int(n), body)],
+        helpers: vec![],
+        directive: None,
+        template: "neg/small_trip",
+    }
+}
+
+/// `rand()` is stateful — not thread-safe without reseeding.
+fn rand_fill(pool: &mut NamePool) -> TemplateOutput {
+    let (i, n, a) = (pool.loop_var(), pool.bound(), pool.array());
+    let rhs = if pool.chance(0.5) {
+        Expr::bin(BinOp::Mod, Expr::call("rand", vec![]), Expr::int(pool.int_in(10, 1000)))
+    } else {
+        Expr::call("rand", vec![])
+    };
+    let body = assign_stmt(idx(&a, &i), rhs);
+    TemplateOutput {
+        stmts: vec![count_loop(&i, Expr::id(&n), body)],
+        helpers: vec![],
+        directive: None,
+        template: "neg/rand_fill",
+    }
+}
+
+/// `malloc`/`free` per iteration — allocator serialization + ordering.
+fn alloc_in_loop(pool: &mut NamePool) -> TemplateOutput {
+    let (i, n) = (pool.loop_var(), pool.bound());
+    let (p, a) = (pool.scalar(), pool.array());
+    let body = Stmt::Compound(vec![
+        assign_stmt(
+            Expr::id(&p),
+            Expr::call(
+                "malloc",
+                vec![Expr::bin(
+                    BinOp::Mul,
+                    Expr::Sizeof(Box::new(pragformer_cparse::SizeofArg::Type(double_ty()))),
+                    Expr::id(&n),
+                )],
+            ),
+        ),
+        assign_stmt(idx(&a, &i), Expr::int(0)),
+        Stmt::Expr(Expr::call("free", vec![Expr::id(&p)])),
+    ]);
+    TemplateOutput {
+        stmts: vec![count_loop(&i, Expr::id(&n), body)],
+        helpers: vec![],
+        directive: None,
+        template: "neg/alloc_in_loop",
+    }
+}
+
+/// Linked-list traversal `for (p = head; p; p = p->next)`.
+fn pointer_chase(pool: &mut NamePool) -> TemplateOutput {
+    let (p, head, s) = ("p", "head", pool.scalar());
+    let body = add_assign_stmt(
+        Expr::id(&s),
+        Expr::Member { base: Box::new(Expr::id(p)), field: "value".into(), arrow: true },
+    );
+    let loop_ = Stmt::For {
+        init: ForInit::Expr(Expr::assign(Expr::id(p), Expr::id(head))),
+        cond: Some(Expr::id(p)),
+        step: Some(Expr::assign(
+            Expr::id(p),
+            Expr::Member { base: Box::new(Expr::id(p)), field: "next".into(), arrow: true },
+        )),
+        body: Box::new(body),
+    };
+    TemplateOutput {
+        stmts: vec![decl(double_ty(), &s, Some(flit(0.0))), loop_],
+        helpers: vec![],
+        directive: None,
+        template: "neg/pointer_chase",
+    }
+}
+
+/// Search with early `break` — iteration order is semantic.
+fn early_break_search(pool: &mut NamePool) -> TemplateOutput {
+    let (i, n) = (pool.loop_var(), pool.bound());
+    let (a, target, found) = (pool.array(), pool.scalar(), pool.scalar());
+    let body = Stmt::If {
+        cond: Expr::bin(BinOp::Eq, idx(&a, &i), Expr::id(&target)),
+        then: Box::new(Stmt::Compound(vec![
+            assign_stmt(Expr::id(&found), Expr::id(&i)),
+            Stmt::Break,
+        ])),
+        else_: None,
+    };
+    TemplateOutput {
+        stmts: vec![
+            decl(int_ty(), &found, Some(Expr::int(-1))),
+            count_loop(&i, Expr::id(&n), body),
+        ],
+        helpers: vec![],
+        directive: None,
+        template: "neg/early_break_search",
+    }
+}
+
+/// Helper with a visible side effect on a global (implementation shipped).
+fn impure_helper_call(pool: &mut NamePool) -> TemplateOutput {
+    let (i, n, x, y) = (pool.loop_var(), pool.bound(), pool.array(), pool.array());
+    let f = pool.func();
+    let g = pool.scalar();
+    let body = assign_stmt(idx(&y, &i), Expr::call(f.clone(), vec![idx(&x, &i)]));
+    let helper = impure_helper(&f, &g);
+    TemplateOutput {
+        stmts: vec![count_loop(&i, Expr::id(&n), body)],
+        helpers: vec![helper],
+        directive: None,
+        template: "neg/impure_helper_call",
+    }
+}
+
+/// `strcat` into a shared buffer — sequential by construction.
+fn string_accumulate(pool: &mut NamePool) -> TemplateOutput {
+    let (i, n) = (pool.loop_var(), pool.bound());
+    let buf = pool.array();
+    let body = Stmt::Compound(vec![
+        Stmt::Expr(Expr::call(
+            "sprintf",
+            vec![Expr::id("chunk"), Expr::StrLit("%d,".into()), Expr::id(&i)],
+        )),
+        Stmt::Expr(Expr::call("strcat", vec![Expr::id(&buf), Expr::id("chunk")])),
+    ]);
+    TemplateOutput {
+        stmts: vec![count_loop(&i, Expr::id(&n), body)],
+        helpers: vec![],
+        directive: None,
+        template: "neg/string_accumulate",
+    }
+}
+
+/// `a[i] = a[n - 1 - i];` — iterations collide pairwise in place.
+fn reverse_overlap(pool: &mut NamePool) -> TemplateOutput {
+    let (i, n, a) = (pool.loop_var(), pool.bound(), pool.array());
+    let mirrored = Expr::index(
+        Expr::id(&a),
+        Expr::bin(
+            BinOp::Sub,
+            Expr::bin(BinOp::Sub, Expr::id(&n), Expr::int(1)),
+            Expr::id(&i),
+        ),
+    );
+    let body = assign_stmt(idx(&a, &i), mirrored);
+    TemplateOutput {
+        stmts: vec![count_loop(&i, Expr::id(&n), body)],
+        helpers: vec![],
+        directive: None,
+        template: "neg/reverse_overlap",
+    }
+}

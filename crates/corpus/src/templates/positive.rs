@@ -1,0 +1,611 @@
+//! Positive templates: loops a developer annotated with
+//! `#pragma omp parallel for`.
+//!
+//! Clause frequencies are tuned so the raw database reproduces the paper's
+//! Table 3 proportions: ~95% `schedule(static)` (i.e. no schedule clause,
+//! the default), ~5% `schedule(dynamic)`, ~45% `private`, ~19%
+//! `reduction`.
+
+use super::*;
+use pragformer_cparse::omp::{OmpClause, ReductionOp, ScheduleKind};
+
+/// All positive templates.
+pub fn positive_templates() -> &'static [Template] {
+    &[
+        vec_init,
+        vec_copy,
+        vec_scale,
+        axpy,
+        triad,
+        elementwise_math,
+        polynomial,
+        conditional_assign,
+        matvec_private,
+        gemm_private,
+        stencil_jacobi,
+        init_2d_private,
+        transpose_private,
+        dot_reduction,
+        sum_reduction,
+        norm_reduction,
+        prod_reduction,
+        max_reduction,
+        min_reduction,
+        count_reduction,
+        imbalanced_dynamic,
+        helper_call_parallel,
+        private_temporary,
+        row_sums_private,
+        shifted_read_other_array,
+        jacobi_1d,
+        reverse_copy,
+    ]
+}
+
+/// `a[i] = b[i - 1] + b[i];` — token-twin of the *negative*
+/// `a[i] = a[i - 1] + b[i]` (loop-carried flow). Only the structure — the
+/// shifted read hitting a *different* array — separates the classes;
+/// bag-of-words counting cannot tell them apart reliably.
+fn shifted_read_other_array(pool: &mut NamePool) -> TemplateOutput {
+    let (i, n, a, b) = (pool.loop_var(), pool.bound(), pool.array(), pool.array());
+    let prev = Expr::index(Expr::id(&b), Expr::bin(BinOp::Sub, Expr::id(&i), Expr::int(1)));
+    let body = assign_stmt(idx(&a, &i), Expr::bin(BinOp::Add, prev, idx(&b, &i)));
+    let outer = Stmt::For {
+        init: ForInit::Expr(Expr::assign(Expr::id(&i), Expr::int(1))),
+        cond: Some(Expr::bin(BinOp::Lt, Expr::id(&i), Expr::id(&n))),
+        step: Some(Expr::Unary { op: UnOp::PostInc, expr: Box::new(Expr::id(&i)) }),
+        body: Box::new(body),
+    };
+    TemplateOutput {
+        stmts: vec![outer],
+        helpers: vec![],
+        directive: Some(plain_for()),
+        template: "pos/shifted_read_other_array",
+    }
+}
+
+/// 1-D Jacobi into a separate output — token-twin of the negative
+/// in-place stencil.
+fn jacobi_1d(pool: &mut NamePool) -> TemplateOutput {
+    let (i, n, src, dst) = (pool.loop_var(), pool.bound(), pool.array(), pool.array());
+    let left = Expr::index(Expr::id(&src), Expr::bin(BinOp::Sub, Expr::id(&i), Expr::int(1)));
+    let right = Expr::index(Expr::id(&src), Expr::bin(BinOp::Add, Expr::id(&i), Expr::int(1)));
+    let body = assign_stmt(
+        idx(&dst, &i),
+        Expr::bin(BinOp::Mul, flit(0.5), Expr::bin(BinOp::Add, left, right)),
+    );
+    let outer = Stmt::For {
+        init: ForInit::Expr(Expr::assign(Expr::id(&i), Expr::int(1))),
+        cond: Some(Expr::bin(
+            BinOp::Lt,
+            Expr::id(&i),
+            Expr::bin(BinOp::Sub, Expr::id(&n), Expr::int(1)),
+        )),
+        step: Some(Expr::Unary { op: UnOp::PostInc, expr: Box::new(Expr::id(&i)) }),
+        body: Box::new(body),
+    };
+    TemplateOutput {
+        stmts: vec![outer],
+        helpers: vec![],
+        directive: Some(plain_for()),
+        template: "pos/jacobi_1d",
+    }
+}
+
+/// `b[i] = a[n - 1 - i];` — token-twin of the negative in-place reverse
+/// `a[i] = a[n - 1 - i]`.
+fn reverse_copy(pool: &mut NamePool) -> TemplateOutput {
+    let (i, n, a, b) = (pool.loop_var(), pool.bound(), pool.array(), pool.array());
+    let mirrored = Expr::index(
+        Expr::id(&a),
+        Expr::bin(
+            BinOp::Sub,
+            Expr::bin(BinOp::Sub, Expr::id(&n), Expr::int(1)),
+            Expr::id(&i),
+        ),
+    );
+    let body = assign_stmt(idx(&b, &i), mirrored);
+    TemplateOutput {
+        stmts: vec![count_loop(&i, Expr::id(&n), body)],
+        helpers: vec![],
+        directive: Some(plain_for()),
+        template: "pos/reverse_copy",
+    }
+}
+
+fn plain_for() -> OmpDirective {
+    OmpDirective::parallel_for()
+}
+
+/// `for (i..n) a[i] = i * c;`
+fn vec_init(pool: &mut NamePool) -> TemplateOutput {
+    let (i, n, a) = (pool.loop_var(), pool.bound(), pool.array());
+    let c = pool.int_in(1, 10);
+    let rhs = if pool.chance(0.5) {
+        Expr::bin(BinOp::Mul, Expr::id(&i), Expr::int(c))
+    } else {
+        Expr::int(0)
+    };
+    let body = pad_body(pool, &i, vec![assign_stmt(idx(&a, &i), rhs)]);
+    TemplateOutput {
+        stmts: vec![count_loop(&i, Expr::id(&n), body)],
+        helpers: vec![],
+        directive: Some(plain_for()),
+        template: "pos/vec_init",
+    }
+}
+
+/// `b[i] = a[i];`
+fn vec_copy(pool: &mut NamePool) -> TemplateOutput {
+    let (i, n, a, b) = (pool.loop_var(), pool.bound(), pool.array(), pool.array());
+    let body = pad_body(pool, &i, vec![assign_stmt(idx(&b, &i), idx(&a, &i))]);
+    TemplateOutput {
+        stmts: vec![count_loop(&i, Expr::id(&n), body)],
+        helpers: vec![],
+        directive: Some(plain_for()),
+        template: "pos/vec_copy",
+    }
+}
+
+/// `b[i] = b[i] * alpha;`
+fn vec_scale(pool: &mut NamePool) -> TemplateOutput {
+    let (i, n, b, alpha) = (pool.loop_var(), pool.bound(), pool.array(), pool.scalar());
+    let body = pad_body(
+        pool,
+        &i,
+        vec![assign_stmt(idx(&b, &i), Expr::bin(BinOp::Mul, idx(&b, &i), Expr::id(&alpha)))],
+    );
+    TemplateOutput {
+        stmts: vec![count_loop(&i, Expr::id(&n), body)],
+        helpers: vec![],
+        directive: Some(plain_for()),
+        template: "pos/vec_scale",
+    }
+}
+
+/// `y[i] = a * x[i] + y[i];`
+fn axpy(pool: &mut NamePool) -> TemplateOutput {
+    let (i, n) = (pool.loop_var(), pool.bound());
+    let (x, y, a) = (pool.array(), pool.array(), pool.scalar());
+    let rhs = Expr::bin(
+        BinOp::Add,
+        Expr::bin(BinOp::Mul, Expr::id(&a), idx(&x, &i)),
+        idx(&y, &i),
+    );
+    let body = pad_body(pool, &i, vec![assign_stmt(idx(&y, &i), rhs)]);
+    TemplateOutput {
+        stmts: vec![count_loop(&i, Expr::id(&n), body)],
+        helpers: vec![],
+        directive: Some(plain_for()),
+        template: "pos/axpy",
+    }
+}
+
+/// STREAM triad `a[i] = b[i] + s * c[i];`
+fn triad(pool: &mut NamePool) -> TemplateOutput {
+    let (i, n) = (pool.loop_var(), pool.bound());
+    let (a, b, c, s) = (pool.array(), pool.array(), pool.array(), pool.scalar());
+    let rhs = Expr::bin(
+        BinOp::Add,
+        idx(&b, &i),
+        Expr::bin(BinOp::Mul, Expr::id(&s), idx(&c, &i)),
+    );
+    let body = pad_body(pool, &i, vec![assign_stmt(idx(&a, &i), rhs)]);
+    TemplateOutput {
+        stmts: vec![count_loop(&i, Expr::id(&n), body)],
+        helpers: vec![],
+        directive: Some(plain_for()),
+        template: "pos/triad",
+    }
+}
+
+/// `y[i] = sqrt(x[i]);` — pure math-library calls are safe to parallelize.
+fn elementwise_math(pool: &mut NamePool) -> TemplateOutput {
+    let (i, n, x, y) = (pool.loop_var(), pool.bound(), pool.array(), pool.array());
+    let f = *pool.pick(&["sqrt", "exp", "fabs", "log", "sin", "cos"]);
+    let body = pad_body(
+        pool,
+        &i,
+        vec![assign_stmt(idx(&y, &i), Expr::call(f, vec![idx(&x, &i)]))],
+    );
+    TemplateOutput {
+        stmts: vec![count_loop(&i, Expr::id(&n), body)],
+        helpers: vec![],
+        directive: Some(plain_for()),
+        template: "pos/elementwise_math",
+    }
+}
+
+/// Horner polynomial evaluation per element.
+fn polynomial(pool: &mut NamePool) -> TemplateOutput {
+    let (i, n, x, y) = (pool.loop_var(), pool.bound(), pool.array(), pool.array());
+    let (c0, c1, c2) = (pool.int_in(1, 9), pool.int_in(1, 9), pool.int_in(1, 9));
+    let horner = Expr::bin(
+        BinOp::Add,
+        Expr::bin(
+            BinOp::Mul,
+            Expr::bin(
+                BinOp::Add,
+                Expr::bin(BinOp::Mul, Expr::int(c2), idx(&x, &i)),
+                Expr::int(c1),
+            ),
+            idx(&x, &i),
+        ),
+        Expr::int(c0),
+    );
+    let body = pad_body(pool, &i, vec![assign_stmt(idx(&y, &i), horner)]);
+    TemplateOutput {
+        stmts: vec![count_loop(&i, Expr::id(&n), body)],
+        helpers: vec![],
+        directive: Some(plain_for()),
+        template: "pos/polynomial",
+    }
+}
+
+/// `b[i] = a[i] > t ? a[i] : 0;` — branch without cross-iteration state.
+fn conditional_assign(pool: &mut NamePool) -> TemplateOutput {
+    let (i, n, a, b, t) = (pool.loop_var(), pool.bound(), pool.array(), pool.array(), pool.scalar());
+    let rhs = Expr::Ternary {
+        cond: Box::new(Expr::bin(BinOp::Gt, idx(&a, &i), Expr::id(&t))),
+        then: Box::new(idx(&a, &i)),
+        else_: Box::new(Expr::int(0)),
+    };
+    let body = pad_body(pool, &i, vec![assign_stmt(idx(&b, &i), rhs)]);
+    TemplateOutput {
+        stmts: vec![count_loop(&i, Expr::id(&n), body)],
+        helpers: vec![],
+        directive: Some(plain_for()),
+        template: "pos/conditional_assign",
+    }
+}
+
+/// Matrix–vector product with inner accumulator: `private(j, s)`.
+fn matvec_private(pool: &mut NamePool) -> TemplateOutput {
+    let (i, j) = (pool.loop_var(), pool.loop_var());
+    let (n, m) = (pool.bound(), pool.bound());
+    let (mat, x, y, s) = (pool.array(), pool.array(), pool.array(), pool.scalar());
+    let inner = count_loop(
+        &j,
+        Expr::id(&m),
+        add_assign_stmt(
+            Expr::id(&s),
+            Expr::bin(BinOp::Mul, idx2(&mat, &i, &j), idx(&x, &j)),
+        ),
+    );
+    let body = Stmt::Compound(vec![
+        assign_stmt(Expr::id(&s), flit(0.0)),
+        inner,
+        assign_stmt(idx(&y, &i), Expr::id(&s)),
+    ]);
+    TemplateOutput {
+        stmts: vec![
+            decl(double_ty(), &s, None),
+            count_loop(&i, Expr::id(&n), body),
+        ],
+        helpers: vec![],
+        directive: Some(
+            plain_for().with(OmpClause::Private(vec![j.clone(), s.clone()])),
+        ),
+        template: "pos/matvec_private",
+    }
+}
+
+/// Dense GEMM, directive on the outer loop with `private(j, k)`.
+fn gemm_private(pool: &mut NamePool) -> TemplateOutput {
+    let (i, j, k) = (pool.loop_var(), pool.loop_var(), pool.loop_var());
+    let n = pool.bound();
+    let (a, b, c) = (pool.array(), pool.array(), pool.array());
+    let inner_k = count_loop(
+        &k,
+        Expr::id(&n),
+        add_assign_stmt(
+            idx2(&c, &i, &j),
+            Expr::bin(BinOp::Mul, idx2(&a, &i, &k), idx2(&b, &k, &j)),
+        ),
+    );
+    let inner_j = count_loop(
+        &j,
+        Expr::id(&n),
+        Stmt::Compound(vec![assign_stmt(idx2(&c, &i, &j), flit(0.0)), inner_k]),
+    );
+    TemplateOutput {
+        stmts: vec![count_loop(&i, Expr::id(&n), inner_j)],
+        helpers: vec![],
+        directive: Some(plain_for().with(OmpClause::Private(vec![j.clone(), k.clone()]))),
+        template: "pos/gemm_private",
+    }
+}
+
+/// Jacobi-style stencil writing into a separate output array.
+fn stencil_jacobi(pool: &mut NamePool) -> TemplateOutput {
+    let (i, j) = (pool.loop_var(), pool.loop_var());
+    let n = pool.bound();
+    let (src, dst) = (pool.array(), pool.array());
+    let sum = Expr::bin(
+        BinOp::Add,
+        Expr::bin(
+            BinOp::Add,
+            idx2(&src, &i, &j),
+            Expr::index(
+                Expr::index(Expr::id(&src), Expr::bin(BinOp::Sub, Expr::id(&i), Expr::int(1))),
+                Expr::id(&j),
+            ),
+        ),
+        Expr::index(
+            Expr::index(Expr::id(&src), Expr::bin(BinOp::Add, Expr::id(&i), Expr::int(1))),
+            Expr::id(&j),
+        ),
+    );
+    let body = count_loop(
+        &j,
+        Expr::id(&n),
+        assign_stmt(idx2(&dst, &i, &j), Expr::bin(BinOp::Mul, flit(0.33), sum)),
+    );
+    // Interior loop: for (i = 1; i < n - 1; i++)
+    let outer = Stmt::For {
+        init: ForInit::Expr(Expr::assign(Expr::id(&i), Expr::int(1))),
+        cond: Some(Expr::bin(
+            BinOp::Lt,
+            Expr::id(&i),
+            Expr::bin(BinOp::Sub, Expr::id(&n), Expr::int(1)),
+        )),
+        step: Some(Expr::Unary { op: UnOp::PostInc, expr: Box::new(Expr::id(&i)) }),
+        body: Box::new(body),
+    };
+    TemplateOutput {
+        stmts: vec![outer],
+        helpers: vec![],
+        directive: Some(plain_for().with(OmpClause::Private(vec![j.clone()]))),
+        template: "pos/stencil_jacobi",
+    }
+}
+
+/// 2-D initialization with `private(j)`.
+fn init_2d_private(pool: &mut NamePool) -> TemplateOutput {
+    let (i, j) = (pool.loop_var(), pool.loop_var());
+    let (rows, cols) = (pool.bound(), pool.bound());
+    let a = pool.array();
+    let rhs = if pool.chance(0.5) {
+        Expr::bin(BinOp::Mul, Expr::id(&i), Expr::id(&j))
+    } else {
+        Expr::int(0)
+    };
+    let body = count_loop(&j, Expr::id(&cols), assign_stmt(idx2(&a, &i, &j), rhs));
+    TemplateOutput {
+        stmts: vec![count_loop(&i, Expr::id(&rows), body)],
+        helpers: vec![],
+        directive: Some(plain_for().with(OmpClause::Private(vec![j.clone()]))),
+        template: "pos/init_2d_private",
+    }
+}
+
+/// Out-of-place transpose with `private(j)`.
+fn transpose_private(pool: &mut NamePool) -> TemplateOutput {
+    let (i, j) = (pool.loop_var(), pool.loop_var());
+    let n = pool.bound();
+    let (a, at) = (pool.array(), pool.array());
+    let body = count_loop(&j, Expr::id(&n), assign_stmt(idx2(&at, &j, &i), idx2(&a, &i, &j)));
+    TemplateOutput {
+        stmts: vec![count_loop(&i, Expr::id(&n), body)],
+        helpers: vec![],
+        directive: Some(plain_for().with(OmpClause::Private(vec![j.clone()]))),
+        template: "pos/transpose_private",
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // internal scaffold shared by 7 templates
+fn reduction_scaffold(
+    pool: &mut NamePool,
+    op: ReductionOp,
+    acc: &str,
+    init: Expr,
+    body_stmt: Stmt,
+    i: &str,
+    n: &str,
+    template: &'static str,
+) -> TemplateOutput {
+    let decl_first = pool.chance(0.6);
+    let mut stmts = Vec::new();
+    if decl_first {
+        stmts.push(decl(double_ty(), acc, Some(init)));
+    } else {
+        stmts.push(assign_stmt(Expr::id(acc), init));
+    }
+    stmts.push(count_loop(i, Expr::id(n), body_stmt));
+    TemplateOutput {
+        stmts,
+        helpers: vec![],
+        directive: Some(plain_for().with(OmpClause::Reduction {
+            op,
+            vars: vec![acc.to_string()],
+        })),
+        template,
+    }
+}
+
+/// Dot product: `reduction(+: s)`.
+fn dot_reduction(pool: &mut NamePool) -> TemplateOutput {
+    let (i, n) = (pool.loop_var(), pool.bound());
+    let (a, b, s) = (pool.array(), pool.array(), pool.scalar());
+    let body = add_assign_stmt(
+        Expr::id(&s),
+        Expr::bin(BinOp::Mul, idx(&a, &i), idx(&b, &i)),
+    );
+    reduction_scaffold(pool, ReductionOp::Add, &s, flit(0.0), body, &i, &n, "pos/dot_reduction")
+}
+
+/// Plain sum: `reduction(+: s)`.
+fn sum_reduction(pool: &mut NamePool) -> TemplateOutput {
+    let (i, n) = (pool.loop_var(), pool.bound());
+    let (a, s) = (pool.array(), pool.scalar());
+    let body = add_assign_stmt(Expr::id(&s), idx(&a, &i));
+    reduction_scaffold(pool, ReductionOp::Add, &s, flit(0.0), body, &i, &n, "pos/sum_reduction")
+}
+
+/// Squared norm: `reduction(+: s)`.
+fn norm_reduction(pool: &mut NamePool) -> TemplateOutput {
+    let (i, n) = (pool.loop_var(), pool.bound());
+    let (a, s) = (pool.array(), pool.scalar());
+    let body = add_assign_stmt(
+        Expr::id(&s),
+        Expr::bin(BinOp::Mul, idx(&a, &i), idx(&a, &i)),
+    );
+    reduction_scaffold(pool, ReductionOp::Add, &s, flit(0.0), body, &i, &n, "pos/norm_reduction")
+}
+
+/// Product: `reduction(*: p)`.
+fn prod_reduction(pool: &mut NamePool) -> TemplateOutput {
+    let (i, n) = (pool.loop_var(), pool.bound());
+    let (a, p) = (pool.array(), pool.scalar());
+    let body = Stmt::Expr(Expr::Assign {
+        op: AssignOp::Mul,
+        lhs: Box::new(Expr::id(&p)),
+        rhs: Box::new(idx(&a, &i)),
+    });
+    reduction_scaffold(pool, ReductionOp::Mul, &p, flit(1.0), body, &i, &n, "pos/prod_reduction")
+}
+
+/// Max scan: `reduction(max: m)`.
+fn max_reduction(pool: &mut NamePool) -> TemplateOutput {
+    let (i, n) = (pool.loop_var(), pool.bound());
+    let (a, m) = (pool.array(), pool.scalar());
+    let body = Stmt::If {
+        cond: Expr::bin(BinOp::Gt, idx(&a, &i), Expr::id(&m)),
+        then: Box::new(assign_stmt(Expr::id(&m), idx(&a, &i))),
+        else_: None,
+    };
+    reduction_scaffold(pool, ReductionOp::Max, &m, flit(0.0), body, &i, &n, "pos/max_reduction")
+}
+
+/// Min scan: `reduction(min: m)`.
+fn min_reduction(pool: &mut NamePool) -> TemplateOutput {
+    let (i, n) = (pool.loop_var(), pool.bound());
+    let (a, m) = (pool.array(), pool.scalar());
+    let body = Stmt::If {
+        cond: Expr::bin(BinOp::Lt, idx(&a, &i), Expr::id(&m)),
+        then: Box::new(assign_stmt(Expr::id(&m), idx(&a, &i))),
+        else_: None,
+    };
+    reduction_scaffold(
+        pool,
+        ReductionOp::Min,
+        &m,
+        Expr::FloatLit(1e9, "1e9".into()),
+        body,
+        &i,
+        &n,
+        "pos/min_reduction",
+    )
+}
+
+/// Conditional count: `reduction(+: count)`.
+fn count_reduction(pool: &mut NamePool) -> TemplateOutput {
+    let (i, n) = (pool.loop_var(), pool.bound());
+    let (a, c, t) = (pool.array(), pool.scalar(), pool.scalar());
+    let body = Stmt::If {
+        cond: Expr::bin(BinOp::Gt, idx(&a, &i), Expr::id(&t)),
+        then: Box::new(Stmt::Expr(Expr::Unary {
+            op: UnOp::PostInc,
+            expr: Box::new(Expr::id(&c)),
+        })),
+        else_: None,
+    };
+    let mut out =
+        reduction_scaffold(pool, ReductionOp::Add, &c, Expr::int(0), body, &i, &n, "pos/count_reduction");
+    out.stmts[0] = decl(int_ty(), &c, Some(Expr::int(0)));
+    out
+}
+
+/// Unbalanced branch: heavy work behind a data-dependent `if` —
+/// `schedule(dynamic)` (the paper's §1.1 example #2).
+fn imbalanced_dynamic(pool: &mut NamePool) -> TemplateOutput {
+    let (i, n) = (pool.loop_var(), pool.bound());
+    let (a, b) = (pool.array(), pool.array());
+    let f = pool.func();
+    let heavy = Stmt::Compound(vec![
+        assign_stmt(idx(&b, &i), Expr::call(f.clone(), vec![idx(&a, &i)])),
+        add_assign_stmt(
+            idx(&b, &i),
+            Expr::call(f.clone(), vec![Expr::bin(BinOp::Mul, idx(&a, &i), flit(0.5))]),
+        ),
+    ]);
+    let cheap = assign_stmt(idx(&b, &i), Expr::int(0));
+    let body = Stmt::If {
+        cond: Expr::bin(
+            BinOp::Eq,
+            Expr::bin(BinOp::Mod, Expr::id(&i), Expr::int(pool.int_in(2, 16))),
+            Expr::int(0),
+        ),
+        then: Box::new(heavy),
+        else_: Some(Box::new(cheap)),
+    };
+    let chunk = *pool.pick(&[None, Some(2), Some(4), Some(8)]);
+    let pool2 = pool;
+    let helper = pure_helper(&f, pool2);
+    TemplateOutput {
+        stmts: vec![count_loop(&i, Expr::id(&n), body)],
+        helpers: vec![helper],
+        directive: Some(plain_for().with(OmpClause::Schedule {
+            kind: ScheduleKind::Dynamic,
+            chunk,
+        })),
+        template: "pos/imbalanced_dynamic",
+    }
+}
+
+/// Pure helper call per element — parallelizable because the callee has no
+/// side effects (its implementation ships with the record).
+fn helper_call_parallel(pool: &mut NamePool) -> TemplateOutput {
+    let (i, n, x, y) = (pool.loop_var(), pool.bound(), pool.array(), pool.array());
+    let f = pool.func();
+    let body = pad_body(
+        pool,
+        &i,
+        vec![assign_stmt(idx(&y, &i), Expr::call(f.clone(), vec![idx(&x, &i)]))],
+    );
+    let helper = pure_helper(&f, pool);
+    TemplateOutput {
+        stmts: vec![count_loop(&i, Expr::id(&n), body)],
+        helpers: vec![helper],
+        directive: Some(plain_for()),
+        template: "pos/helper_call_parallel",
+    }
+}
+
+/// Scalar temporary reused each iteration: `private(tmp)`.
+fn private_temporary(pool: &mut NamePool) -> TemplateOutput {
+    let (i, n) = (pool.loop_var(), pool.bound());
+    let (a, b, tmp) = (pool.array(), pool.array(), pool.scalar());
+    let body = Stmt::Compound(vec![
+        assign_stmt(
+            Expr::id(&tmp),
+            Expr::bin(BinOp::Add, idx(&a, &i), flit(1.5)),
+        ),
+        assign_stmt(idx(&b, &i), Expr::bin(BinOp::Mul, Expr::id(&tmp), Expr::id(&tmp))),
+    ]);
+    TemplateOutput {
+        stmts: vec![decl(double_ty(), &tmp, None), count_loop(&i, Expr::id(&n), body)],
+        helpers: vec![],
+        directive: Some(plain_for().with(OmpClause::Private(vec![tmp.clone()]))),
+        template: "pos/private_temporary",
+    }
+}
+
+/// Per-row sums: outer parallel, inner accumulator — `private(j, s)`.
+fn row_sums_private(pool: &mut NamePool) -> TemplateOutput {
+    let (i, j) = (pool.loop_var(), pool.loop_var());
+    let (rows, cols) = (pool.bound(), pool.bound());
+    let (mat, out, s) = (pool.array(), pool.array(), pool.scalar());
+    let inner = count_loop(&j, Expr::id(&cols), add_assign_stmt(Expr::id(&s), idx2(&mat, &i, &j)));
+    let body = Stmt::Compound(vec![
+        assign_stmt(Expr::id(&s), flit(0.0)),
+        inner,
+        assign_stmt(idx(&out, &i), Expr::id(&s)),
+    ]);
+    TemplateOutput {
+        stmts: vec![decl(double_ty(), &s, None), count_loop(&i, Expr::id(&rows), body)],
+        helpers: vec![],
+        directive: Some(plain_for().with(OmpClause::Private(vec![j.clone(), s.clone()]))),
+        template: "pos/row_sums_private",
+    }
+}

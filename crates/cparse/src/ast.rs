@@ -1,0 +1,610 @@
+//! Abstract syntax tree, modelled on pycparser's node vocabulary so the
+//! DFS serialization in [`crate::dfs`] matches the paper's Tables 2 and 6.
+
+use crate::omp::OmpDirective;
+
+/// A whole file: functions and file-scope declarations.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TranslationUnit {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+/// Top-level item.
+///
+/// `Func` is much larger than `Decl`; items are built once per record and
+/// never stored in bulk, so boxing would only add indirection.
+#[derive(Clone, Debug, PartialEq)]
+#[allow(clippy::large_enum_variant)]
+pub enum Item {
+    /// A function definition with a body.
+    Func(FuncDef),
+    /// A file-scope declaration line (may declare several names).
+    Decl(Vec<Decl>),
+}
+
+/// Function definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FuncDef {
+    /// Return type.
+    pub ret: Type,
+    /// Function name.
+    pub name: String,
+    /// Parameters in order.
+    pub params: Vec<ParamDecl>,
+    /// Body (always a [`Stmt::Compound`]).
+    pub body: Stmt,
+}
+
+/// A function parameter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParamDecl {
+    /// Parameter name (empty for abstract declarators like `void f(int)`).
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// Array dimensions, outermost first; `None` dimension = unsized (`[]`).
+    pub array_dims: Vec<Option<Expr>>,
+}
+
+/// Simplified C type: base + pointer depth + qualifiers.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Type {
+    /// Fundamental or named base type.
+    pub base: BaseType,
+    /// Number of `*`s.
+    pub pointers: usize,
+    /// `unsigned` flag.
+    pub unsigned: bool,
+    /// `const` qualifier seen anywhere in the specifier list.
+    pub is_const: bool,
+    /// `static` storage class.
+    pub is_static: bool,
+    /// `register` storage class (kept because the strict ComPar front-end
+    /// rejects it — see the paper's SPEC-OMP parse failures).
+    pub is_register: bool,
+}
+
+/// Fundamental type or a named (struct/typedef) type.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub enum BaseType {
+    /// `void`
+    Void,
+    /// `char`
+    Char,
+    /// `short`
+    Short,
+    /// `int`
+    #[default]
+    Int,
+    /// `long`
+    Long,
+    /// `long long`
+    LongLong,
+    /// `float`
+    Float,
+    /// `double`
+    Double,
+    /// `struct <name>`
+    Struct(String),
+    /// A typedef-style name we don't resolve (e.g. `size_t`, `ssize_t`,
+    /// `IndexPacket`) — kept nominal, exactly how pycparser would surface
+    /// an unknown typedef after a fake-libc include.
+    Named(String),
+}
+
+impl Type {
+    /// Plain `int`.
+    pub fn int() -> Self {
+        Type::default()
+    }
+
+    /// Plain `double`.
+    pub fn double() -> Self {
+        Type { base: BaseType::Double, ..Default::default() }
+    }
+
+    /// Plain `float`.
+    pub fn float() -> Self {
+        Type { base: BaseType::Float, ..Default::default() }
+    }
+
+    /// Adds pointer levels.
+    pub fn ptr(mut self, levels: usize) -> Self {
+        self.pointers += levels;
+        self
+    }
+
+    /// True for any integer-ish base (used by dependence analysis to pick
+    /// loop counters).
+    pub fn is_integer(&self) -> bool {
+        matches!(
+            self.base,
+            BaseType::Char | BaseType::Short | BaseType::Int | BaseType::Long | BaseType::LongLong
+        ) && self.pointers == 0
+    }
+}
+
+/// One declared name with optional array dims and initializer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Decl {
+    /// Declared name.
+    pub name: String,
+    /// Base type (shared across a multi-declarator line).
+    pub ty: Type,
+    /// Array dimensions, outermost first.
+    pub array_dims: Vec<Option<Expr>>,
+    /// Initializer.
+    pub init: Option<Init>,
+}
+
+/// Initializer forms.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Init {
+    /// `= expr`
+    Expr(Expr),
+    /// `= {e, e, …}`
+    List(Vec<Expr>),
+}
+
+/// Statements.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `{ … }`
+    Compound(Vec<Stmt>),
+    /// Declaration line.
+    Decl(Vec<Decl>),
+    /// Expression statement.
+    Expr(Expr),
+    /// `if`/`else`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch.
+        then: Box<Stmt>,
+        /// Optional else-branch.
+        else_: Option<Box<Stmt>>,
+    },
+    /// `for (init; cond; step) body`
+    For {
+        /// Init clause.
+        init: ForInit,
+        /// Optional condition.
+        cond: Option<Expr>,
+        /// Optional step expression.
+        step: Option<Expr>,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `while (cond) body`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `do body while (cond);`
+    DoWhile {
+        /// Loop body.
+        body: Box<Stmt>,
+        /// Condition.
+        cond: Expr,
+    },
+    /// `return expr;`
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// An OpenMP pragma attached to the following statement
+    /// (pycparser surfaces pragmas as sibling nodes; attaching keeps the
+    /// loop/directive link the corpus needs).
+    Pragma {
+        /// Parsed directive.
+        directive: OmpDirective,
+        /// The governed statement (for `parallel for`, a `For`).
+        stmt: Box<Stmt>,
+    },
+    /// `;`
+    Empty,
+}
+
+/// The init clause of a `for`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ForInit {
+    /// Nothing before the first `;`.
+    Empty,
+    /// `int i = 0` style declaration(s).
+    Decl(Vec<Decl>),
+    /// `i = 0` style expression.
+    Expr(Expr),
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add, Sub, Mul, Div, Mod,
+    Lt, Gt, Le, Ge, Eq, Ne,
+    And, Or,
+    BitAnd, BitOr, BitXor, Shl, Shr,
+}
+
+impl BinOp {
+    /// Spelling used by both the printer and the pycparser-style DFS dump.
+    pub fn as_str(self) -> &'static str {
+        use BinOp::*;
+        match self {
+            Add => "+", Sub => "-", Mul => "*", Div => "/", Mod => "%",
+            Lt => "<", Gt => ">", Le => "<=", Ge => ">=", Eq => "==",
+            Ne => "!=", And => "&&", Or => "||", BitAnd => "&",
+            BitOr => "|", BitXor => "^", Shl => "<<", Shr => ">>",
+        }
+    }
+}
+
+/// Unary operators. `p++`/`p--` follow pycparser's spelling for the
+/// postfix forms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum UnOp {
+    Neg, Not, BitNot, PreInc, PreDec, PostInc, PostDec, Deref, AddrOf,
+}
+
+impl UnOp {
+    /// pycparser-style spelling (`p++` for postfix increment).
+    pub fn as_str(self) -> &'static str {
+        use UnOp::*;
+        match self {
+            Neg => "-", Not => "!", BitNot => "~", PreInc => "++",
+            PreDec => "--", PostInc => "p++", PostDec => "p--",
+            Deref => "*", AddrOf => "&",
+        }
+    }
+}
+
+/// Assignment operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum AssignOp {
+    Assign, Add, Sub, Mul, Div, Mod, Shl, Shr, BitAnd, BitOr, BitXor,
+}
+
+impl AssignOp {
+    /// Spelling (`=`, `+=`, …).
+    pub fn as_str(self) -> &'static str {
+        use AssignOp::*;
+        match self {
+            Assign => "=", Add => "+=", Sub => "-=", Mul => "*=",
+            Div => "/=", Mod => "%=", Shl => "<<=", Shr => ">>=",
+            BitAnd => "&=", BitOr => "|=", BitXor => "^=",
+        }
+    }
+
+    /// The arithmetic op a compound assignment applies, `None` for `=`.
+    pub fn binop(self) -> Option<BinOp> {
+        use AssignOp::*;
+        Some(match self {
+            Assign => return None,
+            Add => BinOp::Add,
+            Sub => BinOp::Sub,
+            Mul => BinOp::Mul,
+            Div => BinOp::Div,
+            Mod => BinOp::Mod,
+            Shl => BinOp::Shl,
+            Shr => BinOp::Shr,
+            BitAnd => BinOp::BitAnd,
+            BitOr => BinOp::BitOr,
+            BitXor => BinOp::BitXor,
+        })
+    }
+}
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Identifier.
+    Id(String),
+    /// Integer constant (value + source text).
+    IntLit(i64, String),
+    /// Floating constant (value + source text).
+    FloatLit(f64, String),
+    /// Character constant.
+    CharLit(char),
+    /// String literal.
+    StrLit(String),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        l: Box<Expr>,
+        /// Right operand.
+        r: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator (encodes pre/post for inc/dec).
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Assignment (an expression in C).
+    Assign {
+        /// `=`, `+=`, …
+        op: AssignOp,
+        /// Target lvalue.
+        lhs: Box<Expr>,
+        /// Source value.
+        rhs: Box<Expr>,
+    },
+    /// `cond ? then : else`
+    Ternary {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Value when true.
+        then: Box<Expr>,
+        /// Value when false.
+        else_: Box<Expr>,
+    },
+    /// Function call.
+    Call {
+        /// Callee (usually an [`Expr::Id`]).
+        callee: Box<Expr>,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `base[idx]`
+    Index {
+        /// Array expression.
+        base: Box<Expr>,
+        /// Subscript.
+        idx: Box<Expr>,
+    },
+    /// `base.field` / `base->field`
+    Member {
+        /// Struct expression.
+        base: Box<Expr>,
+        /// Member name.
+        field: String,
+        /// True for `->`.
+        arrow: bool,
+    },
+    /// `(type) expr`
+    Cast {
+        /// Target type.
+        ty: Type,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// `sizeof(type-or-expr)` — operand kept as an expression or type name.
+    Sizeof(Box<SizeofArg>),
+    /// Comma expression `a, b`.
+    Comma(Box<Expr>, Box<Expr>),
+}
+
+/// The operand of `sizeof`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SizeofArg {
+    /// `sizeof(expr)`
+    Expr(Expr),
+    /// `sizeof(type)`
+    Type(Type),
+}
+
+impl Expr {
+    /// Convenience: identifier expression.
+    pub fn id(name: impl Into<String>) -> Expr {
+        Expr::Id(name.into())
+    }
+
+    /// Convenience: integer literal.
+    pub fn int(v: i64) -> Expr {
+        Expr::IntLit(v, v.to_string())
+    }
+
+    /// Convenience: `l op r`.
+    pub fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+        Expr::Binary { op, l: Box::new(l), r: Box::new(r) }
+    }
+
+    /// Convenience: `lhs = rhs`.
+    pub fn assign(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Assign { op: AssignOp::Assign, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+    }
+
+    /// Convenience: `base[idx]`.
+    pub fn index(base: Expr, idx: Expr) -> Expr {
+        Expr::Index { base: Box::new(base), idx: Box::new(idx) }
+    }
+
+    /// Convenience: `name(args…)`.
+    pub fn call(name: impl Into<String>, args: Vec<Expr>) -> Expr {
+        Expr::Call { callee: Box::new(Expr::Id(name.into())), args }
+    }
+
+    /// Walks the expression tree, calling `f` on every node (pre-order).
+    pub fn walk(&self, f: &mut dyn FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Binary { l, r, .. } => {
+                l.walk(f);
+                r.walk(f);
+            }
+            Expr::Unary { expr, .. } => expr.walk(f),
+            Expr::Assign { lhs, rhs, .. } => {
+                lhs.walk(f);
+                rhs.walk(f);
+            }
+            Expr::Ternary { cond, then, else_ } => {
+                cond.walk(f);
+                then.walk(f);
+                else_.walk(f);
+            }
+            Expr::Call { callee, args } => {
+                callee.walk(f);
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            Expr::Index { base, idx } => {
+                base.walk(f);
+                idx.walk(f);
+            }
+            Expr::Member { base, .. } => base.walk(f),
+            Expr::Cast { expr, .. } => expr.walk(f),
+            Expr::Sizeof(arg) => {
+                if let SizeofArg::Expr(e) = arg.as_ref() {
+                    e.walk(f);
+                }
+            }
+            Expr::Comma(a, b) => {
+                a.walk(f);
+                b.walk(f);
+            }
+            Expr::Id(_)
+            | Expr::IntLit(..)
+            | Expr::FloatLit(..)
+            | Expr::CharLit(_)
+            | Expr::StrLit(_) => {}
+        }
+    }
+}
+
+impl Stmt {
+    /// Walks the statement tree (pre-order), visiting nested statements.
+    pub fn walk(&self, f: &mut dyn FnMut(&Stmt)) {
+        f(self);
+        match self {
+            Stmt::Compound(stmts) => {
+                for s in stmts {
+                    s.walk(f);
+                }
+            }
+            Stmt::If { then, else_, .. } => {
+                then.walk(f);
+                if let Some(e) = else_ {
+                    e.walk(f);
+                }
+            }
+            Stmt::For { body, .. } => body.walk(f),
+            Stmt::While { body, .. } => body.walk(f),
+            Stmt::DoWhile { body, .. } => body.walk(f),
+            Stmt::Pragma { stmt, .. } => stmt.walk(f),
+            Stmt::Decl(_)
+            | Stmt::Expr(_)
+            | Stmt::Return(_)
+            | Stmt::Break
+            | Stmt::Continue
+            | Stmt::Empty => {}
+        }
+    }
+
+    /// Walks every expression inside this statement tree (pre-order).
+    pub fn walk_exprs(&self, f: &mut dyn FnMut(&Expr)) {
+        self.walk(&mut |s| match s {
+            Stmt::Expr(e) => e.walk(f),
+            Stmt::If { cond, .. } => cond.walk(f),
+            Stmt::While { cond, .. } => cond.walk(f),
+            Stmt::DoWhile { cond, .. } => cond.walk(f),
+            Stmt::Return(Some(e)) => e.walk(f),
+            Stmt::For { init, cond, step, .. } => {
+                if let ForInit::Expr(e) = init {
+                    e.walk(f);
+                }
+                if let ForInit::Decl(decls) = init {
+                    for d in decls {
+                        if let Some(Init::Expr(e)) = &d.init {
+                            e.walk(f);
+                        }
+                    }
+                }
+                if let Some(c) = cond {
+                    c.walk(f);
+                }
+                if let Some(st) = step {
+                    st.walk(f);
+                }
+            }
+            Stmt::Decl(decls) => {
+                for d in decls {
+                    match &d.init {
+                        Some(Init::Expr(e)) => e.walk(f),
+                        Some(Init::List(es)) => {
+                            for e in es {
+                                e.walk(f);
+                            }
+                        }
+                        None => {}
+                    }
+                }
+            }
+            _ => {}
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_builders() {
+        let e = Expr::assign(
+            Expr::index(Expr::id("a"), Expr::id("i")),
+            Expr::bin(BinOp::Add, Expr::id("i"), Expr::int(1)),
+        );
+        match e {
+            Expr::Assign { op: AssignOp::Assign, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn walk_visits_all_nodes() {
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::call("f", vec![Expr::id("x")]),
+            Expr::index(Expr::id("a"), Expr::int(3)),
+        );
+        let mut count = 0;
+        e.walk(&mut |_| count += 1);
+        // Binary, Call, Id(f), Id(x), Index, Id(a), IntLit
+        assert_eq!(count, 7);
+    }
+
+    #[test]
+    fn stmt_walk_exprs_reaches_for_clauses() {
+        let s = Stmt::For {
+            init: ForInit::Expr(Expr::assign(Expr::id("i"), Expr::int(0))),
+            cond: Some(Expr::bin(BinOp::Lt, Expr::id("i"), Expr::id("n"))),
+            step: Some(Expr::Unary { op: UnOp::PostInc, expr: Box::new(Expr::id("i")) }),
+            body: Box::new(Stmt::Expr(Expr::assign(
+                Expr::index(Expr::id("a"), Expr::id("i")),
+                Expr::id("i"),
+            ))),
+        };
+        let mut ids = Vec::new();
+        s.walk_exprs(&mut |e| {
+            if let Expr::Id(name) = e {
+                ids.push(name.clone());
+            }
+        });
+        ids.sort();
+        assert_eq!(ids, vec!["a", "i", "i", "i", "i", "i", "n"]);
+    }
+
+    #[test]
+    fn assign_op_binop_mapping() {
+        assert_eq!(AssignOp::Assign.binop(), None);
+        assert_eq!(AssignOp::Add.binop(), Some(BinOp::Add));
+        assert_eq!(AssignOp::Shl.binop(), Some(BinOp::Shl));
+    }
+
+    #[test]
+    fn type_helpers() {
+        assert!(Type::int().is_integer());
+        assert!(!Type::double().is_integer());
+        assert!(!Type::int().ptr(1).is_integer());
+    }
+}

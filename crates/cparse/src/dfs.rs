@@ -1,0 +1,285 @@
+//! pycparser-style DFS serialization of the AST.
+//!
+//! The paper's AST representation (Tables 2 and 6) is the pre-order DFS of
+//! pycparser's tree, one label per node, e.g.
+//!
+//! ```text
+//! For: Assignment: = ID: i Constant: int, 0 BinaryOp: < ID: i ID: len
+//! UnaryOp: p++ ID: i Assignment: = ArrayRef: ID: a ID: i ID: i
+//! ```
+//!
+//! [`serialize_stmts`] returns the label sequence; the tokenizer crate
+//! flattens labels into sub-tokens (`"Assignment:"`, `"="`, …).
+
+use crate::ast::*;
+
+/// Serializes statements into DFS node labels.
+pub fn serialize_stmts(stmts: &[Stmt]) -> Vec<String> {
+    let mut out = Vec::new();
+    for s in stmts {
+        stmt_labels(s, &mut out);
+    }
+    out
+}
+
+/// Serializes one expression into DFS node labels.
+pub fn serialize_expr(e: &Expr) -> Vec<String> {
+    let mut out = Vec::new();
+    expr_labels(e, &mut out);
+    out
+}
+
+/// Flattens labels into the single-string form shown in the paper's
+/// Table 6.
+pub fn flat(labels: &[String]) -> String {
+    labels.join(" ")
+}
+
+fn type_name(t: &Type) -> String {
+    let base = match &t.base {
+        BaseType::Void => "void",
+        BaseType::Char => "char",
+        BaseType::Short => "short",
+        BaseType::Int => "int",
+        BaseType::Long => "long",
+        BaseType::LongLong => "long long",
+        BaseType::Float => "float",
+        BaseType::Double => "double",
+        BaseType::Struct(n) => return format!("struct {n}"),
+        BaseType::Named(n) => return n.clone(),
+    };
+    if t.unsigned {
+        format!("unsigned {base}")
+    } else {
+        base.to_string()
+    }
+}
+
+fn stmt_labels(s: &Stmt, out: &mut Vec<String>) {
+    match s {
+        Stmt::Compound(stmts) => {
+            out.push("Compound:".into());
+            for st in stmts {
+                stmt_labels(st, out);
+            }
+        }
+        Stmt::Decl(decls) => {
+            for d in decls {
+                out.push(format!("Decl: {}", d.name));
+                out.push(format!("TypeDecl: {}", type_name(&d.ty)));
+                for dim in d.array_dims.iter().flatten() {
+                    out.push("ArrayDecl:".into());
+                    expr_labels(dim, out);
+                }
+                match &d.init {
+                    Some(Init::Expr(e)) => expr_labels(e, out),
+                    Some(Init::List(es)) => {
+                        out.push("InitList:".into());
+                        for e in es {
+                            expr_labels(e, out);
+                        }
+                    }
+                    None => {}
+                }
+            }
+        }
+        Stmt::Expr(e) => expr_labels(e, out),
+        Stmt::If { cond, then, else_ } => {
+            out.push("If:".into());
+            expr_labels(cond, out);
+            stmt_labels(then, out);
+            if let Some(e) = else_ {
+                stmt_labels(e, out);
+            }
+        }
+        Stmt::For { init, cond, step, body } => {
+            out.push("For:".into());
+            match init {
+                ForInit::Empty => {}
+                ForInit::Decl(decls) => {
+                    // pycparser nests DeclList under For.
+                    out.push("DeclList:".into());
+                    for d in decls {
+                        out.push(format!("Decl: {}", d.name));
+                        out.push(format!("TypeDecl: {}", type_name(&d.ty)));
+                        if let Some(Init::Expr(e)) = &d.init {
+                            expr_labels(e, out);
+                        }
+                    }
+                }
+                ForInit::Expr(e) => expr_labels(e, out),
+            }
+            if let Some(c) = cond {
+                expr_labels(c, out);
+            }
+            if let Some(st) = step {
+                expr_labels(st, out);
+            }
+            stmt_labels(body, out);
+        }
+        Stmt::While { cond, body } => {
+            out.push("While:".into());
+            expr_labels(cond, out);
+            stmt_labels(body, out);
+        }
+        Stmt::DoWhile { body, cond } => {
+            out.push("DoWhile:".into());
+            stmt_labels(body, out);
+            expr_labels(cond, out);
+        }
+        Stmt::Return(e) => {
+            out.push("Return:".into());
+            if let Some(e) = e {
+                expr_labels(e, out);
+            }
+        }
+        Stmt::Break => out.push("Break:".into()),
+        Stmt::Continue => out.push("Continue:".into()),
+        Stmt::Pragma { directive, stmt } => {
+            // pycparser represents pragmas as `Pragma:` leaves; the model
+            // never sees the directive text (it is the *label*), so only
+            // the marker node is serialized.
+            let _ = directive;
+            out.push("Pragma:".into());
+            stmt_labels(stmt, out);
+        }
+        Stmt::Empty => out.push("EmptyStatement:".into()),
+    }
+}
+
+fn expr_labels(e: &Expr, out: &mut Vec<String>) {
+    match e {
+        Expr::Id(n) => out.push(format!("ID: {n}")),
+        Expr::IntLit(_, text) => out.push(format!("Constant: int, {text}")),
+        Expr::FloatLit(_, text) => out.push(format!("Constant: double, {text}")),
+        Expr::CharLit(c) => out.push(format!("Constant: char, '{c}'")),
+        Expr::StrLit(s) => out.push(format!("Constant: string, \"{s}\"")),
+        Expr::Binary { op, l, r } => {
+            out.push(format!("BinaryOp: {}", op.as_str()));
+            expr_labels(l, out);
+            expr_labels(r, out);
+        }
+        Expr::Unary { op, expr } => {
+            out.push(format!("UnaryOp: {}", op.as_str()));
+            expr_labels(expr, out);
+        }
+        Expr::Assign { op, lhs, rhs } => {
+            out.push(format!("Assignment: {}", op.as_str()));
+            expr_labels(lhs, out);
+            expr_labels(rhs, out);
+        }
+        Expr::Ternary { cond, then, else_ } => {
+            out.push("TernaryOp:".into());
+            expr_labels(cond, out);
+            expr_labels(then, out);
+            expr_labels(else_, out);
+        }
+        Expr::Call { callee, args } => {
+            out.push("FuncCall:".into());
+            expr_labels(callee, out);
+            if !args.is_empty() {
+                out.push("ExprList:".into());
+                for a in args {
+                    expr_labels(a, out);
+                }
+            }
+        }
+        Expr::Index { base, idx } => {
+            out.push("ArrayRef:".into());
+            expr_labels(base, out);
+            expr_labels(idx, out);
+        }
+        Expr::Member { base, field, arrow } => {
+            out.push(format!("StructRef: {}", if *arrow { "->" } else { "." }));
+            expr_labels(base, out);
+            out.push(format!("ID: {field}"));
+        }
+        Expr::Cast { ty, expr } => {
+            out.push(format!("Cast: {}", type_name(ty)));
+            expr_labels(expr, out);
+        }
+        Expr::Sizeof(arg) => match arg.as_ref() {
+            SizeofArg::Expr(e) => {
+                out.push("UnaryOp: sizeof".into());
+                expr_labels(e, out);
+            }
+            SizeofArg::Type(t) => {
+                out.push("UnaryOp: sizeof".into());
+                out.push(format!("Typename: {}", type_name(t)));
+            }
+        },
+        Expr::Comma(a, b) => {
+            out.push("ExprList:".into());
+            expr_labels(a, out);
+            expr_labels(b, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_snippet;
+
+    #[test]
+    fn paper_table6_example_shape() {
+        // for (i = 0; i < len; i++) a[i] = i;
+        let stmts = parse_snippet("for (i = 0; i < len; i++) a[i] = i;").unwrap();
+        let labels = serialize_stmts(&stmts);
+        let flat = flat(&labels);
+        assert_eq!(
+            flat,
+            "For: Assignment: = ID: i Constant: int, 0 BinaryOp: < ID: i ID: len \
+             UnaryOp: p++ ID: i Assignment: = ArrayRef: ID: a ID: i ID: i"
+        );
+    }
+
+    #[test]
+    fn paper_table2_if_example_shape() {
+        let stmts = parse_snippet(
+            "for (i = 0; i <= N; i++)\n  if (MoreCalc(i))\n    Calc(i);",
+        )
+        .unwrap();
+        let labels = serialize_stmts(&stmts);
+        let flat = flat(&labels);
+        assert!(flat.starts_with("For: Assignment: = ID: i Constant: int, 0 BinaryOp: <="));
+        assert!(flat.contains("If: FuncCall: ID: MoreCalc ExprList: ID: i"));
+        assert!(flat.contains("FuncCall: ID: Calc ExprList: ID: i"));
+    }
+
+    #[test]
+    fn pragma_serializes_as_marker_only() {
+        let stmts =
+            parse_snippet("#pragma omp parallel for\nfor (i = 0; i < n; i++) a[i] = 0;").unwrap();
+        let labels = serialize_stmts(&stmts);
+        assert_eq!(labels[0], "Pragma:");
+        assert_eq!(labels[1], "For:");
+        assert!(!flat(&labels).contains("private"));
+    }
+
+    #[test]
+    fn declarations_and_types() {
+        let stmts = parse_snippet("unsigned long x = 3; double v[100];").unwrap();
+        let labels = serialize_stmts(&stmts);
+        assert!(labels.contains(&"Decl: x".to_string()));
+        assert!(labels.contains(&"TypeDecl: unsigned long".to_string()));
+        assert!(labels.contains(&"ArrayDecl:".to_string()));
+    }
+
+    #[test]
+    fn struct_member_and_cast() {
+        let stmts = parse_snippet("image->colormap[i].opacity = (IndexPacket) i;").unwrap();
+        let flat = flat(&serialize_stmts(&stmts));
+        assert!(flat.contains("StructRef: ."));
+        assert!(flat.contains("StructRef: ->"));
+        assert!(flat.contains("Cast: IndexPacket"));
+    }
+
+    #[test]
+    fn dfs_is_deterministic() {
+        let src = "for (i = 0; i < n; i++) { s += a[i]; if (a[i] > m) m = a[i]; }";
+        let a = serialize_stmts(&parse_snippet(src).unwrap());
+        let b = serialize_stmts(&parse_snippet(src).unwrap());
+        assert_eq!(a, b);
+    }
+}

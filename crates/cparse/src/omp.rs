@@ -1,0 +1,490 @@
+//! OpenMP directive parsing and printing.
+//!
+//! Covers the loop-level directive family the paper restricts its corpus
+//! to (`#pragma omp parallel for …`, §3.1.2) plus the clauses the tasks
+//! classify: `private`, `reduction`, `schedule`, and the common extras
+//! (`firstprivate`, `lastprivate`, `shared`, `nowait`, `collapse`,
+//! `num_threads`, `default`).
+
+use std::fmt;
+
+/// A parsed `#pragma omp` directive.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct OmpDirective {
+    /// `parallel` present.
+    pub parallel: bool,
+    /// `for` present.
+    pub for_loop: bool,
+    /// Clauses in source order.
+    pub clauses: Vec<OmpClause>,
+}
+
+/// Reduction operators of OpenMP 4.5.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum ReductionOp {
+    Add, Sub, Mul, Max, Min, BitAnd, BitOr, BitXor, LogAnd, LogOr,
+}
+
+impl ReductionOp {
+    /// Spelling inside `reduction(op: …)`.
+    pub fn as_str(self) -> &'static str {
+        use ReductionOp::*;
+        match self {
+            Add => "+", Sub => "-", Mul => "*", Max => "max", Min => "min",
+            BitAnd => "&", BitOr => "|", BitXor => "^", LogAnd => "&&",
+            LogOr => "||",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        use ReductionOp::*;
+        Some(match s {
+            "+" => Add,
+            "-" => Sub,
+            "*" => Mul,
+            "max" => Max,
+            "min" => Min,
+            "&" => BitAnd,
+            "|" => BitOr,
+            "^" => BitXor,
+            "&&" => LogAnd,
+            "||" => LogOr,
+            _ => return None,
+        })
+    }
+}
+
+/// `schedule(...)` kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum ScheduleKind {
+    Static, Dynamic, Guided, Auto, Runtime,
+}
+
+impl ScheduleKind {
+    /// Spelling inside `schedule(...)`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ScheduleKind::Static => "static",
+            ScheduleKind::Dynamic => "dynamic",
+            ScheduleKind::Guided => "guided",
+            ScheduleKind::Auto => "auto",
+            ScheduleKind::Runtime => "runtime",
+        }
+    }
+}
+
+/// A single OpenMP clause.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OmpClause {
+    /// `private(a, b)`
+    Private(Vec<String>),
+    /// `firstprivate(a)`
+    FirstPrivate(Vec<String>),
+    /// `lastprivate(a)`
+    LastPrivate(Vec<String>),
+    /// `shared(a)`
+    Shared(Vec<String>),
+    /// `reduction(+: sum)`
+    Reduction {
+        /// Combiner.
+        op: ReductionOp,
+        /// Reduced variables.
+        vars: Vec<String>,
+    },
+    /// `schedule(dynamic, 4)`
+    Schedule {
+        /// Kind.
+        kind: ScheduleKind,
+        /// Optional chunk size.
+        chunk: Option<i64>,
+    },
+    /// `num_threads(8)`
+    NumThreads(i64),
+    /// `collapse(2)`
+    Collapse(i64),
+    /// `nowait`
+    NoWait,
+    /// `default(none)` / `default(shared)`
+    Default(String),
+}
+
+/// Directive parse failure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OmpParseError {
+    /// Description of what went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for OmpParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "OpenMP directive parse error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for OmpParseError {}
+
+impl OmpDirective {
+    /// A bare `#pragma omp parallel for`.
+    pub fn parallel_for() -> Self {
+        OmpDirective { parallel: true, for_loop: true, clauses: Vec::new() }
+    }
+
+    /// Appends a clause (builder style).
+    pub fn with(mut self, clause: OmpClause) -> Self {
+        self.clauses.push(clause);
+        self
+    }
+
+    /// All privatized variables (`private` clauses only, matching the
+    /// paper's RQ2 label definition).
+    pub fn private_vars(&self) -> Vec<&str> {
+        self.clauses
+            .iter()
+            .filter_map(|c| match c {
+                OmpClause::Private(vs) => Some(vs.iter().map(String::as_str)),
+                _ => None,
+            })
+            .flatten()
+            .collect()
+    }
+
+    /// True when any `private` clause is present.
+    pub fn has_private(&self) -> bool {
+        self.clauses.iter().any(|c| matches!(c, OmpClause::Private(_)))
+    }
+
+    /// True when any `reduction` clause is present.
+    pub fn has_reduction(&self) -> bool {
+        self.clauses.iter().any(|c| matches!(c, OmpClause::Reduction { .. }))
+    }
+
+    /// Schedule kind, defaulting to `static` when unspecified (the OpenMP
+    /// default the paper's §1.1 discussion relies on).
+    pub fn schedule_kind(&self) -> ScheduleKind {
+        self.clauses
+            .iter()
+            .find_map(|c| match c {
+                OmpClause::Schedule { kind, .. } => Some(*kind),
+                _ => None,
+            })
+            .unwrap_or(ScheduleKind::Static)
+    }
+
+    /// Parses the text after `#pragma omp`.
+    ///
+    /// Accepts `parallel for`, `parallel`, `for` and their clause lists.
+    pub fn parse(raw: &str) -> Result<OmpDirective, OmpParseError> {
+        let mut p = ClauseScanner { src: raw, pos: 0 };
+        let mut dir = OmpDirective::default();
+        // Directive name words.
+        loop {
+            p.skip_ws();
+            let word = p.peek_word();
+            match word.as_str() {
+                "parallel" => {
+                    dir.parallel = true;
+                    p.take_word();
+                }
+                "for" => {
+                    dir.for_loop = true;
+                    p.take_word();
+                }
+                _ => break,
+            }
+        }
+        if !dir.parallel && !dir.for_loop {
+            return Err(OmpParseError {
+                msg: format!("unsupported directive: '{}'", raw.trim()),
+            });
+        }
+        // Clauses.
+        loop {
+            p.skip_ws();
+            if p.at_end() {
+                break;
+            }
+            if p.peek_char() == Some(',') {
+                p.bump();
+                continue;
+            }
+            let name = p.take_word();
+            if name.is_empty() {
+                return Err(OmpParseError { msg: format!("junk in clause list: '{}'", p.rest()) });
+            }
+            let clause = match name.as_str() {
+                "private" => OmpClause::Private(p.paren_var_list()?),
+                "firstprivate" => OmpClause::FirstPrivate(p.paren_var_list()?),
+                "lastprivate" => OmpClause::LastPrivate(p.paren_var_list()?),
+                "shared" => OmpClause::Shared(p.paren_var_list()?),
+                "nowait" => OmpClause::NoWait,
+                "default" => {
+                    let inner = p.paren_raw()?;
+                    OmpClause::Default(inner.trim().to_string())
+                }
+                "num_threads" => {
+                    let inner = p.paren_raw()?;
+                    let v = inner.trim().parse::<i64>().map_err(|_| OmpParseError {
+                        msg: format!("bad num_threads '{inner}'"),
+                    })?;
+                    OmpClause::NumThreads(v)
+                }
+                "collapse" => {
+                    let inner = p.paren_raw()?;
+                    let v = inner.trim().parse::<i64>().map_err(|_| OmpParseError {
+                        msg: format!("bad collapse '{inner}'"),
+                    })?;
+                    OmpClause::Collapse(v)
+                }
+                "schedule" => {
+                    let inner = p.paren_raw()?;
+                    let mut parts = inner.splitn(2, ',');
+                    let kind_s = parts.next().unwrap_or("").trim();
+                    let kind = match kind_s {
+                        "static" => ScheduleKind::Static,
+                        "dynamic" => ScheduleKind::Dynamic,
+                        "guided" => ScheduleKind::Guided,
+                        "auto" => ScheduleKind::Auto,
+                        "runtime" => ScheduleKind::Runtime,
+                        other => {
+                            return Err(OmpParseError {
+                                msg: format!("bad schedule kind '{other}'"),
+                            })
+                        }
+                    };
+                    let chunk = match parts.next() {
+                        Some(c) => Some(c.trim().parse::<i64>().map_err(|_| OmpParseError {
+                            msg: format!("bad schedule chunk '{c}'"),
+                        })?),
+                        None => None,
+                    };
+                    OmpClause::Schedule { kind, chunk }
+                }
+                "reduction" => {
+                    let inner = p.paren_raw()?;
+                    let mut parts = inner.splitn(2, ':');
+                    let op_s = parts.next().unwrap_or("").trim();
+                    let op = ReductionOp::parse(op_s).ok_or_else(|| OmpParseError {
+                        msg: format!("bad reduction op '{op_s}'"),
+                    })?;
+                    let vars = parts
+                        .next()
+                        .unwrap_or("")
+                        .split(',')
+                        .map(|v| v.trim().to_string())
+                        .filter(|v| !v.is_empty())
+                        .collect::<Vec<_>>();
+                    if vars.is_empty() {
+                        return Err(OmpParseError { msg: "reduction with no variables".into() });
+                    }
+                    OmpClause::Reduction { op, vars }
+                }
+                other => {
+                    return Err(OmpParseError { msg: format!("unknown clause '{other}'") });
+                }
+            };
+            dir.clauses.push(clause);
+        }
+        Ok(dir)
+    }
+}
+
+impl fmt::Display for OmpDirective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#pragma omp")?;
+        if self.parallel {
+            write!(f, " parallel")?;
+        }
+        if self.for_loop {
+            write!(f, " for")?;
+        }
+        for c in &self.clauses {
+            write!(f, " {c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for OmpClause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OmpClause::Private(vs) => write!(f, "private({})", vs.join(", ")),
+            OmpClause::FirstPrivate(vs) => write!(f, "firstprivate({})", vs.join(", ")),
+            OmpClause::LastPrivate(vs) => write!(f, "lastprivate({})", vs.join(", ")),
+            OmpClause::Shared(vs) => write!(f, "shared({})", vs.join(", ")),
+            OmpClause::Reduction { op, vars } => {
+                write!(f, "reduction({}: {})", op.as_str(), vars.join(", "))
+            }
+            OmpClause::Schedule { kind, chunk } => match chunk {
+                Some(c) => write!(f, "schedule({}, {c})", kind.as_str()),
+                None => write!(f, "schedule({})", kind.as_str()),
+            },
+            OmpClause::NumThreads(n) => write!(f, "num_threads({n})"),
+            OmpClause::Collapse(n) => write!(f, "collapse({n})"),
+            OmpClause::NoWait => write!(f, "nowait"),
+            OmpClause::Default(s) => write!(f, "default({s})"),
+        }
+    }
+}
+
+struct ClauseScanner<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> ClauseScanner<'a> {
+    fn skip_ws(&mut self) {
+        while self.peek_char().is_some_and(|c| c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.src.len()
+    }
+
+    fn rest(&self) -> &str {
+        &self.src[self.pos..]
+    }
+
+    fn peek_char(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn bump(&mut self) {
+        if let Some(c) = self.peek_char() {
+            self.pos += c.len_utf8();
+        }
+    }
+
+    fn peek_word(&self) -> String {
+        self.rest()
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect()
+    }
+
+    fn take_word(&mut self) -> String {
+        self.skip_ws();
+        let w = self.peek_word();
+        self.pos += w.len();
+        w
+    }
+
+    fn paren_raw(&mut self) -> Result<String, OmpParseError> {
+        self.skip_ws();
+        if self.peek_char() != Some('(') {
+            return Err(OmpParseError { msg: format!("expected '(' at '{}'", self.rest()) });
+        }
+        self.bump();
+        let mut depth = 1usize;
+        let mut out = String::new();
+        while let Some(c) = self.peek_char() {
+            match c {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        self.bump();
+                        return Ok(out);
+                    }
+                }
+                _ => {}
+            }
+            out.push(c);
+            self.bump();
+        }
+        Err(OmpParseError { msg: "unbalanced parentheses in clause".into() })
+    }
+
+    fn paren_var_list(&mut self) -> Result<Vec<String>, OmpParseError> {
+        let inner = self.paren_raw()?;
+        let vars: Vec<String> = inner
+            .split(',')
+            .map(|v| v.trim().to_string())
+            .filter(|v| !v.is_empty())
+            .collect();
+        if vars.is_empty() {
+            return Err(OmpParseError { msg: "empty variable list".into() });
+        }
+        Ok(vars)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_parallel_for() {
+        let d = OmpDirective::parse(" parallel for").unwrap();
+        assert!(d.parallel && d.for_loop);
+        assert!(d.clauses.is_empty());
+        assert_eq!(d.to_string(), "#pragma omp parallel for");
+    }
+
+    #[test]
+    fn private_and_reduction() {
+        let d = OmpDirective::parse(" parallel for private(i, j) reduction(+: sum)").unwrap();
+        assert_eq!(d.private_vars(), vec!["i", "j"]);
+        assert!(d.has_reduction());
+        match &d.clauses[1] {
+            OmpClause::Reduction { op, vars } => {
+                assert_eq!(*op, ReductionOp::Add);
+                assert_eq!(vars, &vec!["sum".to_string()]);
+            }
+            other => panic!("unexpected clause {other:?}"),
+        }
+    }
+
+    #[test]
+    fn schedule_with_chunk() {
+        let d = OmpDirective::parse(" parallel for schedule(dynamic,4)").unwrap();
+        assert_eq!(d.schedule_kind(), ScheduleKind::Dynamic);
+        match &d.clauses[0] {
+            OmpClause::Schedule { chunk: Some(4), .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn schedule_defaults_to_static() {
+        let d = OmpDirective::parse(" parallel for").unwrap();
+        assert_eq!(d.schedule_kind(), ScheduleKind::Static);
+    }
+
+    #[test]
+    fn all_reduction_ops_roundtrip() {
+        for op in ["+", "-", "*", "max", "min", "&", "|", "^", "&&", "||"] {
+            let raw = format!(" parallel for reduction({op}: x)");
+            let d = OmpDirective::parse(&raw).unwrap();
+            let shown = d.to_string();
+            assert!(shown.contains(&format!("reduction({op}: x)")), "{shown}");
+        }
+    }
+
+    #[test]
+    fn display_then_reparse_is_identity() {
+        let cases = [
+            " parallel for private(a) firstprivate(b) lastprivate(c) shared(d) nowait",
+            " parallel for reduction(max: m) schedule(guided, 8) collapse(2)",
+            " parallel for num_threads(16) default(none)",
+        ];
+        for raw in cases {
+            let d1 = OmpDirective::parse(raw).unwrap();
+            let shown = d1.to_string();
+            let stripped = shown.strip_prefix("#pragma omp").unwrap();
+            let d2 = OmpDirective::parse(stripped).unwrap();
+            assert_eq!(d1, d2, "{raw}");
+        }
+    }
+
+    #[test]
+    fn unknown_directive_and_clause_error() {
+        assert!(OmpDirective::parse(" task untied").is_err());
+        assert!(OmpDirective::parse(" parallel for frobnicate(x)").is_err());
+        assert!(OmpDirective::parse(" parallel for reduction(?: x)").is_err());
+        assert!(OmpDirective::parse(" parallel for private()").is_err());
+    }
+}

@@ -1,0 +1,502 @@
+//! AST → C source pretty-printer.
+//!
+//! The corpus generator builds snippets as ASTs and prints them with this
+//! module, so printer output is the canonical "Text" representation of
+//! every record. Printing is precedence-aware: `print(parse(print(x)))`
+//! equals `print(x)` (checked by property tests).
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Prints a statement list as a C snippet.
+pub fn print_stmts(stmts: &[Stmt]) -> String {
+    let mut out = String::new();
+    for s in stmts {
+        print_stmt(&mut out, s, 0);
+    }
+    out
+}
+
+/// Prints a whole translation unit.
+pub fn print_translation_unit(tu: &TranslationUnit) -> String {
+    let mut out = String::new();
+    for (i, item) in tu.items.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        match item {
+            Item::Func(f) => print_func(&mut out, f),
+            Item::Decl(decls) => {
+                let _ = writeln!(out, "{};", decl_line(decls));
+            }
+        }
+    }
+    out
+}
+
+/// Prints one expression.
+pub fn print_expr(e: &Expr) -> String {
+    let mut s = String::new();
+    expr_prec(&mut s, e, 0);
+    s
+}
+
+/// Prints a type (specifiers + pointers).
+pub fn print_type(t: &Type) -> String {
+    let mut s = String::new();
+    if t.is_static {
+        s.push_str("static ");
+    }
+    if t.is_register {
+        s.push_str("register ");
+    }
+    if t.is_const {
+        s.push_str("const ");
+    }
+    if t.unsigned {
+        s.push_str("unsigned ");
+    }
+    let base = match &t.base {
+        BaseType::Void => "void".to_string(),
+        BaseType::Char => "char".to_string(),
+        BaseType::Short => "short".to_string(),
+        BaseType::Int => "int".to_string(),
+        BaseType::Long => "long".to_string(),
+        BaseType::LongLong => "long long".to_string(),
+        BaseType::Float => "float".to_string(),
+        BaseType::Double => "double".to_string(),
+        BaseType::Struct(n) => format!("struct {n}"),
+        BaseType::Named(n) => n.clone(),
+    };
+    s.push_str(&base);
+    if t.pointers > 0 {
+        s.push(' ');
+        for _ in 0..t.pointers {
+            s.push('*');
+        }
+    }
+    s
+}
+
+fn print_func(out: &mut String, f: &FuncDef) {
+    let params = f
+        .params
+        .iter()
+        .map(|p| {
+            let mut s = format!("{} {}", print_type(&p.ty), p.name);
+            for d in &p.array_dims {
+                match d {
+                    Some(e) => {
+                        let _ = write!(s, "[{}]", print_expr(e));
+                    }
+                    None => s.push_str("[]"),
+                }
+            }
+            s
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    let _ = writeln!(out, "{} {}({}) {{", print_type(&f.ret), f.name, params);
+    if let Stmt::Compound(body) = &f.body {
+        for s in body {
+            print_stmt(out, s, 1);
+        }
+    }
+    out.push_str("}\n");
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn decl_line(decls: &[Decl]) -> String {
+    let mut s = print_type(&decls[0].ty);
+    // Pointer stars already included in the shared type; per-declarator
+    // pointer differences are rare in the subset and share the base here.
+    s.push(' ');
+    let parts: Vec<String> = decls
+        .iter()
+        .map(|d| {
+            let mut p = d.name.clone();
+            for dim in &d.array_dims {
+                match dim {
+                    Some(e) => {
+                        let _ = write!(p, "[{}]", print_expr(e));
+                    }
+                    None => p.push_str("[]"),
+                }
+            }
+            match &d.init {
+                Some(Init::Expr(e)) => {
+                    let _ = write!(p, " = {}", print_expr(e));
+                }
+                Some(Init::List(es)) => {
+                    let items =
+                        es.iter().map(print_expr).collect::<Vec<_>>().join(", ");
+                    let _ = write!(p, " = {{{items}}}");
+                }
+                None => {}
+            }
+            p
+        })
+        .collect();
+    // Re-print the type without pointers for multi declarators where each
+    // declarator owns its stars: the subset stores pointers on the shared
+    // type, so a single spelling is correct here.
+    s.push_str(&parts.join(", "));
+    s
+}
+
+fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
+    match s {
+        Stmt::Compound(stmts) => {
+            indent(out, level);
+            out.push_str("{\n");
+            for st in stmts {
+                print_stmt(out, st, level + 1);
+            }
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        Stmt::Decl(decls) => {
+            indent(out, level);
+            let _ = writeln!(out, "{};", decl_line(decls));
+        }
+        Stmt::Expr(e) => {
+            indent(out, level);
+            let _ = writeln!(out, "{};", print_expr(e));
+        }
+        Stmt::If { cond, then, else_ } => {
+            indent(out, level);
+            let _ = writeln!(out, "if ({})", print_expr(cond));
+            print_stmt(out, then, level + 1);
+            if let Some(e) = else_ {
+                indent(out, level);
+                out.push_str("else\n");
+                print_stmt(out, e, level + 1);
+            }
+        }
+        Stmt::For { init, cond, step, body } => {
+            indent(out, level);
+            let init_s = match init {
+                ForInit::Empty => String::new(),
+                ForInit::Decl(decls) => decl_line(decls),
+                ForInit::Expr(e) => print_expr(e),
+            };
+            let cond_s = cond.as_ref().map(print_expr).unwrap_or_default();
+            let step_s = step.as_ref().map(print_expr).unwrap_or_default();
+            let _ = writeln!(out, "for ({init_s}; {cond_s}; {step_s})");
+            print_stmt(out, body, level + 1);
+        }
+        Stmt::While { cond, body } => {
+            indent(out, level);
+            let _ = writeln!(out, "while ({})", print_expr(cond));
+            print_stmt(out, body, level + 1);
+        }
+        Stmt::DoWhile { body, cond } => {
+            indent(out, level);
+            out.push_str("do\n");
+            print_stmt(out, body, level + 1);
+            indent(out, level);
+            let _ = writeln!(out, "while ({});", print_expr(cond));
+        }
+        Stmt::Return(e) => {
+            indent(out, level);
+            match e {
+                Some(e) => {
+                    let _ = writeln!(out, "return {};", print_expr(e));
+                }
+                None => out.push_str("return;\n"),
+            }
+        }
+        Stmt::Break => {
+            indent(out, level);
+            out.push_str("break;\n");
+        }
+        Stmt::Continue => {
+            indent(out, level);
+            out.push_str("continue;\n");
+        }
+        Stmt::Pragma { directive, stmt } => {
+            indent(out, level);
+            let _ = writeln!(out, "{directive}");
+            print_stmt(out, stmt, level);
+        }
+        Stmt::Empty => {
+            indent(out, level);
+            out.push_str(";\n");
+        }
+    }
+}
+
+fn binop_prec(op: BinOp) -> u8 {
+    use BinOp::*;
+    match op {
+        Or => 1,
+        And => 2,
+        BitOr => 3,
+        BitXor => 4,
+        BitAnd => 5,
+        Eq | Ne => 6,
+        Lt | Gt | Le | Ge => 7,
+        Shl | Shr => 8,
+        Add | Sub => 9,
+        Mul | Div | Mod => 10,
+    }
+}
+
+/// Prints `e`, parenthesizing when its precedence is below `min_prec`.
+fn expr_prec(out: &mut String, e: &Expr, min_prec: u8) {
+    match e {
+        Expr::Id(n) => out.push_str(n),
+        Expr::IntLit(_, text) => out.push_str(text),
+        Expr::FloatLit(_, text) => out.push_str(text),
+        Expr::CharLit(c) => {
+            let escaped = match c {
+                '\n' => "\\n".to_string(),
+                '\t' => "\\t".to_string(),
+                '\0' => "\\0".to_string(),
+                '\'' => "\\'".to_string(),
+                '\\' => "\\\\".to_string(),
+                other => other.to_string(),
+            };
+            let _ = write!(out, "'{escaped}'");
+        }
+        Expr::StrLit(s) => {
+            let escaped = s
+                .replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n")
+                .replace('\t', "\\t")
+                .replace("\\\\%", "\\%");
+            let _ = write!(out, "\"{escaped}\"");
+        }
+        Expr::Binary { op, l, r } => {
+            let prec = binop_prec(*op);
+            let need = prec < min_prec;
+            if need {
+                out.push('(');
+            }
+            expr_prec(out, l, prec);
+            let _ = write!(out, " {} ", op.as_str());
+            expr_prec(out, r, prec + 1); // left-associative
+            if need {
+                out.push(')');
+            }
+        }
+        Expr::Unary { op, expr } => {
+            let need = min_prec > 11;
+            if need {
+                out.push('(');
+            }
+            match op {
+                UnOp::PostInc => {
+                    expr_prec(out, expr, 12);
+                    out.push_str("++");
+                }
+                UnOp::PostDec => {
+                    expr_prec(out, expr, 12);
+                    out.push_str("--");
+                }
+                UnOp::PreInc => {
+                    out.push_str("++");
+                    expr_prec(out, expr, 12);
+                }
+                UnOp::PreDec => {
+                    out.push_str("--");
+                    expr_prec(out, expr, 12);
+                }
+                UnOp::Neg => {
+                    out.push('-');
+                    expr_prec(out, expr, 12);
+                }
+                UnOp::Not => {
+                    out.push('!');
+                    expr_prec(out, expr, 12);
+                }
+                UnOp::BitNot => {
+                    out.push('~');
+                    expr_prec(out, expr, 12);
+                }
+                UnOp::Deref => {
+                    out.push('*');
+                    expr_prec(out, expr, 12);
+                }
+                UnOp::AddrOf => {
+                    out.push('&');
+                    expr_prec(out, expr, 12);
+                }
+            }
+            if need {
+                out.push(')');
+            }
+        }
+        Expr::Assign { op, lhs, rhs } => {
+            // Assignments have the lowest precedence bar comma; always
+            // parenthesize when embedded in a tighter context.
+            let need = min_prec > 0;
+            if need {
+                out.push('(');
+            }
+            expr_prec(out, lhs, 11);
+            let _ = write!(out, " {} ", op.as_str());
+            expr_prec(out, rhs, 0);
+            if need {
+                out.push(')');
+            }
+        }
+        Expr::Ternary { cond, then, else_ } => {
+            let need = min_prec > 0;
+            if need {
+                out.push('(');
+            }
+            expr_prec(out, cond, 1);
+            out.push_str(" ? ");
+            expr_prec(out, then, 0);
+            out.push_str(" : ");
+            expr_prec(out, else_, 0);
+            if need {
+                out.push(')');
+            }
+        }
+        Expr::Call { callee, args } => {
+            expr_prec(out, callee, 12);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr_prec(out, a, 0);
+            }
+            out.push(')');
+        }
+        Expr::Index { base, idx } => {
+            expr_prec(out, base, 12);
+            out.push('[');
+            expr_prec(out, idx, 0);
+            out.push(']');
+        }
+        Expr::Member { base, field, arrow } => {
+            expr_prec(out, base, 12);
+            out.push_str(if *arrow { "->" } else { "." });
+            out.push_str(field);
+        }
+        Expr::Cast { ty, expr } => {
+            let need = min_prec > 11;
+            if need {
+                out.push('(');
+            }
+            let _ = write!(out, "({}) ", print_type(ty));
+            expr_prec(out, expr, 12);
+            if need {
+                out.push(')');
+            }
+        }
+        Expr::Sizeof(arg) => match arg.as_ref() {
+            SizeofArg::Expr(e) => {
+                out.push_str("sizeof ");
+                expr_prec(out, e, 12);
+            }
+            SizeofArg::Type(t) => {
+                let _ = write!(out, "sizeof({})", print_type(t));
+            }
+        },
+        Expr::Comma(a, b) => {
+            let need = min_prec > 0;
+            if need {
+                out.push('(');
+            }
+            expr_prec(out, a, 1);
+            out.push_str(", ");
+            expr_prec(out, b, 1);
+            if need {
+                out.push(')');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_snippet;
+
+    fn roundtrip(src: &str) {
+        let s1 = parse_snippet(src).unwrap_or_else(|e| panic!("first parse: {e}\n{src}"));
+        let printed = print_stmts(&s1);
+        let s2 = parse_snippet(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n--- printed ---\n{printed}"));
+        assert_eq!(
+            print_stmts(&s2),
+            printed,
+            "printer not a fixed point for:\n{src}\n--- printed ---\n{printed}"
+        );
+    }
+
+    #[test]
+    fn roundtrip_basic_loop() {
+        roundtrip("for (i = 0; i < n; i++) a[i] = i;");
+    }
+
+    #[test]
+    fn roundtrip_pragma_loop() {
+        roundtrip("#pragma omp parallel for private(j) reduction(+: s)\nfor (i = 0; i < n; i++) s += a[i];");
+    }
+
+    #[test]
+    fn roundtrip_precedence_edge_cases() {
+        roundtrip("x = (a + b) * c;");
+        roundtrip("x = a - (b - c);");
+        roundtrip("y = -(a + b);");
+        roundtrip("z = a / (b * c);");
+        roundtrip("w = (a = b) + 1;");
+        roundtrip("v = a < (b < c);");
+        roundtrip("u = (x ? y : z) + 1;");
+    }
+
+    #[test]
+    fn roundtrip_calls_members_casts() {
+        roundtrip("image->colormap[i].opacity = (IndexPacket) i;");
+        roundtrip("fprintf(stderr, \"%0.2lf \", x[i]);");
+        roundtrip("n = sizeof(double) * k;");
+    }
+
+    #[test]
+    fn roundtrip_control_flow() {
+        roundtrip("if (a > b) { m = a; } else { m = b; }");
+        roundtrip("while (p) p = next(p);");
+        roundtrip("do { x++; } while (x < 10);");
+        roundtrip("for (int i = 0, j = 9; i < j; i++, j--) swap(v, i, j);");
+    }
+
+    #[test]
+    fn parenthesization_changes_meaning_is_preserved() {
+        let with = parse_snippet("x = (a + b) * c;").unwrap();
+        let without = parse_snippet("x = a + b * c;").unwrap();
+        assert_ne!(print_stmts(&with), print_stmts(&without));
+    }
+
+    #[test]
+    fn types_print_fully() {
+        let t = Type {
+            base: BaseType::Double,
+            pointers: 2,
+            unsigned: false,
+            is_const: true,
+            is_static: true,
+            is_register: false,
+        };
+        assert_eq!(print_type(&t), "static const double **");
+    }
+
+    #[test]
+    fn translation_unit_roundtrip() {
+        let src = "double dot(double *a, double *b, int n) {\nint i;\ndouble s = 0.0;\nfor (i = 0; i < n; i++) s += a[i] * b[i];\nreturn s;\n}";
+        let tu = crate::parser::parse_translation_unit(src).unwrap();
+        let printed = print_translation_unit(&tu);
+        let tu2 = crate::parser::parse_translation_unit(&printed).unwrap();
+        assert_eq!(print_translation_unit(&tu2), printed);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests: the printer is a fixed point under re-parsing for
+//! arbitrary generated ASTs, and the DFS serialization is stable.
+
+use proptest::prelude::*;
+use pragformer_cparse::printer::{print_expr, print_stmts};
+use pragformer_cparse::{
+    dfs, parse_snippet, AssignOp, BinOp, Expr, ForInit, Stmt, UnOp,
+};
+
+/// Identifier pool: realistic loop/array names plus a couple of oddballs.
+fn ident() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "i", "j", "k", "n", "m", "len", "size", "a", "b", "c", "A", "B",
+        "vec", "arr", "mat", "sum", "total", "tmp", "x1", "y_1", "result",
+    ])
+    .prop_map(str::to_string)
+}
+
+fn leaf_expr() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        ident().prop_map(Expr::Id),
+        (0i64..1000).prop_map(Expr::int),
+        (0i64..100).prop_map(|v| Expr::FloatLit(v as f64 + 0.5, format!("{v}.5"))),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = leaf_expr();
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (any::<u8>(), inner.clone(), inner.clone()).prop_map(|(op, l, r)| {
+                let ops = [
+                    BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div, BinOp::Mod,
+                    BinOp::Lt, BinOp::Gt, BinOp::Le, BinOp::Ge, BinOp::Eq,
+                    BinOp::Ne, BinOp::And, BinOp::Or, BinOp::BitAnd,
+                    BinOp::BitOr, BinOp::BitXor, BinOp::Shl, BinOp::Shr,
+                ];
+                Expr::bin(ops[op as usize % ops.len()], l, r)
+            }),
+            (any::<bool>(), inner.clone()).prop_map(|(neg, e)| Expr::Unary {
+                op: if neg { UnOp::Neg } else { UnOp::Not },
+                expr: Box::new(e),
+            }),
+            (ident(), inner.clone()).prop_map(|(a, i)| Expr::index(Expr::Id(a), i)),
+            (ident(), prop::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(f, args)| Expr::call(f, args)),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| Expr::Ternary {
+                cond: Box::new(c),
+                then: Box::new(t),
+                else_: Box::new(e),
+            }),
+        ]
+    })
+}
+
+fn assign_stmt() -> impl Strategy<Value = Stmt> {
+    (ident(), arb_expr(), any::<bool>(), arb_expr()).prop_map(|(name, idx, plain, rhs)| {
+        let lhs = Expr::index(Expr::Id(name), idx);
+        let op = if plain { AssignOp::Assign } else { AssignOp::Add };
+        Stmt::Expr(Expr::Assign { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+    })
+}
+
+fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    let base = assign_stmt();
+    base.prop_recursive(3, 12, 4, |inner| {
+        prop_oneof![
+            (arb_expr(), inner.clone()).prop_map(|(c, b)| Stmt::If {
+                cond: c,
+                then: Box::new(b),
+                else_: None,
+            }),
+            (ident(), arb_expr(), inner.clone()).prop_map(|(v, bound, body)| Stmt::For {
+                init: ForInit::Expr(Expr::assign(Expr::Id(v.clone()), Expr::int(0))),
+                cond: Some(Expr::bin(BinOp::Lt, Expr::Id(v.clone()), bound)),
+                step: Some(Expr::Unary {
+                    op: UnOp::PostInc,
+                    expr: Box::new(Expr::Id(v)),
+                }),
+                body: Box::new(body),
+            }),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Stmt::Compound),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn print_parse_print_is_fixed_point(stmt in arb_stmt()) {
+        let printed = print_stmts(std::slice::from_ref(&stmt));
+        let reparsed = parse_snippet(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        let printed2 = print_stmts(&reparsed);
+        prop_assert_eq!(printed, printed2);
+    }
+
+    #[test]
+    fn expr_print_parse_roundtrip_preserves_dfs(e in arb_expr()) {
+        let src = format!("x = {};", print_expr(&e));
+        let stmts = parse_snippet(&src)
+            .unwrap_or_else(|err| panic!("parse failed: {err}\n{src}"));
+        // Reprinting the reparsed expression matches the original print.
+        match &stmts[0] {
+            Stmt::Expr(Expr::Assign { rhs, .. }) => {
+                prop_assert_eq!(print_expr(rhs), print_expr(&e));
+            }
+            other => prop_assert!(false, "unexpected shape {:?}", other),
+        }
+    }
+
+    #[test]
+    fn dfs_of_printed_equals_dfs_of_original(stmt in arb_stmt()) {
+        let printed = print_stmts(std::slice::from_ref(&stmt));
+        let reparsed = parse_snippet(&printed).unwrap();
+        let a = dfs::serialize_stmts(std::slice::from_ref(&stmt));
+        let b = dfs::serialize_stmts(&reparsed);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lexer_never_panics_on_ascii(src in "[ -~\n\t]{0,200}") {
+        // Errors are fine; panics are not.
+        let _ = pragformer_cparse::lex(&src);
+    }
+
+    #[test]
+    fn parser_never_panics_on_ascii(src in "[ -~\n\t]{0,200}") {
+        let _ = parse_snippet(&src);
+    }
+}

@@ -1,0 +1,109 @@
+//! Error rate by snippet length (paper Figure 7).
+
+/// One histogram bucket.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LengthBucket {
+    /// Inclusive lower bound on length.
+    pub lo: usize,
+    /// Inclusive upper bound (`usize::MAX` for the open tail).
+    pub hi: usize,
+    /// Examples in the bucket.
+    pub total: usize,
+    /// Misclassified examples in the bucket.
+    pub errors: usize,
+}
+
+impl LengthBucket {
+    /// Errors / total (0 for empty buckets).
+    pub fn error_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.total as f64
+        }
+    }
+
+    /// Label like `"11-20"` or `"51+"`.
+    pub fn label(&self) -> String {
+        if self.hi == usize::MAX {
+            format!("{}+", self.lo)
+        } else {
+            format!("{}-{}", self.lo, self.hi)
+        }
+    }
+}
+
+/// Buckets `(length, correct)` pairs by the given edges.
+///
+/// `edges` are inclusive upper bounds of successive buckets; a final open
+/// bucket captures everything beyond the last edge. Figure 7 uses
+/// `[10, 20, 30, 40, 50]`.
+pub fn error_rate_by_length(
+    lengths: &[usize],
+    correct: &[bool],
+    edges: &[usize],
+) -> Vec<LengthBucket> {
+    assert_eq!(lengths.len(), correct.len(), "lengths/correct mismatch");
+    assert!(!edges.is_empty(), "need at least one bucket edge");
+    assert!(edges.windows(2).all(|w| w[0] < w[1]), "edges must increase");
+    let mut buckets: Vec<LengthBucket> = Vec::with_capacity(edges.len() + 1);
+    let mut lo = 0usize;
+    for &e in edges {
+        buckets.push(LengthBucket { lo, hi: e, total: 0, errors: 0 });
+        lo = e + 1;
+    }
+    buckets.push(LengthBucket { lo, hi: usize::MAX, total: 0, errors: 0 });
+    for (&len, &ok) in lengths.iter().zip(correct) {
+        let b = buckets
+            .iter_mut()
+            .find(|b| len >= b.lo && len <= b.hi)
+            .expect("bucket cover is total");
+        b.total += 1;
+        if !ok {
+            b.errors += 1;
+        }
+    }
+    buckets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_and_count() {
+        let lengths = [3, 12, 25, 60, 8];
+        let correct = [true, false, true, false, false];
+        let b = error_rate_by_length(&lengths, &correct, &[10, 20, 50]);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b[0].total, 2); // 3 and 8
+        assert_eq!(b[0].errors, 1); // 8 wrong
+        assert_eq!(b[1].total, 1); // 12
+        assert_eq!(b[1].errors, 1);
+        assert_eq!(b[2].total, 1); // 25
+        assert_eq!(b[2].errors, 0);
+        assert_eq!(b[3].total, 1); // 60 in the open tail
+        assert_eq!(b[3].errors, 1);
+    }
+
+    #[test]
+    fn error_rates() {
+        let b = error_rate_by_length(&[1, 2, 3, 4], &[true, false, false, false], &[10]);
+        assert!((b[0].error_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(b[1].error_rate(), 0.0); // empty tail
+    }
+
+    #[test]
+    fn labels() {
+        let b = error_rate_by_length(&[], &[], &[10, 20]);
+        assert_eq!(b[0].label(), "0-10");
+        assert_eq!(b[1].label(), "11-20");
+        assert_eq!(b[2].label(), "21+");
+    }
+
+    #[test]
+    #[should_panic(expected = "edges must increase")]
+    fn unsorted_edges_panic() {
+        let _ = error_rate_by_length(&[], &[], &[10, 5]);
+    }
+}

@@ -1,0 +1,23 @@
+//! # pragformer-eval
+//!
+//! Evaluation machinery for the PragFormer reproduction:
+//!
+//! * [`metrics`] — precision / recall / F1 / accuracy and confusion
+//!   matrices (Tables 8-11);
+//! * [`buckets`] — error-rate-by-snippet-length histograms (Figure 7);
+//! * [`lime`] — a LIME-style local explainer: token-mask perturbations,
+//!   exponential-kernel sample weights and a weighted ridge regression
+//!   solved by Cholesky decomposition (Figure 8);
+//! * [`report`] — tiny table/TSV emitters used by every benchmark binary.
+//!
+//! The crate is model-agnostic: classifiers enter as closures over token
+//! sequences, so the same code explains PragFormer, BoW, or anything else.
+
+pub mod buckets;
+pub mod lime;
+pub mod metrics;
+pub mod report;
+
+pub use buckets::{error_rate_by_length, LengthBucket};
+pub use lime::{explain, Explanation, LimeConfig};
+pub use metrics::{confusion, BinaryMetrics, Confusion};

@@ -1,0 +1,310 @@
+//! LIME-style local explanations (paper §5.4, Figure 8).
+//!
+//! Given a token sequence and a black-box probability function, the
+//! explainer:
+//!
+//! 1. samples perturbations that drop random token subsets;
+//! 2. queries the model on each perturbation;
+//! 3. weighs samples by an exponential kernel on the drop distance;
+//! 4. fits a weighted ridge regression from presence indicators to the
+//!    model output.
+//!
+//! The fitted coefficients are per-token importances: positive values
+//! push toward the positive class ("needs a directive"), negative values
+//! away from it — exactly what the paper reads off LIME's output to argue
+//! PragFormer attends to loop variables, arrays and I/O calls.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Explainer settings.
+#[derive(Clone, Debug)]
+pub struct LimeConfig {
+    /// Number of perturbed samples (the original is always included).
+    pub samples: usize,
+    /// Probability of dropping each token in a perturbation.
+    pub drop_prob: f64,
+    /// Ridge regularization strength.
+    pub ridge: f64,
+    /// Kernel width for sample weighting (fraction of tokens dropped).
+    pub kernel_width: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LimeConfig {
+    fn default() -> Self {
+        Self { samples: 400, drop_prob: 0.3, ridge: 1.0, kernel_width: 0.75, seed: 17 }
+    }
+}
+
+/// A token with its fitted importance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TokenWeight {
+    /// Token index in the original sequence.
+    pub index: usize,
+    /// Token text.
+    pub token: String,
+    /// Fitted contribution toward the positive class.
+    pub weight: f64,
+}
+
+/// A fitted local explanation.
+#[derive(Clone, Debug)]
+pub struct Explanation {
+    /// Model probability on the unperturbed input.
+    pub base_probability: f64,
+    /// Ridge intercept (local expectation with everything dropped).
+    pub intercept: f64,
+    /// Per-token weights in sequence order.
+    pub weights: Vec<TokenWeight>,
+}
+
+impl Explanation {
+    /// The `k` most influential tokens by |weight|, descending.
+    pub fn top_tokens(&self, k: usize) -> Vec<&TokenWeight> {
+        let mut sorted: Vec<&TokenWeight> = self.weights.iter().collect();
+        sorted.sort_by(|a, b| b.weight.abs().total_cmp(&a.weight.abs()));
+        sorted.truncate(k);
+        sorted
+    }
+}
+
+/// Explains `predict` at `tokens`.
+///
+/// `predict` maps a token sequence to the positive-class probability; it
+/// is called `cfg.samples + 1` times.
+pub fn explain(
+    tokens: &[String],
+    cfg: &LimeConfig,
+    predict: &mut dyn FnMut(&[String]) -> f64,
+) -> Explanation {
+    let n = tokens.len();
+    assert!(n > 0, "cannot explain an empty sequence");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let base_probability = predict(tokens);
+
+    // Design matrix rows: presence indicators; target: model output.
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(cfg.samples + 1);
+    let mut targets: Vec<f64> = Vec::with_capacity(cfg.samples + 1);
+    let mut sample_weights: Vec<f64> = Vec::with_capacity(cfg.samples + 1);
+
+    rows.push(vec![1.0; n]);
+    targets.push(base_probability);
+    sample_weights.push(1.0);
+
+    let mut kept: Vec<String> = Vec::with_capacity(n);
+    for _ in 0..cfg.samples {
+        let mut mask = vec![1.0f64; n];
+        kept.clear();
+        let mut dropped = 0usize;
+        for (i, t) in tokens.iter().enumerate() {
+            if rng.gen::<f64>() < cfg.drop_prob {
+                mask[i] = 0.0;
+                dropped += 1;
+            } else {
+                kept.push(t.clone());
+            }
+        }
+        if kept.is_empty() {
+            // All-dropped samples carry no signal for token weights.
+            continue;
+        }
+        let p = predict(&kept);
+        let distance = dropped as f64 / n as f64;
+        let w = (-(distance * distance) / (cfg.kernel_width * cfg.kernel_width)).exp();
+        rows.push(mask);
+        targets.push(p);
+        sample_weights.push(w);
+    }
+
+    // Weighted ridge: solve (XᵀWX + λI) β = XᵀW y with an intercept column.
+    let dim = n + 1;
+    let mut ata = vec![0.0f64; dim * dim];
+    let mut atb = vec![0.0f64; dim];
+    for ((row, &y), &w) in rows.iter().zip(&targets).zip(&sample_weights) {
+        // Augmented feature vector [1, mask...].
+        let feat = |j: usize| if j == 0 { 1.0 } else { row[j - 1] };
+        for j in 0..dim {
+            let fj = feat(j);
+            if fj == 0.0 {
+                continue;
+            }
+            atb[j] += w * fj * y;
+            for k in j..dim {
+                let fk = feat(k);
+                if fk != 0.0 {
+                    ata[j * dim + k] += w * fj * fk;
+                }
+            }
+        }
+    }
+    // Mirror to the lower triangle and add the ridge (not on intercept).
+    for j in 0..dim {
+        for k in 0..j {
+            ata[j * dim + k] = ata[k * dim + j];
+        }
+    }
+    for j in 1..dim {
+        ata[j * dim + j] += cfg.ridge;
+    }
+    ata[0] += 1e-9; // keep the intercept row positive definite
+
+    let beta = cholesky_solve(&ata, &atb, dim);
+
+    let weights = tokens
+        .iter()
+        .enumerate()
+        .map(|(i, t)| TokenWeight { index: i, token: t.clone(), weight: beta[i + 1] })
+        .collect();
+    Explanation { base_probability, intercept: beta[0], weights }
+}
+
+/// Solves `A x = b` for symmetric positive-definite `A` via Cholesky.
+fn cholesky_solve(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
+    // Decompose A = L·Lᵀ.
+    let mut l = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i * n + j];
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                // Clamp against tiny negatives from round-off.
+                l[i * n + j] = sum.max(1e-12).sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    // Forward solve L·y = b.
+    let mut y = vec![0.0f64; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i * n + k] * y[k];
+        }
+        y[i] = sum / l[i * n + i];
+    }
+    // Back solve Lᵀ·x = y.
+    let mut x = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in i + 1..n {
+            sum -= l[k * n + i] * x[k];
+        }
+        x[i] = sum / l[i * n + i];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn cholesky_solves_known_system() {
+        // A = [[4,2],[2,3]], b = [10, 8] → x = [1.75, 1.5]
+        let a = vec![4.0, 2.0, 2.0, 3.0];
+        let b = vec![10.0, 8.0];
+        let x = cholesky_solve(&a, &b, 2);
+        assert!((x[0] - 1.75).abs() < 1e-9, "{x:?}");
+        assert!((x[1] - 1.5).abs() < 1e-9, "{x:?}");
+    }
+
+    #[test]
+    fn single_decisive_token_dominates() {
+        // Model: p = 0.9 if "hot" present else 0.1.
+        let tokens = toks("for i hot j k");
+        let mut predict = |ts: &[String]| {
+            if ts.iter().any(|t| t == "hot") {
+                0.9
+            } else {
+                0.1
+            }
+        };
+        let exp = explain(&tokens, &LimeConfig::default(), &mut predict);
+        let top = exp.top_tokens(1);
+        assert_eq!(top[0].token, "hot");
+        assert!(top[0].weight > 0.3, "{:?}", exp.weights);
+        // Everything else should be near zero.
+        for w in &exp.weights {
+            if w.token != "hot" {
+                assert!(w.weight.abs() < 0.15, "{w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn negative_token_gets_negative_weight() {
+        // "printf" pushes the model toward the negative class.
+        let tokens = toks("for i printf a b");
+        let mut predict = |ts: &[String]| {
+            if ts.iter().any(|t| t == "printf") {
+                0.05
+            } else {
+                0.85
+            }
+        };
+        let exp = explain(&tokens, &LimeConfig::default(), &mut predict);
+        let printf_w = exp.weights.iter().find(|w| w.token == "printf").unwrap();
+        assert!(printf_w.weight < -0.3, "{printf_w:?}");
+    }
+
+    #[test]
+    fn constant_model_yields_flat_weights() {
+        let tokens = toks("a b c d");
+        let mut predict = |_: &[String]| 0.5;
+        let exp = explain(&tokens, &LimeConfig::default(), &mut predict);
+        for w in &exp.weights {
+            assert!(w.weight.abs() < 1e-6, "{w:?}");
+        }
+        assert!((exp.intercept - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn additive_model_weights_recovered_in_order() {
+        // p = 0.2 + 0.4·[has x] + 0.2·[has y]
+        let tokens = toks("x y z");
+        let mut predict = |ts: &[String]| {
+            let mut p: f64 = 0.2;
+            if ts.iter().any(|t| t == "x") {
+                p += 0.4;
+            }
+            if ts.iter().any(|t| t == "y") {
+                p += 0.2;
+            }
+            p
+        };
+        let exp = explain(&tokens, &LimeConfig::default(), &mut predict);
+        let wx = exp.weights.iter().find(|w| w.token == "x").unwrap().weight;
+        let wy = exp.weights.iter().find(|w| w.token == "y").unwrap().weight;
+        let wz = exp.weights.iter().find(|w| w.token == "z").unwrap().weight;
+        assert!(wx > wy && wy > wz, "x={wx} y={wy} z={wz}");
+        assert!(wx > 0.2 && wy > 0.05 && wz.abs() < 0.1);
+    }
+
+    #[test]
+    fn explanations_are_deterministic() {
+        let tokens = toks("p q r");
+        let mut predict = |ts: &[String]| ts.len() as f64 / 10.0;
+        let cfg = LimeConfig::default();
+        let a = explain(&tokens, &cfg, &mut predict);
+        let b = explain(&tokens, &cfg, &mut predict);
+        for (wa, wb) in a.weights.iter().zip(&b.weights) {
+            assert_eq!(wa.weight, wb.weight);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sequence")]
+    fn empty_sequence_panics() {
+        let mut predict = |_: &[String]| 0.5;
+        let _ = explain(&[], &LimeConfig::default(), &mut predict);
+    }
+}

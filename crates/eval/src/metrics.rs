@@ -1,0 +1,146 @@
+//! Binary-classification metrics.
+
+/// Confusion-matrix counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// Predicted positive, actually positive.
+    pub tp: usize,
+    /// Predicted positive, actually negative.
+    pub fp: usize,
+    /// Predicted negative, actually positive.
+    pub fn_: usize,
+    /// Predicted negative, actually negative.
+    pub tn: usize,
+}
+
+/// Precision / recall / F1 / accuracy (the paper's reporting quartet).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BinaryMetrics {
+    /// tp / (tp + fp); 0 when no positive predictions.
+    pub precision: f64,
+    /// tp / (tp + fn); 0 when no positive labels.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// (tp + tn) / total.
+    pub accuracy: f64,
+}
+
+/// Builds a confusion matrix from parallel prediction/label slices.
+///
+/// # Panics
+/// Panics when lengths differ.
+pub fn confusion(predictions: &[bool], labels: &[bool]) -> Confusion {
+    assert_eq!(predictions.len(), labels.len(), "predictions/labels mismatch");
+    let mut c = Confusion::default();
+    for (&p, &y) in predictions.iter().zip(labels) {
+        match (p, y) {
+            (true, true) => c.tp += 1,
+            (true, false) => c.fp += 1,
+            (false, true) => c.fn_ += 1,
+            (false, false) => c.tn += 1,
+        }
+    }
+    c
+}
+
+impl Confusion {
+    /// Total examples.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+
+    /// Derives the four headline metrics.
+    pub fn metrics(&self) -> BinaryMetrics {
+        let precision = ratio(self.tp, self.tp + self.fp);
+        let recall = ratio(self.tp, self.tp + self.fn_);
+        let f1 = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+        let accuracy = ratio(self.tp + self.tn, self.total());
+        BinaryMetrics { precision, recall, f1, accuracy }
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+impl std::fmt::Display for BinaryMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "P={:.2} R={:.2} F1={:.2} Acc={:.2}",
+            self.precision, self.recall, self.f1, self.accuracy
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classifier() {
+        let c = confusion(&[true, false, true], &[true, false, true]);
+        let m = c.metrics();
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f1, 1.0);
+        assert_eq!(m.accuracy, 1.0);
+    }
+
+    #[test]
+    fn always_positive_classifier() {
+        let c = confusion(&[true; 4], &[true, true, false, false]);
+        let m = c.metrics();
+        assert_eq!(m.precision, 0.5);
+        assert_eq!(m.recall, 1.0);
+        assert!((m.f1 - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.accuracy, 0.5);
+    }
+
+    #[test]
+    fn always_negative_classifier_has_zero_f1() {
+        let c = confusion(&[false; 3], &[true, false, true]);
+        let m = c.metrics();
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.f1, 0.0);
+        assert!((m.accuracy - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counts_are_complete() {
+        let c = confusion(&[true, false, true, false], &[false, true, true, false]);
+        assert_eq!(c, Confusion { tp: 1, fp: 1, fn_: 1, tn: 1 });
+        assert_eq!(c.total(), 4);
+    }
+
+    #[test]
+    fn f1_is_harmonic_mean() {
+        let c = Confusion { tp: 8, fp: 2, fn_: 8, tn: 2 };
+        let m = c.metrics();
+        // P = 0.8, R = 0.5 → F1 = 2·0.8·0.5/1.3
+        assert!((m.f1 - (2.0 * 0.8 * 0.5 / 1.3)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = confusion(&[true], &[true, false]);
+    }
+
+    #[test]
+    fn empty_inputs_are_all_zero() {
+        let m = confusion(&[], &[]).metrics();
+        assert_eq!(m.accuracy, 0.0);
+        assert_eq!(m.f1, 0.0);
+    }
+}

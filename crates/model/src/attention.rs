@@ -1,0 +1,302 @@
+//! Multi-head self-attention with padding masks and analytic backward.
+//!
+//! Activations are `[batch*seq, d_model]` tensors; per-sequence valid
+//! lengths implement the padding mask: every query row attends only to
+//! the first `valid[b]` key positions of its sequence. Rows beyond the
+//! valid length still flow through (their queries exist) but nothing
+//! downstream reads them — CLS pooling uses row 0 of each sequence.
+
+use pragformer_tensor::init::SeededRng;
+use pragformer_tensor::nn::{Layer, Linear, Param};
+use pragformer_tensor::{ops, Tensor};
+
+/// Multi-head self-attention block (projections + scaled dot-product +
+/// output projection).
+pub struct MultiHeadSelfAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    n_heads: usize,
+    d_model: usize,
+    cache: Option<Cache>,
+}
+
+struct Cache {
+    batch: usize,
+    seq: usize,
+    /// Projected Q/K/V, `[batch*seq, d_model]`.
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    /// Attention probabilities per (batch, head): `[seq, seq]`.
+    probs: Vec<Tensor>,
+}
+
+impl MultiHeadSelfAttention {
+    /// Creates the four projection layers.
+    pub fn new(name: &str, d_model: usize, n_heads: usize, rng: &mut SeededRng) -> Self {
+        assert_eq!(d_model % n_heads, 0, "d_model must divide into heads");
+        Self {
+            wq: Linear::named(&format!("{name}.wq"), d_model, d_model, rng),
+            wk: Linear::named(&format!("{name}.wk"), d_model, d_model, rng),
+            wv: Linear::named(&format!("{name}.wv"), d_model, d_model, rng),
+            wo: Linear::named(&format!("{name}.wo"), d_model, d_model, rng),
+            n_heads,
+            d_model,
+            cache: None,
+        }
+    }
+
+    /// Extracts head `h` of sequence `b` from a `[batch*seq, d_model]`
+    /// tensor into a `[seq, d_head]` tile.
+    fn head_tile(&self, x: &Tensor, b: usize, h: usize, seq: usize) -> Tensor {
+        let dh = self.d_model / self.n_heads;
+        let mut out = Tensor::zeros(&[seq, dh]);
+        for t in 0..seq {
+            let row = x.row(b * seq + t);
+            out.row_mut(t).copy_from_slice(&row[h * dh..(h + 1) * dh]);
+        }
+        out
+    }
+
+    /// Adds a `[seq, d_head]` tile back into head `h` of sequence `b`.
+    fn add_head_tile(&self, x: &mut Tensor, tile: &Tensor, b: usize, h: usize, seq: usize) {
+        let dh = self.d_model / self.n_heads;
+        for t in 0..seq {
+            let src = tile.row(t);
+            let dst = &mut x.row_mut(b * seq + t)[h * dh..(h + 1) * dh];
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d += *s;
+            }
+        }
+    }
+
+    /// Forward pass.
+    ///
+    /// `x` is `[batch*seq, d_model]`; `valid[b]` is the non-pad prefix of
+    /// sequence `b` (≥ 1, counting CLS).
+    pub fn forward(&mut self, x: &Tensor, batch: usize, seq: usize, valid: &[usize]) -> Tensor {
+        assert_eq!(x.rows(), batch * seq, "activation rows");
+        assert_eq!(valid.len(), batch, "valid lengths");
+        let q = self.wq.forward(x, true);
+        let k = self.wk.forward(x, true);
+        let v = self.wv.forward(x, true);
+        // (valid lengths are consumed immediately for masking; only the
+        // projected tensors and probabilities are cached for backward.)
+        let dh = self.d_model / self.n_heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let mut context = Tensor::zeros(&[batch * seq, self.d_model]);
+        let mut probs = Vec::with_capacity(batch * self.n_heads);
+        #[allow(clippy::needless_range_loop)] // b indexes valid and strides tiles
+        for b in 0..batch {
+            let vb = valid[b].clamp(1, seq);
+            let row_valid = vec![vb; seq];
+            for h in 0..self.n_heads {
+                let qt = self.head_tile(&q, b, h, seq);
+                let kt = self.head_tile(&k, b, h, seq);
+                let vt = self.head_tile(&v, b, h, seq);
+                let mut scores = ops::matmul_nt(&qt, &kt);
+                scores.map_in_place(|s| s * scale);
+                ops::softmax_rows(&mut scores, Some(&row_valid));
+                let ctx = ops::matmul(&scores, &vt);
+                self.add_head_tile(&mut context, &ctx, b, h, seq);
+                probs.push(scores);
+            }
+        }
+        let out = self.wo.forward(&context, true);
+        self.cache = Some(Cache { batch, seq, q, k, v, probs });
+        out
+    }
+
+    /// Backward pass; returns gradient w.r.t. the input activations.
+    pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let cache = self.cache.take().expect("attention backward before forward");
+        let Cache { batch, seq, q, k, v, probs } = cache;
+        let dh = self.d_model / self.n_heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let dcontext = self.wo.backward(dy);
+        let mut dq = Tensor::zeros(&[batch * seq, self.d_model]);
+        let mut dk = Tensor::zeros(&[batch * seq, self.d_model]);
+        let mut dv = Tensor::zeros(&[batch * seq, self.d_model]);
+        for b in 0..batch {
+            for h in 0..self.n_heads {
+                let p = &probs[b * self.n_heads + h];
+                let dctx = self.head_tile(&dcontext, b, h, seq);
+                let qt = self.head_tile(&q, b, h, seq);
+                let kt = self.head_tile(&k, b, h, seq);
+                let vt = self.head_tile(&v, b, h, seq);
+                // dV = Pᵀ · dCtx
+                let dvt = ops::matmul_tn(p, &dctx);
+                // dP = dCtx · Vᵀ
+                let dp = ops::matmul_nt(&dctx, &vt);
+                // dS = softmax'(P, dP) (masked cols have P = 0 ⇒ dS = 0)
+                let mut ds = ops::softmax_backward(p, &dp);
+                ds.map_in_place(|s| s * scale);
+                // dQ = dS · K ; dK = dSᵀ · Q
+                let dqt = ops::matmul(&ds, &kt);
+                let dkt = ops::matmul_tn(&ds, &qt);
+                self.add_head_tile(&mut dq, &dqt, b, h, seq);
+                self.add_head_tile(&mut dk, &dkt, b, h, seq);
+                self.add_head_tile(&mut dv, &dvt, b, h, seq);
+            }
+        }
+        let mut dx = self.wq.backward(&dq);
+        dx.add_assign(&self.wk.backward(&dk));
+        dx.add_assign(&self.wv.backward(&dv));
+        dx
+    }
+
+    /// Visits the four projection layers' parameters.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.wq.visit_params(f);
+        self.wk.visit_params(f);
+        self.wv.visit_params(f);
+        self.wo.visit_params(f);
+    }
+
+    /// Attention probabilities of the last forward call, per
+    /// `(batch, head)` in row-major order — used by explainability tools.
+    pub fn last_probs(&self) -> Option<&[Tensor]> {
+        self.cache.as_ref().map(|c| c.probs.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SeededRng {
+        SeededRng::new(12)
+    }
+
+    #[test]
+    fn forward_shapes_and_finiteness() {
+        let mut r = rng();
+        let mut attn = MultiHeadSelfAttention::new("a", 8, 2, &mut r);
+        let x = Tensor::randn(&[2 * 5, 8], 1.0, &mut r);
+        let y = attn.forward(&x, 2, 5, &[5, 3]);
+        assert_eq!(y.shape(), &[10, 8]);
+        assert!(y.all_finite());
+    }
+
+    #[test]
+    fn padding_positions_get_zero_attention() {
+        let mut r = rng();
+        let mut attn = MultiHeadSelfAttention::new("a", 8, 2, &mut r);
+        let x = Tensor::randn(&[4, 8], 1.0, &mut r);
+        let _ = attn.forward(&x, 1, 4, &[2]);
+        let probs = attn.last_probs().unwrap();
+        for p in probs {
+            for row in 0..4 {
+                assert_eq!(p.at2(row, 2), 0.0);
+                assert_eq!(p.at2(row, 3), 0.0);
+                let s: f32 = p.row(row).iter().sum();
+                assert!((s - 1.0).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn changing_masked_token_does_not_change_valid_outputs() {
+        let mut r = rng();
+        let mut attn = MultiHeadSelfAttention::new("a", 8, 2, &mut r);
+        let x1 = Tensor::randn(&[4, 8], 1.0, &mut r);
+        let mut x2 = x1.clone();
+        // Perturb the padded position (index 3, valid = 3).
+        for d in 0..8 {
+            *x2.at2_mut(3, d) += 5.0;
+        }
+        let y1 = attn.forward(&x1, 1, 4, &[3]);
+        let y2 = attn.forward(&x2, 1, 4, &[3]);
+        for t in 0..3 {
+            for d in 0..8 {
+                assert!(
+                    (y1.at2(t, d) - y2.at2(t, d)).abs() < 1e-5,
+                    "valid row {t} affected by padding"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradcheck_attention_inputs() {
+        // Finite-difference check on the input gradient for a tiny shape.
+        let mut r = rng();
+        let mut attn = MultiHeadSelfAttention::new("a", 4, 2, &mut r);
+        let x = Tensor::randn(&[3, 4], 0.5, &mut r);
+        let (batch, seq, valid) = (1usize, 3usize, vec![3usize]);
+
+        let loss = |attn: &mut MultiHeadSelfAttention, x: &Tensor| -> f32 {
+            let y = attn.forward(x, batch, seq, &valid);
+            y.data().iter().map(|v| v.sin()).sum()
+        };
+        let y = attn.forward(&x, batch, seq, &valid);
+        let dy = y.map(|v| v.cos());
+        let dx = attn.backward(&dy);
+
+        let eps = 1e-2f32;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fp = loss(&mut attn, &xp);
+            attn.cache = None;
+            let fm = loss(&mut attn, &xm);
+            attn.cache = None;
+            let num = (fp - fm) / (2.0 * eps);
+            let ana = dx.data()[i];
+            let denom = num.abs().max(ana.abs()).max(1.0);
+            assert!(
+                ((num - ana) / denom).abs() < 3e-2,
+                "input grad mismatch at {i}: {num} vs {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn gradcheck_attention_parameters() {
+        let mut r = rng();
+        let mut attn = MultiHeadSelfAttention::new("a", 4, 2, &mut r);
+        let x = Tensor::randn(&[3, 4], 0.5, &mut r);
+        let (batch, seq, valid) = (1usize, 3usize, vec![3usize]);
+
+        let y = attn.forward(&x, batch, seq, &valid);
+        let dy = y.map(|v| v.cos());
+        let _ = attn.backward(&dy);
+
+        let mut grads: Vec<(u64, Tensor)> = Vec::new();
+        attn.visit_params(&mut |p| grads.push((p.id, p.grad.clone())));
+
+        let eps = 1e-2f32;
+        for (pid, g) in grads {
+            for i in [0usize, g.len() / 2, g.len() - 1] {
+                let probe = |delta: f32, attn: &mut MultiHeadSelfAttention| {
+                    attn.visit_params(&mut |p| {
+                        if p.id == pid {
+                            p.value.data_mut()[i] += delta;
+                        }
+                    });
+                    let y = attn.forward(&x, batch, seq, &valid);
+                    attn.cache = None;
+                    attn.visit_params(&mut |p| {
+                        if p.id == pid {
+                            p.value.data_mut()[i] -= delta;
+                        }
+                    });
+                    y.data().iter().map(|v| v.sin()).sum::<f32>()
+                };
+                let fp = probe(eps, &mut attn);
+                let fm = probe(-eps, &mut attn);
+                let num = (fp - fm) / (2.0 * eps);
+                let ana = g.data()[i];
+                let denom = num.abs().max(ana.abs()).max(1.0);
+                assert!(
+                    ((num - ana) / denom).abs() < 3e-2,
+                    "param {pid} grad mismatch at {i}: {num} vs {ana}"
+                );
+            }
+        }
+    }
+}

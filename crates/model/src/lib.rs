@@ -1,0 +1,31 @@
+//! # pragformer-model
+//!
+//! The PragFormer model (§4 of the paper): a transformer encoder with a
+//! two-layer classification head, plus the masked-language-model (MLM)
+//! pre-training objective that stands in for the DeepSCC-RoBERTa
+//! initialization (see DESIGN.md §2.2).
+//!
+//! Everything runs on `pragformer-tensor`'s explicit-backprop layers; each
+//! module's backward pass is validated against finite differences in the
+//! test-suite.
+//!
+//! * [`config::ModelConfig`] — hyper-parameters (the defaults are the
+//!   reproduction-scale model that trains on two CPU cores);
+//! * [`attention`] — multi-head self-attention with padding masks;
+//! * [`encoder`] — embeddings + encoder blocks (post-LN, GELU FFN);
+//! * [`pragformer::PragFormer`] — encoder + CLS head, `forward`/`backward`
+//!   /`predict`;
+//! * [`mlm`] — MLM pre-training (15% masking, 80/10/10 mask policy);
+//! * [`trainer`] — mini-batch fine-tuning loop emitting the per-epoch
+//!   train-loss / valid-loss / valid-accuracy series of Figures 4-6.
+
+pub mod attention;
+pub mod config;
+pub mod encoder;
+pub mod mlm;
+pub mod pragformer;
+pub mod trainer;
+
+pub use config::ModelConfig;
+pub use pragformer::PragFormer;
+pub use trainer::{EpochMetrics, TrainConfig, Trainer};

@@ -1,0 +1,261 @@
+//! Masked-language-model pre-training (the DeepSCC substitution).
+//!
+//! The paper initializes PragFormer from DeepSCC, a RoBERTa fine-tuned on
+//! source code with the MLM objective. That checkpoint cannot be shipped,
+//! so we reproduce the *mechanism*: pre-train the same encoder on
+//! unlabeled code token streams with BERT's 15% masking policy
+//! (80% `<mask>`, 10% random token, 10% unchanged), then hand the weights
+//! to the classifier. EXPERIMENTS.md §A1 measures the benefit against a
+//! from-scratch baseline.
+
+use crate::encoder::Encoder;
+use crate::ModelConfig;
+use pragformer_tensor::init::SeededRng;
+use pragformer_tensor::nn::{Layer, Linear, Param};
+use pragformer_tensor::optim::AdamW;
+use pragformer_tensor::loss;
+use pragformer_tokenize::vocab::special;
+
+/// Encoder plus vocabulary-projection head for MLM.
+pub struct MlmModel {
+    /// The shared encoder (moved into a classifier after pre-training).
+    pub encoder: Encoder,
+    head: Linear,
+}
+
+/// Masking policy knobs (BERT defaults).
+#[derive(Clone, Copy, Debug)]
+pub struct MaskPolicy {
+    /// Fraction of (non-pad, non-CLS) positions selected for prediction.
+    pub mask_fraction: f32,
+    /// Of the selected: probability of replacing with `<mask>`.
+    pub replace_with_mask: f32,
+    /// Of the selected: probability of replacing with a random token.
+    pub replace_with_random: f32,
+}
+
+impl Default for MaskPolicy {
+    fn default() -> Self {
+        Self { mask_fraction: 0.15, replace_with_mask: 0.8, replace_with_random: 0.1 }
+    }
+}
+
+impl MlmModel {
+    /// Builds an encoder + MLM head.
+    pub fn new(cfg: &ModelConfig, rng: &mut SeededRng) -> Self {
+        Self {
+            encoder: Encoder::new(cfg, rng),
+            head: Linear::named("mlm.head", cfg.d_model, cfg.vocab, rng),
+        }
+    }
+
+    /// Applies the masking policy to a batch of id sequences.
+    ///
+    /// Returns the corrupted ids and per-position targets (`Some(original)`
+    /// at masked positions).
+    pub fn mask_batch(
+        &self,
+        ids: &[usize],
+        valid: &[usize],
+        policy: &MaskPolicy,
+        rng: &mut SeededRng,
+    ) -> (Vec<usize>, Vec<Option<usize>>) {
+        let seq = self.encoder.config().max_len;
+        let vocab = self.encoder.config().vocab;
+        let mut corrupted = ids.to_vec();
+        let mut targets = vec![None; ids.len()];
+        for (b, &vb) in valid.iter().enumerate() {
+            // Skip position 0 (CLS); mask only real tokens.
+            for t in 1..vb.min(seq) {
+                let idx = b * seq + t;
+                if rng.bernoulli(policy.mask_fraction) {
+                    targets[idx] = Some(ids[idx]);
+                    let u = rng.uniform();
+                    if u < policy.replace_with_mask {
+                        corrupted[idx] = special::MASK;
+                    } else if u < policy.replace_with_mask + policy.replace_with_random {
+                        corrupted[idx] = special::COUNT + rng.below(vocab - special::COUNT);
+                    } // else: keep original token
+                }
+            }
+        }
+        (corrupted, targets)
+    }
+
+    /// One MLM training step; returns the masked cross-entropy loss.
+    pub fn train_step(
+        &mut self,
+        ids: &[usize],
+        valid: &[usize],
+        policy: &MaskPolicy,
+        opt: &mut AdamW,
+        rng: &mut SeededRng,
+    ) -> f32 {
+        let (corrupted, targets) = self.mask_batch(ids, valid, policy, rng);
+        self.visit_params(&mut |p| p.zero_grad());
+        let h = self.encoder.forward(&corrupted, valid, true);
+        let logits = self.head.forward(&h, true);
+        let (l, dlogits) = loss::masked_cross_entropy(&logits, &targets);
+        if l > 0.0 {
+            let dh = self.head.backward(&dlogits);
+            self.encoder.backward(&dh);
+            opt.begin_step();
+            self.visit_params(&mut |p| opt.update(p));
+        }
+        l
+    }
+
+    /// Evaluation loss on a batch without updating weights.
+    pub fn eval_loss(
+        &mut self,
+        ids: &[usize],
+        valid: &[usize],
+        policy: &MaskPolicy,
+        rng: &mut SeededRng,
+    ) -> f32 {
+        let (corrupted, targets) = self.mask_batch(ids, valid, policy, rng);
+        let h = self.encoder.forward(&corrupted, valid, false);
+        let logits = self.head.forward(&h, false);
+        loss::masked_cross_entropy(&logits, &targets).0
+    }
+
+    /// Parameter traversal (encoder + head).
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.encoder.visit_params(f);
+        self.head.visit_params(f);
+    }
+
+    /// Extracts the pre-trained encoder weights as a state dict, ready for
+    /// [`crate::PragFormer::load_state_dict`] (head weights excluded — the
+    /// classifier head trains fresh, like the paper's fine-tuning).
+    pub fn encoder_state(&mut self) -> pragformer_tensor::serialize::StateDict {
+        let mut dict = pragformer_tensor::serialize::StateDict::new();
+        self.encoder.visit_params(&mut |p| dict.capture(p));
+        dict
+    }
+}
+
+/// Pre-trains an encoder on token-id sequences; returns the state dict.
+///
+/// `sequences` are already-encoded `(ids, valid)` pairs of length
+/// `cfg.max_len`. Runs `epochs` passes with mini-batches of `batch_size`.
+pub fn pretrain(
+    cfg: &ModelConfig,
+    sequences: &[(Vec<usize>, usize)],
+    epochs: usize,
+    batch_size: usize,
+    lr: f32,
+    seed: u64,
+) -> (pragformer_tensor::serialize::StateDict, Vec<f32>) {
+    let mut rng = SeededRng::new(seed);
+    let mut model = MlmModel::new(cfg, &mut rng);
+    let mut opt = AdamW::new(lr);
+    let policy = MaskPolicy::default();
+    let mut order: Vec<usize> = (0..sequences.len()).collect();
+    let mut epoch_losses = Vec::with_capacity(epochs);
+    for _ in 0..epochs {
+        rng.shuffle(&mut order);
+        let mut total = 0.0f32;
+        let mut batches = 0usize;
+        for chunk in order.chunks(batch_size.max(1)) {
+            let mut ids = Vec::with_capacity(chunk.len() * cfg.max_len);
+            let mut valid = Vec::with_capacity(chunk.len());
+            for &i in chunk {
+                ids.extend_from_slice(&sequences[i].0);
+                valid.push(sequences[i].1);
+            }
+            total += model.train_step(&ids, &valid, &policy, &mut opt, &mut rng);
+            batches += 1;
+        }
+        epoch_losses.push(if batches == 0 { 0.0 } else { total / batches as f32 });
+    }
+    (model.encoder_state(), epoch_losses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_sequences(cfg: &ModelConfig, n: usize) -> Vec<(Vec<usize>, usize)> {
+        // Deterministic patterned sequences: abababab…
+        (0..n)
+            .map(|s| {
+                let a = special::COUNT + (s % 3);
+                let b = special::COUNT + 3 + (s % 2);
+                let len = cfg.max_len - 2;
+                let mut ids = vec![special::CLS];
+                for t in 0..len {
+                    ids.push(if t % 2 == 0 { a } else { b });
+                }
+                ids.resize(cfg.max_len, special::PAD);
+                (ids, len + 1)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn masking_respects_cls_and_padding() {
+        let cfg = ModelConfig::tiny(16);
+        let mut rng = SeededRng::new(1);
+        let model = MlmModel::new(&cfg, &mut rng);
+        let seqs = toy_sequences(&cfg, 2);
+        let mut ids = Vec::new();
+        let mut valid = Vec::new();
+        for (s, v) in &seqs {
+            ids.extend_from_slice(s);
+            valid.push(*v);
+        }
+        let policy = MaskPolicy { mask_fraction: 1.0, ..Default::default() };
+        let (corrupted, targets) = model.mask_batch(&ids, &valid, &policy, &mut rng);
+        for (b, &vb) in valid.iter().enumerate() {
+            let base = b * cfg.max_len;
+            assert_eq!(corrupted[base], special::CLS, "CLS corrupted");
+            assert!(targets[base].is_none());
+            for t in vb..cfg.max_len {
+                assert_eq!(corrupted[base + t], special::PAD, "padding corrupted");
+                assert!(targets[base + t].is_none());
+            }
+            // All real positions are selected at fraction 1.0.
+            for t in 1..vb {
+                assert!(targets[base + t].is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn mask_fraction_zero_is_identity() {
+        let cfg = ModelConfig::tiny(16);
+        let mut rng = SeededRng::new(2);
+        let model = MlmModel::new(&cfg, &mut rng);
+        let seqs = toy_sequences(&cfg, 1);
+        let policy = MaskPolicy { mask_fraction: 0.0, ..Default::default() };
+        let (corrupted, targets) = model.mask_batch(&seqs[0].0, &[seqs[0].1], &policy, &mut rng);
+        assert_eq!(corrupted, seqs[0].0);
+        assert!(targets.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn pretraining_reduces_loss() {
+        let cfg = ModelConfig::tiny(16);
+        let seqs = toy_sequences(&cfg, 24);
+        let (_, losses) = pretrain(&cfg, &seqs, 8, 8, 3e-3, 7);
+        assert!(losses.len() == 8);
+        let first = losses[0];
+        let last = *losses.last().unwrap();
+        assert!(
+            last < first * 0.8,
+            "MLM loss did not fall: {first} -> {last} ({losses:?})"
+        );
+    }
+
+    #[test]
+    fn pretrained_state_loads_into_classifier() {
+        let cfg = ModelConfig::tiny(16);
+        let seqs = toy_sequences(&cfg, 8);
+        let (state, _) = pretrain(&cfg, &seqs, 1, 4, 1e-3, 8);
+        let mut rng = SeededRng::new(9);
+        let mut clf = crate::PragFormer::new(&cfg, &mut rng);
+        let restored = clf.load_state_dict(&state);
+        assert!(restored > 5, "only {restored} encoder params restored");
+    }
+}

@@ -1,0 +1,248 @@
+//! The PragFormer classifier: encoder + CLS pooling + two-dense head.
+//!
+//! §4.3 of the paper: "The FC layer in PragFormer contains two dense
+//! layers with a ReLU activation function between them. We implemented
+//! dropout as a regularization strategy."
+
+use crate::config::ModelConfig;
+use crate::encoder::Encoder;
+use pragformer_tensor::init::SeededRng;
+use pragformer_tensor::nn::{Activation, ActivationKind, Dropout, Layer, Param};
+use pragformer_tensor::serialize::StateDict;
+use pragformer_tensor::{loss, Tensor};
+
+/// The full classification model.
+pub struct PragFormer {
+    /// The transformer encoder (shared with MLM pre-training).
+    pub encoder: Encoder,
+    head1: pragformer_tensor::nn::Linear,
+    head_act: Activation,
+    head_drop: Dropout,
+    head2: pragformer_tensor::nn::Linear,
+    cache: Option<HeadCache>,
+}
+
+struct HeadCache {
+    batch: usize,
+    seq: usize,
+}
+
+impl PragFormer {
+    /// Builds a model from a config and seed.
+    pub fn new(cfg: &ModelConfig, rng: &mut SeededRng) -> Self {
+        let encoder = Encoder::new(cfg, rng);
+        Self {
+            encoder,
+            head1: pragformer_tensor::nn::Linear::named("head.fc1", cfg.d_model, cfg.d_model, rng),
+            head_act: Activation::new(ActivationKind::Relu),
+            head_drop: Dropout::new(cfg.dropout, rng),
+            head2: pragformer_tensor::nn::Linear::named("head.fc2", cfg.d_model, cfg.n_classes, rng),
+            cache: None,
+        }
+    }
+
+    /// Model configuration.
+    pub fn config(&self) -> &ModelConfig {
+        self.encoder.config()
+    }
+
+    /// Forward pass: `[batch × max_len]` ids → `[batch, n_classes]` logits.
+    pub fn forward(&mut self, ids: &[usize], valid: &[usize], train: bool) -> Tensor {
+        let seq = self.config().max_len;
+        let batch = ids.len() / seq;
+        let h = self.encoder.forward(ids, valid, train);
+        // CLS pooling: row b*seq of each sequence.
+        let mut cls = Tensor::zeros(&[batch, self.config().d_model]);
+        for b in 0..batch {
+            cls.row_mut(b).copy_from_slice(h.row(b * seq));
+        }
+        let z = self.head1.forward(&cls, train);
+        let z = self.head_act.forward(&z, train);
+        let z = self.head_drop.forward(&z, train);
+        let logits = self.head2.forward(&z, train);
+        self.cache = Some(HeadCache { batch, seq });
+        logits
+    }
+
+    /// Backward pass from `dlogits` (as produced by
+    /// [`pragformer_tensor::loss::softmax_cross_entropy`]).
+    pub fn backward(&mut self, dlogits: &Tensor) {
+        let HeadCache { batch, seq } =
+            self.cache.take().expect("PragFormer backward before forward");
+        let dz = self.head2.backward(dlogits);
+        let dz = self.head_drop.backward(&dz);
+        let dz = self.head_act.backward(&dz);
+        let dcls = self.head1.backward(&dz);
+        // Scatter CLS gradients back into the hidden-state layout.
+        let mut dh = Tensor::zeros(&[batch * seq, self.config().d_model]);
+        for b in 0..batch {
+            dh.row_mut(b * seq).copy_from_slice(dcls.row(b));
+        }
+        self.encoder.backward(&dh);
+    }
+
+    /// One fused train step helper: forward, CE loss, backward.
+    /// Returns the batch loss.
+    pub fn train_step(&mut self, ids: &[usize], valid: &[usize], labels: &[usize]) -> f32 {
+        let logits = self.forward(ids, valid, true);
+        let (l, dlogits) = loss::softmax_cross_entropy(&logits, labels);
+        self.backward(&dlogits);
+        l
+    }
+
+    /// Probability of the positive class for each sequence (eval mode).
+    pub fn predict_proba(&mut self, ids: &[usize], valid: &[usize]) -> Vec<f32> {
+        let logits = self.forward(ids, valid, false);
+        self.cache = None;
+        loss::positive_probabilities(&logits)
+    }
+
+    /// Hard labels at the paper's 0.5 threshold.
+    pub fn predict(&mut self, ids: &[usize], valid: &[usize]) -> Vec<bool> {
+        self.predict_proba(ids, valid).into_iter().map(|p| p > 0.5).collect()
+    }
+
+    /// Parameter traversal over encoder + head.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.encoder.visit_params(f);
+        self.head1.visit_params(f);
+        self.head_act.visit_params(f);
+        self.head_drop.visit_params(f);
+        self.head2.visit_params(f);
+    }
+
+    /// Zeroes all gradients.
+    pub fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Total trainable weights.
+    pub fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.len());
+        n
+    }
+
+    /// Captures all weights into a [`StateDict`].
+    pub fn state_dict(&mut self) -> StateDict {
+        let mut dict = StateDict::new();
+        self.visit_params(&mut |p| dict.capture(p));
+        dict
+    }
+
+    /// Restores weights by name; returns how many parameters matched.
+    pub fn load_state_dict(&mut self, dict: &StateDict) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| {
+            if dict.restore(p) {
+                n += 1;
+            }
+        });
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_batch(cfg: &ModelConfig, batch: usize) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+        // Class 0 sequences are all token 5, class 1 all token 6.
+        let mut ids = Vec::new();
+        let mut valid = Vec::new();
+        let mut labels = Vec::new();
+        for b in 0..batch {
+            let label = b % 2;
+            let tok = if label == 0 { 5 } else { 6 };
+            let len = cfg.max_len / 2;
+            let mut seq = vec![2usize]; // CLS
+            seq.extend(std::iter::repeat_n(tok, len - 1));
+            seq.resize(cfg.max_len, 0); // PAD
+            ids.extend(seq);
+            valid.push(len);
+            labels.push(label);
+        }
+        (ids, valid, labels)
+    }
+
+    #[test]
+    fn logits_shape() {
+        let cfg = ModelConfig::tiny(10);
+        let mut rng = SeededRng::new(1);
+        let mut model = PragFormer::new(&cfg, &mut rng);
+        let (ids, valid, _) = toy_batch(&cfg, 4);
+        let logits = model.forward(&ids, &valid, false);
+        assert_eq!(logits.shape(), &[4, 2]);
+    }
+
+    #[test]
+    fn learns_a_trivial_task() {
+        // Separating "all 5s" from "all 6s" must be learnable in a few
+        // dozen steps; this exercises the full forward/backward stack.
+        let cfg = ModelConfig::tiny(10);
+        let mut rng = SeededRng::new(2);
+        let mut model = PragFormer::new(&cfg, &mut rng);
+        let mut opt = pragformer_tensor::optim::AdamW::new(5e-3);
+        let (ids, valid, labels) = toy_batch(&cfg, 8);
+        let mut last = f32::INFINITY;
+        for step in 0..60 {
+            model.zero_grad();
+            let l = model.train_step(&ids, &valid, &labels);
+            opt.begin_step();
+            model.visit_params(&mut |p| opt.update(p));
+            if step == 0 {
+                last = l;
+            }
+        }
+        let final_loss = {
+            let logits = model.forward(&ids, &valid, false);
+            model.cache = None;
+            pragformer_tensor::loss::softmax_cross_entropy(&logits, &labels).0
+        };
+        assert!(final_loss < last * 0.5, "no learning: {last} -> {final_loss}");
+        let preds = model.predict(&ids, &valid);
+        let correct =
+            preds.iter().zip(&labels).filter(|(p, l)| **p == (**l == 1)).count();
+        assert!(correct >= 7, "only {correct}/8 correct");
+    }
+
+    #[test]
+    fn state_dict_roundtrip_preserves_predictions() {
+        let cfg = ModelConfig::tiny(10);
+        let mut rng = SeededRng::new(3);
+        let mut model = PragFormer::new(&cfg, &mut rng);
+        let (ids, valid, _) = toy_batch(&cfg, 2);
+        let before = model.predict_proba(&ids, &valid);
+        let dict = model.state_dict();
+
+        let mut rng2 = SeededRng::new(999);
+        let mut model2 = PragFormer::new(&cfg, &mut rng2);
+        let restored = model2.load_state_dict(&dict);
+        assert!(restored > 10, "only {restored} params restored");
+        let after = model2.predict_proba(&ids, &valid);
+        for (a, b) in before.iter().zip(&after) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn predictions_are_deterministic_in_eval() {
+        let cfg = ModelConfig::tiny(10);
+        let mut rng = SeededRng::new(4);
+        let mut model = PragFormer::new(&cfg, &mut rng);
+        let (ids, valid, _) = toy_batch(&cfg, 3);
+        let a = model.predict_proba(&ids, &valid);
+        let b = model.predict_proba(&ids, &valid);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn param_count_is_positive_and_stable() {
+        let cfg = ModelConfig::tiny(10);
+        let mut rng = SeededRng::new(5);
+        let mut model = PragFormer::new(&cfg, &mut rng);
+        let n = model.param_count();
+        assert!(n > 1000, "{n}");
+        assert_eq!(n, model.param_count());
+    }
+}

@@ -1,0 +1,300 @@
+//! Mini-batch fine-tuning loop.
+//!
+//! Emits exactly the series the paper's Figures 4-6 plot: per-epoch
+//! training loss, validation loss and validation accuracy. Model
+//! selection follows §5.1: keep the weights from the epoch with the best
+//! validation loss.
+
+use crate::pragformer::PragFormer;
+use pragformer_tensor::init::SeededRng;
+use pragformer_tensor::optim::{AdamW, Schedule};
+use pragformer_tensor::serialize::StateDict;
+use pragformer_tensor::loss;
+
+/// One encoded example.
+#[derive(Clone, Debug)]
+pub struct EncodedExample {
+    /// `max_len` token ids (CLS-prefixed, padded).
+    pub ids: Vec<usize>,
+    /// Non-pad prefix length.
+    pub valid: usize,
+    /// Binary label.
+    pub label: bool,
+}
+
+/// Training hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct TrainConfig {
+    /// Passes over the training set (paper: ~10, early-selected at 7-9).
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// AdamW learning rate.
+    pub lr: f32,
+    /// Global-norm gradient clip (0 disables).
+    pub clip: f32,
+    /// Shuffling/dropout seed.
+    pub seed: u64,
+    /// Linear warmup fraction of total steps (0 = constant LR).
+    pub warmup_frac: f32,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self { epochs: 10, batch_size: 32, lr: 3e-4, clip: 1.0, seed: 1, warmup_frac: 0.1 }
+    }
+}
+
+/// Per-epoch metrics — the series behind Figures 4, 5 and 6.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EpochMetrics {
+    /// 1-based epoch number.
+    pub epoch: usize,
+    /// Mean training loss.
+    pub train_loss: f32,
+    /// Mean validation loss.
+    pub valid_loss: f32,
+    /// Validation accuracy at threshold 0.5.
+    pub valid_accuracy: f32,
+}
+
+/// Fine-tunes a [`PragFormer`] on encoded examples.
+pub struct Trainer {
+    cfg: TrainConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer.
+    pub fn new(cfg: TrainConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Runs the loop. Returns per-epoch metrics and restores the model to
+    /// the best-validation-loss epoch's weights before returning.
+    pub fn fit(
+        &self,
+        model: &mut PragFormer,
+        train: &[EncodedExample],
+        valid: &[EncodedExample],
+    ) -> Vec<EpochMetrics> {
+        assert!(!train.is_empty(), "empty training set");
+        let cfg = &self.cfg;
+        let steps_per_epoch = train.len().div_ceil(cfg.batch_size.max(1)) as u64;
+        let total_steps = steps_per_epoch * cfg.epochs as u64;
+        let schedule = if cfg.warmup_frac > 0.0 {
+            Schedule::LinearWarmupDecay {
+                warmup: ((total_steps as f32 * cfg.warmup_frac) as u64).max(1),
+                total: total_steps + 1,
+            }
+        } else {
+            Schedule::Constant
+        };
+        let mut opt = AdamW::new(cfg.lr).with_schedule(schedule);
+        let mut rng = SeededRng::new(cfg.seed);
+        let mut order: Vec<usize> = (0..train.len()).collect();
+        let mut history = Vec::with_capacity(cfg.epochs);
+        let mut best: Option<(f32, StateDict)> = None;
+        for epoch in 1..=cfg.epochs {
+            rng.shuffle(&mut order);
+            let mut total = 0.0f32;
+            let mut batches = 0usize;
+            for chunk in order.chunks(cfg.batch_size.max(1)) {
+                let (ids, valid_lens, labels) = gather(train, chunk);
+                model.zero_grad();
+                let batch_loss = model.train_step(&ids, &valid_lens, &labels);
+                if cfg.clip > 0.0 {
+                    // Two visit passes: measure the global norm, then scale.
+                    let mut sq = 0.0f32;
+                    model.visit_params(&mut |p| {
+                        sq += p.grad.data().iter().map(|g| g * g).sum::<f32>();
+                    });
+                    let norm = sq.sqrt();
+                    if norm > cfg.clip {
+                        let scale = cfg.clip / norm;
+                        model.visit_params(&mut |p| p.grad.map_in_place(|g| g * scale));
+                    }
+                }
+                opt.begin_step();
+                model.visit_params(&mut |p| opt.update(p));
+                total += batch_loss;
+                batches += 1;
+            }
+            let train_loss = total / batches.max(1) as f32;
+            let (valid_loss, valid_accuracy) = evaluate(model, valid, cfg.batch_size);
+            history.push(EpochMetrics { epoch, train_loss, valid_loss, valid_accuracy });
+            let better = best.as_ref().is_none_or(|(b, _)| valid_loss < *b);
+            if better {
+                best = Some((valid_loss, model.state_dict()));
+            }
+        }
+        if let Some((_, dict)) = best {
+            model.load_state_dict(&dict);
+        }
+        history
+    }
+}
+
+/// Mean loss and accuracy over a split (eval mode).
+pub fn evaluate(
+    model: &mut PragFormer,
+    examples: &[EncodedExample],
+    batch_size: usize,
+) -> (f32, f32) {
+    if examples.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut total_loss = 0.0f32;
+    let mut correct = 0usize;
+    let mut batches = 0usize;
+    let idxs: Vec<usize> = (0..examples.len()).collect();
+    for chunk in idxs.chunks(batch_size.max(1)) {
+        let (ids, valid_lens, labels) = gather(examples, chunk);
+        let logits = model.forward(&ids, &valid_lens, false);
+        let (l, _) = loss::softmax_cross_entropy(&logits, &labels);
+        total_loss += l;
+        batches += 1;
+        let probs = loss::positive_probabilities(&logits);
+        for (p, y) in probs.iter().zip(&labels) {
+            if (*p > 0.5) == (*y == 1) {
+                correct += 1;
+            }
+        }
+    }
+    (total_loss / batches as f32, correct as f32 / examples.len() as f32)
+}
+
+fn gather(
+    examples: &[EncodedExample],
+    idxs: &[usize],
+) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+    let seq = examples[idxs[0]].ids.len();
+    let mut ids = Vec::with_capacity(idxs.len() * seq);
+    let mut valid = Vec::with_capacity(idxs.len());
+    let mut labels = Vec::with_capacity(idxs.len());
+    for &i in idxs {
+        ids.extend_from_slice(&examples[i].ids);
+        valid.push(examples[i].valid);
+        labels.push(examples[i].label as usize);
+    }
+    (ids, valid, labels)
+}
+
+/// Synthesizes a linearly-separable toy set for tests and doc examples:
+/// label 1 sequences contain token `hot`, label 0 sequences do not.
+pub fn synthetic_examples(
+    n: usize,
+    max_len: usize,
+    vocab: usize,
+    hot: usize,
+    seed: u64,
+) -> Vec<EncodedExample> {
+    use pragformer_tokenize::vocab::special;
+    let mut rng = SeededRng::new(seed);
+    (0..n)
+        .map(|k| {
+            let label = k % 2 == 1;
+            let len = 4 + rng.below(max_len - 5);
+            let mut ids = vec![special::CLS];
+            for _ in 0..len - 1 {
+                let mut t = special::COUNT + rng.below(vocab - special::COUNT);
+                if t == hot {
+                    t += 1; // keep negatives clean
+                }
+                ids.push(t.min(vocab - 1));
+            }
+            if label {
+                let pos = 1 + rng.below(len - 1);
+                ids[pos] = hot;
+            }
+            ids.resize(max_len, special::PAD);
+            EncodedExample { ids, valid: len, label }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelConfig;
+
+    #[test]
+    fn trainer_learns_hot_token_task() {
+        let vocab = 24;
+        let cfg = ModelConfig::tiny(vocab);
+        let hot = 10;
+        let train = synthetic_examples(120, cfg.max_len, vocab, hot, 1);
+        let valid = synthetic_examples(40, cfg.max_len, vocab, hot, 2);
+        let mut rng = SeededRng::new(3);
+        let mut model = PragFormer::new(&cfg, &mut rng);
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 12,
+            batch_size: 16,
+            lr: 5e-3,
+            clip: 1.0,
+            seed: 4,
+            warmup_frac: 0.1,
+        });
+        let history = trainer.fit(&mut model, &train, &valid);
+        assert_eq!(history.len(), 12);
+        let final_acc = history.last().unwrap().valid_accuracy;
+        let best_acc =
+            history.iter().map(|h| h.valid_accuracy).fold(0.0f32, f32::max);
+        assert!(best_acc > 0.85, "best accuracy {best_acc} (history {history:?})");
+        assert!(final_acc > 0.6, "final accuracy collapsed: {history:?}");
+        // Train loss must trend down.
+        assert!(history.last().unwrap().train_loss < history[0].train_loss);
+    }
+
+    #[test]
+    fn model_selection_restores_best_epoch() {
+        let vocab = 24;
+        let cfg = ModelConfig::tiny(vocab);
+        let train = synthetic_examples(60, cfg.max_len, vocab, 9, 5);
+        let valid = synthetic_examples(30, cfg.max_len, vocab, 9, 6);
+        let mut rng = SeededRng::new(7);
+        let mut model = PragFormer::new(&cfg, &mut rng);
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 4,
+            batch_size: 16,
+            lr: 2e-3,
+            clip: 1.0,
+            seed: 8,
+            warmup_frac: 0.0,
+        });
+        let history = trainer.fit(&mut model, &train, &valid);
+        let best = history
+            .iter()
+            .min_by(|a, b| a.valid_loss.total_cmp(&b.valid_loss))
+            .unwrap()
+            .clone();
+        let (loss_now, _) = evaluate(&mut model, &valid, 16);
+        assert!(
+            (loss_now - best.valid_loss).abs() < 0.05,
+            "restored loss {loss_now} vs best epoch {best:?}"
+        );
+    }
+
+    #[test]
+    fn synthetic_examples_are_balanced_and_sized() {
+        let ex = synthetic_examples(100, 24, 30, 12, 9);
+        assert_eq!(ex.len(), 100);
+        let pos = ex.iter().filter(|e| e.label).count();
+        assert_eq!(pos, 50);
+        for e in &ex {
+            assert_eq!(e.ids.len(), 24);
+            assert!(e.valid >= 4 && e.valid <= 24);
+            let has_hot = e.ids[..e.valid].contains(&12);
+            assert_eq!(has_hot, e.label);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training set")]
+    fn empty_training_set_panics() {
+        let cfg = ModelConfig::tiny(10);
+        let mut rng = SeededRng::new(1);
+        let mut model = PragFormer::new(&cfg, &mut rng);
+        let trainer = Trainer::new(TrainConfig::default());
+        let _ = trainer.fit(&mut model, &[], &[]);
+    }
+}

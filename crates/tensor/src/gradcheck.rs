@@ -1,0 +1,153 @@
+//! Finite-difference gradient checking.
+//!
+//! Every layer and the full transformer are validated against central
+//! finite differences. The check perturbs each coordinate of the input and
+//! of every parameter, so it is only meant for tiny shapes inside tests.
+
+use crate::nn::{Layer, Param};
+use crate::Tensor;
+
+/// Loss functional used by the checks: `L(y) = Σ sin(yᵢ)` — non-linear so
+/// it exercises the chain rule, with the convenient gradient `cos(yᵢ)`.
+fn loss_of(y: &Tensor) -> f32 {
+    y.data().iter().map(|v| v.sin()).sum()
+}
+
+fn dloss_of(y: &Tensor) -> Tensor {
+    y.map(|v| v.cos())
+}
+
+/// Checks a layer's input gradient and all parameter gradients against
+/// central finite differences.
+///
+/// `tol` bounds the relative error `|num − ana| / max(1, |num|, |ana|)`.
+/// Dropout layers must be checked in eval mode (this helper always runs
+/// with `train = false` to stay deterministic).
+///
+/// # Panics
+/// Panics with a diagnostic on the first coordinate whose analytic and
+/// numeric gradients disagree.
+pub fn check_layer<L: Layer>(mut layer: L, x: &Tensor, tol: f32) {
+    let eps = 1e-2f32; // f32 FD noise floor: sqrt-ish of machine epsilon
+
+    // Analytic pass.
+    layer.zero_grad();
+    let y = layer.forward(x, false);
+    let dx = layer.backward(&dloss_of(&y));
+
+    // Input gradient.
+    for i in 0..x.len() {
+        let mut xp = x.clone();
+        xp.data_mut()[i] += eps;
+        let mut xm = x.clone();
+        xm.data_mut()[i] -= eps;
+        let fp = loss_of(&layer.forward(&xp, false));
+        let fm = loss_of(&layer.forward(&xm, false));
+        let num = (fp - fm) / (2.0 * eps);
+        let ana = dx.data()[i];
+        let denom = num.abs().max(ana.abs()).max(1.0);
+        assert!(
+            ((num - ana) / denom).abs() < tol,
+            "input grad mismatch at {i}: numeric {num} vs analytic {ana}"
+        );
+    }
+
+    // Parameter gradients: capture analytic values first.
+    let mut analytic: Vec<(u64, Tensor)> = Vec::new();
+    layer.visit_params(&mut |p: &mut Param| analytic.push((p.id, p.grad.clone())));
+
+    let n_params = analytic.len();
+    #[allow(clippy::needless_range_loop)] // pi indexes two views of analytic
+    for pi in 0..n_params {
+        let (pid, ana_grad) = (&analytic[pi].0, analytic[pi].1.clone());
+        for i in 0..ana_grad.len() {
+            let f_at = |delta: f32, layer: &mut L| {
+                layer.visit_params(&mut |p| {
+                    if p.id == *pid {
+                        p.value.data_mut()[i] += delta;
+                    }
+                });
+                let v = loss_of(&layer.forward(x, false));
+                layer.visit_params(&mut |p| {
+                    if p.id == *pid {
+                        p.value.data_mut()[i] -= delta;
+                    }
+                });
+                v
+            };
+            let fp = f_at(eps, &mut layer);
+            let fm = f_at(-eps, &mut layer);
+            let num = (fp - fm) / (2.0 * eps);
+            let ana = ana_grad.data()[i];
+            let denom = num.abs().max(ana.abs()).max(1.0);
+            assert!(
+                ((num - ana) / denom).abs() < tol,
+                "param {pi} grad mismatch at {i}: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+}
+
+/// Gradient check for a closure-shaped model `f(θ) -> (loss, grad)` with a
+/// single flat parameter vector. Used by downstream crates (e.g. the BoW
+/// logistic regression) to validate hand-written gradients.
+pub fn check_flat(
+    theta: &Tensor,
+    f: &mut dyn FnMut(&Tensor) -> (f32, Tensor),
+    tol: f32,
+) {
+    let (_, analytic) = f(theta);
+    let eps = 1e-2f32;
+    for i in 0..theta.len() {
+        let mut tp = theta.clone();
+        tp.data_mut()[i] += eps;
+        let mut tm = theta.clone();
+        tm.data_mut()[i] -= eps;
+        let (fp, _) = f(&tp);
+        let (fm, _) = f(&tm);
+        let num = (fp - fm) / (2.0 * eps);
+        let ana = analytic.data()[i];
+        let denom = num.abs().max(ana.abs()).max(1.0);
+        assert!(
+            ((num - ana) / denom).abs() < tol,
+            "flat grad mismatch at {i}: numeric {num} vs analytic {ana}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::SeededRng;
+    use crate::nn::Linear;
+
+    #[test]
+    fn check_flat_accepts_correct_gradient() {
+        // f(θ) = Σ θᵢ², grad = 2θ
+        let theta = Tensor::from_vec(&[3], vec![0.5, -1.0, 2.0]);
+        check_flat(
+            &theta,
+            &mut |t| (t.data().iter().map(|v| v * v).sum(), t.scale(2.0)),
+            1e-2,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "flat grad mismatch")]
+    fn check_flat_rejects_wrong_gradient() {
+        let theta = Tensor::from_vec(&[2], vec![1.0, 2.0]);
+        check_flat(
+            &theta,
+            &mut |t| (t.data().iter().map(|v| v * v).sum(), t.scale(3.0)),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn check_layer_smoke_on_linear() {
+        let mut rng = SeededRng::new(99);
+        let lin = Linear::new(2, 3, &mut rng);
+        let x = Tensor::randn(&[2, 2], 1.0, &mut rng);
+        check_layer(lin, &x, 2e-2);
+    }
+}

@@ -1,0 +1,135 @@
+//! Seeded randomness and weight initialization.
+//!
+//! Every stochastic component in the engine (weight init, dropout masks,
+//! data shuffling in downstream crates) draws from a [`SeededRng`] so that
+//! experiments are reproducible run-to-run, which the benchmark harnesses
+//! rely on when regenerating the paper's figures.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded pseudo-random generator with a few numeric conveniences.
+pub struct SeededRng {
+    rng: StdRng,
+    /// Cached second sample of the Box-Muller pair.
+    spare: Option<f32>,
+}
+
+impl SeededRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed), spare: None }
+    }
+
+    /// Direct access to the underlying [`rand`] generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Standard-normal sample (Box–Muller transform).
+    pub fn normal(&mut self) -> f32 {
+        if let Some(v) = self.spare.take() {
+            return v;
+        }
+        // Resample u1 away from zero to keep ln(u1) finite.
+        let mut u1: f32 = self.rng.gen();
+        while u1 <= f32::MIN_POSITIVE {
+            u1 = self.rng.gen();
+        }
+        let u2: f32 = self.rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn uniform(&mut self) -> f32 {
+        self.rng.gen()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        self.rng.gen_range(0..n)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    pub fn bernoulli(&mut self, p: f32) -> bool {
+        self.rng.gen::<f32>() < p
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    /// Derives an independent child generator; used to hand separate streams
+    /// to e.g. dropout layers without coupling their sequences.
+    pub fn fork(&mut self) -> SeededRng {
+        SeededRng::new(self.rng.gen::<u64>())
+    }
+}
+
+/// Xavier/Glorot uniform bound for a `fan_in × fan_out` weight matrix.
+pub fn xavier_bound(fan_in: usize, fan_out: usize) -> f32 {
+    (6.0 / (fan_in + fan_out) as f32).sqrt()
+}
+
+/// Truncated-normal-ish standard deviation used for embedding tables,
+/// mirroring the 0.02 used by BERT/RoBERTa-style models.
+pub const EMBEDDING_STD: f32 = 0.02;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SeededRng::new(1);
+        let mut b = SeededRng::new(1);
+        for _ in 0..100 {
+            assert_eq!(a.normal(), b.normal());
+            assert_eq!(a.below(10), b.below(10));
+        }
+    }
+
+    #[test]
+    fn normal_has_sane_moments() {
+        let mut rng = SeededRng::new(9);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SeededRng::new(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle left slice untouched");
+    }
+
+    #[test]
+    fn forked_streams_differ() {
+        let mut parent = SeededRng::new(5);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        let a: Vec<f32> = (0..8).map(|_| c1.uniform()).collect();
+        let b: Vec<f32> = (0..8).map(|_| c2.uniform()).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn xavier_bound_matches_formula() {
+        assert!((xavier_bound(100, 200) - (6.0f32 / 300.0).sqrt()).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,162 @@
+//! Softmax cross-entropy losses.
+//!
+//! The paper optimizes binary cross-entropy through a softmax over two
+//! logits (Eq. 1); [`softmax_cross_entropy`] is exactly that for `C = 2`
+//! and generalizes to the vocabulary-sized softmax used by the MLM
+//! pre-training objective ([`masked_cross_entropy`]).
+
+use crate::ops;
+use crate::Tensor;
+
+/// Mean softmax cross-entropy over a batch.
+///
+/// `logits` is `[n, c]`, `labels[i] ∈ 0..c`. Returns `(loss, dlogits)`
+/// where `dlogits = (softmax(logits) − onehot(labels)) / n` — ready to feed
+/// into the classifier head's backward pass.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let n = logits.rows();
+    let c = logits.cols();
+    assert_eq!(n, labels.len(), "labels/batch mismatch");
+    let mut probs = logits.clone();
+    ops::softmax_rows(&mut probs, None);
+    let mut loss = 0.0f32;
+    let mut grad = probs.clone();
+    for (r, &y) in labels.iter().enumerate() {
+        assert!(y < c, "label {y} out of range ({c} classes)");
+        let p = probs.at2(r, y).max(1e-12);
+        loss -= p.ln();
+        *grad.at2_mut(r, y) -= 1.0;
+    }
+    let inv_n = 1.0 / n as f32;
+    grad.map_in_place(|v| v * inv_n);
+    (loss * inv_n, grad)
+}
+
+/// Probability assigned to the positive class (index 1) for each row of a
+/// two-class logits tensor. This is the `p(x)` of the paper's Eq. 1 and the
+/// quantity thresholded at 0.5 for prediction.
+pub fn positive_probabilities(logits: &Tensor) -> Vec<f32> {
+    assert_eq!(logits.cols(), 2, "positive_probabilities expects 2 classes");
+    let mut probs = logits.clone();
+    ops::softmax_rows(&mut probs, None);
+    (0..probs.rows()).map(|r| probs.at2(r, 1)).collect()
+}
+
+/// Cross-entropy over a subset of positions (masked-language-model loss).
+///
+/// `logits` is `[n, v]`; `targets[i] = Some(token)` marks positions that
+/// contribute to the loss (the masked positions); `None` positions receive
+/// zero gradient. Returns `(mean-loss-over-masked, dlogits)`; the loss is
+/// 0 when nothing is masked.
+pub fn masked_cross_entropy(logits: &Tensor, targets: &[Option<usize>]) -> (f32, Tensor) {
+    let n = logits.rows();
+    let v = logits.cols();
+    assert_eq!(n, targets.len(), "targets/rows mismatch");
+    let m = targets.iter().filter(|t| t.is_some()).count();
+    if m == 0 {
+        return (0.0, Tensor::zeros(&[n, v]));
+    }
+    let mut probs = logits.clone();
+    ops::softmax_rows(&mut probs, None);
+    let mut grad = Tensor::zeros(&[n, v]);
+    let mut loss = 0.0f32;
+    let inv_m = 1.0 / m as f32;
+    for (r, target) in targets.iter().enumerate() {
+        if let Some(y) = *target {
+            assert!(y < v, "target {y} out of vocab ({v})");
+            let p_row = probs.row(r);
+            let g_row = grad.row_mut(r);
+            for (g, &p) in g_row.iter_mut().zip(p_row) {
+                *g = p * inv_m;
+            }
+            g_row[y] -= inv_m;
+            loss -= p_row[y].max(1e-12).ln();
+        }
+    }
+    (loss * inv_m, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_c() {
+        let logits = Tensor::zeros(&[3, 4]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0, 1, 2]);
+        assert!((loss - (4f32).ln()).abs() < 1e-5);
+        // Gradient rows sum to zero.
+        for r in 0..3 {
+            let s: f32 = grad.row(r).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn perfect_prediction_loss_near_zero() {
+        let logits = Tensor::from_vec(&[1, 2], vec![-20.0, 20.0]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[1]);
+        assert!(loss < 1e-5);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(&[2, 3], vec![0.1, -0.4, 0.7, 1.2, 0.0, -0.3]);
+        let labels = [2usize, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for i in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let (fp, _) = softmax_cross_entropy(&lp, &labels);
+            let (fm, _) = softmax_cross_entropy(&lm, &labels);
+            let num = (fp - fm) / (2.0 * eps);
+            assert!((num - grad.data()[i]).abs() < 1e-3, "at {i}: {num} vs {}", grad.data()[i]);
+        }
+    }
+
+    #[test]
+    fn positive_probability_is_sigmoid_of_logit_difference() {
+        let logits = Tensor::from_vec(&[1, 2], vec![0.0, 1.0]);
+        let p = positive_probabilities(&logits);
+        let expected = 1.0 / (1.0 + (-1.0f32).exp());
+        assert!((p[0] - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn masked_loss_ignores_unmasked_positions() {
+        let logits = Tensor::from_vec(&[2, 3], vec![5.0, 0.0, 0.0, 0.0, 5.0, 0.0]);
+        let (loss, grad) = masked_cross_entropy(&logits, &[None, Some(1)]);
+        assert!(loss < 0.1);
+        assert_eq!(grad.row(0), &[0.0, 0.0, 0.0]);
+        assert!(grad.row(1).iter().any(|v| *v != 0.0));
+    }
+
+    #[test]
+    fn masked_loss_empty_mask_is_zero() {
+        let logits = Tensor::from_vec(&[1, 2], vec![1.0, -1.0]);
+        let (loss, grad) = masked_cross_entropy(&logits, &[None]);
+        assert_eq!(loss, 0.0);
+        assert_eq!(grad.data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn masked_gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(&[2, 4], vec![0.3, -0.2, 0.8, 0.0, 1.0, 0.5, -0.5, 0.2]);
+        let targets = [Some(2usize), None];
+        let (_, grad) = masked_cross_entropy(&logits, &targets);
+        let eps = 1e-3f32;
+        for i in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let (fp, _) = masked_cross_entropy(&lp, &targets);
+            let (fm, _) = masked_cross_entropy(&lm, &targets);
+            let num = (fp - fm) / (2.0 * eps);
+            assert!((num - grad.data()[i]).abs() < 2e-3, "at {i}");
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Inverted dropout.
+
+use super::{Layer, Param};
+use crate::init::SeededRng;
+use crate::Tensor;
+
+/// Inverted dropout: at train time each element is zeroed with probability
+/// `p` and survivors are scaled by `1/(1-p)`, so evaluation needs no
+/// rescaling. The paper applies dropout inside the classification head as
+/// its regularization strategy (§4.3).
+pub struct Dropout {
+    p: f32,
+    rng: SeededRng,
+    mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p ∈ [0, 1)`.
+    pub fn new(p: f32, rng: &mut SeededRng) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1), got {p}");
+        Self { p, rng: rng.fork(), mask: None }
+    }
+
+    /// Drop probability.
+    pub fn p(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if !train || self.p == 0.0 {
+            self.mask = None;
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mut mask = Tensor::zeros(x.shape());
+        for m in mask.data_mut() {
+            *m = if self.rng.bernoulli(keep) { scale } else { 0.0 };
+        }
+        let y = x.mul(&mask);
+        self.mask = Some(mask);
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        match self.mask.take() {
+            Some(mask) => dy.mul(&mask),
+            None => dy.clone(), // eval-mode forward is the identity
+        }
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut rng = SeededRng::new(1);
+        let mut d = Dropout::new(0.5, &mut rng);
+        let x = Tensor::from_vec(&[2, 2], vec![1., 2., 3., 4.]);
+        assert_eq!(d.forward(&x, false), x);
+        assert_eq!(d.backward(&x), x);
+    }
+
+    #[test]
+    fn train_mode_preserves_expectation() {
+        let mut rng = SeededRng::new(2);
+        let mut d = Dropout::new(0.3, &mut rng);
+        let x = Tensor::full(&[100, 100], 1.0);
+        let y = d.forward(&x, true);
+        let mean = y.mean();
+        assert!((mean - 1.0).abs() < 0.05, "inverted dropout mean {mean}");
+        let zeros = y.data().iter().filter(|v| **v == 0.0).count();
+        let frac = zeros as f32 / y.len() as f32;
+        assert!((frac - 0.3).abs() < 0.03, "dropped fraction {frac}");
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut rng = SeededRng::new(3);
+        let mut d = Dropout::new(0.5, &mut rng);
+        let x = Tensor::full(&[4, 4], 1.0);
+        let y = d.forward(&x, true);
+        let dx = d.backward(&Tensor::full(&[4, 4], 1.0));
+        // Gradient flows exactly where activations flowed.
+        for (yv, dv) in y.data().iter().zip(dx.data()) {
+            assert_eq!(*yv == 0.0, *dv == 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0,1)")]
+    fn invalid_p_panics() {
+        let mut rng = SeededRng::new(4);
+        let _ = Dropout::new(1.0, &mut rng);
+    }
+}

@@ -1,0 +1,115 @@
+//! Token / position embedding lookup table.
+
+use super::{Layer, Param};
+use crate::init::{SeededRng, EMBEDDING_STD};
+use crate::Tensor;
+
+/// Lookup table `[vocab, dim]`; forward gathers rows by id, backward
+/// scatter-adds gradients.
+///
+/// Since the ids are not a `Tensor`, the lookup uses [`Embedding::lookup`]
+/// rather than the generic [`Layer::forward`]; `Layer` is still implemented
+/// for parameter traversal, with `forward` panicking to catch misuse.
+pub struct Embedding {
+    /// The table `[vocab, dim]`.
+    pub table: Param,
+    cache_ids: Option<Vec<usize>>,
+}
+
+impl Embedding {
+    /// Creates a table with N(0, 0.02²) entries, the BERT-family default.
+    pub fn new(name: &str, vocab: usize, dim: usize, rng: &mut SeededRng) -> Self {
+        let table = Tensor::randn(&[vocab, dim], EMBEDDING_STD, rng);
+        Self { table: Param::new(format!("{name}.table"), table), cache_ids: None }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.table.value.rows()
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.table.value.cols()
+    }
+
+    /// Gathers `ids` into an `[ids.len(), dim]` tensor.
+    ///
+    /// # Panics
+    /// Panics when an id is out of range — upstream tokenizers are expected
+    /// to map unknown symbols to `<unk>` long before this point.
+    pub fn lookup(&mut self, ids: &[usize]) -> Tensor {
+        let dim = self.dim();
+        let vocab = self.vocab();
+        let mut out = Tensor::zeros(&[ids.len(), dim]);
+        for (r, &id) in ids.iter().enumerate() {
+            assert!(id < vocab, "embedding id {id} out of range (vocab {vocab})");
+            out.row_mut(r).copy_from_slice(self.table.value.row(id));
+        }
+        self.cache_ids = Some(ids.to_vec());
+        out
+    }
+
+    /// Scatter-adds `dy` rows into the table gradient.
+    pub fn backward_ids(&mut self, dy: &Tensor) {
+        let ids = self.cache_ids.take().expect("Embedding::backward before lookup");
+        assert_eq!(dy.rows(), ids.len(), "Embedding backward rows");
+        for (r, &id) in ids.iter().enumerate() {
+            let dy_row = dy.row(r);
+            let g_row = self.table.grad.row_mut(id);
+            for (g, d) in g_row.iter_mut().zip(dy_row) {
+                *g += *d;
+            }
+        }
+    }
+}
+
+impl Layer for Embedding {
+    fn forward(&mut self, _x: &Tensor, _train: bool) -> Tensor {
+        unreachable!("Embedding consumes ids; call lookup() instead of forward()")
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        self.backward_ids(dy);
+        Tensor::zeros(&[0])
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.table);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_gathers_rows() {
+        let mut rng = SeededRng::new(7);
+        let mut emb = Embedding::new("tok", 10, 4, &mut rng);
+        let x = emb.lookup(&[3, 3, 9]);
+        assert_eq!(x.shape(), &[3, 4]);
+        assert_eq!(x.row(0), x.row(1));
+        assert_eq!(x.row(2), emb.table.value.row(9));
+    }
+
+    #[test]
+    fn backward_scatter_adds_duplicates() {
+        let mut rng = SeededRng::new(8);
+        let mut emb = Embedding::new("tok", 5, 2, &mut rng);
+        let _ = emb.lookup(&[1, 1, 2]);
+        let dy = Tensor::from_vec(&[3, 2], vec![1., 1., 2., 2., 5., 5.]);
+        emb.backward_ids(&dy);
+        assert_eq!(emb.table.grad.row(1), &[3., 3.]);
+        assert_eq!(emb.table.grad.row(2), &[5., 5.]);
+        assert_eq!(emb.table.grad.row(0), &[0., 0.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oob_id_panics() {
+        let mut rng = SeededRng::new(8);
+        let mut emb = Embedding::new("tok", 5, 2, &mut rng);
+        let _ = emb.lookup(&[5]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Layer normalization over the last dimension.
+
+use super::{Layer, Param};
+use crate::Tensor;
+
+/// LayerNorm with learned scale (`gamma`) and shift (`beta`).
+///
+/// Normalizes each row of a `[n, d]` input to zero mean / unit variance
+/// then applies `gamma ⊙ x̂ + beta`. Matches the transformer-encoder
+/// placement used by RoBERTa (post-LN in this reproduction).
+pub struct LayerNorm {
+    /// Scale `[d]`, initialized to ones.
+    pub gamma: Param,
+    /// Shift `[d]`, initialized to zeros.
+    pub beta: Param,
+    eps: f32,
+    /// Cached normalized input and inverse std-dev per row.
+    cache: Option<(Tensor, Vec<f32>)>,
+}
+
+impl LayerNorm {
+    /// Creates a LayerNorm over vectors of dimension `d`.
+    pub fn new(name: &str, d: usize) -> Self {
+        Self {
+            gamma: Param::new(format!("{name}.gamma"), Tensor::full(&[d], 1.0)),
+            beta: Param::new(format!("{name}.beta"), Tensor::zeros(&[d])),
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    /// Normalized dimension.
+    pub fn dim(&self) -> usize {
+        self.gamma.value.len()
+    }
+}
+
+impl Layer for LayerNorm {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        let d = self.dim();
+        assert_eq!(x.cols(), d, "LayerNorm dim");
+        let n = x.rows();
+        let mut xhat = Tensor::zeros(&[n, d]);
+        let mut inv_std = Vec::with_capacity(n);
+        let g = self.gamma.value.data();
+        let b = self.beta.value.data();
+        let mut y = Tensor::zeros(&[n, d]);
+        for r in 0..n {
+            let row = x.row(r);
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let inv = 1.0 / (var + self.eps).sqrt();
+            inv_std.push(inv);
+            let xh_row = xhat.row_mut(r);
+            for (j, &v) in row.iter().enumerate() {
+                xh_row[j] = (v - mean) * inv;
+            }
+            let y_row = y.row_mut(r);
+            for j in 0..d {
+                y_row[j] = xh_row[j] * g[j] + b[j];
+            }
+        }
+        self.cache = Some((xhat, inv_std));
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let (xhat, inv_std) = self.cache.take().expect("LayerNorm::backward before forward");
+        let d = self.dim();
+        let n = dy.rows();
+        let g = self.gamma.value.data();
+        let mut dx = Tensor::zeros(&[n, d]);
+        {
+            let dgamma = self.gamma.grad.data_mut();
+            let dbeta = self.beta.grad.data_mut();
+            for r in 0..n {
+                let dy_row = dy.row(r);
+                let xh_row = xhat.row(r);
+                for j in 0..d {
+                    dgamma[j] += dy_row[j] * xh_row[j];
+                    dbeta[j] += dy_row[j];
+                }
+            }
+        }
+        #[allow(clippy::needless_range_loop)] // r indexes four parallel views
+        for r in 0..n {
+            let dy_row = dy.row(r);
+            let xh_row = xhat.row(r);
+            // dxhat = dy * gamma; dx = inv/d * (d*dxhat − Σdxhat − x̂ Σ(dxhat⊙x̂))
+            let mut sum_dxhat = 0.0f32;
+            let mut sum_dxhat_xhat = 0.0f32;
+            for j in 0..d {
+                let dxh = dy_row[j] * g[j];
+                sum_dxhat += dxh;
+                sum_dxhat_xhat += dxh * xh_row[j];
+            }
+            let inv = inv_std[r];
+            let dx_row = dx.row_mut(r);
+            for j in 0..d {
+                let dxh = dy_row[j] * g[j];
+                dx_row[j] =
+                    inv / d as f32 * (d as f32 * dxh - sum_dxhat - xh_row[j] * sum_dxhat_xhat);
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck;
+    use crate::init::SeededRng;
+
+    #[test]
+    fn output_rows_are_normalized() {
+        let mut ln = LayerNorm::new("ln", 8);
+        let mut rng = SeededRng::new(5);
+        let x = Tensor::randn(&[4, 8], 3.0, &mut rng).map(|v| v + 10.0);
+        let y = ln.forward(&x, false);
+        for r in 0..4 {
+            let row = y.row(r);
+            let mean = row.iter().sum::<f32>() / 8.0;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
+            assert!(mean.abs() < 1e-4, "row {r} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "row {r} var {var}");
+        }
+    }
+
+    #[test]
+    fn gamma_beta_apply() {
+        let mut ln = LayerNorm::new("ln", 2);
+        ln.gamma.value = Tensor::from_vec(&[2], vec![2.0, 2.0]);
+        ln.beta.value = Tensor::from_vec(&[2], vec![1.0, 1.0]);
+        let x = Tensor::from_vec(&[1, 2], vec![-1.0, 1.0]);
+        let y = ln.forward(&x, false);
+        // x̂ = ±1/σ with σ=sqrt(1+eps)≈1 → y ≈ gamma*±1 + beta = {-1, 3}
+        assert!((y.data()[0] + 1.0).abs() < 1e-3);
+        assert!((y.data()[1] - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gradcheck_layernorm() {
+        let mut rng = SeededRng::new(6);
+        let ln = LayerNorm::new("ln", 6);
+        let x = Tensor::randn(&[3, 6], 1.0, &mut rng);
+        gradcheck::check_layer(ln, &x, 3e-2);
+    }
+}

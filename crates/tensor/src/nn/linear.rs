@@ -1,0 +1,132 @@
+//! Fully-connected layer `y = x·W + b`.
+
+use super::{Layer, Param};
+use crate::init::{xavier_bound, SeededRng};
+use crate::ops;
+use crate::Tensor;
+
+/// Dense affine transform over the last dimension.
+///
+/// Input `[n, in]`, output `[n, out]`. Weights are Xavier-uniform
+/// initialized; the bias starts at zero.
+pub struct Linear {
+    /// Weight matrix `[in, out]`.
+    pub w: Param,
+    /// Bias vector `[out]`.
+    pub b: Param,
+    cache_x: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier-uniform weights.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut SeededRng) -> Self {
+        Self::named("linear", in_dim, out_dim, rng)
+    }
+
+    /// Like [`Linear::new`] but with a checkpoint name prefix.
+    pub fn named(name: &str, in_dim: usize, out_dim: usize, rng: &mut SeededRng) -> Self {
+        let bound = xavier_bound(in_dim, out_dim);
+        let w = Tensor::rand_uniform(&[in_dim, out_dim], -bound, bound, rng);
+        Self {
+            w: Param::new(format!("{name}.w"), w),
+            b: Param::new(format!("{name}.b"), Tensor::zeros(&[out_dim])),
+            cache_x: None,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.w.value.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.w.value.cols()
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(x.cols(), self.in_dim(), "Linear input dim");
+        let mut y = ops::matmul(x, &self.w.value);
+        ops::add_bias(&mut y, &self.b.value);
+        self.cache_x = Some(x.clone());
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let x = self.cache_x.take().expect("Linear::backward before forward");
+        // dW = xᵀ·dy, db = Σ rows dy, dx = dy·Wᵀ
+        self.w.grad.add_assign(&ops::matmul_tn(&x, dy));
+        self.b.grad.add_assign(&ops::sum_rows(dy));
+        // dx = dy · Wᵀ: matmul_nt transposes its second operand internally.
+        ops::matmul_nt(dy, &self.w.value)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w);
+        f(&mut self.b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck;
+
+    #[test]
+    fn forward_known_values() {
+        let mut rng = SeededRng::new(0);
+        let mut lin = Linear::new(2, 2, &mut rng);
+        lin.w.value = Tensor::from_vec(&[2, 2], vec![1., 2., 3., 4.]);
+        lin.b.value = Tensor::from_vec(&[2], vec![0.5, -0.5]);
+        let x = Tensor::from_vec(&[1, 2], vec![1., 1.]);
+        let y = lin.forward(&x, false);
+        assert_eq!(y.data(), &[4.5, 5.5]);
+    }
+
+    #[test]
+    fn backward_shapes() {
+        let mut rng = SeededRng::new(1);
+        let mut lin = Linear::new(3, 5, &mut rng);
+        let x = Tensor::randn(&[4, 3], 1.0, &mut rng);
+        let y = lin.forward(&x, true);
+        let dx = lin.backward(&Tensor::full(y.shape(), 1.0));
+        assert_eq!(dx.shape(), x.shape());
+        assert_eq!(lin.w.grad.shape(), &[3, 5]);
+        assert_eq!(lin.b.grad.shape(), &[5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before forward")]
+    fn backward_without_forward_panics() {
+        let mut rng = SeededRng::new(1);
+        let mut lin = Linear::new(2, 2, &mut rng);
+        let _ = lin.backward(&Tensor::zeros(&[1, 2]));
+    }
+
+    #[test]
+    fn gradcheck_input_and_params() {
+        let mut rng = SeededRng::new(3);
+        let lin = Linear::new(3, 4, &mut rng);
+        let x = Tensor::randn(&[5, 3], 1.0, &mut rng);
+        gradcheck::check_layer(lin, &x, 2e-2);
+    }
+
+    #[test]
+    fn grads_accumulate_across_steps() {
+        let mut rng = SeededRng::new(4);
+        let mut lin = Linear::new(2, 2, &mut rng);
+        let x = Tensor::randn(&[3, 2], 1.0, &mut rng);
+        let dy = Tensor::full(&[3, 2], 1.0);
+        let _ = lin.forward(&x, true);
+        let _ = lin.backward(&dy);
+        let g1 = lin.w.grad.clone();
+        let _ = lin.forward(&x, true);
+        let _ = lin.backward(&dy);
+        let g2 = lin.w.grad.clone();
+        for (a, b) in g1.data().iter().zip(g2.data()) {
+            assert!((b - 2.0 * a).abs() < 1e-4, "gradient did not accumulate");
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Dense linear-algebra kernels.
+//!
+//! Three GEMM variants cover everything a transformer needs:
+//!
+//! * [`matmul`]      — `C = A · B`       (activations × weights)
+//! * [`matmul_nt`]   — `C = A · Bᵀ`      (attention scores `Q·Kᵀ`, and
+//!   `dX = dY · Wᵀ` in linear backward)
+//! * [`matmul_tn`]   — `C = Aᵀ · B`      (`dW = Xᵀ · dY`)
+//!
+//! All three parallelize over rows of the output with
+//! [`crate::parallel::par_chunks_mut`] and use an i-k-j loop order so the
+//! inner loop streams contiguously through both `B` and `C`, which LLVM
+//! auto-vectorizes. On the 2-core evaluation machine this reaches a few
+//! GFLOP/s — enough to fine-tune the reproduction-scale PragFormer in
+//! minutes (see `benches/train_step.rs` in `pragformer-bench`).
+
+use crate::parallel::par_rows_mut;
+use crate::Tensor;
+
+/// Minimum number of output rows each worker should own before we bother
+/// spawning threads. `par_rows_mut` spawns OS threads per call (no pool),
+/// which costs tens of microseconds — small attention tiles (~100 rows)
+/// must run inline, while the `batch·seq × d` activation GEMMs (thousands
+/// of rows) still split across cores.
+const MIN_ROWS_PER_THREAD: usize = 256;
+
+/// `C[m×n] = A[m×k] · B[k×n]`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (kb, n) = (b.rows(), b.cols());
+    assert_eq!(k, kb, "matmul inner dims: {:?} x {:?}", a.shape(), b.shape());
+    let mut out = Tensor::zeros(&[m, n]);
+    let (a_d, b_d) = (a.data(), b.data());
+    par_rows_mut(out.data_mut(), n, MIN_ROWS_PER_THREAD, |row0, chunk| {
+        for (ri, c_row) in chunk.chunks_mut(n).enumerate() {
+            let i = row0 + ri;
+            let a_row = &a_d[i * k..(i + 1) * k];
+            for (kk, &a_ik) in a_row.iter().enumerate() {
+                if a_ik == 0.0 {
+                    continue;
+                }
+                let b_row = &b_d[kk * n..(kk + 1) * n];
+                for (c, &b_kj) in c_row.iter_mut().zip(b_row) {
+                    *c += a_ik * b_kj;
+                }
+            }
+        }
+    });
+    out
+}
+
+/// `C[m×n] = A[m×k] · Bᵀ` where `B` is `[n×k]`.
+///
+/// Row-times-row dot products: both operands stream contiguously, so this
+/// is the fastest of the three kernels and attention uses it directly.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (n, kb) = (b.rows(), b.cols());
+    assert_eq!(k, kb, "matmul_nt inner dims: {:?} x {:?}ᵀ", a.shape(), b.shape());
+    let mut out = Tensor::zeros(&[m, n]);
+    let (a_d, b_d) = (a.data(), b.data());
+    par_rows_mut(out.data_mut(), n, MIN_ROWS_PER_THREAD, |row0, chunk| {
+        for (ri, c_row) in chunk.chunks_mut(n).enumerate() {
+            let i = row0 + ri;
+            let a_row = &a_d[i * k..(i + 1) * k];
+            for (j, c) in c_row.iter_mut().enumerate() {
+                let b_row = &b_d[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (x, y) in a_row.iter().zip(b_row) {
+                    acc += x * y;
+                }
+                *c = acc;
+            }
+        }
+    });
+    out
+}
+
+/// `C[k×n] = Aᵀ · B` where `A` is `[m×k]`, `B` is `[m×n]`.
+///
+/// Used for weight gradients `dW = Xᵀ·dY`. Parallelizes over rows of the
+/// `k×n` output; each worker walks the `m` samples accumulating outer-
+/// product contributions for its slice of `k`.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (mb, n) = (b.rows(), b.cols());
+    assert_eq!(m, mb, "matmul_tn outer dims: {:?}ᵀ x {:?}", a.shape(), b.shape());
+    let mut out = Tensor::zeros(&[k, n]);
+    let (a_d, b_d) = (a.data(), b.data());
+    par_rows_mut(out.data_mut(), n, MIN_ROWS_PER_THREAD, |row0, chunk| {
+        let rows = chunk.len() / n;
+        for s in 0..m {
+            let b_row = &b_d[s * n..(s + 1) * n];
+            for r in 0..rows {
+                let kk = row0 + r;
+                let a_sk = a_d[s * k + kk];
+                if a_sk == 0.0 {
+                    continue;
+                }
+                let c_row = &mut chunk[r * n..(r + 1) * n];
+                for (c, &b_sj) in c_row.iter_mut().zip(b_row) {
+                    *c += a_sk * b_sj;
+                }
+            }
+        }
+    });
+    out
+}
+
+/// Adds a `[n]` bias vector to every row of a `[m×n]` tensor, in place.
+pub fn add_bias(x: &mut Tensor, bias: &Tensor) {
+    let n = x.cols();
+    assert_eq!(bias.len(), n, "bias length {} vs {} cols", bias.len(), n);
+    let b = bias.data();
+    for row in x.data_mut().chunks_mut(n) {
+        for (v, bv) in row.iter_mut().zip(b) {
+            *v += *bv;
+        }
+    }
+}
+
+/// Column-wise sum of a `[m×n]` tensor → `[n]` (bias gradient).
+pub fn sum_rows(x: &Tensor) -> Tensor {
+    let n = x.cols();
+    let mut out = Tensor::zeros(&[n]);
+    let o = out.data_mut();
+    for row in x.data().chunks(n) {
+        for (acc, v) in o.iter_mut().zip(row) {
+            *acc += *v;
+        }
+    }
+    out
+}
+
+/// Numerically-stable softmax over the last dimension, in place.
+///
+/// `row_valid` optionally limits each row to its first `row_valid[r]`
+/// entries; the rest are forced to probability 0 (padding-mask semantics).
+pub fn softmax_rows(x: &mut Tensor, row_valid: Option<&[usize]>) {
+    let n = x.cols();
+    for (r, row) in x.data_mut().chunks_mut(n).enumerate() {
+        let valid = row_valid.map_or(n, |v| v[r].min(n));
+        if valid == 0 {
+            row.iter_mut().for_each(|v| *v = 0.0);
+            continue;
+        }
+        let m = row[..valid].iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut z = 0.0f32;
+        for v in &mut row[..valid] {
+            *v = (*v - m).exp();
+            z += *v;
+        }
+        let inv = 1.0 / z;
+        for v in &mut row[..valid] {
+            *v *= inv;
+        }
+        for v in &mut row[valid..] {
+            *v = 0.0;
+        }
+    }
+}
+
+/// Backward of row-softmax: given probabilities `p` and upstream `dp`,
+/// returns `dlogits = p ⊙ (dp − (dp·p))` row by row.
+pub fn softmax_backward(p: &Tensor, dp: &Tensor) -> Tensor {
+    assert_eq!(p.shape(), dp.shape());
+    let n = p.cols();
+    let mut out = Tensor::zeros(&[p.rows(), n]);
+    for ((p_row, dp_row), o_row) in
+        p.data().chunks(n).zip(dp.data().chunks(n)).zip(out.data_mut().chunks_mut(n))
+    {
+        let dot: f32 = p_row.iter().zip(dp_row).map(|(a, b)| a * b).sum();
+        for ((o, &pv), &dv) in o_row.iter_mut().zip(p_row).zip(dp_row) {
+            *o = pv * (dv - dot);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(shape: &[usize], v: Vec<f32>) -> Tensor {
+        Tensor::from_vec(shape, v)
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = t(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = t(&[3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = t(&[2, 2], vec![3., 1., 4., 1.]);
+        let i = t(&[2, 2], vec![1., 0., 0., 1.]);
+        assert_eq!(matmul(&a, &i), a);
+        assert_eq!(matmul(&i, &a), a);
+    }
+
+    #[test]
+    fn nt_and_tn_agree_with_explicit_transpose() {
+        let mut rng = crate::init::SeededRng::new(11);
+        let a = Tensor::randn(&[5, 7], 1.0, &mut rng);
+        let b = Tensor::randn(&[4, 7], 1.0, &mut rng);
+        let c1 = matmul_nt(&a, &b);
+        let c2 = matmul(&a, &b.transpose2());
+        for (x, y) in c1.data().iter().zip(c2.data()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+        let d = Tensor::randn(&[5, 3], 1.0, &mut rng);
+        let e1 = matmul_tn(&a, &d);
+        let e2 = matmul(&a.transpose2(), &d);
+        for (x, y) in e1.data().iter().zip(e2.data()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn large_matmul_parallel_matches_serial_reference() {
+        let mut rng = crate::init::SeededRng::new(2);
+        let a = Tensor::randn(&[67, 33], 1.0, &mut rng);
+        let b = Tensor::randn(&[33, 41], 1.0, &mut rng);
+        let c = matmul(&a, &b);
+        // Naive reference.
+        for i in 0..67 {
+            for j in 0..41 {
+                let mut acc = 0.0f32;
+                for k in 0..33 {
+                    acc += a.at2(i, k) * b.at2(k, j);
+                }
+                assert!((c.at2(i, j) - acc).abs() < 1e-3, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn bias_and_row_sum_are_inverse_shapes() {
+        let mut x = t(&[2, 3], vec![0.; 6]);
+        let b = t(&[3], vec![1., 2., 3.]);
+        add_bias(&mut x, &b);
+        assert_eq!(x.data(), &[1., 2., 3., 1., 2., 3.]);
+        assert_eq!(sum_rows(&x).data(), &[2., 4., 6.]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_respect_mask() {
+        let mut x = t(&[2, 4], vec![1., 2., 3., 4., 10., 0., 0., 0.]);
+        softmax_rows(&mut x, Some(&[4, 2]));
+        let s0: f32 = x.row(0).iter().sum();
+        let s1: f32 = x.row(1).iter().sum();
+        assert!((s0 - 1.0).abs() < 1e-6);
+        assert!((s1 - 1.0).abs() < 1e-6);
+        assert_eq!(x.at2(1, 2), 0.0);
+        assert_eq!(x.at2(1, 3), 0.0);
+        assert!(x.at2(0, 3) > x.at2(0, 0));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let mut a = t(&[1, 3], vec![1., 2., 3.]);
+        let mut b = t(&[1, 3], vec![101., 102., 103.]);
+        softmax_rows(&mut a, None);
+        softmax_rows(&mut b, None);
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_backward_matches_finite_difference() {
+        let logits = t(&[1, 4], vec![0.3, -0.7, 1.2, 0.1]);
+        let upstream = t(&[1, 4], vec![0.5, -1.0, 0.25, 2.0]);
+        let mut p = logits.clone();
+        softmax_rows(&mut p, None);
+        let analytic = softmax_backward(&p, &upstream);
+        let eps = 1e-3f32;
+        for i in 0..4 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            softmax_rows(&mut lp, None);
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            softmax_rows(&mut lm, None);
+            let mut num = 0.0f32;
+            for j in 0..4 {
+                num += upstream.data()[j] * (lp.data()[j] - lm.data()[j]) / (2.0 * eps);
+            }
+            assert!(
+                (num - analytic.data()[i]).abs() < 1e-3,
+                "i={i} numeric={num} analytic={}",
+                analytic.data()[i]
+            );
+        }
+    }
+}

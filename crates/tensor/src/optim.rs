@@ -1,0 +1,275 @@
+//! Optimizers and learning-rate schedules.
+//!
+//! The paper trains with AdamW (§4.3); [`AdamW`] implements the decoupled
+//! weight-decay variant of Loshchilov & Hutter. Plain [`Sgd`] exists for
+//! the bag-of-words logistic-regression baseline and for ablations.
+
+use crate::nn::Param;
+use crate::Tensor;
+use std::collections::HashMap;
+
+/// Decoupled-weight-decay Adam (AdamW).
+pub struct AdamW {
+    /// Base learning rate (multiplied by the schedule factor each step).
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// Decoupled weight-decay coefficient.
+    pub weight_decay: f32,
+    step: u64,
+    schedule: Schedule,
+    /// Per-parameter first/second moment estimates, keyed by `Param::id`.
+    state: HashMap<u64, (Tensor, Tensor)>,
+}
+
+impl AdamW {
+    /// AdamW with the default transformer hyper-parameters
+    /// (β₁ = 0.9, β₂ = 0.999, ε = 1e-8, weight-decay = 0.01).
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.01,
+            step: 0,
+            schedule: Schedule::Constant,
+            state: HashMap::new(),
+        }
+    }
+
+    /// Replaces the learning-rate schedule.
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Replaces the weight-decay coefficient.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Advances the global step counter. Call once per batch, *before*
+    /// updating parameters, so bias correction sees `t ≥ 1`.
+    pub fn begin_step(&mut self) {
+        self.step += 1;
+    }
+
+    /// Number of completed `begin_step` calls.
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+
+    /// Effective learning rate for the current step.
+    pub fn current_lr(&self) -> f32 {
+        self.lr * self.schedule.factor(self.step)
+    }
+
+    /// Applies one AdamW update to `p` using its accumulated gradient.
+    pub fn update(&mut self, p: &mut Param) {
+        assert!(self.step > 0, "call begin_step() before update()");
+        let (m, v) = self
+            .state
+            .entry(p.id)
+            .or_insert_with(|| (Tensor::zeros(p.value.shape()), Tensor::zeros(p.value.shape())));
+        let t = self.step as f32;
+        let lr_t = self.lr * self.schedule.factor(self.step);
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+        let (b1, b2, eps, wd) = (self.beta1, self.beta2, self.eps, self.weight_decay);
+        let g = p.grad.data();
+        let w = p.value.data_mut();
+        for (((wi, gi), mi), vi) in
+            w.iter_mut().zip(g).zip(m.data_mut().iter_mut()).zip(v.data_mut().iter_mut())
+        {
+            *mi = b1 * *mi + (1.0 - b1) * gi;
+            *vi = b2 * *vi + (1.0 - b2) * gi * gi;
+            let mhat = *mi / bc1;
+            let vhat = *vi / bc2;
+            // Decoupled decay: applied directly to the weight, not the gradient.
+            *wi -= lr_t * (mhat / (vhat.sqrt() + eps) + wd * *wi);
+        }
+    }
+}
+
+/// Plain stochastic gradient descent with optional L2 weight decay.
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// L2 penalty added to the gradient.
+    pub weight_decay: f32,
+}
+
+impl Sgd {
+    /// SGD with no weight decay.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, weight_decay: 0.0 }
+    }
+
+    /// Applies one SGD update to `p`.
+    pub fn update(&self, p: &mut Param) {
+        let lr = self.lr;
+        let wd = self.weight_decay;
+        let g = p.grad.data();
+        for (wi, gi) in p.value.data_mut().iter_mut().zip(g) {
+            *wi -= lr * (gi + wd * *wi);
+        }
+    }
+}
+
+/// Learning-rate schedule as a multiplicative factor of the base rate.
+#[derive(Clone, Copy, Debug)]
+pub enum Schedule {
+    /// Factor 1 forever.
+    Constant,
+    /// Linear ramp from 0 over `warmup` steps, then linear decay to 0 at
+    /// `total` steps (the BERT fine-tuning schedule).
+    LinearWarmupDecay {
+        /// Warm-up steps.
+        warmup: u64,
+        /// Total training steps.
+        total: u64,
+    },
+}
+
+impl Schedule {
+    /// Multiplier for step `t` (1-based).
+    pub fn factor(&self, t: u64) -> f32 {
+        match *self {
+            Schedule::Constant => 1.0,
+            Schedule::LinearWarmupDecay { warmup, total } => {
+                if warmup > 0 && t <= warmup {
+                    t as f32 / warmup as f32
+                } else if t >= total {
+                    0.0
+                } else {
+                    let span = (total - warmup).max(1) as f32;
+                    (total - t) as f32 / span
+                }
+            }
+        }
+    }
+}
+
+/// Scales every gradient so the global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm. `params` is typically collected through
+/// [`crate::nn::Layer::visit_params`].
+pub fn clip_global_norm(params: &mut [&mut Param], max_norm: f32) -> f32 {
+    let mut sq = 0.0f32;
+    for p in params.iter() {
+        sq += p.grad.data().iter().map(|g| g * g).sum::<f32>();
+    }
+    let norm = sq.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for p in params.iter_mut() {
+            p.grad.map_in_place(|g| g * scale);
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quad_param(x0: f32) -> Param {
+        Param::new("x", Tensor::from_vec(&[1], vec![x0]))
+    }
+
+    #[test]
+    fn adamw_minimizes_quadratic() {
+        // f(x) = (x-3)², grad = 2(x-3)
+        let mut p = quad_param(0.0);
+        let mut opt = AdamW::new(0.1).with_weight_decay(0.0);
+        for _ in 0..500 {
+            p.zero_grad();
+            let x = p.value.data()[0];
+            p.grad.data_mut()[0] = 2.0 * (x - 3.0);
+            opt.begin_step();
+            opt.update(&mut p);
+        }
+        assert!((p.value.data()[0] - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn sgd_minimizes_quadratic() {
+        let mut p = quad_param(10.0);
+        let opt = Sgd::new(0.1);
+        for _ in 0..200 {
+            p.zero_grad();
+            let x = p.value.data()[0];
+            p.grad.data_mut()[0] = 2.0 * (x - 3.0);
+            opt.update(&mut p);
+        }
+        assert!((p.value.data()[0] - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_without_gradient() {
+        let mut p = quad_param(1.0);
+        let mut opt = AdamW::new(0.01).with_weight_decay(0.5);
+        for _ in 0..10 {
+            p.zero_grad();
+            opt.begin_step();
+            opt.update(&mut p);
+        }
+        assert!(p.value.data()[0] < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "begin_step")]
+    fn update_before_begin_step_panics() {
+        let mut p = quad_param(0.0);
+        let mut opt = AdamW::new(0.1);
+        opt.update(&mut p);
+    }
+
+    #[test]
+    fn schedule_warmup_then_decay() {
+        let s = Schedule::LinearWarmupDecay { warmup: 10, total: 110 };
+        assert!((s.factor(5) - 0.5).abs() < 1e-6);
+        assert!((s.factor(10) - 1.0).abs() < 1e-6);
+        assert!((s.factor(60) - 0.5).abs() < 1e-6);
+        assert_eq!(s.factor(110), 0.0);
+        assert_eq!(s.factor(1000), 0.0);
+    }
+
+    #[test]
+    fn clip_scales_down_only_when_needed() {
+        let mut a = Param::new("a", Tensor::zeros(&[2]));
+        a.grad = Tensor::from_vec(&[2], vec![3.0, 4.0]); // norm 5
+        {
+            let mut refs = [&mut a];
+            let norm = clip_global_norm(&mut refs, 10.0);
+            assert!((norm - 5.0).abs() < 1e-5);
+        }
+        assert_eq!(a.grad.data(), &[3.0, 4.0]);
+        {
+            let mut refs = [&mut a];
+            let _ = clip_global_norm(&mut refs, 1.0);
+        }
+        let clipped = ((a.grad.data()[0]).powi(2) + (a.grad.data()[1]).powi(2)).sqrt();
+        assert!((clipped - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn adamw_state_is_per_parameter() {
+        let mut p1 = quad_param(0.0);
+        let mut p2 = quad_param(0.0);
+        let mut opt = AdamW::new(0.1).with_weight_decay(0.0);
+        opt.begin_step();
+        p1.grad.data_mut()[0] = 1.0;
+        p2.grad.data_mut()[0] = -1.0;
+        opt.update(&mut p1);
+        opt.update(&mut p2);
+        assert!(p1.value.data()[0] < 0.0);
+        assert!(p2.value.data()[0] > 0.0);
+        assert_eq!(opt.state.len(), 2);
+    }
+}

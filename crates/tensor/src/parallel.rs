@@ -1,0 +1,165 @@
+//! Tiny data-parallel helper built on crossbeam scoped threads.
+//!
+//! The engine's hot loops (GEMM, attention heads) are embarrassingly
+//! parallel across rows/batch items. Rayon is not among the approved
+//! dependencies, so this module provides the one primitive we need:
+//! split a disjoint range of work items across the machine's cores with
+//! zero unsafe code, using `crossbeam::thread::scope` so borrows of stack
+//! data flow into the workers.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use, capped by available parallelism.
+pub fn worker_count() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs `f(chunk_start, chunk)` over disjoint chunks of `data`, in parallel.
+///
+/// `min_per_thread` guards against spawning threads for tiny workloads:
+/// when `data.len() < 2 * min_per_thread` the closure runs inline on the
+/// caller's thread. The closure receives the chunk's offset within `data`
+/// so callers can recover absolute indices.
+pub fn par_chunks_mut<T: Send, F>(data: &mut [T], min_per_thread: usize, f: F)
+where
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = data.len();
+    let workers = worker_count();
+    if workers <= 1 || n < 2 * min_per_thread.max(1) {
+        f(0, data);
+        return;
+    }
+    let chunks = workers.min(n / min_per_thread.max(1)).max(1);
+    let chunk_len = n.div_ceil(chunks);
+    crossbeam::thread::scope(|scope| {
+        let mut rest = data;
+        let mut offset = 0usize;
+        while !rest.is_empty() {
+            let take = chunk_len.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            let start = offset;
+            let f = &f;
+            scope.spawn(move |_| f(start, head));
+            rest = tail;
+            offset += take;
+        }
+    })
+    .expect("parallel worker panicked");
+}
+
+/// Row-aligned variant of [`par_chunks_mut`] for matrix buffers.
+///
+/// Splits `data` (a row-major `rows × cols` buffer) at row boundaries and
+/// calls `f(first_row, rows_chunk)` on each piece, so kernels can assume a
+/// chunk always starts exactly at a row start.
+pub fn par_rows_mut<F>(data: &mut [f32], cols: usize, min_rows_per_thread: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    if cols == 0 || data.is_empty() {
+        return;
+    }
+    debug_assert_eq!(data.len() % cols, 0, "buffer not a whole number of rows");
+    let rows = data.len() / cols;
+    let workers = worker_count();
+    let min_rows = min_rows_per_thread.max(1);
+    if workers <= 1 || rows < 2 * min_rows {
+        f(0, data);
+        return;
+    }
+    let chunks = workers.min(rows / min_rows).max(1);
+    let rows_per_chunk = rows.div_ceil(chunks);
+    crossbeam::thread::scope(|scope| {
+        let mut rest = data;
+        let mut row0 = 0usize;
+        while !rest.is_empty() {
+            let take_rows = rows_per_chunk.min(rest.len() / cols);
+            let (head, tail) = rest.split_at_mut(take_rows * cols);
+            let start = row0;
+            let f = &f;
+            scope.spawn(move |_| f(start, head));
+            rest = tail;
+            row0 += take_rows;
+        }
+    })
+    .expect("parallel worker panicked");
+}
+
+/// Parallel iteration over the index range `0..n` with dynamic scheduling.
+///
+/// Items are handed out one at a time from a shared atomic counter, which
+/// balances loads whose per-item cost varies (e.g. ragged attention rows).
+/// For `n < 2 * min_per_thread` the loop runs inline.
+pub fn par_for<F>(n: usize, min_per_thread: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let workers = worker_count();
+    if workers <= 1 || n < 2 * min_per_thread.max(1) {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers.min(n) {
+            let next = &next;
+            let f = &f;
+            scope.spawn(move |_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                f(i);
+            });
+        }
+    })
+    .expect("parallel worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn par_chunks_mut_touches_every_element_once() {
+        let mut v = vec![0u32; 10_000];
+        par_chunks_mut(&mut v, 8, |start, chunk| {
+            for (i, x) in chunk.iter_mut().enumerate() {
+                *x = (start + i) as u32;
+            }
+        });
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i as u32);
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_small_input_runs_inline() {
+        let mut v = vec![1u8; 3];
+        par_chunks_mut(&mut v, 1000, |_, chunk| {
+            for x in chunk {
+                *x += 1;
+            }
+        });
+        assert_eq!(v, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn par_for_visits_each_index_once() {
+        let n = 5000;
+        let sum = AtomicU64::new(0);
+        par_for(n, 4, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), (n as u64 - 1) * n as u64 / 2);
+    }
+
+    #[test]
+    fn par_for_zero_items_is_noop() {
+        par_for(0, 1, |_| panic!("must not be called"));
+    }
+}

@@ -1,0 +1,382 @@
+//! The [`Tensor`] type: a row-major `f32` n-dimensional array.
+//!
+//! The engine only ever needs ranks 1-3; rank-3 tensors are mostly views of
+//! `[batch, seq, dim]` activations that are flattened to `[batch*seq, dim]`
+//! before hitting the 2-D GEMM kernels in [`crate::ops`].
+
+use crate::init::SeededRng;
+use rand::Rng;
+use std::fmt;
+
+/// A dense, row-major `f32` tensor.
+///
+/// Cloning copies the buffer; the engine relies on explicit clones so that
+/// ownership of activations and caches stays obvious in layer code.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let preview: Vec<f32> = self.data.iter().take(8).copied().collect();
+        write!(f, "Tensor{{shape: {:?}, data[..8]: {:?}}}", self.shape, preview)
+    }
+}
+
+impl Tensor {
+    /// Builds a tensor from an explicit shape and buffer.
+    ///
+    /// # Panics
+    /// Panics if the buffer length does not match the shape product.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(
+            n,
+            data.len(),
+            "shape {:?} needs {} elements, got {}",
+            shape,
+            n,
+            data.len()
+        );
+        Self { shape: shape.to_vec(), data }
+    }
+
+    /// All-zeros tensor of the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Self { shape: shape.to_vec(), data: vec![0.0; shape.iter().product()] }
+    }
+
+    /// All-`value` tensor of the given shape.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        Self { shape: shape.to_vec(), data: vec![value; shape.iter().product()] }
+    }
+
+    /// I.i.d. normal entries with standard deviation `std`.
+    pub fn randn(shape: &[usize], std: f32, rng: &mut SeededRng) -> Self {
+        let n: usize = shape.iter().product();
+        let data = (0..n).map(|_| rng.normal() * std).collect();
+        Self { shape: shape.to_vec(), data }
+    }
+
+    /// I.i.d. uniform entries in `[lo, hi)`.
+    pub fn rand_uniform(shape: &[usize], lo: f32, hi: f32, rng: &mut SeededRng) -> Self {
+        let n: usize = shape.iter().product();
+        let data = (0..n).map(|_| rng.rng().gen_range(lo..hi)).collect();
+        Self { shape: shape.to_vec(), data }
+    }
+
+    /// The shape slice, e.g. `[batch, seq, dim]`.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying buffer (row-major).
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying buffer (row-major).
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the buffer.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Number of rows when viewed as a 2-D matrix (`shape[0]`).
+    ///
+    /// # Panics
+    /// Panics unless the tensor is rank 2.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        assert_eq!(self.rank(), 2, "rows() needs a rank-2 tensor, got {:?}", self.shape);
+        self.shape[0]
+    }
+
+    /// Number of columns when viewed as a 2-D matrix (`shape[1]`).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        assert_eq!(self.rank(), 2, "cols() needs a rank-2 tensor, got {:?}", self.shape);
+        self.shape[1]
+    }
+
+    /// Borrow row `r` of a 2-D tensor.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        let c = self.cols();
+        &self.data[r * c..(r + 1) * c]
+    }
+
+    /// Mutably borrow row `r` of a 2-D tensor.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        let c = self.cols();
+        &mut self.data[r * c..(r + 1) * c]
+    }
+
+    /// Element access for rank-2 tensors.
+    #[inline]
+    pub fn at2(&self, r: usize, c: usize) -> f32 {
+        debug_assert_eq!(self.rank(), 2);
+        self.data[r * self.shape[1] + c]
+    }
+
+    /// Mutable element access for rank-2 tensors.
+    #[inline]
+    pub fn at2_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        debug_assert_eq!(self.rank(), 2);
+        let c_idx = r * self.shape[1] + c;
+        &mut self.data[c_idx]
+    }
+
+    /// Reinterprets the buffer under a new shape with the same element count.
+    pub fn reshape(&self, shape: &[usize]) -> Tensor {
+        let n: usize = shape.iter().product();
+        assert_eq!(n, self.data.len(), "reshape {:?} -> {:?}", self.shape, shape);
+        Tensor { shape: shape.to_vec(), data: self.data.clone() }
+    }
+
+    /// In-place reshape (no copy).
+    pub fn reshape_in_place(&mut self, shape: &[usize]) {
+        let n: usize = shape.iter().product();
+        assert_eq!(n, self.data.len(), "reshape {:?} -> {:?}", self.shape, shape);
+        self.shape = shape.to_vec();
+    }
+
+    /// Transpose of a 2-D tensor.
+    pub fn transpose2(&self) -> Tensor {
+        assert_eq!(self.rank(), 2);
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor { shape: vec![n, m], data: out }
+    }
+
+    /// Element-wise map into a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&v| f(v)).collect() }
+    }
+
+    /// Element-wise in-place map.
+    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// `self + other`, shapes must match.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// `self - other`, shapes must match.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Element-wise product, shapes must match.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// Element-wise combination of two equally-shaped tensors.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape, other.shape, "zip shape mismatch");
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// `self += other` in place.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += *b;
+        }
+    }
+
+    /// `self += alpha * other` in place (AXPY).
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "axpy shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * *b;
+        }
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|v| v * s)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Arithmetic mean of all elements (0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Largest element (−∞ for empty tensors).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// L2 norm of the flattened tensor.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Sets every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// True when every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Stacks rank-1 tensors (all of equal length) into a rank-2 tensor.
+    pub fn stack_rows(rows: &[&[f32]]) -> Tensor {
+        assert!(!rows.is_empty(), "stack_rows needs at least one row");
+        let c = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * c);
+        for r in rows {
+            assert_eq!(r.len(), c, "stack_rows: ragged rows");
+            data.extend_from_slice(r);
+        }
+        Tensor { shape: vec![rows.len(), c], data }
+    }
+
+    /// Copies a contiguous block of `count` rows starting at `start`.
+    pub fn slice_rows(&self, start: usize, count: usize) -> Tensor {
+        let c = self.cols();
+        let mut data = Vec::with_capacity(count * c);
+        data.extend_from_slice(&self.data[start * c..(start + count) * c]);
+        Tensor { shape: vec![count, c], data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let t = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.at2(1, 2), 6.0);
+        assert_eq!(t.row(0), &[1., 2., 3.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs 6 elements")]
+    fn from_vec_bad_len_panics() {
+        let _ = Tensor::from_vec(&[2, 3], vec![1., 2.]);
+    }
+
+    #[test]
+    fn zeros_full_shapes() {
+        assert_eq!(Tensor::zeros(&[4]).data(), &[0.0; 4]);
+        assert_eq!(Tensor::full(&[2, 2], 3.5).data(), &[3.5; 4]);
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let t = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let tt = t.transpose2().transpose2();
+        assert_eq!(t, tt);
+        assert_eq!(t.transpose2().shape(), &[3, 2]);
+        assert_eq!(t.transpose2().at2(2, 1), 6.0);
+    }
+
+    #[test]
+    fn elementwise_arithmetic() {
+        let a = Tensor::from_vec(&[2, 2], vec![1., 2., 3., 4.]);
+        let b = Tensor::from_vec(&[2, 2], vec![4., 3., 2., 1.]);
+        assert_eq!(a.add(&b).data(), &[5., 5., 5., 5.]);
+        assert_eq!(a.sub(&b).data(), &[-3., -1., 1., 3.]);
+        assert_eq!(a.mul(&b).data(), &[4., 6., 6., 4.]);
+        let mut c = a.clone();
+        c.axpy(2.0, &b);
+        assert_eq!(c.data(), &[9., 8., 7., 6.]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Tensor::from_vec(&[4], vec![1., -2., 3., -4.]);
+        assert_eq!(a.sum(), -2.0);
+        assert_eq!(a.mean(), -0.5);
+        assert_eq!(a.max(), 3.0);
+        assert!((a.norm() - (30f32).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reshape_keeps_data() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = a.reshape(&[3, 2]);
+        assert_eq!(b.shape(), &[3, 2]);
+        assert_eq!(b.data(), a.data());
+    }
+
+    #[test]
+    fn slice_rows_copies_block() {
+        let a = Tensor::from_vec(&[3, 2], vec![1., 2., 3., 4., 5., 6.]);
+        let s = a.slice_rows(1, 2);
+        assert_eq!(s.shape(), &[2, 2]);
+        assert_eq!(s.data(), &[3., 4., 5., 6.]);
+    }
+
+    #[test]
+    fn stack_rows_builds_matrix() {
+        let m = Tensor::stack_rows(&[&[1., 2.], &[3., 4.]]);
+        assert_eq!(m.shape(), &[2, 2]);
+        assert_eq!(m.at2(1, 0), 3.0);
+    }
+
+    #[test]
+    fn randn_is_seeded_and_deterministic() {
+        let mut r1 = SeededRng::new(42);
+        let mut r2 = SeededRng::new(42);
+        let a = Tensor::randn(&[16], 1.0, &mut r1);
+        let b = Tensor::randn(&[16], 1.0, &mut r2);
+        assert_eq!(a, b);
+        assert!(a.all_finite());
+    }
+}

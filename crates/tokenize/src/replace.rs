@@ -1,0 +1,429 @@
+//! Identifier replacement (§4.2 of the paper).
+//!
+//! Developers' idiosyncratic names are replaced by indexed canonical names
+//! so they are shared across training instances: plain variables become
+//! `var0, var1, …`, identifiers used as arrays become `arr0, …`, and
+//! called functions become `func0, …` — assigned in order of first
+//! appearance, which keeps the mapping deterministic for a given snippet.
+
+use pragformer_cparse::{Decl, Expr, ForInit, Init, Stmt};
+use std::collections::HashMap;
+
+/// How an identifier is used within a snippet; decides its canonical pool.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum UseKind {
+    Var,
+    Array,
+    Func,
+}
+
+/// Renames every identifier in `stmts` to a canonical indexed name.
+///
+/// Returns the rewritten statements and the mapping
+/// `original → canonical`. Struct field names are left untouched (they are
+/// part of the type's shape, not the developer's naming), as are string
+/// and numeric literals.
+pub fn rename_identifiers(stmts: &[Stmt]) -> (Vec<Stmt>, HashMap<String, String>) {
+    // Pass 1: classify identifiers. Arrays win over vars; funcs win over both
+    // (a name used as both is canonicalized by its strongest use).
+    let mut kinds: HashMap<String, UseKind> = HashMap::new();
+    let mut order: Vec<String> = Vec::new();
+    {
+        let note = |name: &str, kind: UseKind, kinds: &mut HashMap<String, UseKind>,
+                        order: &mut Vec<String>| {
+            if !kinds.contains_key(name) {
+                order.push(name.to_string());
+            }
+            let e = kinds.entry(name.to_string()).or_insert(kind);
+            let rank = |k: UseKind| match k {
+                UseKind::Var => 0,
+                UseKind::Array => 1,
+                UseKind::Func => 2,
+            };
+            if rank(kind) > rank(*e) {
+                *e = kind;
+            }
+        };
+        for s in stmts {
+            classify_stmt(s, &mut |name, kind| note(name, kind, &mut kinds, &mut order));
+        }
+    }
+
+    // Pass 2: assign canonical names in first-appearance order per pool.
+    let (mut vi, mut ai, mut fi) = (0usize, 0usize, 0usize);
+    let mut mapping: HashMap<String, String> = HashMap::new();
+    for name in &order {
+        let canon = match kinds[name] {
+            UseKind::Var => {
+                let c = format!("var{vi}");
+                vi += 1;
+                c
+            }
+            UseKind::Array => {
+                let c = format!("arr{ai}");
+                ai += 1;
+                c
+            }
+            UseKind::Func => {
+                let c = format!("func{fi}");
+                fi += 1;
+                c
+            }
+        };
+        mapping.insert(name.clone(), canon);
+    }
+
+    let renamed = stmts.iter().map(|s| rename_stmt(s, &mapping)).collect();
+    (renamed, mapping)
+}
+
+fn classify_stmt(s: &Stmt, note: &mut dyn FnMut(&str, UseKind)) {
+    match s {
+        Stmt::Compound(stmts) => {
+            for st in stmts {
+                classify_stmt(st, note);
+            }
+        }
+        Stmt::Decl(decls) => {
+            for d in decls {
+                let kind = if d.array_dims.is_empty() && d.ty.pointers == 0 {
+                    UseKind::Var
+                } else {
+                    UseKind::Array
+                };
+                note(&d.name, kind);
+                for dim in d.array_dims.iter().flatten() {
+                    classify_expr(dim, note);
+                }
+                match &d.init {
+                    Some(Init::Expr(e)) => classify_expr(e, note),
+                    Some(Init::List(es)) => {
+                        for e in es {
+                            classify_expr(e, note);
+                        }
+                    }
+                    None => {}
+                }
+            }
+        }
+        Stmt::Expr(e) => classify_expr(e, note),
+        Stmt::If { cond, then, else_ } => {
+            classify_expr(cond, note);
+            classify_stmt(then, note);
+            if let Some(e) = else_ {
+                classify_stmt(e, note);
+            }
+        }
+        Stmt::For { init, cond, step, body } => {
+            match init {
+                ForInit::Empty => {}
+                ForInit::Decl(decls) => {
+                    for d in decls {
+                        note(&d.name, UseKind::Var);
+                        if let Some(Init::Expr(e)) = &d.init {
+                            classify_expr(e, note);
+                        }
+                    }
+                }
+                ForInit::Expr(e) => classify_expr(e, note),
+            }
+            if let Some(c) = cond {
+                classify_expr(c, note);
+            }
+            if let Some(st) = step {
+                classify_expr(st, note);
+            }
+            classify_stmt(body, note);
+        }
+        Stmt::While { cond, body } => {
+            classify_expr(cond, note);
+            classify_stmt(body, note);
+        }
+        Stmt::DoWhile { body, cond } => {
+            classify_stmt(body, note);
+            classify_expr(cond, note);
+        }
+        Stmt::Return(Some(e)) => classify_expr(e, note),
+        Stmt::Pragma { stmt, .. } => classify_stmt(stmt, note),
+        Stmt::Return(None) | Stmt::Break | Stmt::Continue | Stmt::Empty => {}
+    }
+}
+
+fn classify_expr(e: &Expr, note: &mut dyn FnMut(&str, UseKind)) {
+    match e {
+        Expr::Id(n) => note(n, UseKind::Var),
+        Expr::Index { base, idx } => {
+            // The innermost base of an index chain is the array.
+            let mut b = base.as_ref();
+            loop {
+                match b {
+                    Expr::Index { base, .. } => b = base.as_ref(),
+                    Expr::Id(n) => {
+                        note(n, UseKind::Array);
+                        break;
+                    }
+                    other => {
+                        classify_expr(other, note);
+                        break;
+                    }
+                }
+            }
+            // Re-walk nested index subscripts.
+            if let Expr::Index { idx: inner_idx, .. } = base.as_ref() {
+                classify_expr(inner_idx, note);
+            }
+            classify_expr(idx, note);
+        }
+        Expr::Call { callee, args } => {
+            match callee.as_ref() {
+                Expr::Id(n) => note(n, UseKind::Func),
+                other => classify_expr(other, note),
+            }
+            for a in args {
+                classify_expr(a, note);
+            }
+        }
+        Expr::Binary { l, r, .. } => {
+            classify_expr(l, note);
+            classify_expr(r, note);
+        }
+        Expr::Unary { expr, .. } => classify_expr(expr, note),
+        Expr::Assign { lhs, rhs, .. } => {
+            classify_expr(lhs, note);
+            classify_expr(rhs, note);
+        }
+        Expr::Ternary { cond, then, else_ } => {
+            classify_expr(cond, note);
+            classify_expr(then, note);
+            classify_expr(else_, note);
+        }
+        Expr::Member { base, .. } => classify_expr(base, note),
+        Expr::Cast { expr, .. } => classify_expr(expr, note),
+        Expr::Sizeof(arg) => {
+            if let pragformer_cparse::SizeofArg::Expr(e) = arg.as_ref() {
+                classify_expr(e, note);
+            }
+        }
+        Expr::Comma(a, b) => {
+            classify_expr(a, note);
+            classify_expr(b, note);
+        }
+        Expr::IntLit(..) | Expr::FloatLit(..) | Expr::CharLit(_) | Expr::StrLit(_) => {}
+    }
+}
+
+fn rename_stmt(s: &Stmt, map: &HashMap<String, String>) -> Stmt {
+    match s {
+        Stmt::Compound(stmts) => {
+            Stmt::Compound(stmts.iter().map(|st| rename_stmt(st, map)).collect())
+        }
+        Stmt::Decl(decls) => Stmt::Decl(decls.iter().map(|d| rename_decl(d, map)).collect()),
+        Stmt::Expr(e) => Stmt::Expr(rename_expr(e, map)),
+        Stmt::If { cond, then, else_ } => Stmt::If {
+            cond: rename_expr(cond, map),
+            then: Box::new(rename_stmt(then, map)),
+            else_: else_.as_ref().map(|e| Box::new(rename_stmt(e, map))),
+        },
+        Stmt::For { init, cond, step, body } => Stmt::For {
+            init: match init {
+                ForInit::Empty => ForInit::Empty,
+                ForInit::Decl(decls) => {
+                    ForInit::Decl(decls.iter().map(|d| rename_decl(d, map)).collect())
+                }
+                ForInit::Expr(e) => ForInit::Expr(rename_expr(e, map)),
+            },
+            cond: cond.as_ref().map(|e| rename_expr(e, map)),
+            step: step.as_ref().map(|e| rename_expr(e, map)),
+            body: Box::new(rename_stmt(body, map)),
+        },
+        Stmt::While { cond, body } => Stmt::While {
+            cond: rename_expr(cond, map),
+            body: Box::new(rename_stmt(body, map)),
+        },
+        Stmt::DoWhile { body, cond } => Stmt::DoWhile {
+            body: Box::new(rename_stmt(body, map)),
+            cond: rename_expr(cond, map),
+        },
+        Stmt::Return(e) => Stmt::Return(e.as_ref().map(|e| rename_expr(e, map))),
+        Stmt::Pragma { directive, stmt } => {
+            // Clause variable lists follow the same mapping so labels stay
+            // consistent with the renamed code.
+            let mut d = directive.clone();
+            for c in &mut d.clauses {
+                use pragformer_cparse::omp::OmpClause;
+                match c {
+                    OmpClause::Private(vs)
+                    | OmpClause::FirstPrivate(vs)
+                    | OmpClause::LastPrivate(vs)
+                    | OmpClause::Shared(vs) => {
+                        for v in vs {
+                            if let Some(new) = map.get(v) {
+                                *v = new.clone();
+                            }
+                        }
+                    }
+                    OmpClause::Reduction { vars, .. } => {
+                        for v in vars {
+                            if let Some(new) = map.get(v) {
+                                *v = new.clone();
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            Stmt::Pragma { directive: d, stmt: Box::new(rename_stmt(stmt, map)) }
+        }
+        Stmt::Break => Stmt::Break,
+        Stmt::Continue => Stmt::Continue,
+        Stmt::Empty => Stmt::Empty,
+    }
+}
+
+fn rename_decl(d: &Decl, map: &HashMap<String, String>) -> Decl {
+    Decl {
+        name: map.get(&d.name).cloned().unwrap_or_else(|| d.name.clone()),
+        ty: d.ty.clone(),
+        array_dims: d
+            .array_dims
+            .iter()
+            .map(|dim| dim.as_ref().map(|e| rename_expr(e, map)))
+            .collect(),
+        init: d.init.as_ref().map(|i| match i {
+            Init::Expr(e) => Init::Expr(rename_expr(e, map)),
+            Init::List(es) => Init::List(es.iter().map(|e| rename_expr(e, map)).collect()),
+        }),
+    }
+}
+
+fn rename_expr(e: &Expr, map: &HashMap<String, String>) -> Expr {
+    match e {
+        Expr::Id(n) => Expr::Id(map.get(n).cloned().unwrap_or_else(|| n.clone())),
+        Expr::Binary { op, l, r } => Expr::Binary {
+            op: *op,
+            l: Box::new(rename_expr(l, map)),
+            r: Box::new(rename_expr(r, map)),
+        },
+        Expr::Unary { op, expr } => {
+            Expr::Unary { op: *op, expr: Box::new(rename_expr(expr, map)) }
+        }
+        Expr::Assign { op, lhs, rhs } => Expr::Assign {
+            op: *op,
+            lhs: Box::new(rename_expr(lhs, map)),
+            rhs: Box::new(rename_expr(rhs, map)),
+        },
+        Expr::Ternary { cond, then, else_ } => Expr::Ternary {
+            cond: Box::new(rename_expr(cond, map)),
+            then: Box::new(rename_expr(then, map)),
+            else_: Box::new(rename_expr(else_, map)),
+        },
+        Expr::Call { callee, args } => Expr::Call {
+            callee: Box::new(rename_expr(callee, map)),
+            args: args.iter().map(|a| rename_expr(a, map)).collect(),
+        },
+        Expr::Index { base, idx } => Expr::Index {
+            base: Box::new(rename_expr(base, map)),
+            idx: Box::new(rename_expr(idx, map)),
+        },
+        Expr::Member { base, field, arrow } => Expr::Member {
+            base: Box::new(rename_expr(base, map)),
+            field: field.clone(),
+            arrow: *arrow,
+        },
+        Expr::Cast { ty, expr } => {
+            Expr::Cast { ty: ty.clone(), expr: Box::new(rename_expr(expr, map)) }
+        }
+        Expr::Sizeof(arg) => Expr::Sizeof(Box::new(match arg.as_ref() {
+            pragformer_cparse::SizeofArg::Expr(e) => {
+                pragformer_cparse::SizeofArg::Expr(rename_expr(e, map))
+            }
+            pragformer_cparse::SizeofArg::Type(t) => {
+                pragformer_cparse::SizeofArg::Type(t.clone())
+            }
+        })),
+        Expr::Comma(a, b) => {
+            Expr::Comma(Box::new(rename_expr(a, map)), Box::new(rename_expr(b, map)))
+        }
+        Expr::IntLit(..) | Expr::FloatLit(..) | Expr::CharLit(_) | Expr::StrLit(_) => e.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pragformer_cparse::parse_snippet;
+    use pragformer_cparse::printer::print_stmts;
+
+    #[test]
+    fn paper_table6_replacement() {
+        // for (i = 0; i < len; i++) a[i] = i;
+        // → for (var0 = 0; var0 < var1; var0++) arr0[var0] = var0;
+        let stmts = parse_snippet("for (i = 0; i < len; i++) a[i] = i;").unwrap();
+        let (renamed, map) = rename_identifiers(&stmts);
+        assert_eq!(map["i"], "var0");
+        assert_eq!(map["len"], "var1");
+        assert_eq!(map["a"], "arr0");
+        let printed = print_stmts(&renamed);
+        assert!(printed.contains("for (var0 = 0; var0 < var1; var0++)"), "{printed}");
+        assert!(printed.contains("arr0[var0] = var0"), "{printed}");
+    }
+
+    #[test]
+    fn functions_get_func_pool() {
+        let stmts = parse_snippet("for (i = 0; i < n; i++) y[i] = f(x[i]) + g(i);").unwrap();
+        let (_, map) = rename_identifiers(&stmts);
+        assert_eq!(map["f"], "func0");
+        assert_eq!(map["g"], "func1");
+        assert_eq!(map["y"], "arr0");
+        assert_eq!(map["x"], "arr1");
+    }
+
+    #[test]
+    fn pointer_decls_count_as_arrays() {
+        let stmts = parse_snippet("double *p; p[0] = 1.0;").unwrap();
+        let (_, map) = rename_identifiers(&stmts);
+        assert!(map["p"].starts_with("arr"), "{:?}", map);
+    }
+
+    #[test]
+    fn mapping_is_deterministic_and_consistent() {
+        let src = "for (i = 0; i < n; i++) { s += data[i]; t[i] = s; }";
+        let stmts = parse_snippet(src).unwrap();
+        let (r1, m1) = rename_identifiers(&stmts);
+        let (r2, m2) = rename_identifiers(&stmts);
+        assert_eq!(m1, m2);
+        assert_eq!(print_stmts(&r1), print_stmts(&r2));
+        // Same original name always maps to the same canonical one.
+        let printed = print_stmts(&r1);
+        assert!(!printed.contains(" s "), "original name leaked: {printed}");
+    }
+
+    #[test]
+    fn pragma_clause_vars_are_renamed() {
+        let src = "#pragma omp parallel for private(j) reduction(+: sum)\nfor (i = 0; i < n; i++) { int j; sum += a[i]; }";
+        let stmts = parse_snippet(src).unwrap();
+        let (renamed, map) = rename_identifiers(&stmts);
+        let printed = print_stmts(&renamed);
+        assert!(printed.contains(&format!("private({})", map["j"])), "{printed}");
+        assert!(printed.contains(&format!("reduction(+: {})", map["sum"])), "{printed}");
+    }
+
+    #[test]
+    fn struct_fields_are_preserved() {
+        let stmts = parse_snippet("image->colormap[i].opacity = i;").unwrap();
+        let (renamed, _) = rename_identifiers(&stmts);
+        let printed = print_stmts(&renamed);
+        assert!(printed.contains(".opacity"), "{printed}");
+        assert!(printed.contains("->colormap"), "{printed}");
+        assert!(!printed.contains("image"), "{printed}");
+    }
+
+    #[test]
+    fn renamed_code_still_parses() {
+        let src = "for (i = 0; i < POLYBENCH_LOOP_BOUND; i++)\n  for (j = 0; j < n; j++)\n    x1[i] = x1[i] + A[i][j] * y_1[j];";
+        let stmts = parse_snippet(src).unwrap();
+        let (renamed, _) = rename_identifiers(&stmts);
+        let printed = print_stmts(&renamed);
+        assert!(parse_snippet(&printed).is_ok(), "{printed}");
+    }
+}

@@ -1,0 +1,229 @@
+//! The four code representations of §4.2.
+//!
+//! | Representation | Source | Identifier replacement |
+//! |----------------|--------|------------------------|
+//! | `Text`         | lexical C tokens | no |
+//! | `ReplacedText` | lexical C tokens | yes |
+//! | `Ast`          | DFS of the pycparser-style AST | no |
+//! | `ReplacedAst`  | DFS of the AST | yes |
+//!
+//! All four are produced from the parsed AST so the pipeline has a single
+//! source of truth. Any `#pragma omp` nodes are stripped first — the
+//! directive is the *label*, never part of the model input.
+
+use crate::replace::rename_identifiers;
+use pragformer_cparse::printer::print_stmts;
+use pragformer_cparse::{dfs, lex, Stmt, Token};
+
+/// Input representation fed to the tokenizer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Representation {
+    /// Raw lexical tokens of the C source.
+    Text,
+    /// Lexical tokens with identifiers canonicalized (`var0`, `arr0`, …).
+    ReplacedText,
+    /// DFS-serialized AST labels, split into sub-tokens.
+    Ast,
+    /// DFS AST with canonicalized identifiers.
+    ReplacedAst,
+}
+
+impl Representation {
+    /// All four, in the order the paper's figures list them.
+    pub const ALL: [Representation; 4] = [
+        Representation::Text,
+        Representation::ReplacedText,
+        Representation::Ast,
+        Representation::ReplacedAst,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Representation::Text => "Text",
+            Representation::ReplacedText => "Replaced Text",
+            Representation::Ast => "AST",
+            Representation::ReplacedAst => "Replaced AST",
+        }
+    }
+
+    /// True for the two replaced variants.
+    pub fn is_replaced(self) -> bool {
+        matches!(self, Representation::ReplacedText | Representation::ReplacedAst)
+    }
+}
+
+/// Removes pragma wrappers (the label must not leak into the input).
+fn strip_pragmas(stmts: &[Stmt]) -> Vec<Stmt> {
+    stmts
+        .iter()
+        .map(|s| match s {
+            Stmt::Pragma { stmt, .. } => (**stmt).clone(),
+            other => other.clone(),
+        })
+        .collect()
+}
+
+/// Renders a snippet into the token sequence for the given representation.
+pub fn tokens_for(stmts: &[Stmt], repr: Representation) -> Vec<String> {
+    let clean = strip_pragmas(stmts);
+    let subject = if repr.is_replaced() {
+        rename_identifiers(&clean).0
+    } else {
+        clean
+    };
+    match repr {
+        Representation::Text | Representation::ReplacedText => lexical_tokens(&subject),
+        Representation::Ast | Representation::ReplacedAst => ast_tokens(&subject),
+    }
+}
+
+/// C lexical tokens of the printed snippet. String literals collapse to a
+/// single `"<str>"`-style token (their exact content is rarely predictive
+/// and would blow up the vocabulary); numbers keep their source text.
+fn lexical_tokens(stmts: &[Stmt]) -> Vec<String> {
+    let source = print_stmts(stmts);
+    let spanned = lex(&source).expect("printer output must re-lex");
+    spanned
+        .into_iter()
+        .map(|s| match s.tok {
+            Token::Ident(name) => name,
+            Token::Keyword(k) => k.as_str().to_string(),
+            Token::IntLit(_, text) => text,
+            Token::FloatLit(_, text) => text,
+            Token::CharLit(c) => format!("'{c}'"),
+            Token::StrLit(content) => {
+                // Keep format-string-ish flavor: one token per literal,
+                // bucketed by whether it looks like a format string.
+                if content.contains('%') {
+                    "\"<fmt>\"".to_string()
+                } else {
+                    "\"<str>\"".to_string()
+                }
+            }
+            Token::Punct(p) => p.as_str().to_string(),
+            Token::OmpPragma(_) => unreachable!("pragmas are stripped before rendering"),
+        })
+        .collect()
+}
+
+/// AST DFS labels split into whitespace-delimited sub-tokens, e.g.
+/// `"Assignment: ="` → `["Assignment:", "="]`.
+fn ast_tokens(stmts: &[Stmt]) -> Vec<String> {
+    dfs::serialize_stmts(stmts)
+        .iter()
+        .flat_map(|label| label.split_whitespace().map(str::to_string).collect::<Vec<_>>())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pragformer_cparse::parse_snippet;
+
+    const LOOP: &str = "for (i = 0; i < len; i++) a[i] = i;";
+
+    #[test]
+    fn text_tokens_match_paper_table6() {
+        let stmts = parse_snippet(LOOP).unwrap();
+        let toks = tokens_for(&stmts, Representation::Text);
+        assert_eq!(
+            toks,
+            vec![
+                "for", "(", "i", "=", "0", ";", "i", "<", "len", ";", "i", "++", ")", "a", "[",
+                "i", "]", "=", "i", ";"
+            ]
+        );
+    }
+
+    #[test]
+    fn replaced_text_matches_paper_table6() {
+        let stmts = parse_snippet(LOOP).unwrap();
+        let toks = tokens_for(&stmts, Representation::ReplacedText);
+        assert_eq!(
+            toks,
+            vec![
+                "for", "(", "var0", "=", "0", ";", "var0", "<", "var1", ";", "var0", "++", ")",
+                "arr0", "[", "var0", "]", "=", "var0", ";"
+            ]
+        );
+    }
+
+    #[test]
+    fn ast_tokens_match_paper_table6() {
+        let stmts = parse_snippet(LOOP).unwrap();
+        let toks = tokens_for(&stmts, Representation::Ast);
+        let joined = toks.join(" ");
+        assert_eq!(
+            joined,
+            "For: Assignment: = ID: i Constant: int, 0 BinaryOp: < ID: i ID: len UnaryOp: p++ \
+             ID: i Assignment: = ArrayRef: ID: a ID: i ID: i"
+        );
+    }
+
+    #[test]
+    fn replaced_ast_tokens() {
+        let stmts = parse_snippet(LOOP).unwrap();
+        let toks = tokens_for(&stmts, Representation::ReplacedAst);
+        let joined = toks.join(" ");
+        assert!(joined.contains("ID: var0"), "{joined}");
+        assert!(joined.contains("ID: arr0"), "{joined}");
+        assert!(!joined.contains("ID: len"), "{joined}");
+    }
+
+    #[test]
+    fn pragma_never_leaks_into_any_representation() {
+        let stmts = parse_snippet(
+            "#pragma omp parallel for private(i) reduction(+: s)\nfor (i = 0; i < n; i++) s += a[i];",
+        )
+        .unwrap();
+        for repr in Representation::ALL {
+            let toks = tokens_for(&stmts, repr);
+            let joined = toks.join(" ");
+            assert!(!joined.contains("pragma"), "{repr:?}: {joined}");
+            assert!(!joined.contains("omp"), "{repr:?}: {joined}");
+            assert!(!joined.contains("private"), "{repr:?}: {joined}");
+            assert!(!joined.contains("reduction"), "{repr:?}: {joined}");
+        }
+    }
+
+    #[test]
+    fn ast_is_longer_than_text_on_average() {
+        // Table 7: AST avg length 37 vs Text 33 — the AST adds operator-
+        // describing words. Check the direction on a small sample.
+        let samples = [
+            LOOP,
+            "for (i = 0; i < n; i++) { s += a[i] * b[i]; }",
+            "for (i = 0; i < n; i++) if (a[i] > m) m = a[i];",
+        ];
+        let mut text_total = 0usize;
+        let mut ast_total = 0usize;
+        for src in samples {
+            let stmts = parse_snippet(src).unwrap();
+            text_total += tokens_for(&stmts, Representation::Text).len();
+            ast_total += tokens_for(&stmts, Representation::Ast).len();
+        }
+        assert!(
+            ast_total as f64 > 0.8 * text_total as f64,
+            "AST stream unexpectedly short: {ast_total} vs {text_total}"
+        );
+    }
+
+    #[test]
+    fn string_literals_are_bucketed() {
+        let stmts = parse_snippet("fprintf(stderr, \"%0.2lf \", x[i]); puts(\"done\");").unwrap();
+        let toks = tokens_for(&stmts, Representation::Text);
+        assert!(toks.contains(&"\"<fmt>\"".to_string()));
+        assert!(toks.contains(&"\"<str>\"".to_string()));
+        assert!(toks.contains(&"fprintf".to_string()));
+        assert!(toks.contains(&"stderr".to_string()));
+    }
+
+    #[test]
+    fn representation_names() {
+        assert_eq!(Representation::Text.name(), "Text");
+        assert_eq!(Representation::ReplacedAst.name(), "Replaced AST");
+        assert!(Representation::ReplacedText.is_replaced());
+        assert!(!Representation::Ast.is_replaced());
+    }
+}

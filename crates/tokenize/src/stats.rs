@@ -1,0 +1,73 @@
+//! Type-level corpus statistics (paper Table 7).
+
+use std::collections::HashSet;
+
+/// Statistics for one representation over a train/val/test token split.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReprStats {
+    /// Unique symbol types in the training sequences.
+    pub train_vocab_size: usize,
+    /// Types in validation+test that never occur in training.
+    pub oov_types: usize,
+    /// Mean tokens per sequence across all splits.
+    pub avg_length: f64,
+}
+
+/// Computes Table 7's row for one representation.
+pub fn corpus_stats(
+    train: &[Vec<String>],
+    valid: &[Vec<String>],
+    test: &[Vec<String>],
+) -> ReprStats {
+    let train_types: HashSet<&str> =
+        train.iter().flatten().map(String::as_str).collect();
+    let mut eval_types: HashSet<&str> = HashSet::new();
+    for seq in valid.iter().chain(test) {
+        for t in seq {
+            eval_types.insert(t.as_str());
+        }
+    }
+    let oov_types = eval_types.difference(&train_types).count();
+    let total_tokens: usize =
+        train.iter().chain(valid).chain(test).map(Vec::len).sum();
+    let total_seqs = train.len() + valid.len() + test.len();
+    let avg_length =
+        if total_seqs == 0 { 0.0 } else { total_tokens as f64 / total_seqs as f64 };
+    ReprStats { train_vocab_size: train_types.len(), oov_types, avg_length }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seqs(data: &[&[&str]]) -> Vec<Vec<String>> {
+        data.iter().map(|s| s.iter().map(|t| t.to_string()).collect()).collect()
+    }
+
+    #[test]
+    fn counts_types_not_tokens() {
+        let train = seqs(&[&["a", "a", "b"]]);
+        let valid = seqs(&[&["a", "c"]]);
+        let test = seqs(&[&["d", "d"]]);
+        let s = corpus_stats(&train, &valid, &test);
+        assert_eq!(s.train_vocab_size, 2); // a, b
+        assert_eq!(s.oov_types, 2); // c, d
+        assert!((s.avg_length - 7.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_oov_when_eval_is_subset() {
+        let train = seqs(&[&["x", "y", "z"]]);
+        let valid = seqs(&[&["x"]]);
+        let test = seqs(&[&["y", "z"]]);
+        assert_eq!(corpus_stats(&train, &valid, &test).oov_types, 0);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let s = corpus_stats(&[], &[], &[]);
+        assert_eq!(s.train_vocab_size, 0);
+        assert_eq!(s.oov_types, 0);
+        assert_eq!(s.avg_length, 0.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests for identifier replacement and vocabulary encoding.
+
+use proptest::prelude::*;
+use pragformer_cparse::parse_snippet;
+use pragformer_cparse::printer::print_stmts;
+use pragformer_tokenize::{rename_identifiers, tokens_for, Representation, Vocab};
+
+/// A pool of small loop snippets with assorted identifier usage.
+fn snippet() -> impl Strategy<Value = String> {
+    let arrays = prop::sample::select(vec!["a", "data", "vec", "buf", "Q"]);
+    let scalars = prop::sample::select(vec!["s", "acc", "total", "t"]);
+    let bounds = prop::sample::select(vec!["n", "len", "size"]);
+    (arrays, scalars, bounds, 0i64..50).prop_map(|(arr, sc, bound, c)| {
+        format!(
+            "for (i = 0; i < {bound}; i++) {{ {sc} = {arr}[i] + {c}; {arr}[i] = {sc} * {sc}; }}"
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn replacement_is_idempotent(src in snippet()) {
+        let stmts = parse_snippet(&src).unwrap();
+        let (once, _) = rename_identifiers(&stmts);
+        let (twice, map2) = rename_identifiers(&once);
+        prop_assert_eq!(print_stmts(&once), print_stmts(&twice));
+        // Canonical names map to themselves on the second pass.
+        for (orig, canon) in &map2 {
+            prop_assert_eq!(orig, canon);
+        }
+    }
+
+    #[test]
+    fn replacement_never_breaks_parsing(src in snippet()) {
+        let stmts = parse_snippet(&src).unwrap();
+        let (renamed, _) = rename_identifiers(&stmts);
+        let printed = print_stmts(&renamed);
+        prop_assert!(parse_snippet(&printed).is_ok(), "{printed}");
+    }
+
+    #[test]
+    fn replaced_streams_have_same_shape(src in snippet()) {
+        // Replacement substitutes identifiers 1:1 — stream lengths match.
+        let stmts = parse_snippet(&src).unwrap();
+        let plain = tokens_for(&stmts, Representation::Text);
+        let replaced = tokens_for(&stmts, Representation::ReplacedText);
+        prop_assert_eq!(plain.len(), replaced.len());
+        for (p, r) in plain.iter().zip(&replaced) {
+            let p_is_word = p.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_');
+            let r_is_word = r.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_');
+            prop_assert_eq!(p_is_word, r_is_word, "{} vs {}", p, r);
+        }
+    }
+
+    #[test]
+    fn encode_decode_recovers_in_vocab_tokens(src in snippet(), max_len in 8usize..128) {
+        let stmts = parse_snippet(&src).unwrap();
+        let tokens = tokens_for(&stmts, Representation::Text);
+        let vocab = Vocab::build([tokens.clone()].iter(), 1, 100_000);
+        let (ids, valid) = vocab.encode(&tokens, max_len);
+        prop_assert_eq!(ids.len(), max_len);
+        let decoded = vocab.decode(&ids);
+        let expect: Vec<String> = tokens.iter().take(valid - 1).cloned().collect();
+        prop_assert_eq!(decoded, expect);
+    }
+
+    #[test]
+    fn vocab_ids_are_dense_and_stable(tokens in prop::collection::vec("[a-z]{1,6}", 1..40)) {
+        let seqs = vec![tokens.clone()];
+        let vocab = Vocab::build(seqs.iter(), 1, 100_000);
+        // Ids form a dense range [0, len).
+        let mut seen = vec![false; vocab.len()];
+        for (_, id) in vocab.iter() {
+            prop_assert!(id < vocab.len());
+            prop_assert!(!seen[id], "duplicate id {}", id);
+            seen[id] = true;
+        }
+        prop_assert!(seen.into_iter().all(|b| b));
+        // Every token resolves back to its own id.
+        for t in &tokens {
+            let id = vocab.id(t);
+            prop_assert_eq!(vocab.token(id), t.as_str());
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Generalization scenario (paper Table 11): train on the Open-OMP
+//! corpus, then evaluate PragFormer and the ComPar-style engine on the
+//! held-out PolyBench-like and SPEC-like suites, printing per-suite
+//! metrics and a few disagreements.
+//!
+//! ```text
+//! cargo run --release --example compare_compilers [tiny|small|paper]
+//! ```
+
+use pragformer_core::experiments::run_generalization;
+use pragformer_core::Scale;
+use pragformer_corpus::generate;
+use pragformer_eval::report::{f2, Table};
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Tiny);
+    eprintln!("generating corpus + training ({scale:?})…");
+    let db = generate(&scale.generator(4242));
+    let outcomes = run_generalization(&db, scale, 4242);
+
+    let mut table = Table::new(
+        "Generalization to held-out benchmark suites (cf. paper Table 11)",
+        &["System", "Suite", "Precision", "Recall", "F1", "Accuracy"],
+    );
+    for o in &outcomes {
+        for sys in [&o.pragformer, &o.compar] {
+            table.row(&[
+                sys.name.to_string(),
+                o.suite.to_string(),
+                f2(sys.metrics.precision),
+                f2(sys.metrics.recall),
+                f2(sys.metrics.f1),
+                f2(sys.metrics.accuracy),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    for o in &outcomes {
+        println!(
+            "{}: strict front-end failed to parse {} of {} snippets",
+            o.suite,
+            o.compar_parse_failures,
+            o.compar.confusion.total()
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! CI-bot scenario: sweep the loops of a small numerical codebase and
+//! report, per loop, what the advisor and the S2S engine say — the
+//! "model + compiler agreement" workflow the paper proposes in §2.1.
+//!
+//! ```text
+//! cargo run --release --example parallelize_kernels [tiny|small]
+//! ```
+
+use pragformer_baselines::{analyze_snippet, ComparResult, Strictness};
+use pragformer_core::{Advisor, Scale};
+
+/// The "project" under review: typical scientific kernels.
+const KERNELS: &[(&str, &str)] = &[
+    ("saxpy", "for (i = 0; i < n; i++) y[i] = alpha * x[i] + y[i];"),
+    (
+        "gemm",
+        "for (i = 0; i < n; i++)\n  for (j = 0; j < n; j++) {\n    c[i][j] = 0.0;\n    for (k = 0; k < n; k++)\n      c[i][j] += a[i][k] * b[k][j];\n  }",
+    ),
+    ("dot", "s = 0.0;\nfor (i = 0; i < n; i++) s += a[i] * b[i];"),
+    (
+        "prefix_sum",
+        "acc = 0.0;\nfor (i = 0; i < n; i++) { acc += in[i]; out[i] = acc; }",
+    ),
+    (
+        "checkpoint_dump",
+        "for (i = 0; i < n; i++) fprintf(fp, \"%e\\n\", state[i]);",
+    ),
+    (
+        "normalize",
+        "for (i = 0; i < n; i++) v[i] = v[i] / norm;",
+    ),
+    (
+        "histogram",
+        "for (i = 0; i < n; i++) bins[idx[i]] = bins[idx[i]] + 1;",
+    ),
+];
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Tiny);
+    eprintln!("training advisor ({scale:?})…");
+    let mut advisor = Advisor::train_from_scratch(scale, 7);
+
+    println!("{:<16} {:>9} {:>6} {:>8} {:>9}  verdict", "kernel", "model", "p", "compar", "agree");
+    println!("{}", "-".repeat(72));
+    for (name, code) in KERNELS {
+        let advice = advisor.advise(code).expect("kernel parses");
+        let compar = analyze_snippet(code, Strictness::Strict);
+        let compar_str = match &compar {
+            ComparResult::Parallelized(_) => "yes",
+            ComparResult::NotParallelizable(_) => "no",
+            ComparResult::ParseFailure(_) => "n/a",
+        };
+        let agree = match (&compar, advice.needs_directive) {
+            (ComparResult::ParseFailure(_), _) => "-",
+            (c, m) if c.predicts_directive() == m => "✓",
+            _ => "✗",
+        };
+        let verdict = match (advice.needs_directive, &compar) {
+            (true, ComparResult::Parallelized(d)) => format!("apply: {d}"),
+            (true, _) => "model suggests a pragma; compiler disagrees — review".to_string(),
+            (false, ComparResult::Parallelized(_)) => {
+                "compiler would parallelize; model predicts no benefit — review".to_string()
+            }
+            (false, _) => "leave serial".to_string(),
+        };
+        println!(
+            "{:<16} {:>9} {:>6.2} {:>8} {:>9}  {verdict}",
+            name,
+            if advice.needs_directive { "parallel" } else { "serial" },
+            advice.confidence,
+            compar_str,
+            agree,
+        );
+    }
+}

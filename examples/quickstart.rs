@@ -1,0 +1,62 @@
+//! Quickstart: train the advisor on a synthetic Open-OMP corpus and ask
+//! it about the paper's Table 12 examples.
+//!
+//! ```text
+//! cargo run --release --example quickstart [tiny|small|paper]
+//! ```
+
+use pragformer_core::{Advisor, Scale};
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Tiny);
+    println!("training advisor at {scale:?} scale (generating corpus + 3 models)…");
+    let start = std::time::Instant::now();
+    let mut advisor = Advisor::train_from_scratch(scale, 42);
+    println!("trained in {:.1?} (vocab {})\n", start.elapsed(), advisor.vocab_size());
+
+    // The paper's qualitative examples (Table 12), lightly adapted to the
+    // snippet grammar.
+    let cases: &[(&str, &str)] = &[
+        (
+            "PolyBench mat-vec row (paper: needs a directive)",
+            "for (i = 0; i < POLYBENCH_LOOP_BOUND(4000, n); i++)\n  for (j = 0; j < POLYBENCH_LOOP_BOUND(4000, n); j++)\n    x1[i] = x1[i] + A[i][j] * y_1[j];",
+        ),
+        (
+            "stderr dump loop (paper: no directive)",
+            "for (i = 0; i < n; i++) {\n  fprintf(stderr, \"%0.2lf \", x[i]);\n  if ((i % 20) == 0)\n    fprintf(stderr, \" \\n\");\n}",
+        ),
+        (
+            "SPEC colormap loop (paper: has a directive)",
+            "for (i = 0; i < ((ssize_t) colors); i++)\n  colormap[i] = (IndexPacket) i;",
+        ),
+        (
+            "grid init (paper: developer left it serial)",
+            "for (i = 0; i < maxgrid; i++)\n  for (j = 0; j < maxgrid; j++) {\n    sum_tang[i][j] = (i + 1) * (j + 1);\n    mean[i][j] = (i - j) / maxgrid;\n    path[i][j] = (i * (j - 1)) / maxgrid;\n  }",
+        ),
+    ];
+
+    for (what, code) in cases {
+        println!("--- {what} ---");
+        println!("{code}");
+        match advisor.advise(code) {
+            Ok(advice) => {
+                println!(
+                    "  → needs directive: {} (confidence {:.2})",
+                    advice.needs_directive, advice.confidence
+                );
+                println!(
+                    "    private p = {:.2}, reduction p = {:.2}, ComPar agrees: {:?}",
+                    advice.private_probability, advice.reduction_probability, advice.compar_agrees
+                );
+                if let Some(d) = &advice.suggestion {
+                    println!("    suggestion: {d}");
+                }
+            }
+            Err(e) => println!("  → could not parse: {e}"),
+        }
+        println!();
+    }
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate for the PragFormer reproduction workspace.
+//!
+//! Re-exports the public crates so examples and integration tests can use a
+//! single dependency. See README.md for the full architecture overview.
+pub use pragformer_baselines as baselines;
+pub use pragformer_core as core;
+pub use pragformer_corpus as corpus;
+pub use pragformer_cparse as cparse;
+pub use pragformer_eval as eval;
+pub use pragformer_model as model;
+pub use pragformer_tensor as tensor;
+pub use pragformer_tokenize as tokenize;

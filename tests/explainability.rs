@@ -1,0 +1,96 @@
+//! Integration: LIME over a corpus-trained bag-of-words model recovers
+//! the signal tokens the paper reads off Figure 8 (fast — no transformer
+//! training involved).
+
+use pragformer_baselines::{BowModel, BowTrainConfig};
+use pragformer_core::Scale;
+use pragformer_corpus::{generate, Dataset};
+use pragformer_cparse::parse_snippet;
+use pragformer_eval::lime::{explain, LimeConfig};
+use pragformer_tokenize::{tokens_for, Representation};
+
+fn train_bow(seed: u64) -> BowModel {
+    let db = generate(&Scale::Tiny.generator(seed));
+    let ds = Dataset::directive(&db, 1);
+    let tokens: Vec<Vec<String>> = ds
+        .split
+        .train
+        .iter()
+        .map(|e| tokens_for(&db.records()[e.record].stmts, Representation::Text))
+        .collect();
+    let labels: Vec<bool> = ds.split.train.iter().map(|e| e.label).collect();
+    BowModel::train(&tokens, &labels, &BowTrainConfig::default())
+}
+
+#[test]
+fn lime_blames_io_tokens_for_negative_predictions() {
+    let model = train_bow(301);
+    let stmts =
+        parse_snippet("for (i = 0; i < n; i++) fprintf(stderr, \"%0.2lf \", x[i]);").unwrap();
+    let tokens = tokens_for(&stmts, Representation::Text);
+    let p = model.predict_proba(&tokens) as f64;
+    assert!(p < 0.5, "BoW should reject the I/O loop, got p = {p}");
+    let cfg = LimeConfig { samples: 300, ..Default::default() };
+    let exp = explain(&tokens, &cfg, &mut |ts| model.predict_proba(ts) as f64);
+    // The fprintf (or its stderr/format companions) must appear among the
+    // strongest *negative* contributors — the paper's example 2 analysis.
+    let top: Vec<_> = exp.top_tokens(5);
+    let io_in_top = top
+        .iter()
+        .any(|tw| (tw.token == "fprintf" || tw.token == "stderr" || tw.token == "\"<fmt>\"") && tw.weight < 0.0);
+    assert!(
+        io_in_top,
+        "no negative I/O token among the top-5: {:?}",
+        top.iter().map(|t| (t.token.clone(), t.weight)).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn lime_weights_track_bow_coefficients() {
+    // For a linear model, LIME's local fit should correlate with the
+    // model's own token weights — a correctness anchor for the explainer.
+    let model = train_bow(302);
+    let stmts = parse_snippet("for (i = 0; i < n; i++) s += a[i] * b[i];").unwrap();
+    let tokens = tokens_for(&stmts, Representation::Text);
+    let cfg = LimeConfig { samples: 500, ..Default::default() };
+    let exp = explain(&tokens, &cfg, &mut |ts| model.predict_proba(ts) as f64);
+    // Compare signs on the snippet tokens the BoW model itself weighs
+    // most heavily; LIME must agree wherever its own estimate is
+    // non-negligible.
+    let mut ranked: Vec<(&str, f32, f64)> = exp
+        .weights
+        .iter()
+        .filter_map(|tw| {
+            model.token_weight(&tw.token).map(|w| (tw.token.as_str(), w, tw.weight))
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.1.abs().total_cmp(&a.1.abs()));
+    let mut checked = 0;
+    for (token, bow_w, lime_w) in ranked.into_iter().take(5) {
+        if bow_w.abs() > 0.05 && lime_w.abs() > 0.01 {
+            assert_eq!(
+                bow_w.is_sign_positive(),
+                lime_w.is_sign_positive(),
+                "sign mismatch on '{token}': bow {bow_w}, lime {lime_w}"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "no decisive tokens to compare");
+}
+
+#[test]
+fn removing_io_flips_bow_prediction() {
+    // The paper verified LIME's story by deleting `fprintf`/`stderr` and
+    // watching the prediction flip; replicate with the BoW model.
+    let model = train_bow(303);
+    let with_io =
+        parse_snippet("for (i = 0; i < n; i++) fprintf(stderr, \"%0.2lf\", x[i]);").unwrap();
+    let without_io = parse_snippet("for (i = 0; i < n; i++) y[i] = x[i];").unwrap();
+    let p_with = model.predict_proba(&tokens_for(&with_io, Representation::Text));
+    let p_without = model.predict_proba(&tokens_for(&without_io, Representation::Text));
+    assert!(
+        p_without > p_with,
+        "removing I/O did not raise the probability: {p_with} -> {p_without}"
+    );
+}

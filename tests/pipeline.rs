@@ -1,0 +1,77 @@
+//! Cross-crate integration: corpus → representations → training →
+//! evaluation, at tiny scale.
+
+use pragformer_core::experiments::run_directive_experiment;
+use pragformer_core::{encode_dataset, Scale};
+use pragformer_corpus::{generate, Dataset};
+use pragformer_tokenize::{corpus_stats, Representation};
+
+#[test]
+fn representations_reproduce_table7_directions() {
+    let db = generate(&Scale::Tiny.generator(101));
+    let ds = Dataset::directive(&db, 1);
+    let mut rows = Vec::new();
+    for repr in Representation::ALL {
+        let enc = encode_dataset(&db, &ds, repr, 64, 1, 50_000);
+        let stats = corpus_stats(&enc.train_tokens, &enc.valid_tokens, &enc.test_tokens);
+        rows.push((repr, stats));
+    }
+    let by = |r: Representation| rows.iter().find(|(x, _)| *x == r).unwrap().1.clone();
+    let text = by(Representation::Text);
+    let rtext = by(Representation::ReplacedText);
+    let ast = by(Representation::Ast);
+    let rast = by(Representation::ReplacedAst);
+    // Table 7 directions: replacement shrinks the vocabulary…
+    assert!(
+        rtext.train_vocab_size < text.train_vocab_size,
+        "replaced-text vocab {} !< text vocab {}",
+        rtext.train_vocab_size,
+        text.train_vocab_size
+    );
+    assert!(rast.train_vocab_size < ast.train_vocab_size);
+    // …and replacement reduces OOV types.
+    assert!(rtext.oov_types <= text.oov_types);
+    // All four representations produce non-trivial streams.
+    for (repr, s) in &rows {
+        assert!(s.avg_length > 5.0, "{repr:?} avg length {}", s.avg_length);
+        assert!(s.train_vocab_size > 20, "{repr:?} vocab {}", s.train_vocab_size);
+    }
+}
+
+#[test]
+fn directive_experiment_orders_systems_like_table8() {
+    let db = generate(&Scale::Tiny.generator(102));
+    let out = run_directive_experiment(&db, Scale::Tiny, 7);
+    // Shape of Table 8: the learned models beat the deterministic engine
+    // on F1. (Absolute numbers differ at tiny scale; the ordering is the
+    // reproduced claim.)
+    assert!(
+        out.pragformer.metrics.f1 > out.compar.metrics.f1,
+        "PragFormer {:?} vs ComPar {:?}",
+        out.pragformer.metrics,
+        out.compar.metrics
+    );
+    assert!(
+        out.bow.metrics.f1 > out.compar.metrics.f1,
+        "BoW {:?} vs ComPar {:?}",
+        out.bow.metrics,
+        out.compar.metrics
+    );
+    // The engine must refuse or fail on a nontrivial share — the paper's
+    // central observation about S2S coverage.
+    assert!(out.compar.metrics.recall < 0.95);
+}
+
+#[test]
+fn error_buckets_cover_all_test_examples() {
+    let db = generate(&Scale::Tiny.generator(103));
+    let out = run_directive_experiment(&db, Scale::Tiny, 8);
+    let lengths: Vec<usize> = out.per_example.iter().map(|(l, _)| *l).collect();
+    let correct: Vec<bool> = out.per_example.iter().map(|(_, c)| *c).collect();
+    let buckets = pragformer_eval::error_rate_by_length(&lengths, &correct, &[10, 20, 30, 40, 50]);
+    let covered: usize = buckets.iter().map(|b| b.total).sum();
+    assert_eq!(covered, out.per_example.len());
+    for b in &buckets {
+        assert!(b.errors <= b.total);
+    }
+}

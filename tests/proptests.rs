@@ -1,0 +1,77 @@
+//! Cross-crate property tests: every generated corpus record flows
+//! through the whole pipeline without panics or invariant violations.
+
+use proptest::prelude::*;
+use pragformer_baselines::{analyze_snippet, Strictness};
+use pragformer_corpus::{generate, GeneratorConfig};
+use pragformer_cparse::parse_snippet;
+use pragformer_tokenize::{tokens_for, Representation, Vocab};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn corpus_records_survive_the_full_pipeline(seed in 0u64..10_000) {
+        let db = generate(&GeneratorConfig { target_records: 40, seed, ..Default::default() });
+        prop_assert!(db.len() >= 30);
+        for r in db.records() {
+            // 1. the printed snippet re-parses;
+            let code = r.code();
+            let stmts = parse_snippet(&code)
+                .map_err(|e| TestCaseError::fail(format!("{}: {e}\n{code}", r.template)))?;
+            // 2. all four representations render non-empty token streams
+            //    with no pragma leakage;
+            for repr in Representation::ALL {
+                let toks = tokens_for(&stmts, repr);
+                prop_assert!(!toks.is_empty(), "{}: empty {repr:?}", r.template);
+                prop_assert!(
+                    !toks.iter().any(|t| t.contains("pragma")
+                        || t == "omp"
+                        || t.starts_with("omp_")
+                        || t == "private"
+                        || t == "reduction"),
+                    "{}: label leaked into {repr:?}",
+                    r.template
+                );
+            }
+            // 3. encoding round-trips within the vocabulary;
+            let toks = tokens_for(&stmts, Representation::Text);
+            let vocab = Vocab::build([toks.clone()].iter(), 1, 10_000);
+            let (ids, valid) = vocab.encode(&toks, 64);
+            prop_assert_eq!(ids.len(), 64);
+            prop_assert!((1..=64).contains(&valid));
+            // 4. the S2S engine terminates deterministically.
+            let a = analyze_snippet(&code, Strictness::Strict);
+            let b = analyze_snippet(&code, Strictness::Strict);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn compar_lenient_dominates_strict_coverage(seed in 0u64..10_000) {
+        let db = generate(&GeneratorConfig { target_records: 30, seed, ..Default::default() });
+        for r in db.records() {
+            let strict = analyze_snippet(&r.code(), Strictness::Strict);
+            let lenient = analyze_snippet(&r.code(), Strictness::Lenient);
+            // Anything strict parses, lenient parses too.
+            if !strict.is_parse_failure() {
+                prop_assert!(!lenient.is_parse_failure(), "{}", r.code());
+                // And the analysis result is identical.
+                prop_assert_eq!(strict, lenient);
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_consistent_with_directives(seed in 0u64..10_000) {
+        let db = generate(&GeneratorConfig { target_records: 50, seed, ..Default::default() });
+        for r in db.records() {
+            if r.has_private() || r.has_reduction() {
+                prop_assert!(r.has_directive(), "{}: clause without directive", r.template);
+            }
+            if let Some(d) = &r.directive {
+                prop_assert!(d.parallel && d.for_loop, "{}: non-loop directive", r.template);
+            }
+        }
+    }
+}
