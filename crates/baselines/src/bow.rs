@@ -45,18 +45,13 @@ impl BowModel {
     /// # Panics
     /// Panics when `sequences` and `labels` disagree in length or are
     /// empty.
-    pub fn train(
-        sequences: &[Vec<String>],
-        labels: &[bool],
-        cfg: &BowTrainConfig,
-    ) -> Self {
+    pub fn train(sequences: &[Vec<String>], labels: &[bool], cfg: &BowTrainConfig) -> Self {
         assert_eq!(sequences.len(), labels.len(), "features/labels mismatch");
         assert!(!sequences.is_empty(), "empty training set");
         let vocab = build_vocab(sequences, cfg.max_features);
         let features: Vec<Vec<(usize, f32)>> =
             sequences.iter().map(|s| vectorize(s, &vocab)).collect();
-        let mut model =
-            BowModel { vocab, weights: vec![0.0; 0], bias: 0.0 };
+        let mut model = BowModel { vocab, weights: vec![0.0; 0], bias: 0.0 };
         model.weights = vec![0.0; model.vocab.len()];
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut order: Vec<usize> = (0..features.len()).collect();
@@ -109,8 +104,7 @@ impl BowModel {
     }
 
     fn proba_sparse(&self, features: &[(usize, f32)]) -> f32 {
-        let z: f32 = self.bias
-            + features.iter().map(|&(i, c)| self.weights[i] * c).sum::<f32>();
+        let z: f32 = self.bias + features.iter().map(|&(i, c)| self.weights[i] * c).sum::<f32>();
         1.0 / (1.0 + (-z).exp())
     }
 }
@@ -125,11 +119,7 @@ fn build_vocab(sequences: &[Vec<String>], max_features: usize) -> HashMap<String
     let mut entries: Vec<(&str, usize)> = freq.into_iter().collect();
     entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
     entries.truncate(max_features);
-    entries
-        .into_iter()
-        .enumerate()
-        .map(|(i, (t, _))| (t.to_string(), i))
-        .collect()
+    entries.into_iter().enumerate().map(|(i, (t, _))| (t.to_string(), i)).collect()
 }
 
 fn vectorize(tokens: &[String], vocab: &HashMap<String, usize>) -> Vec<(usize, f32)> {
@@ -146,8 +136,7 @@ fn vectorize_ref(tokens: &[String], vocab: &HashMap<String, usize>) -> Vec<(usiz
     // Sub-linear count scaling: raw counts reach the hundreds on long
     // snippets and saturate the sigmoid; log(1+c) keeps features O(1)
     // without losing the multiplicity signal.
-    let mut v: Vec<(usize, f32)> =
-        counts.into_iter().map(|(i, c)| (i, (1.0 + c).ln())).collect();
+    let mut v: Vec<(usize, f32)> = counts.into_iter().map(|(i, c)| (i, (1.0 + c).ln())).collect();
     v.sort_by_key(|&(i, _)| i);
     v
 }
@@ -157,17 +146,21 @@ mod tests {
     use super::*;
 
     fn seqs(data: &[&str]) -> Vec<Vec<String>> {
-        data.iter()
-            .map(|s| s.split_whitespace().map(str::to_string).collect())
-            .collect()
+        data.iter().map(|s| s.split_whitespace().map(str::to_string).collect()).collect()
     }
 
     #[test]
     fn learns_keyword_separation() {
         // Positives contain "hot"; negatives contain "cold".
         let train = seqs(&[
-            "for i hot a b", "x hot y", "hot loop body", "z w hot",
-            "for i cold a b", "x cold y", "cold loop body", "z w cold",
+            "for i hot a b",
+            "x hot y",
+            "hot loop body",
+            "z w hot",
+            "for i cold a b",
+            "x cold y",
+            "cold loop body",
+            "z w cold",
         ]);
         let labels = vec![true, true, true, true, false, false, false, false];
         let model = BowModel::train(&train, &labels, &BowTrainConfig::default());

@@ -31,15 +31,29 @@ pub struct LoopAnalysis {
 
 /// Functions assumed pure (math library).
 const PURE_FUNCS: &[&str] = &[
-    "sqrt", "exp", "log", "sin", "cos", "tan", "fabs", "abs", "pow", "floor",
-    "ceil", "tanh", "fmin", "fmax", "hypot", "POLYBENCH_LOOP_BOUND",
+    "sqrt",
+    "exp",
+    "log",
+    "sin",
+    "cos",
+    "tan",
+    "fabs",
+    "abs",
+    "pow",
+    "floor",
+    "ceil",
+    "tanh",
+    "fmin",
+    "fmax",
+    "hypot",
+    "POLYBENCH_LOOP_BOUND",
 ];
 
 /// I/O routines.
 const IO_FUNCS: &[&str] = &[
-    "printf", "fprintf", "sprintf", "snprintf", "scanf", "fscanf", "sscanf",
-    "puts", "fputs", "gets", "fgets", "fread", "fwrite", "fopen", "fclose",
-    "putchar", "getchar", "perror", "strcat", "strcpy", "strtok",
+    "printf", "fprintf", "sprintf", "snprintf", "scanf", "fscanf", "sscanf", "puts", "fputs",
+    "gets", "fgets", "fread", "fwrite", "fopen", "fclose", "putchar", "getchar", "perror",
+    "strcat", "strcpy", "strtok",
 ];
 
 /// Allocator routines.
@@ -72,7 +86,8 @@ pub fn analyze_loop(loop_stmt: &Stmt, _context: &[Stmt]) -> LoopAnalysis {
     if let (Some(lo), CanonicalBound::Const(hi, inclusive)) = (lower, &upper) {
         let span = hi - lo + i64::from(*inclusive);
         if span >= 0 {
-            out.trip_count = Some(span.div_euclid(stride.max(1)) + i64::from(span % stride.max(1) != 0));
+            out.trip_count =
+                Some(span.div_euclid(stride.max(1)) + i64::from(span % stride.max(1) != 0));
         }
     }
     if let Some(trip) = out.trip_count {
@@ -369,11 +384,7 @@ fn written_scalars(body: &Stmt) -> HashSet<String> {
 #[derive(Clone, Debug, PartialEq)]
 enum SubForm {
     /// `a·i + b + Σ sym·coeff` with loop-invariant symbols.
-    Affine {
-        a: i64,
-        b: i64,
-        syms: Vec<(String, i64)>,
-    },
+    Affine { a: i64, b: i64, syms: Vec<(String, i64)> },
     /// Anything else (inner loop vars, written scalars, products of
     /// symbols, …).
     Variant,
@@ -393,11 +404,9 @@ fn normalize(e: &Expr, loop_var: &str, variant: &HashSet<String>) -> SubForm {
         }
         Expr::Cast { expr, .. } => normalize(expr, loop_var, variant),
         Expr::Unary { op: UnOp::Neg, expr } => match normalize(expr, loop_var, variant) {
-            Affine { a, b, syms } => Affine {
-                a: -a,
-                b: -b,
-                syms: syms.into_iter().map(|(s, c)| (s, -c)).collect(),
-            },
+            Affine { a, b, syms } => {
+                Affine { a: -a, b: -b, syms: syms.into_iter().map(|(s, c)| (s, -c)).collect() }
+            }
             Variant => Variant,
         },
         Expr::Binary { op, l, r } => {
@@ -434,11 +443,7 @@ fn normalize(e: &Expr, loop_var: &str, variant: &HashSet<String>) -> SubForm {
     }
 }
 
-fn merge_syms(
-    mut a: Vec<(String, i64)>,
-    b: Vec<(String, i64)>,
-    sign: i64,
-) -> Vec<(String, i64)> {
+fn merge_syms(mut a: Vec<(String, i64)>, b: Vec<(String, i64)>, sign: i64) -> Vec<(String, i64)> {
     for (s, c) in b {
         match a.iter_mut().find(|(name, _)| *name == s) {
             Some((_, existing)) => *existing += sign * c,
@@ -455,10 +460,7 @@ fn pair_independent(w: &[SubForm], other: &[SubForm]) -> bool {
     let dims = w.len().min(other.len());
     for d in 0..dims {
         match (&w[d], &other[d]) {
-            (
-                SubForm::Affine { a, b, syms },
-                SubForm::Affine { a: a2, b: b2, syms: s2 },
-            ) => {
+            (SubForm::Affine { a, b, syms }, SubForm::Affine { a: a2, b: b2, syms: s2 }) => {
                 if a == a2 && *a != 0 {
                     if b == b2 && syms == s2 {
                         // Identical affine subscripts: distinct iterations
@@ -714,10 +716,7 @@ impl Collector {
         }
         // Record the source expression's ordinary reads.
         self.scan_expr(source, false);
-        self.reduction_candidates
-            .entry(target.clone())
-            .or_default()
-            .push(red);
+        self.reduction_candidates.entry(target.clone()).or_default().push(red);
         true
     }
 
@@ -729,8 +728,7 @@ impl Collector {
                     return;
                 }
                 if writing {
-                    self.events
-                        .push(Event::ScalarWrite { name: v.clone(), plain: false });
+                    self.events.push(Event::ScalarWrite { name: v.clone(), plain: false });
                 } else {
                     self.events.push(Event::ScalarRead(v.clone()));
                 }
@@ -869,10 +867,7 @@ impl Collector {
             self.scan_expr(sub, false);
         }
         let variant = self.variant.clone();
-        let subs = subs_exprs
-            .iter()
-            .map(|s| normalize(s, &self.loop_var, &variant))
-            .collect();
+        let subs = subs_exprs.iter().map(|s| normalize(s, &self.loop_var, &variant)).collect();
         self.events.push(Event::Array(ArrayAccess { name, subs, is_write }));
     }
 }
@@ -896,10 +891,8 @@ mod tests {
 
     fn analyze(src: &str) -> LoopAnalysis {
         let stmts = parse_snippet(src).unwrap();
-        let loop_stmt = stmts
-            .iter()
-            .find(|s| matches!(s, Stmt::For { .. }))
-            .expect("no loop in test snippet");
+        let loop_stmt =
+            stmts.iter().find(|s| matches!(s, Stmt::For { .. })).expect("no loop in test snippet");
         analyze_loop(loop_stmt, &stmts)
     }
 
@@ -955,7 +948,11 @@ mod tests {
         assert!(ok.blockers.is_empty(), "{:?}", ok.blockers);
         // Different symbolic offsets on the same array: conservative refusal.
         let bad = analyze("for (i = 0; i < n; i++) a[i + p] = a[i + q];");
-        assert!(bad.blockers.contains(&Reason::CarriedDependence("a".into())), "{:?}", bad.blockers);
+        assert!(
+            bad.blockers.contains(&Reason::CarriedDependence("a".into())),
+            "{:?}",
+            bad.blockers
+        );
     }
 
     #[test]
@@ -963,17 +960,14 @@ mod tests {
         let a = analyze("for (i = 0; i < n; i++) a[k] = i;");
         assert!(a.blockers.contains(&Reason::CarriedDependence("a".into())));
         // Inner-variable-only subscripts share cells across outer iterations.
-        let b = analyze(
-            "for (i = 0; i < n; i++) for (j = 0; j < m; j++) hist[j] = hist[j] + 1;",
-        );
+        let b = analyze("for (i = 0; i < n; i++) for (j = 0; j < m; j++) hist[j] = hist[j] + 1;");
         assert!(b.blockers.contains(&Reason::CarriedDependence("hist".into())), "{:?}", b.blockers);
     }
 
     #[test]
     fn two_d_row_partitioning_is_independent() {
-        let a = analyze(
-            "for (i = 0; i < n; i++) for (j = 0; j < m; j++) c[i][j] = c[i][j] + a[i][j];",
-        );
+        let a =
+            analyze("for (i = 0; i < n; i++) for (j = 0; j < m; j++) c[i][j] = c[i][j] + a[i][j];");
         assert!(a.blockers.is_empty(), "{:?}", a.blockers);
         assert!(a.private.contains(&"j".to_string()));
     }
@@ -1012,18 +1006,14 @@ mod tests {
 
     #[test]
     fn running_max_stored_is_not_a_reduction() {
-        let a = analyze(
-            "for (i = 0; i < n; i++) { if (a[i] > m) m = a[i]; out[i] = m; }",
-        );
+        let a = analyze("for (i = 0; i < n; i++) { if (a[i] > m) m = a[i]; out[i] = m; }");
         assert!(a.reductions.is_empty());
         assert!(a.blockers.contains(&Reason::ScalarDependence("m".into())));
     }
 
     #[test]
     fn write_first_temporary_is_private() {
-        let a = analyze(
-            "for (i = 0; i < n; i++) { t = a[i] + 1.0; b[i] = t * t; }",
-        );
+        let a = analyze("for (i = 0; i < n; i++) { t = a[i] + 1.0; b[i] = t * t; }");
         assert!(a.blockers.is_empty(), "{:?}", a.blockers);
         assert!(a.private.contains(&"t".to_string()), "{:?}", a.private);
     }
@@ -1068,9 +1058,7 @@ mod tests {
 
     #[test]
     fn induction_scalar_is_a_dependence() {
-        let a = analyze(
-            "for (i = 0; i < n; i++) { b[pos] = a[i]; pos += step; }",
-        );
+        let a = analyze("for (i = 0; i < n; i++) { b[pos] = a[i]; pos += step; }");
         assert!(
             a.blockers.iter().any(|r| matches!(r, Reason::ScalarDependence(s) if s == "pos"))
                 || a.blockers.iter().any(|r| matches!(r, Reason::CarriedDependence(s) if s == "b")),

@@ -31,11 +31,8 @@ const KNOWN_TYPEDEFS: &[&str] = &["size_t", "FILE"];
 fn is_unknown_typedef(name: &str) -> bool {
     let known = KNOWN_TYPEDEFS.contains(&name);
     let looks_typedefish = name.ends_with("_t")
-        || name
-            .chars()
-            .next()
-            .map(|c| c.is_ascii_uppercase())
-            .unwrap_or(false) && name.chars().any(|c| c.is_ascii_lowercase());
+        || name.chars().next().map(|c| c.is_ascii_uppercase()).unwrap_or(false)
+            && name.chars().any(|c| c.is_ascii_lowercase());
     !known && looks_typedefish
 }
 
@@ -58,10 +55,7 @@ pub fn check_frontend(source: &str, strictness: Strictness) -> Result<(), String
                 ));
             }
             Token::Keyword(Keyword::Union) | Token::Keyword(Keyword::Enum) => {
-                return Err(format!(
-                    "unsupported construct at {}:{}",
-                    spanned.line, spanned.col
-                ));
+                return Err(format!("unsupported construct at {}:{}", spanned.line, spanned.col));
             }
             Token::Punct(Punct::Arrow) | Token::Punct(Punct::Dot) => {
                 // `p->field` / `s.field`: struct operations. `.` also
@@ -82,7 +76,9 @@ pub fn check_frontend(source: &str, strictness: Strictness) -> Result<(), String
                     .get(pos + 1)
                     .is_some_and(|t| matches!(t.tok, Token::Punct(Punct::LParen)));
                 let all_caps = name.len() > 1
-                    && name.chars().all(|c| c.is_ascii_uppercase() || c == '_' || c.is_ascii_digit());
+                    && name
+                        .chars()
+                        .all(|c| c.is_ascii_uppercase() || c == '_' || c.is_ascii_digit());
                 if next_is_lparen && all_caps {
                     return Err(format!(
                         "unexpanded function-like macro '{name}' at {}:{}",
@@ -91,8 +87,8 @@ pub fn check_frontend(source: &str, strictness: Strictness) -> Result<(), String
                 }
                 // A cast `(Name)` or declaration `Name ident` with an
                 // unknown typedef-like name.
-                let prev_is_lparen = pos > 0
-                    && matches!(tokens[pos - 1].tok, Token::Punct(Punct::LParen));
+                let prev_is_lparen =
+                    pos > 0 && matches!(tokens[pos - 1].tok, Token::Punct(Punct::LParen));
                 let next_is_rparen = tokens
                     .get(pos + 1)
                     .is_some_and(|t| matches!(t.tok, Token::Punct(Punct::RParen)));

@@ -197,15 +197,21 @@ mod tests {
     #[test]
     fn refuses_io() {
         let r = run("for (i = 0; i < n; i++) printf(\"%d\", a[i]);");
-        assert!(matches!(r, ComparResult::NotParallelizable(ref v)
-            if v.iter().any(|x| matches!(x, Reason::IoCall(_)))), "{r:?}");
+        assert!(
+            matches!(r, ComparResult::NotParallelizable(ref v)
+            if v.iter().any(|x| matches!(x, Reason::IoCall(_)))),
+            "{r:?}"
+        );
     }
 
     #[test]
     fn refuses_unknown_call_but_accepts_math() {
         let unknown = run("for (i = 0; i < n; i++) y[i] = mystery(x[i]);");
-        assert!(matches!(unknown, ComparResult::NotParallelizable(ref v)
-            if v.iter().any(|x| matches!(x, Reason::UnknownCall(_)))), "{unknown:?}");
+        assert!(
+            matches!(unknown, ComparResult::NotParallelizable(ref v)
+            if v.iter().any(|x| matches!(x, Reason::UnknownCall(_)))),
+            "{unknown:?}"
+        );
         let math = run("for (i = 0; i < n; i++) y[i] = sqrt(x[i]);");
         assert!(math.predicts_directive(), "{math:?}");
     }
@@ -213,8 +219,11 @@ mod tests {
     #[test]
     fn refuses_small_trip_counts() {
         let r = run("for (i = 0; i < 4; i++) a[i] = i;");
-        assert!(matches!(r, ComparResult::NotParallelizable(ref v)
-            if v.iter().any(|x| matches!(x, Reason::LowTripCount(4)))), "{r:?}");
+        assert!(
+            matches!(r, ComparResult::NotParallelizable(ref v)
+            if v.iter().any(|x| matches!(x, Reason::LowTripCount(4)))),
+            "{r:?}"
+        );
     }
 
     #[test]
@@ -229,8 +238,11 @@ mod tests {
     #[test]
     fn early_break_is_refused() {
         let r = run("for (i = 0; i < n; i++) { if (a[i] == t) break; }");
-        assert!(matches!(r, ComparResult::NotParallelizable(ref v)
-            if v.contains(&Reason::EarlyExit)), "{r:?}");
+        assert!(
+            matches!(r, ComparResult::NotParallelizable(ref v)
+            if v.contains(&Reason::EarlyExit)),
+            "{r:?}"
+        );
     }
 
     #[test]

@@ -50,11 +50,7 @@ fn compar_never_claims_io_loops() {
     for r in db.records() {
         if r.template == "neg/io_print" || r.template == "neg/io_read" {
             let result = analyze_snippet(&r.code(), Strictness::Strict);
-            assert!(
-                !result.predicts_directive(),
-                "claimed parallelizable I/O loop:\n{}",
-                r.code()
-            );
+            assert!(!result.predicts_directive(), "claimed parallelizable I/O loop:\n{}", r.code());
         }
     }
 }

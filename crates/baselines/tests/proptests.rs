@@ -1,8 +1,8 @@
 //! Property tests for the dependence-analysis engine: soundness on
 //! generated affine loops and invariants of the verdict structure.
 
-use proptest::prelude::*;
 use pragformer_baselines::{analyze_snippet, ComparResult, Strictness};
+use proptest::prelude::*;
 
 /// Strategy for affine subscript pieces: `i`, `i+c`, `i-c`, `c*i+b`, `c`.
 fn subscript(loop_var: &'static str) -> impl Strategy<Value = String> {

@@ -1,9 +1,12 @@
 //! Per-snippet inference latency: PragFormer vs BoW vs the ComPar-style
 //! S2S engine (the paper's "negligible inference time (contrary to S2S
-//! compilers)" claim, §2.1, and the basis of the advisor use-case).
+//! compilers)" claim, §2.1, and the basis of the advisor use-case), plus
+//! the batched-advisor throughput group backing the advise_batch speedup
+//! claim (snippets/sec at batch 1/8/64 vs sequential advise calls).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
 use pragformer_baselines::{analyze_snippet, BowModel, BowTrainConfig, Strictness};
+use pragformer_core::{Advisor, Scale};
 use pragformer_model::{ModelConfig, PragFormer};
 use pragformer_tensor::init::SeededRng;
 use pragformer_tokenize::{tokens_for, Representation, Vocab};
@@ -52,9 +55,71 @@ fn bench_inference(c: &mut Criterion) {
     group.finish();
 }
 
+/// The loop idioms a numerical translation unit keeps repeating.
+const TEMPLATES: [&str; 8] = [
+    "for (i = 0; i < n; i++) y[i] = alpha * x[i] + y[i];",
+    "for (i = 0; i < n; i++) v[i] = v[i] / norm;",
+    "s = 0.0;\nfor (i = 0; i < n; i++) s += a[i] * b[i];",
+    "for (i = 0; i < n; i++) { t = a[i]; a[i] = b[i]; b[i] = t; }",
+    "for (i = 0; i < n; i++)\n  for (j = 0; j < m; j++)\n    c[i][j] = a[i][j] + b[i][j];",
+    "for (i = 0; i < n; i++)\n  for (j = 0; j < n; j++)\n    x1[i] = x1[i] + A[i][j] * y_1[j];",
+    "acc = 0.0;\nfor (i = 0; i < n; i++) { acc += in[i]; out[i] = acc; }",
+    "for (i = 1; i < n; i++)\n  for (j = 1; j < m; j++)\n    u[i][j] = 0.25 * (u[i-1][j] + u[i+1][j] + u[i][j-1] + u[i][j+1]);",
+];
+
+/// A 64-snippet "translation unit": the eight idioms above, each
+/// appearing eight times — the shape of a real codebase sweep, where
+/// `advise_batch`'s in-batch deduplication and length bucketing pay.
+fn translation_unit_set() -> Vec<String> {
+    (0..64).map(|i| TEMPLATES[i % TEMPLATES.len()].to_string()).collect()
+}
+
+/// 64 pairwise-distinct snippets (unique identifiers defeat dedup):
+/// the worst case for the batch path, isolating pure batching/bucketing
+/// gains from dedup gains.
+fn distinct_set() -> Vec<String> {
+    (0..64)
+        .map(|i| TEMPLATES[i % TEMPLATES.len()].replace("[i]", &format!("[i + {}]", i / 8)))
+        .collect()
+}
+
+/// Batched advisor throughput: one `advise_batch` call over batches of
+/// 1 / 8 / 64 snippets, against the sequential baseline of one `advise`
+/// call per snippet — on the repeated-idiom translation-unit set and the
+/// pairwise-distinct set. Throughput is reported in snippets/sec; the
+/// JSON twin lands in `BENCH_advise_throughput.json`.
+fn bench_batched_throughput(c: &mut Criterion) {
+    let mut advisor = Advisor::untrained(Scale::Tiny, 1);
+    let tu = translation_unit_set();
+    let tu_refs: Vec<&str> = tu.iter().map(|s| s.as_str()).collect();
+    let distinct = distinct_set();
+    let distinct_refs: Vec<&str> = distinct.iter().map(|s| s.as_str()).collect();
+
+    let mut group = c.benchmark_group("advise_throughput");
+    for &batch in &[1usize, 8, 64] {
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(BenchmarkId::new("advise_batch", batch), &batch, |b, &batch| {
+            b.iter(|| advisor.advise_batch(&tu_refs[..batch]))
+        });
+    }
+    group.throughput(Throughput::Elements(64));
+    group.bench_function("advise_batch_distinct/64", |b| {
+        b.iter(|| advisor.advise_batch(&distinct_refs))
+    });
+    // The baselines the batch path is measured against: the same
+    // snippets, one advise() call each.
+    group.bench_function("advise_sequential/64", |b| {
+        b.iter(|| tu_refs.iter().map(|s| advisor.advise(s).expect("snippet parses")).count())
+    });
+    group.bench_function("advise_sequential_distinct/64", |b| {
+        b.iter(|| distinct_refs.iter().map(|s| advisor.advise(s).expect("snippet parses")).count())
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_inference
+    targets = bench_inference, bench_batched_throughput
 }
 criterion_main!(benches);

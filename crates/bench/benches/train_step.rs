@@ -22,10 +22,7 @@ fn synthetic_batch(cfg: &ModelConfig, batch: usize) -> (Vec<usize>, Vec<usize>, 
 
 fn bench_train_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("train_step");
-    for (name, cfg) in [
-        ("tiny", ModelConfig::tiny(512)),
-        ("small", ModelConfig::small(2048)),
-    ] {
+    for (name, cfg) in [("tiny", ModelConfig::tiny(512)), ("small", ModelConfig::small(2048))] {
         let batch = 16usize;
         let mut rng = SeededRng::new(3);
         let mut model = PragFormer::new(&cfg, &mut rng);

@@ -5,8 +5,8 @@
 //! (paper-faithful) and lenient (parse everything the main parser
 //! accepts) — and reports both rows next to each other.
 
-use pragformer_bench::{emit, parse_args};
 use pragformer_baselines::{analyze_snippet, Strictness};
+use pragformer_bench::{emit, parse_args};
 use pragformer_corpus::{generate, Dataset};
 use pragformer_eval::metrics::confusion;
 use pragformer_eval::report::{f2, Table};
@@ -46,5 +46,7 @@ fn main() {
     }
     emit("ablation_frontend", &t);
     println!("reading: the lenient front-end recovers the parse-failure false negatives;");
-    println!("the remaining gap to the learned models is the conservative dependence analysis itself.");
+    println!(
+        "the remaining gap to the learned models is the conservative dependence analysis itself."
+    );
 }

@@ -11,10 +11,8 @@ fn main() {
         "Figure 3 — distribution of snippet sources (README-derived domain)",
         &["Domain", "Count", "Share", "Paper share"],
     );
-    for ((domain, count), (_, target)) in db
-        .domain_distribution()
-        .into_iter()
-        .zip(pragformer_corpus::Domain::DISTRIBUTION)
+    for ((domain, count), (_, target)) in
+        db.domain_distribution().into_iter().zip(pragformer_corpus::Domain::DISTRIBUTION)
     {
         t.row(&[
             domain.name().into(),

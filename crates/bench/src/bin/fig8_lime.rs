@@ -56,9 +56,8 @@ fn main() {
             format!("{p:.2}"),
         ]);
         let cfg = LimeConfig { samples: 400, ..Default::default() };
-        let exp = explain(&tokens, &cfg, &mut |ts| {
-            advisor.directive_probability_of_tokens(ts) as f64
-        });
+        let exp =
+            explain(&tokens, &cfg, &mut |ts| advisor.directive_probability_of_tokens(ts) as f64);
         explanations.push((*name, exp));
     }
     emit("table12_predictions", &t);

@@ -23,11 +23,8 @@ const HARNESSES: &[&str] = &[
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let exe_dir = std::env::current_exe()
-        .expect("current_exe")
-        .parent()
-        .expect("exe dir")
-        .to_path_buf();
+    let exe_dir =
+        std::env::current_exe().expect("current_exe").parent().expect("exe dir").to_path_buf();
     let start = std::time::Instant::now();
     for name in HARNESSES {
         println!("\n================ {name} ================");

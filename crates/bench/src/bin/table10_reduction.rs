@@ -25,6 +25,8 @@ fn main() {
         ]);
     }
     emit("table10_reduction", &t);
-    println!("paper reference: PragFormer .89/.87/.87/.87; BoW .78/.78/.77/.78; ComPar .92/.52/.46/.79");
+    println!(
+        "paper reference: PragFormer .89/.87/.87/.87; BoW .78/.78/.77/.78; ComPar .92/.52/.46/.79"
+    );
     println!("(the deterministic engine: high precision — if it emits a reduction it is right — low recall)");
 }

@@ -30,5 +30,7 @@ fn main() {
     t.row(&oov);
     t.row(&avg);
     emit("table7_vocab", &t);
-    println!("paper reference: vocab 6,427/2,424/5,261/3,409; OOV 398/226/348/309; avg len 33/30/37/35");
+    println!(
+        "paper reference: vocab 6,427/2,424/5,261/3,409; OOV 398/226/348/309; avg len 33/30/37/35"
+    );
 }

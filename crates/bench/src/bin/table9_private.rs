@@ -25,6 +25,8 @@ fn main() {
         ]);
     }
     emit("table9_private", &t);
-    println!("paper reference: PragFormer .86/.85/.86/.85; BoW .79/.78/.78/.79; ComPar .56/.51/.40/.56");
+    println!(
+        "paper reference: PragFormer .86/.85/.86/.85; BoW .79/.78/.78/.79; ComPar .56/.51/.40/.56"
+    );
     println!("(ComPar's weak precision: it emits private(i) for the loop counter developers leave implicit)");
 }

@@ -118,9 +118,7 @@ mod tests {
 
     #[test]
     fn parses_scale_and_seed() {
-        let o = parse_arg_list(
-            ["--scale", "tiny", "--seed", "99"].iter().map(|s| s.to_string()),
-        );
+        let o = parse_arg_list(["--scale", "tiny", "--seed", "99"].iter().map(|s| s.to_string()));
         assert_eq!(o.scale, Scale::Tiny);
         assert_eq!(o.seed, 99);
     }

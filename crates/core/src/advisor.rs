@@ -7,6 +7,29 @@
 //! will remain"). [`Advisor`] packages exactly that: three fine-tuned
 //! classifiers (directive / private / reduction) plus the ComPar-style
 //! engine for agreement checks and clause-variable synthesis.
+//!
+//! ## Batched advising
+//!
+//! A CI bot or IDE sweep asks about *every* loop of a translation unit at
+//! once, so [`Advisor::advise_batch`] is the primary entry point:
+//!
+//! 1. snippets are parsed, tokenized, encoded and dependence-analyzed in
+//!    parallel on the persistent thread pool;
+//! 2. encoded sequences are **bucketed by padded length** (the smallest
+//!    power of two ≥ the token count, capped at `max_len`), so short
+//!    loops don't pay `max_len²` attention;
+//! 3. within a bucket, **identical encoded sequences are deduplicated**
+//!    — repeated loop idioms (ubiquitous in real translation units) are
+//!    classified once and the result fanned out;
+//! 4. each bucket runs through the directive/private/reduction heads as
+//!    one batched forward each — three large GEMM pipelines instead of
+//!    `3 × batch` small ones.
+//!
+//! Because every kernel is bitwise-deterministic per row regardless of
+//! batch size and padding length (see `pragformer_tensor::ops`), the
+//! returned [`Advice`] — including every probability, bit for bit — is
+//! identical to what per-snippet [`Advisor::advise`] calls would produce.
+//! [`Advisor::advise`] is in fact a batch of one.
 
 use crate::encode::encode_dataset;
 use crate::scale::Scale;
@@ -17,6 +40,7 @@ use pragformer_cparse::{parse_snippet, ParseError};
 use pragformer_model::trainer::Trainer;
 use pragformer_model::PragFormer;
 use pragformer_tensor::init::SeededRng;
+use pragformer_tensor::parallel::par_map_indexed;
 use pragformer_tokenize::{tokens_for, Representation, Vocab};
 
 /// Advice for one code snippet.
@@ -55,7 +79,8 @@ impl Advisor {
         let max_len = scale.model(8).max_len;
 
         let directive_ds = Dataset::directive(db, seed);
-        let enc = encode_dataset(db, &directive_ds, Representation::Text, max_len, min_freq, max_vocab);
+        let enc =
+            encode_dataset(db, &directive_ds, Representation::Text, max_len, min_freq, max_vocab);
         let mut rng = SeededRng::new(seed);
         let model_cfg = scale.model(enc.vocab.len());
         let trainer = Trainer::new(scale.train(seed));
@@ -72,14 +97,9 @@ impl Advisor {
                 examples
                     .iter()
                     .map(|ex| {
-                        let toks =
-                            tokens_for(&db.records()[ex.record].stmts, Representation::Text);
+                        let toks = tokens_for(&db.records()[ex.record].stmts, Representation::Text);
                         let (ids, valid) = enc.vocab.encode(&toks, max_len);
-                        pragformer_model::trainer::EncodedExample {
-                            ids,
-                            valid,
-                            label: ex.label,
-                        }
+                        pragformer_model::trainer::EncodedExample { ids, valid, label: ex.label }
                     })
                     .collect::<Vec<_>>()
             };
@@ -103,18 +123,156 @@ impl Advisor {
         Advisor::train(&db, scale, seed)
     }
 
-    /// Classifies a C snippet. Errors if the snippet does not parse.
-    pub fn advise(&mut self, source: &str) -> Result<Advice, ParseError> {
-        let stmts = parse_snippet(source)?;
-        let tokens = tokens_for(&stmts, Representation::Text);
-        let (ids, valid) = self.vocab.encode(&tokens, self.max_len);
-        let p_dir = self.directive_model.predict_proba(&ids, &[valid])[0];
-        let p_priv = self.private_model.predict_proba(&ids, &[valid])[0];
-        let p_red = self.reduction_model.predict_proba(&ids, &[valid])[0];
-        let needs_directive = p_dir > 0.5;
+    /// Builds an advisor with freshly initialized, **untrained** weights.
+    ///
+    /// Inference latency does not depend on weight values, so benchmarks
+    /// (`pragformer-bench`'s `inference_latency`) use this to measure the
+    /// advise path without paying a training run. Predictions are
+    /// meaningless; everything else (tokenizer, bucketing, batching,
+    /// ComPar agreement) behaves exactly like a trained advisor.
+    pub fn untrained(scale: Scale, seed: u64) -> Advisor {
+        let db = generate(&scale.generator(seed));
+        let (min_freq, max_vocab) = scale.vocab_limits();
+        let max_len = scale.model(8).max_len;
+        let tokens: Vec<Vec<String>> =
+            db.records().iter().map(|r| tokens_for(&r.stmts, Representation::Text)).collect();
+        let vocab = Vocab::build(tokens.iter(), min_freq, max_vocab);
+        let cfg = scale.model(vocab.len());
+        let mut rng = SeededRng::new(seed);
+        Advisor {
+            directive_model: PragFormer::new(&cfg, &mut rng),
+            private_model: PragFormer::new(&cfg, &mut rng),
+            reduction_model: PragFormer::new(&cfg, &mut rng),
+            vocab,
+            max_len,
+        }
+    }
 
-        let compar = analyze_snippet(source, Strictness::Strict);
-        let compar_agrees = match &compar {
+    /// Classifies a C snippet. Errors if the snippet does not parse.
+    ///
+    /// Equivalent to — and implemented as — [`Advisor::advise_batch`]
+    /// over a batch of one.
+    pub fn advise(&mut self, source: &str) -> Result<Advice, ParseError> {
+        self.advise_batch(&[source]).pop().expect("advise_batch returns one result per snippet")
+    }
+
+    /// Classifies a whole batch of C snippets in one pass.
+    ///
+    /// Returns one `Result` per input snippet, in input order; snippets
+    /// that fail to parse report their [`ParseError`] without affecting
+    /// the rest of the batch.
+    ///
+    /// The pipeline: parallel parse/tokenize/encode + ComPar dependence
+    /// analysis on the persistent thread pool, then one batched forward
+    /// per (length bucket × model head). Probabilities are **bitwise
+    /// identical** to per-snippet [`Advisor::advise`] calls — batching
+    /// and length-bucketing never change an answer (see the module docs).
+    pub fn advise_batch(&mut self, sources: &[&str]) -> Vec<Result<Advice, ParseError>> {
+        // Phase 0 — dedup by source text: repeated snippets (ubiquitous
+        // in real translation units) go through the front-end and the
+        // models exactly once; only advice assembly runs per input.
+        let mut slot_of_source: std::collections::HashMap<&str, usize> =
+            std::collections::HashMap::with_capacity(sources.len());
+        let mut unique: Vec<&str> = Vec::with_capacity(sources.len());
+        let slots: Vec<usize> = sources
+            .iter()
+            .map(|&src| {
+                *slot_of_source.entry(src).or_insert_with(|| {
+                    unique.push(src);
+                    unique.len() - 1
+                })
+            })
+            .collect();
+
+        // Phase 1 — parallel front-end over unique snippets: parse,
+        // tokenize, encode and run the S2S dependence analysis.
+        struct Prepared {
+            /// Ids padded to `max_len` (buckets slice a prefix).
+            ids: Vec<usize>,
+            valid: usize,
+            compar: ComparResult,
+        }
+        let max_len = self.max_len;
+        let vocab = &self.vocab;
+        let prepared: Vec<Result<Prepared, ParseError>> = par_map_indexed(unique.len(), 4, |u| {
+            let stmts = parse_snippet(unique[u])?;
+            let tokens = tokens_for(&stmts, Representation::Text);
+            let (ids, valid) = vocab.encode(&tokens, max_len);
+            let compar = analyze_snippet(unique[u], Strictness::Strict);
+            Ok(Prepared { ids, valid, compar })
+        });
+
+        // Phase 2 — bucket parseable unique snippets by padded length.
+        let mut buckets: std::collections::BTreeMap<usize, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for (u, p) in prepared.iter().enumerate() {
+            if let Ok(p) = p {
+                buckets.entry(Self::bucket_len(p.valid, max_len)).or_default().push(u);
+            }
+        }
+
+        // Phase 3 — per bucket, one batched forward per model head.
+        // Distinct sources can still encode to identical id sequences
+        // (whitespace, comments), so the forward batch dedups again on
+        // the encoded key and fans results out.
+        let mut p_dir = vec![0.0f32; unique.len()];
+        let mut p_priv = vec![0.0f32; unique.len()];
+        let mut p_red = vec![0.0f32; unique.len()];
+        for (&seq, members) in &buckets {
+            let mut ids = Vec::new();
+            let mut valid = Vec::new();
+            // members[i] -> row in the deduplicated batch.
+            let mut row_of: Vec<usize> = Vec::with_capacity(members.len());
+            let mut seen: std::collections::HashMap<(&[usize], usize), usize> =
+                std::collections::HashMap::with_capacity(members.len());
+            for &u in members {
+                let p = prepared[u].as_ref().expect("bucket holds parsed snippets");
+                let key = (&p.ids[..seq], p.valid);
+                let next_row = seen.len();
+                let row = *seen.entry(key).or_insert_with(|| {
+                    ids.extend_from_slice(&p.ids[..seq]);
+                    valid.push(p.valid);
+                    next_row
+                });
+                row_of.push(row);
+            }
+            let dir = self.directive_model.predict_proba_batch(&ids, &valid, seq);
+            let priv_ = self.private_model.predict_proba_batch(&ids, &valid, seq);
+            let red = self.reduction_model.predict_proba_batch(&ids, &valid, seq);
+            for (slot, &u) in members.iter().enumerate() {
+                let row = row_of[slot];
+                p_dir[u] = dir[row];
+                p_priv[u] = priv_[row];
+                p_red[u] = red[row];
+            }
+        }
+
+        // Phase 4 — assemble per-input advice in input order (duplicates
+        // share their unique slot's front-end + model results).
+        slots
+            .into_iter()
+            .map(|u| match &prepared[u] {
+                Ok(p) => Ok(Self::build_advice(p_dir[u], p_priv[u], p_red[u], &p.compar)),
+                Err(e) => Err(e.clone()),
+            })
+            .collect()
+    }
+
+    /// Smallest power of two ≥ `valid` (and ≥ 2, for the CLS + one token
+    /// minimum), capped at `max_len`. Sequences padded to the bucket
+    /// length produce bitwise-identical predictions to `max_len` padding,
+    /// so the bucket choice is purely a throughput knob: a 9-token loop
+    /// in a 16-bucket does ~5% of the attention work `max_len = 72`
+    /// would.
+    fn bucket_len(valid: usize, max_len: usize) -> usize {
+        valid.max(2).next_power_of_two().min(max_len)
+    }
+
+    /// Turns the three head probabilities plus the S2S analysis into an
+    /// [`Advice`] (shared by the batched and single paths).
+    fn build_advice(p_dir: f32, p_priv: f32, p_red: f32, compar: &ComparResult) -> Advice {
+        let needs_directive = p_dir > 0.5;
+        let compar_agrees = match compar {
             ComparResult::ParseFailure(_) => None,
             other => Some(other.predicts_directive()),
         };
@@ -124,7 +282,7 @@ impl Advisor {
             // Clause variables come from the dependence analysis when it
             // succeeded; otherwise the clause is suggested without
             // variables (presence-only, like the paper's task definition).
-            let analyzed = match &compar {
+            let analyzed = match compar {
                 ComparResult::Parallelized(cd) => Some(cd.clone()),
                 _ => None,
             };
@@ -158,14 +316,14 @@ impl Advisor {
             None
         };
 
-        Ok(Advice {
+        Advice {
             needs_directive,
             confidence: if needs_directive { p_dir } else { 1.0 - p_dir },
             private_probability: p_priv,
             reduction_probability: p_red,
             compar_agrees,
             suggestion,
-        })
+        }
     }
 
     /// The tokenizer vocabulary size (for reports).
@@ -206,9 +364,7 @@ mod tests {
         let pos = advisor.advise("for (i = 0; i < n; i++) a[i] = b[i] + c[i];").unwrap();
         assert!(pos.confidence > 0.5);
         // An I/O loop.
-        let neg = advisor
-            .advise("for (i = 0; i < n; i++) printf(\"%d\\n\", a[i]);")
-            .unwrap();
+        let neg = advisor.advise("for (i = 0; i < n; i++) printf(\"%d\\n\", a[i]);").unwrap();
         // At tiny scale the model may err, but the call contract holds.
         assert!((0.0..=1.0).contains(&neg.private_probability));
         assert!((0.0..=1.0).contains(&neg.reduction_probability));
@@ -223,6 +379,99 @@ mod tests {
     fn advise_rejects_unparseable_code() {
         let mut advisor = shared().lock().unwrap();
         assert!(advisor.advise("for (i = 0; i < ; i++ {").is_err());
+    }
+
+    #[test]
+    fn advise_batch_matches_sequential_bitwise() {
+        let mut advisor = shared().lock().unwrap();
+        let snippets: Vec<&str> = vec![
+            "for (i = 0; i < n; i++) a[i] = b[i] + c[i];",
+            "for (i = 0; i < n; i++) printf(\"%d\\n\", a[i]);",
+            "for (i = 0; i < ; i++ {", // parse error mid-batch
+            "s = 0.0;\nfor (i = 0; i < n; i++) s += a[i] * b[i];",
+            "for (i = 0; i < n; i++)\n  for (j = 0; j < n; j++)\n    x[i] = x[i] + A[i][j] * y[j];",
+        ];
+        let batched = advisor.advise_batch(&snippets);
+        assert_eq!(batched.len(), snippets.len());
+        assert!(batched[2].is_err(), "parse error must surface in its slot");
+        for (i, src) in snippets.iter().enumerate() {
+            let single = advisor.advise(src);
+            match (&batched[i], &single) {
+                (Ok(b), Ok(s)) => {
+                    assert_eq!(b.needs_directive, s.needs_directive, "snippet {i}");
+                    assert_eq!(
+                        b.confidence.to_bits(),
+                        s.confidence.to_bits(),
+                        "snippet {i}: batched {} vs sequential {}",
+                        b.confidence,
+                        s.confidence
+                    );
+                    assert_eq!(b.private_probability.to_bits(), s.private_probability.to_bits());
+                    assert_eq!(
+                        b.reduction_probability.to_bits(),
+                        s.reduction_probability.to_bits()
+                    );
+                    assert_eq!(b.compar_agrees, s.compar_agrees);
+                    assert_eq!(
+                        b.suggestion.as_ref().map(|d| d.to_string()),
+                        s.suggestion.as_ref().map(|d| d.to_string())
+                    );
+                }
+                (Err(_), Err(_)) => {}
+                other => panic!("snippet {i}: batched/sequential disagree: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn advise_batch_of_empty_and_large_inputs() {
+        let mut advisor = shared().lock().unwrap();
+        assert!(advisor.advise_batch(&[]).is_empty());
+        // A batch large enough to exercise several buckets and the
+        // parallel front-end.
+        let snippets: Vec<String> = (0..32)
+            .map(|i| format!("for (i = 0; i < {}; i++) a[i] = a[i] * {};", 10 + i, i + 1))
+            .collect();
+        let refs: Vec<&str> = snippets.iter().map(|s| s.as_str()).collect();
+        let out = advisor.advise_batch(&refs);
+        assert_eq!(out.len(), 32);
+        for r in out {
+            let advice = r.expect("all snippets parse");
+            assert!((0.0..=1.0).contains(&advice.confidence));
+        }
+    }
+
+    #[test]
+    fn advise_batch_deduplicates_repeated_snippets_without_changing_results() {
+        let mut advisor = shared().lock().unwrap();
+        let unique = "for (i = 0; i < n; i++) a[i] = b[i] + c[i];";
+        // 1 idiom repeated 15 times + 1 distinct snippet.
+        let mut snippets = vec![unique; 15];
+        snippets.push("for (i = 0; i < n; i++) printf(\"%d\\n\", a[i]);");
+        let batched = advisor.advise_batch(&snippets);
+        let lone = advisor.advise(unique).unwrap();
+        for r in &batched[..15] {
+            let a = r.as_ref().unwrap();
+            assert_eq!(a.confidence.to_bits(), lone.confidence.to_bits());
+            assert_eq!(a.private_probability.to_bits(), lone.private_probability.to_bits());
+        }
+        let last = batched[15].as_ref().unwrap();
+        let lone_last = advisor.advise(snippets[15]).unwrap();
+        assert_eq!(last.confidence.to_bits(), lone_last.confidence.to_bits());
+    }
+
+    #[test]
+    fn bucket_len_is_monotone_and_capped() {
+        for max_len in [8usize, 48, 72, 110] {
+            let mut prev = 0;
+            for valid in 1..=max_len {
+                let b = Advisor::bucket_len(valid, max_len);
+                assert!(b >= valid, "bucket {b} < valid {valid}");
+                assert!(b <= max_len);
+                assert!(b >= prev, "bucket must be monotone in valid");
+                prev = b;
+            }
+        }
     }
 
     #[test]

@@ -42,15 +42,13 @@ pub fn encode_dataset(
     min_freq: usize,
     max_vocab: usize,
 ) -> EncodedDataset {
-    let tokens_of = |record_idx: usize| -> Vec<String> {
-        tokens_for(&db.records()[record_idx].stmts, repr)
-    };
+    let tokens_of =
+        |record_idx: usize| -> Vec<String> { tokens_for(&db.records()[record_idx].stmts, repr) };
     let train_tokens: Vec<Vec<String>> =
         ds.split.train.iter().map(|e| tokens_of(e.record)).collect();
     let valid_tokens: Vec<Vec<String>> =
         ds.split.valid.iter().map(|e| tokens_of(e.record)).collect();
-    let test_tokens: Vec<Vec<String>> =
-        ds.split.test.iter().map(|e| tokens_of(e.record)).collect();
+    let test_tokens: Vec<Vec<String>> = ds.split.test.iter().map(|e| tokens_of(e.record)).collect();
     let vocab = Vocab::build(train_tokens.iter(), min_freq, max_vocab);
     let encode = |tokens: &[Vec<String>], examples: &[pragformer_corpus::Example]| {
         tokens
@@ -65,12 +63,8 @@ pub fn encode_dataset(
     let train = encode(&train_tokens, &ds.split.train);
     let valid = encode(&valid_tokens, &ds.split.valid);
     let test = encode(&test_tokens, &ds.split.test);
-    let test_meta = ds
-        .split
-        .test
-        .iter()
-        .map(|e| (db.records()[e.record].line_count(), e.record))
-        .collect();
+    let test_meta =
+        ds.split.test.iter().map(|e| (db.records()[e.record].line_count(), e.record)).collect();
     EncodedDataset {
         vocab,
         train,
@@ -118,12 +112,7 @@ mod tests {
             }
         }
         // …while some test tokens are OOV (fresh identifiers).
-        let oov = enc
-            .test_tokens
-            .iter()
-            .flatten()
-            .filter(|t| !enc.vocab.contains(t))
-            .count();
+        let oov = enc.test_tokens.iter().flatten().filter(|t| !enc.vocab.contains(t)).count();
         assert!(oov > 0, "suspiciously zero OOV tokens");
     }
 

@@ -61,11 +61,7 @@ fn train_and_predict(
 }
 
 /// Batch prediction helper.
-pub fn predict_all(
-    model: &mut PragFormer,
-    examples: &[EncodedExample],
-    batch: usize,
-) -> Vec<bool> {
+pub fn predict_all(model: &mut PragFormer, examples: &[EncodedExample], batch: usize) -> Vec<bool> {
     let mut out = Vec::with_capacity(examples.len());
     for chunk in examples.chunks(batch.max(1)) {
         let seq = chunk[0].ids.len();
@@ -183,8 +179,7 @@ pub fn run_clause_experiment(
         .test
         .iter()
         .map(|ex| {
-            let result =
-                analyze_snippet(&db.records()[ex.record].code(), Strictness::Strict);
+            let result = analyze_snippet(&db.records()[ex.record].code(), Strictness::Strict);
             match kind {
                 pragformer_corpus::ClauseKind::Private => result.predicts_private(),
                 pragformer_corpus::ClauseKind::Reduction => result.predicts_reduction(),
@@ -298,12 +293,8 @@ mod tests {
     #[test]
     fn clause_experiment_end_to_end() {
         let db = tiny_db(12);
-        let out = run_clause_experiment(
-            &db,
-            pragformer_corpus::ClauseKind::Reduction,
-            Scale::Tiny,
-            2,
-        );
+        let out =
+            run_clause_experiment(&db, pragformer_corpus::ClauseKind::Reduction, Scale::Tiny, 2);
         // Balanced splits: both labels present.
         let c = out.pragformer.confusion;
         assert!(c.tp + c.fn_ > 0, "no positive labels {c:?}");
@@ -323,12 +314,7 @@ mod tests {
         assert_eq!(outcomes[0].suite, "PolyBench");
         assert_eq!(outcomes[1].suite, "SPEC-OMP");
         for o in &outcomes {
-            assert_eq!(
-                o.pragformer.confusion.total(),
-                o.compar.confusion.total(),
-                "{}",
-                o.suite
-            );
+            assert_eq!(o.pragformer.confusion.total(), o.compar.confusion.total(), "{}", o.suite);
         }
         // SPEC's register/typedef flavour must trip the strict front-end.
         assert!(outcomes[1].compar_parse_failures > 0);

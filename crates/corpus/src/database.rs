@@ -113,12 +113,8 @@ impl Database {
 
     /// Table 4 histogram over code-segment line counts.
     pub fn length_histogram(&self) -> LengthHistogram {
-        let mut h = LengthHistogram {
-            upto_10: 0,
-            from_11_to_50: 0,
-            from_51_to_100: 0,
-            over_100: 0,
-        };
+        let mut h =
+            LengthHistogram { upto_10: 0, from_11_to_50: 0, from_51_to_100: 0, over_100: 0 };
         for r in &self.records {
             match r.line_count() {
                 0..=10 => h.upto_10 += 1,
@@ -159,14 +155,10 @@ mod tests {
     #[test]
     fn stats_count_clauses() {
         let d_priv = OmpDirective::parallel_for().with(OmpClause::Private(vec!["j".into()]));
-        let d_red = OmpDirective::parallel_for().with(OmpClause::Reduction {
-            op: ReductionOp::Add,
-            vars: vec!["s".into()],
-        });
-        let d_dyn = OmpDirective::parallel_for().with(OmpClause::Schedule {
-            kind: ScheduleKind::Dynamic,
-            chunk: None,
-        });
+        let d_red = OmpDirective::parallel_for()
+            .with(OmpClause::Reduction { op: ReductionOp::Add, vars: vec!["s".into()] });
+        let d_dyn = OmpDirective::parallel_for()
+            .with(OmpClause::Schedule { kind: ScheduleKind::Dynamic, chunk: None });
         let mut db = Database::new();
         db.set_records(vec![
             mk(0, Some(d_priv), "for (i = 0; i < n; i++) a[i] = 0;"),

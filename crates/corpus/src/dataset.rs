@@ -218,9 +218,8 @@ mod tests {
     fn stratification_preserves_label_mix() {
         let db = db();
         let ds = Dataset::directive(&db, 3);
-        let frac = |v: &[Example]| {
-            v.iter().filter(|e| e.label).count() as f64 / v.len().max(1) as f64
-        };
+        let frac =
+            |v: &[Example]| v.iter().filter(|e| e.label).count() as f64 / v.len().max(1) as f64;
         let overall = frac(&ds.split.train);
         assert!((frac(&ds.split.valid) - overall).abs() < 0.08);
         assert!((frac(&ds.split.test) - overall).abs() < 0.08);

@@ -73,20 +73,17 @@ pub fn import(root: &Path) -> io::Result<Vec<Record>> {
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad id: {e}")))?;
         let dir = root.join(format!("{id:08}"));
         let code = std::fs::read_to_string(dir.join("code.c"))?;
-        let stmts = parse_snippet(&code).map_err(|e| {
-            io::Error::new(io::ErrorKind::InvalidData, format!("record {id}: {e}"))
-        })?;
+        let stmts = parse_snippet(&code)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("record {id}: {e}")))?;
         let pragma_path = dir.join("pragma.c");
         let directive = if pragma_path.exists() {
             let text = std::fs::read_to_string(&pragma_path)?;
             let stripped = text.trim().strip_prefix("#pragma omp").ok_or_else(|| {
                 io::Error::new(io::ErrorKind::InvalidData, format!("record {id}: bad pragma"))
             })?;
-            Some(
-                pragformer_cparse::omp::OmpDirective::parse(stripped).map_err(|e| {
-                    io::Error::new(io::ErrorKind::InvalidData, format!("record {id}: {e}"))
-                })?,
-            )
+            Some(pragformer_cparse::omp::OmpDirective::parse(stripped).map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("record {id}: {e}"))
+            })?)
         } else {
             None
         };
@@ -116,7 +113,8 @@ mod tests {
     use crate::generator::{generate, GeneratorConfig};
 
     fn tmpdir(name: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!("openomp_export_{name}_{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("openomp_export_{name}_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }

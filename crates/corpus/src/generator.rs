@@ -16,8 +16,15 @@ use rand::{Rng, SeedableRng};
 /// "lack of association of functions … in the code segments" the paper
 /// blames for ComPar's misses (§5.2).
 const PROJECT_FUNCS: &[&str] = &[
-    "update_cell", "compute_flux", "interpolate", "advance", "eval_rhs",
-    "transform_point", "body_force", "smooth_value", "lookup_coeff",
+    "update_cell",
+    "compute_flux",
+    "interpolate",
+    "advance",
+    "eval_rhs",
+    "transform_point",
+    "body_force",
+    "smooth_value",
+    "lookup_coeff",
 ];
 
 /// Struct field names for the struct-of-arrays realism pass.
@@ -68,9 +75,7 @@ fn roughen(out: &mut TemplateOutput, rng: &mut StdRng) {
     if let Some(directive) = &mut out.directive {
         if !directive.has_private() && rng.gen::<f32>() < 0.28 {
             if let Some(var) = outer_loop_var(&out.stmts) {
-                directive
-                    .clauses
-                    .push(pragformer_cparse::omp::OmpClause::Private(vec![var]));
+                directive.clauses.push(pragformer_cparse::omp::OmpClause::Private(vec![var]));
             }
         }
     }
@@ -103,10 +108,7 @@ fn macroize_loop_bounds(s: &mut Stmt) {
         if let Some(Expr::Binary { r, .. }) = cond {
             if let Expr::Id(bound) = r.as_ref() {
                 let bound = bound.clone();
-                **r = Expr::call(
-                    "POLYBENCH_LOOP_BOUND",
-                    vec![Expr::int(4000), Expr::id(bound)],
-                );
+                **r = Expr::call("POLYBENCH_LOOP_BOUND", vec![Expr::int(4000), Expr::id(bound)]);
             }
         }
         macroize_loop_bounds(body);
@@ -245,10 +247,7 @@ fn structify_expr(e: &mut Expr, field: &str) {
         // Only 1-D element accesses become struct fields; 2-D matrices
         // stay plain. Subscripts are left untouched.
         if matches!(base.as_ref(), Expr::Id(_)) && !matches!(idx.as_ref(), Expr::Index { .. }) {
-            let inner = std::mem::replace(
-                e,
-                Expr::Id(String::new()),
-            );
+            let inner = std::mem::replace(e, Expr::Id(String::new()));
             *e = Expr::Member { base: Box::new(inner), field: field.to_string(), arrow: false };
         }
     }
@@ -351,12 +350,8 @@ mod tests {
     fn different_seeds_differ() {
         let a = generate(&GeneratorConfig { target_records: 50, seed: 1, ..Default::default() });
         let b = generate(&GeneratorConfig { target_records: 50, seed: 2, ..Default::default() });
-        let same = a
-            .records()
-            .iter()
-            .zip(b.records())
-            .filter(|(x, y)| x.code() == y.code())
-            .count();
+        let same =
+            a.records().iter().zip(b.records()).filter(|(x, y)| x.code() == y.code()).count();
         assert!(same < 10, "{same} identical records across seeds");
     }
 

@@ -47,8 +47,19 @@ const SCALAR_NAMES: &[&str] = &[
     "mean", "norm", "maxval", "minval", "best", "err",
 ];
 const FUNC_NAMES: &[&str] = &[
-    "compute", "process", "update", "calc", "evaluate", "transform", "kernel", "apply", "work",
-    "Calc", "MoreCalc", "heavy_compute", "step",
+    "compute",
+    "process",
+    "update",
+    "calc",
+    "evaluate",
+    "transform",
+    "kernel",
+    "apply",
+    "work",
+    "Calc",
+    "MoreCalc",
+    "heavy_compute",
+    "step",
 ];
 const ODD_SUFFIXES: &[&str] = &["_loc", "2", "_new", "Val", "_buf", "3", "_tmp", "Q"];
 

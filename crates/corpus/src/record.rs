@@ -100,12 +100,12 @@ mod tests {
         assert!(!neg.has_directive() && !neg.has_private() && !neg.has_reduction());
 
         let pos = record_with(Some(
-            OmpDirective::parallel_for()
-                .with(OmpClause::Private(vec!["j".into()]))
-                .with(OmpClause::Reduction {
+            OmpDirective::parallel_for().with(OmpClause::Private(vec!["j".into()])).with(
+                OmpClause::Reduction {
                     op: pragformer_cparse::omp::ReductionOp::Add,
                     vars: vec!["s".into()],
-                }),
+                },
+            ),
         ));
         assert!(pos.has_directive() && pos.has_private() && pos.has_reduction());
     }

@@ -52,7 +52,11 @@ fn suite(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut records = Vec::with_capacity(n_pos + n_neg);
     let mut db = Database::new();
-    let emit = |templates: &[Template], want: usize, rng: &mut StdRng, records: &mut Vec<Record>, db: &mut Database| {
+    let emit = |templates: &[Template],
+                want: usize,
+                rng: &mut StdRng,
+                records: &mut Vec<Record>,
+                db: &mut Database| {
         let mut made = 0usize;
         let mut guard = 0usize;
         while made < want && guard < want * 6 + 64 {
@@ -96,10 +100,8 @@ fn wrap_loop_bounds(s: &mut Stmt, c: i64) {
     if let Stmt::For { cond, body, .. } = s {
         if let Some(Expr::Binary { r, .. }) = cond {
             if let Expr::Id(bound) = r.as_ref() {
-                **r = Expr::call(
-                    "POLYBENCH_LOOP_BOUND",
-                    vec![Expr::int(c), Expr::id(bound.clone())],
-                );
+                **r =
+                    Expr::call("POLYBENCH_LOOP_BOUND", vec![Expr::int(c), Expr::id(bound.clone())]);
             }
         }
         wrap_loop_bounds(body, c);
@@ -122,12 +124,7 @@ fn spec_style(rng: &mut StdRng, mut out: TemplateOutput) -> TemplateOutput {
             ty.is_register = true;
             out.stmts.insert(
                 0,
-                Stmt::Decl(vec![Decl {
-                    name: var,
-                    ty,
-                    array_dims: vec![],
-                    init: None,
-                }]),
+                Stmt::Decl(vec![Decl { name: var, ty, array_dims: vec![], init: None }]),
             );
         }
     } else if roll < 0.75 {
@@ -185,10 +182,9 @@ fn cast_loop_bounds(s: &mut Stmt, ty_name: &str) {
 pub fn spec_colormap_example() -> Record {
     let src = "for (i = 0; i < ((ssize_t) colors); i++)\n    colormap[i] = (IndexPacket) i;";
     let stmts = pragformer_cparse::parse_snippet(src).expect("fixed example parses");
-    let directive = pragformer_cparse::omp::OmpDirective::parse(
-        " parallel for schedule(dynamic,4)",
-    )
-    .expect("fixed directive parses");
+    let directive =
+        pragformer_cparse::omp::OmpDirective::parse(" parallel for schedule(dynamic,4)")
+            .expect("fixed directive parses");
     Record {
         id: usize::MAX,
         stmts,
@@ -241,19 +237,15 @@ mod tests {
     #[test]
     fn polybench_uses_bound_macros() {
         let db = polybench(3);
-        let with_macro = db
-            .records()
-            .iter()
-            .filter(|r| r.code().contains("POLYBENCH_LOOP_BOUND"))
-            .count();
+        let with_macro =
+            db.records().iter().filter(|r| r.code().contains("POLYBENCH_LOOP_BOUND")).count();
         assert!(with_macro > db.len() / 4, "only {with_macro} macro'd records");
     }
 
     #[test]
     fn spec_has_register_and_typedef_casts() {
         let db = spec_omp(4);
-        let with_register =
-            db.records().iter().filter(|r| r.code().contains("register ")).count();
+        let with_register = db.records().iter().filter(|r| r.code().contains("register ")).count();
         let with_cast = db
             .records()
             .iter()

@@ -90,11 +90,7 @@ pub(crate) fn pure_helper(name: &str, pool: &mut NamePool) -> FuncDef {
     let c2 = pool.int_in(1, 7);
     let body = Stmt::Compound(vec![Stmt::Return(Some(Expr::bin(
         BinOp::Add,
-        Expr::bin(
-            BinOp::Mul,
-            Expr::id(v),
-            Expr::bin(BinOp::Add, Expr::id(v), Expr::int(c1)),
-        ),
+        Expr::bin(BinOp::Mul, Expr::id(v), Expr::bin(BinOp::Add, Expr::id(v), Expr::int(c1))),
         Expr::int(c2),
     )))]);
     FuncDef {
@@ -182,11 +178,7 @@ pub(crate) fn sample_padding_public(pool: &mut NamePool) -> usize {
 }
 
 /// Crate-visible re-export of [`padding_stmts`] for the generator.
-pub(crate) fn padding_stmts_public(
-    pool: &mut NamePool,
-    loop_var: &str,
-    count: usize,
-) -> Vec<Stmt> {
+pub(crate) fn padding_stmts_public(pool: &mut NamePool, loop_var: &str, count: usize) -> Vec<Stmt> {
     padding_stmts(pool, loop_var, count)
 }
 
@@ -256,9 +248,8 @@ mod tests {
     fn helper_functions_print_and_parse() {
         let mut pool = NamePool::new(5);
         let f = pure_helper("f", &mut pool);
-        let tu = pragformer_cparse::TranslationUnit {
-            items: vec![pragformer_cparse::Item::Func(f)],
-        };
+        let tu =
+            pragformer_cparse::TranslationUnit { items: vec![pragformer_cparse::Item::Func(f)] };
         let printed = pragformer_cparse::printer::print_translation_unit(&tu);
         assert!(pragformer_cparse::parse_translation_unit(&printed).is_ok(), "{printed}");
     }
@@ -268,8 +259,8 @@ mod tests {
         let mut pool = NamePool::new(11);
         let sizes: Vec<usize> = (0..2000).map(|_| sample_padding(&mut pool)).collect();
         let small = sizes.iter().filter(|s| **s <= 3).count() as f64 / sizes.len() as f64;
-        let medium = sizes.iter().filter(|s| **s >= 8 && **s <= 44).count() as f64
-            / sizes.len() as f64;
+        let medium =
+            sizes.iter().filter(|s| **s >= 8 && **s <= 44).count() as f64 / sizes.len() as f64;
         let big = sizes.iter().filter(|s| **s >= 48).count() as f64 / sizes.len() as f64;
         assert!((0.50..0.62).contains(&small), "small fraction {small}");
         assert!((0.28..0.42).contains(&medium), "medium fraction {medium}");

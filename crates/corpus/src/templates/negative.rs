@@ -34,11 +34,7 @@ fn io_print(pool: &mut NamePool) -> TemplateOutput {
     let (i, n, x) = (pool.loop_var(), pool.bound(), pool.array());
     let print_call = Stmt::Expr(Expr::call(
         "fprintf",
-        vec![
-            Expr::id("stderr"),
-            Expr::StrLit("%0.2lf ".into()),
-            idx(&x, &i),
-        ],
+        vec![Expr::id("stderr"), Expr::StrLit("%0.2lf ".into()), idx(&x, &i)],
     ));
     let body = if pool.chance(0.5) {
         Stmt::Compound(vec![
@@ -57,10 +53,7 @@ fn io_print(pool: &mut NamePool) -> TemplateOutput {
             },
         ])
     } else {
-        Stmt::Expr(Expr::call(
-            "printf",
-            vec![Expr::StrLit("%d ".into()), idx(&x, &i)],
-        ))
+        Stmt::Expr(Expr::call("printf", vec![Expr::StrLit("%d ".into()), idx(&x, &i)]))
     };
     TemplateOutput {
         stmts: vec![count_loop(&i, Expr::id(&n), body)],
@@ -102,17 +95,15 @@ fn io_read(pool: &mut NamePool) -> TemplateOutput {
 /// File writes in a loop (`fwrite`/`fputs`).
 fn file_batch(pool: &mut NamePool) -> TemplateOutput {
     let (i, n, buf) = (pool.loop_var(), pool.bound(), pool.array());
-    let body = Stmt::Compound(vec![
-        Stmt::Expr(Expr::call(
-            "fwrite",
-            vec![
-                Expr::Unary { op: UnOp::AddrOf, expr: Box::new(idx(&buf, &i)) },
-                Expr::Sizeof(Box::new(pragformer_cparse::SizeofArg::Type(double_ty()))),
-                Expr::int(1),
-                Expr::id("fp"),
-            ],
-        )),
-    ]);
+    let body = Stmt::Compound(vec![Stmt::Expr(Expr::call(
+        "fwrite",
+        vec![
+            Expr::Unary { op: UnOp::AddrOf, expr: Box::new(idx(&buf, &i)) },
+            Expr::Sizeof(Box::new(pragformer_cparse::SizeofArg::Type(double_ty()))),
+            Expr::int(1),
+            Expr::id("fp"),
+        ],
+    ))]);
     TemplateOutput {
         stmts: vec![count_loop(&i, Expr::id(&n), body)],
         helpers: vec![],
@@ -124,10 +115,7 @@ fn file_batch(pool: &mut NamePool) -> TemplateOutput {
 /// `a[i] = a[i-1] + b[i];` — classic flow dependence.
 fn loop_carried_flow(pool: &mut NamePool) -> TemplateOutput {
     let (i, n, a, b) = (pool.loop_var(), pool.bound(), pool.array(), pool.array());
-    let prev = Expr::index(
-        Expr::id(&a),
-        Expr::bin(BinOp::Sub, Expr::id(&i), Expr::int(1)),
-    );
+    let prev = Expr::index(Expr::id(&a), Expr::bin(BinOp::Sub, Expr::id(&i), Expr::int(1)));
     let body = assign_stmt(idx(&a, &i), Expr::bin(BinOp::Add, prev, idx(&b, &i)));
     let outer = Stmt::For {
         init: ForInit::Expr(Expr::assign(Expr::id(&i), Expr::int(1))),
@@ -162,7 +150,12 @@ fn in_place_stencil(pool: &mut NamePool) -> TemplateOutput {
         step: Some(Expr::Unary { op: UnOp::PostInc, expr: Box::new(Expr::id(&i)) }),
         body: Box::new(body),
     };
-    TemplateOutput { stmts: vec![outer], helpers: vec![], directive: None, template: "neg/in_place_stencil" }
+    TemplateOutput {
+        stmts: vec![outer],
+        helpers: vec![],
+        directive: None,
+        template: "neg/in_place_stencil",
+    }
 }
 
 /// Prefix sum where the running value is *stored per iteration* — an
@@ -194,7 +187,12 @@ fn recurrence_fib(pool: &mut NamePool) -> TemplateOutput {
         step: Some(Expr::Unary { op: UnOp::PostInc, expr: Box::new(Expr::id(&i)) }),
         body: Box::new(body),
     };
-    TemplateOutput { stmts: vec![outer], helpers: vec![], directive: None, template: "neg/recurrence_fib" }
+    TemplateOutput {
+        stmts: vec![outer],
+        helpers: vec![],
+        directive: None,
+        template: "neg/recurrence_fib",
+    }
 }
 
 /// `a[i+1] = a[i] * c;` — write hits the next iteration's read.
@@ -213,7 +211,12 @@ fn stride_dependence(pool: &mut NamePool) -> TemplateOutput {
         step: Some(Expr::Unary { op: UnOp::PostInc, expr: Box::new(Expr::id(&i)) }),
         body: Box::new(body),
     };
-    TemplateOutput { stmts: vec![outer], helpers: vec![], directive: None, template: "neg/stride_dependence" }
+    TemplateOutput {
+        stmts: vec![outer],
+        helpers: vec![],
+        directive: None,
+        template: "neg/stride_dependence",
+    }
 }
 
 /// Running maximum stored per element — ordered, unlike `reduction(max:)`.
@@ -241,13 +244,14 @@ fn induction_pointer(pool: &mut NamePool) -> TemplateOutput {
     let (i, n) = (pool.loop_var(), pool.bound());
     let (a, b, pos, step) = (pool.array(), pool.array(), pool.scalar(), pool.scalar());
     let body = Stmt::Compound(vec![
-        assign_stmt(
-            Expr::index(Expr::id(&b), Expr::id(&pos)),
-            idx(&a, &i),
-        ),
+        assign_stmt(Expr::index(Expr::id(&b), Expr::id(&pos)), idx(&a, &i)),
         add_assign_stmt(
             Expr::id(&pos),
-            Expr::bin(BinOp::Add, Expr::id(&step), Expr::bin(BinOp::Mod, idx(&a, &i), Expr::int(3))),
+            Expr::bin(
+                BinOp::Add,
+                Expr::id(&step),
+                Expr::bin(BinOp::Mod, idx(&a, &i), Expr::int(3)),
+            ),
         ),
     ]);
     TemplateOutput {
@@ -262,10 +266,8 @@ fn induction_pointer(pool: &mut NamePool) -> TemplateOutput {
 fn small_trip(pool: &mut NamePool) -> TemplateOutput {
     let (i, a) = (pool.loop_var(), pool.array());
     let n = pool.int_in(2, 8);
-    let body = assign_stmt(
-        idx(&a, &i),
-        Expr::bin(BinOp::Mul, Expr::id(&i), Expr::int(pool.int_in(1, 5))),
-    );
+    let body =
+        assign_stmt(idx(&a, &i), Expr::bin(BinOp::Mul, Expr::id(&i), Expr::int(pool.int_in(1, 5))));
     TemplateOutput {
         stmts: vec![count_loop(&i, Expr::int(n), body)],
         helpers: vec![],
@@ -404,11 +406,7 @@ fn reverse_overlap(pool: &mut NamePool) -> TemplateOutput {
     let (i, n, a) = (pool.loop_var(), pool.bound(), pool.array());
     let mirrored = Expr::index(
         Expr::id(&a),
-        Expr::bin(
-            BinOp::Sub,
-            Expr::bin(BinOp::Sub, Expr::id(&n), Expr::int(1)),
-            Expr::id(&i),
-        ),
+        Expr::bin(BinOp::Sub, Expr::bin(BinOp::Sub, Expr::id(&n), Expr::int(1)), Expr::id(&i)),
     );
     let body = assign_stmt(idx(&a, &i), mirrored);
     TemplateOutput {

@@ -98,11 +98,7 @@ fn reverse_copy(pool: &mut NamePool) -> TemplateOutput {
     let (i, n, a, b) = (pool.loop_var(), pool.bound(), pool.array(), pool.array());
     let mirrored = Expr::index(
         Expr::id(&a),
-        Expr::bin(
-            BinOp::Sub,
-            Expr::bin(BinOp::Sub, Expr::id(&n), Expr::int(1)),
-            Expr::id(&i),
-        ),
+        Expr::bin(BinOp::Sub, Expr::bin(BinOp::Sub, Expr::id(&n), Expr::int(1)), Expr::id(&i)),
     );
     let body = assign_stmt(idx(&b, &i), mirrored);
     TemplateOutput {
@@ -167,11 +163,7 @@ fn vec_scale(pool: &mut NamePool) -> TemplateOutput {
 fn axpy(pool: &mut NamePool) -> TemplateOutput {
     let (i, n) = (pool.loop_var(), pool.bound());
     let (x, y, a) = (pool.array(), pool.array(), pool.scalar());
-    let rhs = Expr::bin(
-        BinOp::Add,
-        Expr::bin(BinOp::Mul, Expr::id(&a), idx(&x, &i)),
-        idx(&y, &i),
-    );
+    let rhs = Expr::bin(BinOp::Add, Expr::bin(BinOp::Mul, Expr::id(&a), idx(&x, &i)), idx(&y, &i));
     let body = pad_body(pool, &i, vec![assign_stmt(idx(&y, &i), rhs)]);
     TemplateOutput {
         stmts: vec![count_loop(&i, Expr::id(&n), body)],
@@ -185,11 +177,7 @@ fn axpy(pool: &mut NamePool) -> TemplateOutput {
 fn triad(pool: &mut NamePool) -> TemplateOutput {
     let (i, n) = (pool.loop_var(), pool.bound());
     let (a, b, c, s) = (pool.array(), pool.array(), pool.array(), pool.scalar());
-    let rhs = Expr::bin(
-        BinOp::Add,
-        idx(&b, &i),
-        Expr::bin(BinOp::Mul, Expr::id(&s), idx(&c, &i)),
-    );
+    let rhs = Expr::bin(BinOp::Add, idx(&b, &i), Expr::bin(BinOp::Mul, Expr::id(&s), idx(&c, &i)));
     let body = pad_body(pool, &i, vec![assign_stmt(idx(&a, &i), rhs)]);
     TemplateOutput {
         stmts: vec![count_loop(&i, Expr::id(&n), body)],
@@ -203,11 +191,7 @@ fn triad(pool: &mut NamePool) -> TemplateOutput {
 fn elementwise_math(pool: &mut NamePool) -> TemplateOutput {
     let (i, n, x, y) = (pool.loop_var(), pool.bound(), pool.array(), pool.array());
     let f = *pool.pick(&["sqrt", "exp", "fabs", "log", "sin", "cos"]);
-    let body = pad_body(
-        pool,
-        &i,
-        vec![assign_stmt(idx(&y, &i), Expr::call(f, vec![idx(&x, &i)]))],
-    );
+    let body = pad_body(pool, &i, vec![assign_stmt(idx(&y, &i), Expr::call(f, vec![idx(&x, &i)]))]);
     TemplateOutput {
         stmts: vec![count_loop(&i, Expr::id(&n), body)],
         helpers: vec![],
@@ -224,11 +208,7 @@ fn polynomial(pool: &mut NamePool) -> TemplateOutput {
         BinOp::Add,
         Expr::bin(
             BinOp::Mul,
-            Expr::bin(
-                BinOp::Add,
-                Expr::bin(BinOp::Mul, Expr::int(c2), idx(&x, &i)),
-                Expr::int(c1),
-            ),
+            Expr::bin(BinOp::Add, Expr::bin(BinOp::Mul, Expr::int(c2), idx(&x, &i)), Expr::int(c1)),
             idx(&x, &i),
         ),
         Expr::int(c0),
@@ -244,7 +224,8 @@ fn polynomial(pool: &mut NamePool) -> TemplateOutput {
 
 /// `b[i] = a[i] > t ? a[i] : 0;` — branch without cross-iteration state.
 fn conditional_assign(pool: &mut NamePool) -> TemplateOutput {
-    let (i, n, a, b, t) = (pool.loop_var(), pool.bound(), pool.array(), pool.array(), pool.scalar());
+    let (i, n, a, b, t) =
+        (pool.loop_var(), pool.bound(), pool.array(), pool.array(), pool.scalar());
     let rhs = Expr::Ternary {
         cond: Box::new(Expr::bin(BinOp::Gt, idx(&a, &i), Expr::id(&t))),
         then: Box::new(idx(&a, &i)),
@@ -267,10 +248,7 @@ fn matvec_private(pool: &mut NamePool) -> TemplateOutput {
     let inner = count_loop(
         &j,
         Expr::id(&m),
-        add_assign_stmt(
-            Expr::id(&s),
-            Expr::bin(BinOp::Mul, idx2(&mat, &i, &j), idx(&x, &j)),
-        ),
+        add_assign_stmt(Expr::id(&s), Expr::bin(BinOp::Mul, idx2(&mat, &i, &j), idx(&x, &j))),
     );
     let body = Stmt::Compound(vec![
         assign_stmt(Expr::id(&s), flit(0.0)),
@@ -278,14 +256,9 @@ fn matvec_private(pool: &mut NamePool) -> TemplateOutput {
         assign_stmt(idx(&y, &i), Expr::id(&s)),
     ]);
     TemplateOutput {
-        stmts: vec![
-            decl(double_ty(), &s, None),
-            count_loop(&i, Expr::id(&n), body),
-        ],
+        stmts: vec![decl(double_ty(), &s, None), count_loop(&i, Expr::id(&n), body)],
         helpers: vec![],
-        directive: Some(
-            plain_for().with(OmpClause::Private(vec![j.clone(), s.clone()])),
-        ),
+        directive: Some(plain_for().with(OmpClause::Private(vec![j.clone(), s.clone()]))),
         template: "pos/matvec_private",
     }
 }
@@ -415,10 +388,7 @@ fn reduction_scaffold(
     TemplateOutput {
         stmts,
         helpers: vec![],
-        directive: Some(plain_for().with(OmpClause::Reduction {
-            op,
-            vars: vec![acc.to_string()],
-        })),
+        directive: Some(plain_for().with(OmpClause::Reduction { op, vars: vec![acc.to_string()] })),
         template,
     }
 }
@@ -427,10 +397,7 @@ fn reduction_scaffold(
 fn dot_reduction(pool: &mut NamePool) -> TemplateOutput {
     let (i, n) = (pool.loop_var(), pool.bound());
     let (a, b, s) = (pool.array(), pool.array(), pool.scalar());
-    let body = add_assign_stmt(
-        Expr::id(&s),
-        Expr::bin(BinOp::Mul, idx(&a, &i), idx(&b, &i)),
-    );
+    let body = add_assign_stmt(Expr::id(&s), Expr::bin(BinOp::Mul, idx(&a, &i), idx(&b, &i)));
     reduction_scaffold(pool, ReductionOp::Add, &s, flit(0.0), body, &i, &n, "pos/dot_reduction")
 }
 
@@ -446,10 +413,7 @@ fn sum_reduction(pool: &mut NamePool) -> TemplateOutput {
 fn norm_reduction(pool: &mut NamePool) -> TemplateOutput {
     let (i, n) = (pool.loop_var(), pool.bound());
     let (a, s) = (pool.array(), pool.scalar());
-    let body = add_assign_stmt(
-        Expr::id(&s),
-        Expr::bin(BinOp::Mul, idx(&a, &i), idx(&a, &i)),
-    );
+    let body = add_assign_stmt(Expr::id(&s), Expr::bin(BinOp::Mul, idx(&a, &i), idx(&a, &i)));
     reduction_scaffold(pool, ReductionOp::Add, &s, flit(0.0), body, &i, &n, "pos/norm_reduction")
 }
 
@@ -504,14 +468,19 @@ fn count_reduction(pool: &mut NamePool) -> TemplateOutput {
     let (a, c, t) = (pool.array(), pool.scalar(), pool.scalar());
     let body = Stmt::If {
         cond: Expr::bin(BinOp::Gt, idx(&a, &i), Expr::id(&t)),
-        then: Box::new(Stmt::Expr(Expr::Unary {
-            op: UnOp::PostInc,
-            expr: Box::new(Expr::id(&c)),
-        })),
+        then: Box::new(Stmt::Expr(Expr::Unary { op: UnOp::PostInc, expr: Box::new(Expr::id(&c)) })),
         else_: None,
     };
-    let mut out =
-        reduction_scaffold(pool, ReductionOp::Add, &c, Expr::int(0), body, &i, &n, "pos/count_reduction");
+    let mut out = reduction_scaffold(
+        pool,
+        ReductionOp::Add,
+        &c,
+        Expr::int(0),
+        body,
+        &i,
+        &n,
+        "pos/count_reduction",
+    );
     out.stmts[0] = decl(int_ty(), &c, Some(Expr::int(0)));
     out
 }
@@ -545,10 +514,9 @@ fn imbalanced_dynamic(pool: &mut NamePool) -> TemplateOutput {
     TemplateOutput {
         stmts: vec![count_loop(&i, Expr::id(&n), body)],
         helpers: vec![helper],
-        directive: Some(plain_for().with(OmpClause::Schedule {
-            kind: ScheduleKind::Dynamic,
-            chunk,
-        })),
+        directive: Some(
+            plain_for().with(OmpClause::Schedule { kind: ScheduleKind::Dynamic, chunk }),
+        ),
         template: "pos/imbalanced_dynamic",
     }
 }
@@ -577,10 +545,7 @@ fn private_temporary(pool: &mut NamePool) -> TemplateOutput {
     let (i, n) = (pool.loop_var(), pool.bound());
     let (a, b, tmp) = (pool.array(), pool.array(), pool.scalar());
     let body = Stmt::Compound(vec![
-        assign_stmt(
-            Expr::id(&tmp),
-            Expr::bin(BinOp::Add, idx(&a, &i), flit(1.5)),
-        ),
+        assign_stmt(Expr::id(&tmp), Expr::bin(BinOp::Add, idx(&a, &i), flit(1.5))),
         assign_stmt(idx(&b, &i), Expr::bin(BinOp::Mul, Expr::id(&tmp), Expr::id(&tmp))),
     ]);
     TemplateOutput {

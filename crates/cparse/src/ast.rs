@@ -224,10 +224,24 @@ pub enum ForInit {
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum BinOp {
-    Add, Sub, Mul, Div, Mod,
-    Lt, Gt, Le, Ge, Eq, Ne,
-    And, Or,
-    BitAnd, BitOr, BitXor, Shl, Shr,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
 }
 
 impl BinOp {
@@ -235,10 +249,24 @@ impl BinOp {
     pub fn as_str(self) -> &'static str {
         use BinOp::*;
         match self {
-            Add => "+", Sub => "-", Mul => "*", Div => "/", Mod => "%",
-            Lt => "<", Gt => ">", Le => "<=", Ge => ">=", Eq => "==",
-            Ne => "!=", And => "&&", Or => "||", BitAnd => "&",
-            BitOr => "|", BitXor => "^", Shl => "<<", Shr => ">>",
+            Add => "+",
+            Sub => "-",
+            Mul => "*",
+            Div => "/",
+            Mod => "%",
+            Lt => "<",
+            Gt => ">",
+            Le => "<=",
+            Ge => ">=",
+            Eq => "==",
+            Ne => "!=",
+            And => "&&",
+            Or => "||",
+            BitAnd => "&",
+            BitOr => "|",
+            BitXor => "^",
+            Shl => "<<",
+            Shr => ">>",
         }
     }
 }
@@ -248,7 +276,15 @@ impl BinOp {
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum UnOp {
-    Neg, Not, BitNot, PreInc, PreDec, PostInc, PostDec, Deref, AddrOf,
+    Neg,
+    Not,
+    BitNot,
+    PreInc,
+    PreDec,
+    PostInc,
+    PostDec,
+    Deref,
+    AddrOf,
 }
 
 impl UnOp {
@@ -256,9 +292,15 @@ impl UnOp {
     pub fn as_str(self) -> &'static str {
         use UnOp::*;
         match self {
-            Neg => "-", Not => "!", BitNot => "~", PreInc => "++",
-            PreDec => "--", PostInc => "p++", PostDec => "p--",
-            Deref => "*", AddrOf => "&",
+            Neg => "-",
+            Not => "!",
+            BitNot => "~",
+            PreInc => "++",
+            PreDec => "--",
+            PostInc => "p++",
+            PostDec => "p--",
+            Deref => "*",
+            AddrOf => "&",
         }
     }
 }
@@ -267,7 +309,17 @@ impl UnOp {
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum AssignOp {
-    Assign, Add, Sub, Mul, Div, Mod, Shl, Shr, BitAnd, BitOr, BitXor,
+    Assign,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Shl,
+    Shr,
+    BitAnd,
+    BitOr,
+    BitXor,
 }
 
 impl AssignOp {
@@ -275,9 +327,17 @@ impl AssignOp {
     pub fn as_str(self) -> &'static str {
         use AssignOp::*;
         match self {
-            Assign => "=", Add => "+=", Sub => "-=", Mul => "*=",
-            Div => "/=", Mod => "%=", Shl => "<<=", Shr => ">>=",
-            BitAnd => "&=", BitOr => "|=", BitXor => "^=",
+            Assign => "=",
+            Add => "+=",
+            Sub => "-=",
+            Mul => "*=",
+            Div => "/=",
+            Mod => "%=",
+            Shl => "<<=",
+            Shr => ">>=",
+            BitAnd => "&=",
+            BitOr => "|=",
+            BitXor => "^=",
         }
     }
 

@@ -236,10 +236,8 @@ mod tests {
 
     #[test]
     fn paper_table2_if_example_shape() {
-        let stmts = parse_snippet(
-            "for (i = 0; i <= N; i++)\n  if (MoreCalc(i))\n    Calc(i);",
-        )
-        .unwrap();
+        let stmts =
+            parse_snippet("for (i = 0; i <= N; i++)\n  if (MoreCalc(i))\n    Calc(i);").unwrap();
         let labels = serialize_stmts(&stmts);
         let flat = flat(&labels);
         assert!(flat.starts_with("For: Assignment: = ID: i Constant: int, 0 BinaryOp: <="));

@@ -32,10 +32,39 @@ pub enum Token {
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum Keyword {
-    Void, Char, Short, Int, Long, Float, Double, Signed, Unsigned,
-    For, While, Do, If, Else, Return, Break, Continue,
-    Const, Static, Register, Volatile, Extern, Struct, Union, Enum,
-    Typedef, Sizeof, Goto, Switch, Case, Default, Inline, Restrict,
+    Void,
+    Char,
+    Short,
+    Int,
+    Long,
+    Float,
+    Double,
+    Signed,
+    Unsigned,
+    For,
+    While,
+    Do,
+    If,
+    Else,
+    Return,
+    Break,
+    Continue,
+    Const,
+    Static,
+    Register,
+    Volatile,
+    Extern,
+    Struct,
+    Union,
+    Enum,
+    Typedef,
+    Sizeof,
+    Goto,
+    Switch,
+    Case,
+    Default,
+    Inline,
+    Restrict,
 }
 
 impl Keyword {
@@ -43,16 +72,38 @@ impl Keyword {
     pub fn as_str(self) -> &'static str {
         use Keyword::*;
         match self {
-            Void => "void", Char => "char", Short => "short", Int => "int",
-            Long => "long", Float => "float", Double => "double",
-            Signed => "signed", Unsigned => "unsigned", For => "for",
-            While => "while", Do => "do", If => "if", Else => "else",
-            Return => "return", Break => "break", Continue => "continue",
-            Const => "const", Static => "static", Register => "register",
-            Volatile => "volatile", Extern => "extern", Struct => "struct",
-            Union => "union", Enum => "enum", Typedef => "typedef",
-            Sizeof => "sizeof", Goto => "goto", Switch => "switch",
-            Case => "case", Default => "default", Inline => "inline",
+            Void => "void",
+            Char => "char",
+            Short => "short",
+            Int => "int",
+            Long => "long",
+            Float => "float",
+            Double => "double",
+            Signed => "signed",
+            Unsigned => "unsigned",
+            For => "for",
+            While => "while",
+            Do => "do",
+            If => "if",
+            Else => "else",
+            Return => "return",
+            Break => "break",
+            Continue => "continue",
+            Const => "const",
+            Static => "static",
+            Register => "register",
+            Volatile => "volatile",
+            Extern => "extern",
+            Struct => "struct",
+            Union => "union",
+            Enum => "enum",
+            Typedef => "typedef",
+            Sizeof => "sizeof",
+            Goto => "goto",
+            Switch => "switch",
+            Case => "case",
+            Default => "default",
+            Inline => "inline",
             Restrict => "restrict",
         }
     }
@@ -60,16 +111,38 @@ impl Keyword {
     fn from_str(s: &str) -> Option<Keyword> {
         use Keyword::*;
         Some(match s {
-            "void" => Void, "char" => Char, "short" => Short, "int" => Int,
-            "long" => Long, "float" => Float, "double" => Double,
-            "signed" => Signed, "unsigned" => Unsigned, "for" => For,
-            "while" => While, "do" => Do, "if" => If, "else" => Else,
-            "return" => Return, "break" => Break, "continue" => Continue,
-            "const" => Const, "static" => Static, "register" => Register,
-            "volatile" => Volatile, "extern" => Extern, "struct" => Struct,
-            "union" => Union, "enum" => Enum, "typedef" => Typedef,
-            "sizeof" => Sizeof, "goto" => Goto, "switch" => Switch,
-            "case" => Case, "default" => Default, "inline" => Inline,
+            "void" => Void,
+            "char" => Char,
+            "short" => Short,
+            "int" => Int,
+            "long" => Long,
+            "float" => Float,
+            "double" => Double,
+            "signed" => Signed,
+            "unsigned" => Unsigned,
+            "for" => For,
+            "while" => While,
+            "do" => Do,
+            "if" => If,
+            "else" => Else,
+            "return" => Return,
+            "break" => Break,
+            "continue" => Continue,
+            "const" => Const,
+            "static" => Static,
+            "register" => Register,
+            "volatile" => Volatile,
+            "extern" => Extern,
+            "struct" => Struct,
+            "union" => Union,
+            "enum" => Enum,
+            "typedef" => Typedef,
+            "sizeof" => Sizeof,
+            "goto" => Goto,
+            "switch" => Switch,
+            "case" => Case,
+            "default" => Default,
+            "inline" => Inline,
             "restrict" => Restrict,
             _ => return None,
         })
@@ -80,16 +153,51 @@ impl Keyword {
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum Punct {
-    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
-    Semicolon, Comma, Colon, Question,
-    Plus, Minus, Star, Slash, Percent,
-    PlusPlus, MinusMinus,
-    Eq, PlusEq, MinusEq, StarEq, SlashEq, PercentEq,
-    AmpEq, PipeEq, CaretEq, ShlEq, ShrEq,
-    EqEq, NotEq, Lt, Gt, Le, Ge,
-    AmpAmp, PipePipe, Not,
-    Amp, Pipe, Caret, Tilde, Shl, Shr,
-    Arrow, Dot,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semicolon,
+    Comma,
+    Colon,
+    Question,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    PlusPlus,
+    MinusMinus,
+    Eq,
+    PlusEq,
+    MinusEq,
+    StarEq,
+    SlashEq,
+    PercentEq,
+    AmpEq,
+    PipeEq,
+    CaretEq,
+    ShlEq,
+    ShrEq,
+    EqEq,
+    NotEq,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    AmpAmp,
+    PipePipe,
+    Not,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Shl,
+    Shr,
+    Arrow,
+    Dot,
 }
 
 impl Punct {
@@ -97,17 +205,51 @@ impl Punct {
     pub fn as_str(self) -> &'static str {
         use Punct::*;
         match self {
-            LParen => "(", RParen => ")", LBrace => "{", RBrace => "}",
-            LBracket => "[", RBracket => "]", Semicolon => ";", Comma => ",",
-            Colon => ":", Question => "?", Plus => "+", Minus => "-",
-            Star => "*", Slash => "/", Percent => "%", PlusPlus => "++",
-            MinusMinus => "--", Eq => "=", PlusEq => "+=", MinusEq => "-=",
-            StarEq => "*=", SlashEq => "/=", PercentEq => "%=",
-            AmpEq => "&=", PipeEq => "|=", CaretEq => "^=", ShlEq => "<<=",
-            ShrEq => ">>=", EqEq => "==", NotEq => "!=", Lt => "<", Gt => ">",
-            Le => "<=", Ge => ">=", AmpAmp => "&&", PipePipe => "||",
-            Not => "!", Amp => "&", Pipe => "|", Caret => "^", Tilde => "~",
-            Shl => "<<", Shr => ">>", Arrow => "->", Dot => ".",
+            LParen => "(",
+            RParen => ")",
+            LBrace => "{",
+            RBrace => "}",
+            LBracket => "[",
+            RBracket => "]",
+            Semicolon => ";",
+            Comma => ",",
+            Colon => ":",
+            Question => "?",
+            Plus => "+",
+            Minus => "-",
+            Star => "*",
+            Slash => "/",
+            Percent => "%",
+            PlusPlus => "++",
+            MinusMinus => "--",
+            Eq => "=",
+            PlusEq => "+=",
+            MinusEq => "-=",
+            StarEq => "*=",
+            SlashEq => "/=",
+            PercentEq => "%=",
+            AmpEq => "&=",
+            PipeEq => "|=",
+            CaretEq => "^=",
+            ShlEq => "<<=",
+            ShrEq => ">>=",
+            EqEq => "==",
+            NotEq => "!=",
+            Lt => "<",
+            Gt => ">",
+            Le => "<=",
+            Ge => ">=",
+            AmpAmp => "&&",
+            PipePipe => "||",
+            Not => "!",
+            Amp => "&",
+            Pipe => "|",
+            Caret => "^",
+            Tilde => "~",
+            Shl => "<<",
+            Shr => ">>",
+            Arrow => "->",
+            Dot => ".",
         }
     }
 }
@@ -252,11 +394,7 @@ pub fn lex(src: &str) -> Result<Vec<SpannedToken>, LexError> {
             if let Some(rest) = trimmed.strip_prefix("pragma") {
                 let rest = rest.trim_start();
                 if let Some(omp) = rest.strip_prefix("omp") {
-                    out.push(SpannedToken {
-                        tok: Token::OmpPragma(omp.to_string()),
-                        line,
-                        col,
-                    });
+                    out.push(SpannedToken { tok: Token::OmpPragma(omp.to_string()), line, col });
                 }
                 // Non-omp pragmas are skipped like other preprocessor lines.
             }
@@ -558,7 +696,8 @@ mod tests {
 
     #[test]
     fn pragma_omp_is_kept_other_preprocessor_skipped() {
-        let src = "#include <stdio.h>\n#define N 100\n#pragma omp parallel for private(i)\nfor(;;);";
+        let src =
+            "#include <stdio.h>\n#define N 100\n#pragma omp parallel for private(i)\nfor(;;);";
         let t = toks(src);
         assert_eq!(t[0], Token::OmpPragma(" parallel for private(i)".into()));
         assert_eq!(t[1], Token::Keyword(Keyword::For));

@@ -23,7 +23,16 @@ pub struct OmpDirective {
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum ReductionOp {
-    Add, Sub, Mul, Max, Min, BitAnd, BitOr, BitXor, LogAnd, LogOr,
+    Add,
+    Sub,
+    Mul,
+    Max,
+    Min,
+    BitAnd,
+    BitOr,
+    BitXor,
+    LogAnd,
+    LogOr,
 }
 
 impl ReductionOp {
@@ -31,8 +40,15 @@ impl ReductionOp {
     pub fn as_str(self) -> &'static str {
         use ReductionOp::*;
         match self {
-            Add => "+", Sub => "-", Mul => "*", Max => "max", Min => "min",
-            BitAnd => "&", BitOr => "|", BitXor => "^", LogAnd => "&&",
+            Add => "+",
+            Sub => "-",
+            Mul => "*",
+            Max => "max",
+            Min => "min",
+            BitAnd => "&",
+            BitOr => "|",
+            BitXor => "^",
+            LogAnd => "&&",
             LogOr => "||",
         }
     }
@@ -59,7 +75,11 @@ impl ReductionOp {
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum ScheduleKind {
-    Static, Dynamic, Guided, Auto, Runtime,
+    Static,
+    Dynamic,
+    Guided,
+    Auto,
+    Runtime,
 }
 
 impl ScheduleKind {
@@ -195,9 +215,7 @@ impl OmpDirective {
             }
         }
         if !dir.parallel && !dir.for_loop {
-            return Err(OmpParseError {
-                msg: format!("unsupported directive: '{}'", raw.trim()),
-            });
+            return Err(OmpParseError { msg: format!("unsupported directive: '{}'", raw.trim()) });
         }
         // Clauses.
         loop {
@@ -225,16 +243,18 @@ impl OmpDirective {
                 }
                 "num_threads" => {
                     let inner = p.paren_raw()?;
-                    let v = inner.trim().parse::<i64>().map_err(|_| OmpParseError {
-                        msg: format!("bad num_threads '{inner}'"),
-                    })?;
+                    let v = inner
+                        .trim()
+                        .parse::<i64>()
+                        .map_err(|_| OmpParseError { msg: format!("bad num_threads '{inner}'") })?;
                     OmpClause::NumThreads(v)
                 }
                 "collapse" => {
                     let inner = p.paren_raw()?;
-                    let v = inner.trim().parse::<i64>().map_err(|_| OmpParseError {
-                        msg: format!("bad collapse '{inner}'"),
-                    })?;
+                    let v = inner
+                        .trim()
+                        .parse::<i64>()
+                        .map_err(|_| OmpParseError { msg: format!("bad collapse '{inner}'") })?;
                     OmpClause::Collapse(v)
                 }
                 "schedule" => {
@@ -359,10 +379,7 @@ impl<'a> ClauseScanner<'a> {
     }
 
     fn peek_word(&self) -> String {
-        self.rest()
-            .chars()
-            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
-            .collect()
+        self.rest().chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '_').collect()
     }
 
     fn take_word(&mut self) -> String {
@@ -400,11 +417,8 @@ impl<'a> ClauseScanner<'a> {
 
     fn paren_var_list(&mut self) -> Result<Vec<String>, OmpParseError> {
         let inner = self.paren_raw()?;
-        let vars: Vec<String> = inner
-            .split(',')
-            .map(|v| v.trim().to_string())
-            .filter(|v| !v.is_empty())
-            .collect();
+        let vars: Vec<String> =
+            inner.split(',').map(|v| v.trim().to_string()).filter(|v| !v.is_empty()).collect();
         if vars.is_empty() {
             return Err(OmpParseError { msg: "empty variable list".into() });
         }

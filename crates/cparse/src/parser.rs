@@ -15,9 +15,24 @@ use std::fmt;
 /// Typedef names accepted as type specifiers without a declaration in
 /// scope (mirrors pycparser's fake libc headers).
 pub const WELL_KNOWN_TYPEDEFS: &[&str] = &[
-    "size_t", "ssize_t", "ptrdiff_t", "FILE", "int8_t", "int16_t", "int32_t",
-    "int64_t", "uint8_t", "uint16_t", "uint32_t", "uint64_t", "bool",
-    "IndexPacket", "PixelPacket", "MagickBooleanType", "intptr_t", "uintptr_t",
+    "size_t",
+    "ssize_t",
+    "ptrdiff_t",
+    "FILE",
+    "int8_t",
+    "int16_t",
+    "int32_t",
+    "int64_t",
+    "uint8_t",
+    "uint16_t",
+    "uint32_t",
+    "uint64_t",
+    "bool",
+    "IndexPacket",
+    "PixelPacket",
+    "MagickBooleanType",
+    "intptr_t",
+    "uintptr_t",
 ];
 
 /// Parse failure with source position.
@@ -172,10 +187,7 @@ impl Parser {
         if self.is_type_start_at(0) {
             return true;
         }
-        matches!(
-            (self.peek(), self.peek_at(1)),
-            (Some(Token::Ident(_)), Some(Token::Ident(_)))
-        )
+        matches!((self.peek(), self.peek_at(1)), (Some(Token::Ident(_)), Some(Token::Ident(_))))
     }
 
     /// Parses declaration specifiers (storage classes, qualifiers, base).
@@ -192,7 +204,9 @@ impl Parser {
                         Keyword::Const => ty.is_const = true,
                         Keyword::Static => ty.is_static = true,
                         Keyword::Register => ty.is_register = true,
-                        Keyword::Volatile | Keyword::Extern | Keyword::Inline
+                        Keyword::Volatile
+                        | Keyword::Extern
+                        | Keyword::Inline
                         | Keyword::Restrict => {}
                         Keyword::Unsigned => ty.unsigned = true,
                         Keyword::Signed => {}
@@ -280,7 +294,9 @@ impl Parser {
                 let mut items = Vec::new();
                 while !self.eat_punct(Punct::RBrace) {
                     items.push(self.assignment_expr()?);
-                    if !self.eat_punct(Punct::Comma) && self.peek() != Some(&Token::Punct(Punct::RBrace)) {
+                    if !self.eat_punct(Punct::Comma)
+                        && self.peek() != Some(&Token::Punct(Punct::RBrace))
+                    {
                         return Err(self.err("expected ',' or '}' in initializer list"));
                     }
                 }
@@ -408,8 +424,8 @@ impl Parser {
                     Some(Token::OmpPragma(r)) => r,
                     _ => unreachable!(),
                 };
-                let directive = OmpDirective::parse(&raw)
-                    .map_err(|e| self.err(format!("in pragma: {e}")))?;
+                let directive =
+                    OmpDirective::parse(&raw).map_err(|e| self.err(format!("in pragma: {e}")))?;
                 let stmt = self.statement()?;
                 Ok(Stmt::Pragma { directive, stmt: Box::new(stmt) })
             }
@@ -555,11 +571,7 @@ impl Parser {
             let then = self.assignment_expr()?;
             self.expect_punct(Punct::Colon)?;
             let else_ = self.assignment_expr()?;
-            Ok(Expr::Ternary {
-                cond: Box::new(cond),
-                then: Box::new(then),
-                else_: Box::new(else_),
-            })
+            Ok(Expr::Ternary { cond: Box::new(cond), then: Box::new(then), else_: Box::new(else_) })
         } else {
             Ok(cond)
         }
@@ -883,7 +895,9 @@ mod tests {
 
     #[test]
     fn declaration_forms() {
-        let s = snippet("unsigned long long x = 1; static const double eps = 1e-9; int a[10][20], *p, q = 3;");
+        let s = snippet(
+            "unsigned long long x = 1; static const double eps = 1e-9; int a[10][20], *p, q = 3;",
+        );
         match &s[0] {
             Stmt::Decl(d) => {
                 assert_eq!(d[0].ty.base, BaseType::LongLong);
@@ -925,7 +939,9 @@ mod tests {
         let s = snippet("m = a > b ? a : b; for (i = 0, j = n; i < j; i++, j--) t[i] = t[j];");
         assert!(matches!(&s[0], Stmt::Expr(Expr::Assign { .. })));
         match &s[1] {
-            Stmt::For { init: ForInit::Expr(Expr::Comma(..)), step: Some(Expr::Comma(..)), .. } => {}
+            Stmt::For {
+                init: ForInit::Expr(Expr::Comma(..)), step: Some(Expr::Comma(..)), ..
+            } => {}
             other => panic!("{other:?}"),
         }
     }

@@ -133,8 +133,7 @@ fn decl_line(decls: &[Decl]) -> String {
                     let _ = write!(p, " = {}", print_expr(e));
                 }
                 Some(Init::List(es)) => {
-                    let items =
-                        es.iter().map(print_expr).collect::<Vec<_>>().join(", ");
+                    let items = es.iter().map(print_expr).collect::<Vec<_>>().join(", ");
                     let _ = write!(p, " = {{{items}}}");
                 }
                 None => {}

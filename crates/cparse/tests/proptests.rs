@@ -1,17 +1,15 @@
 //! Property tests: the printer is a fixed point under re-parsing for
 //! arbitrary generated ASTs, and the DFS serialization is stable.
 
-use proptest::prelude::*;
 use pragformer_cparse::printer::{print_expr, print_stmts};
-use pragformer_cparse::{
-    dfs, parse_snippet, AssignOp, BinOp, Expr, ForInit, Stmt, UnOp,
-};
+use pragformer_cparse::{dfs, parse_snippet, AssignOp, BinOp, Expr, ForInit, Stmt, UnOp};
+use proptest::prelude::*;
 
 /// Identifier pool: realistic loop/array names plus a couple of oddballs.
 fn ident() -> impl Strategy<Value = String> {
     prop::sample::select(vec![
-        "i", "j", "k", "n", "m", "len", "size", "a", "b", "c", "A", "B",
-        "vec", "arr", "mat", "sum", "total", "tmp", "x1", "y_1", "result",
+        "i", "j", "k", "n", "m", "len", "size", "a", "b", "c", "A", "B", "vec", "arr", "mat",
+        "sum", "total", "tmp", "x1", "y_1", "result",
     ])
     .prop_map(str::to_string)
 }
@@ -30,10 +28,24 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
         prop_oneof![
             (any::<u8>(), inner.clone(), inner.clone()).prop_map(|(op, l, r)| {
                 let ops = [
-                    BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div, BinOp::Mod,
-                    BinOp::Lt, BinOp::Gt, BinOp::Le, BinOp::Ge, BinOp::Eq,
-                    BinOp::Ne, BinOp::And, BinOp::Or, BinOp::BitAnd,
-                    BinOp::BitOr, BinOp::BitXor, BinOp::Shl, BinOp::Shr,
+                    BinOp::Add,
+                    BinOp::Sub,
+                    BinOp::Mul,
+                    BinOp::Div,
+                    BinOp::Mod,
+                    BinOp::Lt,
+                    BinOp::Gt,
+                    BinOp::Le,
+                    BinOp::Ge,
+                    BinOp::Eq,
+                    BinOp::Ne,
+                    BinOp::And,
+                    BinOp::Or,
+                    BinOp::BitAnd,
+                    BinOp::BitOr,
+                    BinOp::BitXor,
+                    BinOp::Shl,
+                    BinOp::Shr,
                 ];
                 Expr::bin(ops[op as usize % ops.len()], l, r)
             }),
@@ -73,10 +85,7 @@ fn arb_stmt() -> impl Strategy<Value = Stmt> {
             (ident(), arb_expr(), inner.clone()).prop_map(|(v, bound, body)| Stmt::For {
                 init: ForInit::Expr(Expr::assign(Expr::Id(v.clone()), Expr::int(0))),
                 cond: Some(Expr::bin(BinOp::Lt, Expr::Id(v.clone()), bound)),
-                step: Some(Expr::Unary {
-                    op: UnOp::PostInc,
-                    expr: Box::new(Expr::Id(v)),
-                }),
+                step: Some(Expr::Unary { op: UnOp::PostInc, expr: Box::new(Expr::Id(v)) }),
                 body: Box::new(body),
             }),
             prop::collection::vec(inner.clone(), 1..4).prop_map(Stmt::Compound),

@@ -54,10 +54,8 @@ pub fn error_rate_by_length(
     }
     buckets.push(LengthBucket { lo, hi: usize::MAX, total: 0, errors: 0 });
     for (&len, &ok) in lengths.iter().zip(correct) {
-        let b = buckets
-            .iter_mut()
-            .find(|b| len >= b.lo && len <= b.hi)
-            .expect("bucket cover is total");
+        let b =
+            buckets.iter_mut().find(|b| len >= b.lo && len <= b.hi).expect("bucket cover is total");
         b.total += 1;
         if !ok {
             b.errors += 1;

@@ -5,9 +5,22 @@
 //! the first `valid[b]` key positions of its sequence. Rows beyond the
 //! valid length still flow through (their queries exist) but nothing
 //! downstream reads them — CLS pooling uses row 0 of each sequence.
+//!
+//! ## Batched execution
+//!
+//! The four projections (`Q`/`K`/`V`/output) run as single
+//! `[batch·seq × d_model]` GEMMs regardless of batch size, which is where
+//! batching pays: one 64-sequence forward does the same projection work
+//! as one sequence, 64× wider. The per-`(batch, head)` score/context
+//! tiles are inherently block-diagonal, so they are dispatched across the
+//! persistent thread pool ([`pragformer_tensor::parallel`]) instead —
+//! each pair's three small GEMMs run inline on one worker (nested
+//! parallel calls don't re-dispatch), and the results merge in a fixed
+//! serial order so outputs stay bitwise deterministic for any batch size.
 
 use pragformer_tensor::init::SeededRng;
 use pragformer_tensor::nn::{Layer, Linear, Param};
+use pragformer_tensor::parallel::par_map_indexed;
 use pragformer_tensor::{ops, Tensor};
 
 /// Multi-head self-attention block (projections + scaled dot-product +
@@ -60,6 +73,22 @@ impl MultiHeadSelfAttention {
         out
     }
 
+    /// Like [`Self::head_tile`] but transposed: `[d_head, seq]`. Score
+    /// GEMMs (`Q·Kᵀ` and `dCtx·Vᵀ`) consume the transposed tile through
+    /// the packed [`ops::matmul`] microkernel, which is much faster on
+    /// these short-inner-dimension products than row-dot kernels.
+    fn head_tile_t(&self, x: &Tensor, b: usize, h: usize, seq: usize) -> Tensor {
+        let dh = self.d_model / self.n_heads;
+        let mut out = Tensor::zeros(&[dh, seq]);
+        for t in 0..seq {
+            let row = &x.row(b * seq + t)[h * dh..(h + 1) * dh];
+            for (d, &v) in row.iter().enumerate() {
+                *out.at2_mut(d, t) = v;
+            }
+        }
+        out
+    }
+
     /// Adds a `[seq, d_head]` tile back into head `h` of sequence `b`.
     fn add_head_tile(&self, x: &mut Tensor, tile: &Tensor, b: usize, h: usize, seq: usize) {
         let dh = self.d_model / self.n_heads;
@@ -87,22 +116,26 @@ impl MultiHeadSelfAttention {
         let dh = self.d_model / self.n_heads;
         let scale = 1.0 / (dh as f32).sqrt();
         let mut context = Tensor::zeros(&[batch * seq, self.d_model]);
-        let mut probs = Vec::with_capacity(batch * self.n_heads);
-        #[allow(clippy::needless_range_loop)] // b indexes valid and strides tiles
-        for b in 0..batch {
+        // Score/context tiles per (batch, head) pair, computed across the
+        // pool. Each pair is independent; the merge below runs serially in
+        // a fixed order so results don't depend on scheduling.
+        let tiles = par_map_indexed(batch * self.n_heads, 2, |bh| {
+            let (b, h) = (bh / self.n_heads, bh % self.n_heads);
             let vb = valid[b].clamp(1, seq);
-            let row_valid = vec![vb; seq];
-            for h in 0..self.n_heads {
-                let qt = self.head_tile(&q, b, h, seq);
-                let kt = self.head_tile(&k, b, h, seq);
-                let vt = self.head_tile(&v, b, h, seq);
-                let mut scores = ops::matmul_nt(&qt, &kt);
-                scores.map_in_place(|s| s * scale);
-                ops::softmax_rows(&mut scores, Some(&row_valid));
-                let ctx = ops::matmul(&scores, &vt);
-                self.add_head_tile(&mut context, &ctx, b, h, seq);
-                probs.push(scores);
-            }
+            let qt = self.head_tile(&q, b, h, seq);
+            let ktt = self.head_tile_t(&k, b, h, seq);
+            let vt = self.head_tile(&v, b, h, seq);
+            let mut scores = ops::matmul(&qt, &ktt);
+            scores.map_in_place(|s| s * scale);
+            ops::softmax_rows_uniform(&mut scores, vb);
+            let ctx = ops::matmul(&scores, &vt);
+            (scores, ctx)
+        });
+        let mut probs = Vec::with_capacity(batch * self.n_heads);
+        for (bh, (scores, ctx)) in tiles.into_iter().enumerate() {
+            let (b, h) = (bh / self.n_heads, bh % self.n_heads);
+            self.add_head_tile(&mut context, &ctx, b, h, seq);
+            probs.push(scores);
         }
         let out = self.wo.forward(&context, true);
         self.cache = Some(Cache { batch, seq, q, k, v, probs });
@@ -119,27 +152,32 @@ impl MultiHeadSelfAttention {
         let mut dq = Tensor::zeros(&[batch * seq, self.d_model]);
         let mut dk = Tensor::zeros(&[batch * seq, self.d_model]);
         let mut dv = Tensor::zeros(&[batch * seq, self.d_model]);
-        for b in 0..batch {
-            for h in 0..self.n_heads {
-                let p = &probs[b * self.n_heads + h];
-                let dctx = self.head_tile(&dcontext, b, h, seq);
-                let qt = self.head_tile(&q, b, h, seq);
-                let kt = self.head_tile(&k, b, h, seq);
-                let vt = self.head_tile(&v, b, h, seq);
-                // dV = Pᵀ · dCtx
-                let dvt = ops::matmul_tn(p, &dctx);
-                // dP = dCtx · Vᵀ
-                let dp = ops::matmul_nt(&dctx, &vt);
-                // dS = softmax'(P, dP) (masked cols have P = 0 ⇒ dS = 0)
-                let mut ds = ops::softmax_backward(p, &dp);
-                ds.map_in_place(|s| s * scale);
-                // dQ = dS · K ; dK = dSᵀ · Q
-                let dqt = ops::matmul(&ds, &kt);
-                let dkt = ops::matmul_tn(&ds, &qt);
-                self.add_head_tile(&mut dq, &dqt, b, h, seq);
-                self.add_head_tile(&mut dk, &dkt, b, h, seq);
-                self.add_head_tile(&mut dv, &dvt, b, h, seq);
-            }
+        // Per-(batch, head) gradient tiles across the pool, merged
+        // serially (mirrors the forward pass).
+        let tiles = par_map_indexed(batch * self.n_heads, 2, |bh| {
+            let (b, h) = (bh / self.n_heads, bh % self.n_heads);
+            let p = &probs[bh];
+            let dctx = self.head_tile(&dcontext, b, h, seq);
+            let qt = self.head_tile(&q, b, h, seq);
+            let kt = self.head_tile(&k, b, h, seq);
+            let vtt = self.head_tile_t(&v, b, h, seq);
+            // dV = Pᵀ · dCtx
+            let dvt = ops::matmul_tn(p, &dctx);
+            // dP = dCtx · Vᵀ
+            let dp = ops::matmul(&dctx, &vtt);
+            // dS = softmax'(P, dP) (masked cols have P = 0 ⇒ dS = 0)
+            let mut ds = ops::softmax_backward(p, &dp);
+            ds.map_in_place(|s| s * scale);
+            // dQ = dS · K ; dK = dSᵀ · Q
+            let dqt = ops::matmul(&ds, &kt);
+            let dkt = ops::matmul_tn(&ds, &qt);
+            (dqt, dkt, dvt)
+        });
+        for (bh, (dqt, dkt, dvt)) in tiles.into_iter().enumerate() {
+            let (b, h) = (bh / self.n_heads, bh % self.n_heads);
+            self.add_head_tile(&mut dq, &dqt, b, h, seq);
+            self.add_head_tile(&mut dk, &dkt, b, h, seq);
+            self.add_head_tile(&mut dv, &dvt, b, h, seq);
         }
         let mut dx = self.wq.backward(&dq);
         dx.add_assign(&self.wk.backward(&dk));

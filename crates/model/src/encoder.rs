@@ -22,7 +22,12 @@ impl EncoderBlock {
     /// Builds one block.
     pub fn new(name: &str, cfg: &ModelConfig, rng: &mut SeededRng) -> Self {
         Self {
-            attn: MultiHeadSelfAttention::new(&format!("{name}.attn"), cfg.d_model, cfg.n_heads, rng),
+            attn: MultiHeadSelfAttention::new(
+                &format!("{name}.attn"),
+                cfg.d_model,
+                cfg.n_heads,
+                rng,
+            ),
             ln1: LayerNorm::new(&format!("{name}.ln1"), cfg.d_model),
             ff1: Linear::named(&format!("{name}.ff1"), cfg.d_model, cfg.d_ff, rng),
             act: Activation::new(ActivationKind::Gelu),
@@ -79,9 +84,8 @@ impl Encoder {
     /// Builds the encoder; panics on an invalid config.
     pub fn new(cfg: &ModelConfig, rng: &mut SeededRng) -> Self {
         cfg.validate().expect("invalid model config");
-        let blocks = (0..cfg.n_layers)
-            .map(|l| EncoderBlock::new(&format!("enc.{l}"), cfg, rng))
-            .collect();
+        let blocks =
+            (0..cfg.n_layers).map(|l| EncoderBlock::new(&format!("enc.{l}"), cfg, rng)).collect();
         Self {
             tok: Embedding::new("emb.tok", cfg.vocab, cfg.d_model, rng),
             pos: Embedding::new("emb.pos", cfg.max_len, cfg.d_model, rng),
@@ -102,7 +106,31 @@ impl Encoder {
     /// `ids` is `batch × max_len` flattened; `valid[b]` counts the non-pad
     /// prefix. Returns `[batch*max_len, d_model]` hidden states.
     pub fn forward(&mut self, ids: &[usize], valid: &[usize], train: bool) -> Tensor {
-        let seq = self.cfg.max_len;
+        self.forward_seq(ids, valid, self.cfg.max_len, train)
+    }
+
+    /// Forward over a batch padded to an explicit sequence length.
+    ///
+    /// Like [`Encoder::forward`] but with `seq ≤ max_len` chosen by the
+    /// caller: `ids` is `batch × seq` flattened. Because attention masks
+    /// every key position past `valid[b]` to an exact probability of 0
+    /// and all other sub-layers are row-local, the hidden states of the
+    /// valid prefix are **bitwise identical** for every padded length
+    /// `seq ≥ valid[b]` — the property `Advisor::advise_batch` exploits to
+    /// run short snippets through short (cheaper) forwards without
+    /// changing any probability. Returns `[batch*seq, d_model]`.
+    pub fn forward_seq(
+        &mut self,
+        ids: &[usize],
+        valid: &[usize],
+        seq: usize,
+        train: bool,
+    ) -> Tensor {
+        assert!(
+            (1..=self.cfg.max_len).contains(&seq),
+            "seq {seq} outside 1..={}",
+            self.cfg.max_len
+        );
         assert_eq!(ids.len() % seq, 0, "ids not a whole number of sequences");
         let batch = ids.len() / seq;
         assert_eq!(valid.len(), batch);
@@ -160,6 +188,31 @@ mod tests {
         let h = enc.forward(&ids, &[5, 7], false);
         assert_eq!(h.shape(), &[2 * cfg.max_len, cfg.d_model]);
         assert!(h.all_finite());
+    }
+
+    #[test]
+    fn shorter_padded_seq_is_bitwise_equal_on_valid_prefix() {
+        // The bucketing property: padding a 10-token sequence to seq=16
+        // or to seq=max_len must give bit-identical hidden states on the
+        // valid prefix (masked keys contribute exact zeros).
+        let cfg = ModelConfig::tiny(20);
+        let mut rng = SeededRng::new(11);
+        let mut enc = Encoder::new(&cfg, &mut rng);
+        let valid = 10usize;
+        let content: Vec<usize> = (0..valid).map(|i| (i * 5 + 3) % 20).collect();
+        let mut short_ids = content.clone();
+        short_ids.resize(16, 0);
+        let mut long_ids = content;
+        long_ids.resize(cfg.max_len, 0);
+        let h_short = enc.forward_seq(&short_ids, &[valid], 16, false);
+        let h_long = enc.forward_seq(&long_ids, &[valid], cfg.max_len, false);
+        for t in 0..valid {
+            assert_eq!(
+                h_short.row(t),
+                h_long.row(t),
+                "row {t} differs between seq=16 and seq=max_len"
+            );
+        }
     }
 
     #[test]

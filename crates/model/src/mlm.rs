@@ -11,9 +11,9 @@
 use crate::encoder::Encoder;
 use crate::ModelConfig;
 use pragformer_tensor::init::SeededRng;
+use pragformer_tensor::loss;
 use pragformer_tensor::nn::{Layer, Linear, Param};
 use pragformer_tensor::optim::AdamW;
-use pragformer_tensor::loss;
 use pragformer_tokenize::vocab::special;
 
 /// Encoder plus vocabulary-projection head for MLM.
@@ -242,10 +242,7 @@ mod tests {
         assert!(losses.len() == 8);
         let first = losses[0];
         let last = *losses.last().unwrap();
-        assert!(
-            last < first * 0.8,
-            "MLM loss did not fall: {first} -> {last} ({losses:?})"
-        );
+        assert!(last < first * 0.8, "MLM loss did not fall: {first} -> {last} ({losses:?})");
     }
 
     #[test]

@@ -36,7 +36,12 @@ impl PragFormer {
             head1: pragformer_tensor::nn::Linear::named("head.fc1", cfg.d_model, cfg.d_model, rng),
             head_act: Activation::new(ActivationKind::Relu),
             head_drop: Dropout::new(cfg.dropout, rng),
-            head2: pragformer_tensor::nn::Linear::named("head.fc2", cfg.d_model, cfg.n_classes, rng),
+            head2: pragformer_tensor::nn::Linear::named(
+                "head.fc2",
+                cfg.d_model,
+                cfg.n_classes,
+                rng,
+            ),
             cache: None,
         }
     }
@@ -48,9 +53,26 @@ impl PragFormer {
 
     /// Forward pass: `[batch × max_len]` ids → `[batch, n_classes]` logits.
     pub fn forward(&mut self, ids: &[usize], valid: &[usize], train: bool) -> Tensor {
-        let seq = self.config().max_len;
-        let batch = ids.len() / seq;
-        let h = self.encoder.forward(ids, valid, train);
+        self.forward_seq(ids, valid, self.config().max_len, train)
+    }
+
+    /// Forward pass over a batch padded to an explicit `seq ≤ max_len`:
+    /// `[batch × seq]` ids → `[batch, n_classes]` logits.
+    ///
+    /// The batched entry point of the model: all projection/FFN GEMMs run
+    /// over `batch·seq` rows at once, and per-row logits are bitwise
+    /// independent of both the batch size and the padded length (see
+    /// [`crate::encoder::Encoder::forward_seq`]), so batching never
+    /// changes a prediction.
+    pub fn forward_seq(
+        &mut self,
+        ids: &[usize],
+        valid: &[usize],
+        seq: usize,
+        train: bool,
+    ) -> Tensor {
+        let batch = ids.len() / seq.max(1);
+        let h = self.encoder.forward_seq(ids, valid, seq, train);
         // CLS pooling: row b*seq of each sequence.
         let mut cls = Tensor::zeros(&[batch, self.config().d_model]);
         for b in 0..batch {
@@ -91,8 +113,25 @@ impl PragFormer {
     }
 
     /// Probability of the positive class for each sequence (eval mode).
+    ///
+    /// Accepts any batch size (`ids.len() = batch × max_len`); kept for
+    /// API familiarity, equivalent to [`PragFormer::predict_proba_batch`]
+    /// at `seq = max_len`.
     pub fn predict_proba(&mut self, ids: &[usize], valid: &[usize]) -> Vec<f32> {
-        let logits = self.forward(ids, valid, false);
+        self.predict_proba_batch(ids, valid, self.config().max_len)
+    }
+
+    /// Batched positive-class probabilities (eval mode), the advisor's
+    /// hot path.
+    ///
+    /// `ids` is `batch × seq` flattened with `seq ≤ max_len`; `valid[b]`
+    /// counts sequence `b`'s non-pad prefix. One call runs the whole
+    /// batch through single large GEMMs. Per sequence, the result is
+    /// **bitwise identical** for every batch size and every padded length
+    /// `seq ≥ valid[b]` — batching and length-bucketing are pure
+    /// performance choices, never accuracy trade-offs.
+    pub fn predict_proba_batch(&mut self, ids: &[usize], valid: &[usize], seq: usize) -> Vec<f32> {
+        let logits = self.forward_seq(ids, valid, seq, false);
         self.cache = None;
         loss::positive_probabilities(&logits)
     }
@@ -201,8 +240,7 @@ mod tests {
         };
         assert!(final_loss < last * 0.5, "no learning: {last} -> {final_loss}");
         let preds = model.predict(&ids, &valid);
-        let correct =
-            preds.iter().zip(&labels).filter(|(p, l)| **p == (**l == 1)).count();
+        let correct = preds.iter().zip(&labels).filter(|(p, l)| **p == (**l == 1)).count();
         assert!(correct >= 7, "only {correct}/8 correct");
     }
 
@@ -234,6 +272,44 @@ mod tests {
         let a = model.predict_proba(&ids, &valid);
         let b = model.predict_proba(&ids, &valid);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batched_probabilities_are_bitwise_equal_to_sequential() {
+        // The advise_batch acceptance property at the model layer: one
+        // batch-8 forward must reproduce eight batch-1 forwards bit for
+        // bit, and a shorter padded length must not change anything.
+        let cfg = ModelConfig::tiny(10);
+        let mut rng = SeededRng::new(6);
+        let mut model = PragFormer::new(&cfg, &mut rng);
+        let (ids, valid, _) = toy_batch(&cfg, 8);
+        let batched = model.predict_proba_batch(&ids, &valid, cfg.max_len);
+        assert_eq!(batched.len(), 8);
+        for b in 0..8 {
+            let one = model.predict_proba_batch(
+                &ids[b * cfg.max_len..(b + 1) * cfg.max_len],
+                &valid[b..b + 1],
+                cfg.max_len,
+            );
+            assert_eq!(
+                batched[b].to_bits(),
+                one[0].to_bits(),
+                "sequence {b}: batched {} != sequential {}",
+                batched[b],
+                one[0]
+            );
+        }
+        // Bucketed length: pad each row only to half the max length
+        // (toy_batch uses valid = max_len/2).
+        let seq = cfg.max_len / 2;
+        let mut short_ids = Vec::new();
+        for b in 0..8 {
+            short_ids.extend_from_slice(&ids[b * cfg.max_len..b * cfg.max_len + seq]);
+        }
+        let bucketed = model.predict_proba_batch(&short_ids, &valid, seq);
+        for b in 0..8 {
+            assert_eq!(bucketed[b].to_bits(), batched[b].to_bits(), "bucketed row {b}");
+        }
     }
 
     #[test]

@@ -7,9 +7,9 @@
 
 use crate::pragformer::PragFormer;
 use pragformer_tensor::init::SeededRng;
+use pragformer_tensor::loss;
 use pragformer_tensor::optim::{AdamW, Schedule};
 use pragformer_tensor::serialize::StateDict;
-use pragformer_tensor::loss;
 
 /// One encoded example.
 #[derive(Clone, Debug)]
@@ -163,10 +163,7 @@ pub fn evaluate(
     (total_loss / batches as f32, correct as f32 / examples.len() as f32)
 }
 
-fn gather(
-    examples: &[EncodedExample],
-    idxs: &[usize],
-) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+fn gather(examples: &[EncodedExample], idxs: &[usize]) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
     let seq = examples[idxs[0]].ids.len();
     let mut ids = Vec::with_capacity(idxs.len() * seq);
     let mut valid = Vec::with_capacity(idxs.len());
@@ -237,8 +234,7 @@ mod tests {
         let history = trainer.fit(&mut model, &train, &valid);
         assert_eq!(history.len(), 12);
         let final_acc = history.last().unwrap().valid_accuracy;
-        let best_acc =
-            history.iter().map(|h| h.valid_accuracy).fold(0.0f32, f32::max);
+        let best_acc = history.iter().map(|h| h.valid_accuracy).fold(0.0f32, f32::max);
         assert!(best_acc > 0.85, "best accuracy {best_acc} (history {history:?})");
         assert!(final_acc > 0.6, "final accuracy collapsed: {history:?}");
         // Train loss must trend down.
@@ -262,11 +258,8 @@ mod tests {
             warmup_frac: 0.0,
         });
         let history = trainer.fit(&mut model, &train, &valid);
-        let best = history
-            .iter()
-            .min_by(|a, b| a.valid_loss.total_cmp(&b.valid_loss))
-            .unwrap()
-            .clone();
+        let best =
+            history.iter().min_by(|a, b| a.valid_loss.total_cmp(&b.valid_loss)).unwrap().clone();
         let (loss_now, _) = evaluate(&mut model, &valid, 16);
         assert!(
             (loss_now - best.valid_loss).abs() < 0.05,

@@ -91,11 +91,7 @@ pub fn check_layer<L: Layer>(mut layer: L, x: &Tensor, tol: f32) {
 /// Gradient check for a closure-shaped model `f(θ) -> (loss, grad)` with a
 /// single flat parameter vector. Used by downstream crates (e.g. the BoW
 /// logistic regression) to validate hand-written gradients.
-pub fn check_flat(
-    theta: &Tensor,
-    f: &mut dyn FnMut(&Tensor) -> (f32, Tensor),
-    tol: f32,
-) {
+pub fn check_flat(theta: &Tensor, f: &mut dyn FnMut(&Tensor) -> (f32, Tensor), tol: f32) {
     let (_, analytic) = f(theta);
     let eps = 1e-2f32;
     for i in 0..theta.len() {
@@ -125,22 +121,14 @@ mod tests {
     fn check_flat_accepts_correct_gradient() {
         // f(θ) = Σ θᵢ², grad = 2θ
         let theta = Tensor::from_vec(&[3], vec![0.5, -1.0, 2.0]);
-        check_flat(
-            &theta,
-            &mut |t| (t.data().iter().map(|v| v * v).sum(), t.scale(2.0)),
-            1e-2,
-        );
+        check_flat(&theta, &mut |t| (t.data().iter().map(|v| v * v).sum(), t.scale(2.0)), 1e-2);
     }
 
     #[test]
     #[should_panic(expected = "flat grad mismatch")]
     fn check_flat_rejects_wrong_gradient() {
         let theta = Tensor::from_vec(&[2], vec![1.0, 2.0]);
-        check_flat(
-            &theta,
-            &mut |t| (t.data().iter().map(|v| v * v).sum(), t.scale(3.0)),
-            1e-2,
-        );
+        check_flat(&theta, &mut |t| (t.data().iter().map(|v| v * v).sum(), t.scale(3.0)), 1e-2);
     }
 
     #[test]

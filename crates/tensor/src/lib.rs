@@ -9,9 +9,10 @@
 //!
 //! * [`Tensor`]: a row-major `f32` n-d array with shape bookkeeping,
 //!   element-wise math, reductions and (transposed) matrix products;
-//! * [`ops`]: free functions for GEMM variants, softmax, bias addition —
-//!   the hot GEMM loops are parallelized over rows with crossbeam scoped
-//!   threads (see [`parallel`]);
+//! * [`ops`]: free functions for GEMM variants (cache-blocked, packed-B
+//!   microkernels), softmax, bias addition — the hot GEMM loops are
+//!   parallelized over rows on a persistent worker pool (see
+//!   [`parallel`]);
 //! * [`nn`]: layers with explicit forward/backward passes ([`nn::Linear`],
 //!   [`nn::LayerNorm`], [`nn::Embedding`], [`nn::Dropout`], activations);
 //!   no autograd tape — every layer caches what its analytic backward needs,

@@ -131,7 +131,8 @@ mod tests {
     fn gradcheck_relu_and_gelu() {
         let mut rng = SeededRng::new(10);
         // Keep ReLU inputs away from the kink at 0.
-        let x = Tensor::randn(&[4, 5], 1.0, &mut rng).map(|v| if v.abs() < 0.1 { v + 0.3 } else { v });
+        let x =
+            Tensor::randn(&[4, 5], 1.0, &mut rng).map(|v| if v.abs() < 0.1 { v + 0.3 } else { v });
         gradcheck::check_layer(Activation::new(ActivationKind::Relu), &x, 2e-2);
         gradcheck::check_layer(Activation::new(ActivationKind::Gelu), &x, 2e-2);
     }

@@ -7,22 +7,170 @@
 //!   `dX = dY · Wᵀ` in linear backward)
 //! * [`matmul_tn`]   — `C = Aᵀ · B`      (`dW = Xᵀ · dY`)
 //!
-//! All three parallelize over rows of the output with
-//! [`crate::parallel::par_chunks_mut`] and use an i-k-j loop order so the
-//! inner loop streams contiguously through both `B` and `C`, which LLVM
-//! auto-vectorizes. On the 2-core evaluation machine this reaches a few
-//! GFLOP/s — enough to fine-tune the reproduction-scale PragFormer in
-//! minutes (see `benches/train_step.rs` in `pragformer-bench`).
+//! All three parallelize over rows of the output on the persistent pool
+//! in [`crate::parallel`] (no threads are spawned per call) and are
+//! cache-blocked:
+//!
+//! * [`matmul`] packs `B` into column panels of width [`NR`] so the
+//!   microkernel streams one contiguous panel per output tile, and
+//!   register-tiles [`MR`]` × `[`NR`] outputs. Small left-hand sides skip
+//!   the packing (the panel build would dominate) and fall back to an
+//!   i-k-j loop.
+//! * [`matmul_nt`] is row-times-row dot products, each split into four
+//!   independent `k`-lanes for instruction-level parallelism.
+//! * [`matmul_tn`] walks the `m` samples accumulating outer products into
+//!   a worker-owned slice of `k` rows.
+//!
+//! ## Determinism
+//!
+//! Every path accumulates each output element strictly in ascending-`k`
+//! order with a fixed accumulator chain, and the per-row arithmetic never
+//! depends on how many rows the call processes or how rows were split
+//! across workers. Consequently a row of `matmul(A, B)` is **bitwise
+//! identical** whether `A` has 1 row or 1000 — the property that lets
+//! `Advisor::advise_batch` promise bit-equal probabilities with the
+//! sequential path. (The earlier per-element `a_ik == 0.0` skip was
+//! removed: it pessimized the dense hot loop with a branch per
+//! multiply-add for a sparsity that transformer activations do not have.
+//! No sparse entry point replaces it — profiling showed no caller with
+//! meaningfully sparse operands.)
 
 use crate::parallel::par_rows_mut;
 use crate::Tensor;
 
-/// Minimum number of output rows each worker should own before we bother
-/// spawning threads. `par_rows_mut` spawns OS threads per call (no pool),
-/// which costs tens of microseconds — small attention tiles (~100 rows)
-/// must run inline, while the `batch·seq × d` activation GEMMs (thousands
-/// of rows) still split across cores.
-const MIN_ROWS_PER_THREAD: usize = 256;
+/// Minimum output rows each worker should own before a kernel dispatches
+/// to the pool. Dispatch on the persistent pool costs a few microseconds
+/// (no thread spawn), so even mid-sized activation GEMMs split profitably;
+/// tiny attention tiles still run inline.
+const MIN_ROWS_PER_THREAD: usize = 32;
+
+/// Microkernel register tile: rows of `A` processed together.
+const MR: usize = 4;
+/// Microkernel register tile: columns of `B` processed together (one
+/// auto-vectorizable lane group).
+const NR: usize = 8;
+/// Inner `k` sub-block: the microkernel consumes `KB` consecutive `k`
+/// steps through fixed-size array references, so the hot loop has no
+/// bounds checks or per-step iterator overhead — critical for the short
+/// inner dimensions of attention GEMMs (`d_head` is 8–24).
+const KB: usize = 8;
+
+/// Packs `b` (`k × n`, row-major) into `⌈n/NR⌉` column panels.
+///
+/// Panel `jp` holds columns `jp*NR .. jp*NR+NR` in `k`-major order:
+/// element `(p, c)` of the panel is `b[p, jp*NR + c]`, zero-padded when
+/// `n` is not a multiple of [`NR`]. The microkernel then reads one
+/// contiguous `NR`-wide stripe per `k` step.
+fn pack_b_panels(b: &[f32], k: usize, n: usize) -> Vec<f32> {
+    let panels = n.div_ceil(NR);
+    let mut packed = vec![0.0f32; panels * k * NR];
+    for jp in 0..panels {
+        let j0 = jp * NR;
+        let w = NR.min(n - j0);
+        let panel = &mut packed[jp * k * NR..(jp + 1) * k * NR];
+        for p in 0..k {
+            panel[p * NR..p * NR + w].copy_from_slice(&b[p * n + j0..p * n + j0 + w]);
+        }
+    }
+    packed
+}
+
+/// Packed-`B` GEMM over a chunk of output rows.
+///
+/// `a_rows` are the `rows × k` left-hand rows matching `c_chunk`
+/// (`rows × n`); `packed` is the full [`pack_b_panels`] buffer.
+fn gemm_packed_rows(a_rows: &[f32], k: usize, packed: &[f32], n: usize, c_chunk: &mut [f32]) {
+    let rows = c_chunk.len() / n;
+    let panels = n.div_ceil(NR);
+    let mut i = 0;
+    while i < rows {
+        let mr = MR.min(rows - i);
+        for jp in 0..panels {
+            let j0 = jp * NR;
+            let w = NR.min(n - j0);
+            let panel = &packed[jp * k * NR..(jp + 1) * k * NR];
+            let mut acc = [[0.0f32; NR]; MR];
+            if mr == MR {
+                // Full register tile, four rows in lock-step, `k`
+                // consumed in KB-sized blocks through `&[f32; _]`
+                // references: the innermost loops have constant bounds,
+                // so they unroll and vectorize with no per-step checks.
+                let mut acc0 = [0.0f32; NR];
+                let mut acc1 = [0.0f32; NR];
+                let mut acc2 = [0.0f32; NR];
+                let mut acc3 = [0.0f32; NR];
+                let row = |r: usize| &a_rows[(i + r) * k..(i + r + 1) * k];
+                let (r0, r1, r2, r3) = (row(0), row(1), row(2), row(3));
+                let pblocks =
+                    panel.chunks_exact(NR * KB).map(|s| <&[f32; NR * KB]>::try_from(s).unwrap());
+                fn ablk(r: &[f32]) -> impl Iterator<Item = &[f32; KB]> {
+                    r.chunks_exact(KB).map(|s| <&[f32; KB]>::try_from(s).unwrap())
+                }
+                for ((((pb, a0), a1), a2), a3) in
+                    pblocks.zip(ablk(r0)).zip(ablk(r1)).zip(ablk(r2)).zip(ablk(r3))
+                {
+                    for p in 0..KB {
+                        for c in 0..NR {
+                            let bv = pb[p * NR + c];
+                            acc0[c] += a0[p] * bv;
+                            acc1[c] += a1[p] * bv;
+                            acc2[c] += a2[p] * bv;
+                            acc3[c] += a3[p] * bv;
+                        }
+                    }
+                }
+                // k % KB tail, same ascending-k accumulator chains.
+                for p in (k - k % KB)..k {
+                    let stripe = &panel[p * NR..(p + 1) * NR];
+                    for c in 0..NR {
+                        acc0[c] += r0[p] * stripe[c];
+                        acc1[c] += r1[p] * stripe[c];
+                        acc2[c] += r2[p] * stripe[c];
+                        acc3[c] += r3[p] * stripe[c];
+                    }
+                }
+                acc = [acc0, acc1, acc2, acc3];
+            } else {
+                // Remainder rows: same per-element arithmetic (ascending
+                // k, one chain), so results match the full tile bit for
+                // bit.
+                for (r, acc_row) in acc.iter_mut().enumerate().take(mr) {
+                    let row = a_rows[(i + r) * k..(i + r + 1) * k].iter();
+                    let stripes =
+                        panel.chunks_exact(NR).map(|s| <&[f32; NR]>::try_from(s).unwrap());
+                    for (stripe, &a_val) in stripes.zip(row) {
+                        for c in 0..NR {
+                            acc_row[c] += a_val * stripe[c];
+                        }
+                    }
+                }
+            }
+            for r in 0..mr {
+                let c_row = &mut c_chunk[(i + r) * n + j0..(i + r) * n + j0 + w];
+                c_row.copy_from_slice(&acc[r][..w]);
+            }
+        }
+        i += mr;
+    }
+}
+
+/// Unpacked i-k-j GEMM over a chunk of output rows (small-`m` fast path:
+/// skips the `O(k·n)` panel build). Bitwise-identical results to
+/// [`gemm_packed_rows`]: per element, both accumulate ascending in `k`
+/// from `0.0` with a single chain.
+fn gemm_simple_rows(a_rows: &[f32], k: usize, b: &[f32], n: usize, c_chunk: &mut [f32]) {
+    for (ri, c_row) in c_chunk.chunks_mut(n).enumerate() {
+        let a_row = &a_rows[ri * k..(ri + 1) * k];
+        for (b_row, &a_val) in b.chunks_exact(n).zip(a_row) {
+            for (c, &b_val) in c_row.iter_mut().zip(b_row) {
+                *c += a_val * b_val;
+            }
+        }
+    }
+}
+
+/// Left-hand rows below which `matmul` skips packing `B`.
+const PACK_MIN_ROWS: usize = 4;
 
 /// `C[m×n] = A[m×k] · B[k×n]`.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
@@ -31,28 +179,46 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(k, kb, "matmul inner dims: {:?} x {:?}", a.shape(), b.shape());
     let mut out = Tensor::zeros(&[m, n]);
     let (a_d, b_d) = (a.data(), b.data());
+    if m < PACK_MIN_ROWS || n < NR {
+        gemm_simple_rows(a_d, k, b_d, n, out.data_mut());
+        return out;
+    }
+    let packed = pack_b_panels(b_d, k, n);
     par_rows_mut(out.data_mut(), n, MIN_ROWS_PER_THREAD, |row0, chunk| {
-        for (ri, c_row) in chunk.chunks_mut(n).enumerate() {
-            let i = row0 + ri;
-            let a_row = &a_d[i * k..(i + 1) * k];
-            for (kk, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let b_row = &b_d[kk * n..(kk + 1) * n];
-                for (c, &b_kj) in c_row.iter_mut().zip(b_row) {
-                    *c += a_ik * b_kj;
-                }
-            }
-        }
+        let rows = chunk.len() / n;
+        gemm_packed_rows(&a_d[row0 * k..(row0 + rows) * k], k, &packed, n, chunk);
     });
     out
 }
 
+/// Dot product with a fixed four-lane accumulator split.
+///
+/// The lane assignment depends only on the index within the row, so for a
+/// given `k` the reduction order is identical on every call — see the
+/// module-level determinism notes.
+#[inline]
+fn dot4(x: &[f32], y: &[f32]) -> f32 {
+    let xq = x.chunks_exact(4);
+    let yq = y.chunks_exact(4);
+    let (xr, yr) = (xq.remainder(), yq.remainder());
+    let mut acc = [0.0f32; 4];
+    for (xs, ys) in xq.zip(yq) {
+        for l in 0..4 {
+            acc[l] += xs[l] * ys[l];
+        }
+    }
+    let mut sum = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for (&a, &b) in xr.iter().zip(yr) {
+        sum += a * b;
+    }
+    sum
+}
+
 /// `C[m×n] = A[m×k] · Bᵀ` where `B` is `[n×k]`.
 ///
-/// Row-times-row dot products: both operands stream contiguously, so this
-/// is the fastest of the three kernels and attention uses it directly.
+/// Row-times-row dot products: both operands stream contiguously. Each
+/// dot is computed by [`dot4`], which splits `k` into four independent
+/// accumulator lanes (fixed reduction order — see the module docs).
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.rows(), a.cols());
     let (n, kb) = (b.rows(), b.cols());
@@ -64,12 +230,7 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
             let i = row0 + ri;
             let a_row = &a_d[i * k..(i + 1) * k];
             for (j, c) in c_row.iter_mut().enumerate() {
-                let b_row = &b_d[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (x, y) in a_row.iter().zip(b_row) {
-                    acc += x * y;
-                }
-                *c = acc;
+                *c = dot4(a_row, &b_d[j * k..(j + 1) * k]);
             }
         }
     });
@@ -92,11 +253,7 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
         for s in 0..m {
             let b_row = &b_d[s * n..(s + 1) * n];
             for r in 0..rows {
-                let kk = row0 + r;
-                let a_sk = a_d[s * k + kk];
-                if a_sk == 0.0 {
-                    continue;
-                }
+                let a_sk = a_d[s * k + row0 + r];
                 let c_row = &mut chunk[r * n..(r + 1) * n];
                 for (c, &b_sj) in c_row.iter_mut().zip(b_row) {
                     *c += a_sk * b_sj;
@@ -104,6 +261,26 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
             }
         }
     });
+    out
+}
+
+/// Reference `C = A · B`: textbook triple loop, no blocking, no packing,
+/// no parallelism. Kept as the oracle for the GEMM property tests and the
+/// kernel benchmarks' baseline.
+pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (kb, n) = (b.rows(), b.cols());
+    assert_eq!(k, kb, "matmul_naive inner dims: {:?} x {:?}", a.shape(), b.shape());
+    let mut out = Tensor::zeros(&[m, n]);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a.data()[i * k + p] * b.data()[p * n + j];
+            }
+            out.data_mut()[i * n + j] = acc;
+        }
+    }
     out
 }
 
@@ -132,6 +309,33 @@ pub fn sum_rows(x: &Tensor) -> Tensor {
     out
 }
 
+/// One numerically-stable softmax over `row[..valid]`, zeroing the tail.
+///
+/// The single row body shared by [`softmax_rows`] and
+/// [`softmax_rows_uniform`] — `advise_batch`'s bitwise batched ==
+/// sequential contract depends on every masked softmax running exactly
+/// this arithmetic.
+#[inline]
+fn softmax_row(row: &mut [f32], valid: usize) {
+    if valid == 0 {
+        row.iter_mut().for_each(|v| *v = 0.0);
+        return;
+    }
+    let m = row[..valid].iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut z = 0.0f32;
+    for v in &mut row[..valid] {
+        *v = (*v - m).exp();
+        z += *v;
+    }
+    let inv = 1.0 / z;
+    for v in &mut row[..valid] {
+        *v *= inv;
+    }
+    for v in &mut row[valid..] {
+        *v = 0.0;
+    }
+}
+
 /// Numerically-stable softmax over the last dimension, in place.
 ///
 /// `row_valid` optionally limits each row to its first `row_valid[r]`
@@ -140,23 +344,18 @@ pub fn softmax_rows(x: &mut Tensor, row_valid: Option<&[usize]>) {
     let n = x.cols();
     for (r, row) in x.data_mut().chunks_mut(n).enumerate() {
         let valid = row_valid.map_or(n, |v| v[r].min(n));
-        if valid == 0 {
-            row.iter_mut().for_each(|v| *v = 0.0);
-            continue;
-        }
-        let m = row[..valid].iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut z = 0.0f32;
-        for v in &mut row[..valid] {
-            *v = (*v - m).exp();
-            z += *v;
-        }
-        let inv = 1.0 / z;
-        for v in &mut row[..valid] {
-            *v *= inv;
-        }
-        for v in &mut row[valid..] {
-            *v = 0.0;
-        }
+        softmax_row(row, valid);
+    }
+}
+
+/// [`softmax_rows`] with the same valid-prefix for every row (attention's
+/// per-sequence padding mask) — avoids materializing a per-row mask
+/// vector on the hot path.
+pub fn softmax_rows_uniform(x: &mut Tensor, valid: usize) {
+    let n = x.cols();
+    let valid = valid.min(n);
+    for row in x.data_mut().chunks_mut(n) {
+        softmax_row(row, valid);
     }
 }
 
@@ -235,6 +434,50 @@ mod tests {
                 assert!((c.at2(i, j) - acc).abs() < 1e-3, "({i},{j})");
             }
         }
+    }
+
+    #[test]
+    fn matmul_rows_are_bitwise_stable_across_batch_sizes() {
+        // The property advise_batch relies on: row i of a large GEMM is
+        // bit-identical to the same row computed through a 1-row GEMM,
+        // even though the two take different (packed vs simple) paths.
+        let mut rng = crate::init::SeededRng::new(7);
+        let a = Tensor::randn(&[64, 48], 1.0, &mut rng);
+        let b = Tensor::randn(&[48, 96], 1.0, &mut rng);
+        let big = matmul(&a, &b);
+        for i in [0usize, 1, 31, 63] {
+            let single = matmul(&a.slice_rows(i, 1), &b);
+            assert_eq!(big.row(i), single.row(0), "row {i} differs across batch sizes");
+        }
+        // Mid-sized batch takes the packed path too; also must agree.
+        let mid = matmul(&a.slice_rows(16, 8), &b);
+        for r in 0..8 {
+            assert_eq!(big.row(16 + r), mid.row(r));
+        }
+    }
+
+    #[test]
+    fn packed_path_matches_naive_reference() {
+        let mut rng = crate::init::SeededRng::new(8);
+        for (m, k, n) in [(1, 7, 5), (4, 8, 8), (13, 17, 23), (64, 33, 41), (5, 1, 9)] {
+            let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+            let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+            let fast = matmul(&a, &b);
+            let slow = matmul_naive(&a, &b);
+            for (x, y) in fast.data().iter().zip(slow.data()) {
+                assert!((x - y).abs() < 1e-4, "{m}x{k}x{n}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rows_and_columns_are_handled_densely() {
+        // The old kernel skipped a_ik == 0.0; the dense kernel must still
+        // produce exact zeros where they belong.
+        let a = t(&[2, 3], vec![0., 0., 0., 1., 0., 2.]);
+        let b = t(&[3, 2], vec![1., 2., 3., 4., 5., 6.]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[0., 0., 11., 14.]);
     }
 
     #[test]

@@ -32,14 +32,7 @@ impl Tensor {
     /// Panics if the buffer length does not match the shape product.
     pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
         let n: usize = shape.iter().product();
-        assert_eq!(
-            n,
-            data.len(),
-            "shape {:?} needs {} elements, got {}",
-            shape,
-            n,
-            data.len()
-        );
+        assert_eq!(n, data.len(), "shape {:?} needs {} elements, got {}", shape, n, data.len());
         Self { shape: shape.to_vec(), data }
     }
 

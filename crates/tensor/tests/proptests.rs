@@ -1,8 +1,8 @@
 //! Property-based tests for the tensor engine's core invariants.
 
+use pragformer_tensor::{init::SeededRng, loss, nn, nn::Layer, ops, optim, Tensor};
 use proptest::collection::vec;
 use proptest::prelude::*;
-use pragformer_tensor::{init::SeededRng, loss, nn, nn::Layer, ops, optim, Tensor};
 
 /// Strategy: a matrix with dims in `1..=max_dim` and bounded entries.
 fn matrix(max_dim: usize) -> impl Strategy<Value = Tensor> {
@@ -13,6 +13,60 @@ fn matrix(max_dim: usize) -> impl Strategy<Value = Tensor> {
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn blocked_matmul_matches_naive_reference(seed in 0u64..1000, m in 1usize..33, k in 1usize..33, n in 1usize..33) {
+        // The blocked/packed kernel (and its small-m fallback) against
+        // the textbook triple loop, over random shapes spanning full
+        // tiles, remainder rows/panels, and sub-tile matrices.
+        let mut rng = SeededRng::new(seed);
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+        let fast = ops::matmul(&a, &b);
+        let slow = ops::matmul_naive(&a, &b);
+        for (i, (x, y)) in fast.data().iter().zip(slow.data()).enumerate() {
+            prop_assert!((x - y).abs() < 1e-4, "{m}x{k}x{n} elem {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_nt_matches_naive_reference(seed in 0u64..1000, m in 1usize..25, k in 1usize..25, n in 1usize..25) {
+        // A·Bᵀ via the four-lane dot kernel == naive A·(Bᵀ).
+        let mut rng = SeededRng::new(seed);
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let b = Tensor::randn(&[n, k], 1.0, &mut rng);
+        let fast = ops::matmul_nt(&a, &b);
+        let slow = ops::matmul_naive(&a, &b.transpose2());
+        for (x, y) in fast.data().iter().zip(slow.data()) {
+            prop_assert!((x - y).abs() < 1e-4, "{m}x{k}x{n}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_tn_matches_naive_reference(seed in 0u64..1000, m in 1usize..25, k in 1usize..25, n in 1usize..25) {
+        // Aᵀ·B accumulation kernel == naive (Aᵀ)·B.
+        let mut rng = SeededRng::new(seed);
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let b = Tensor::randn(&[m, n], 1.0, &mut rng);
+        let fast = ops::matmul_tn(&a, &b);
+        let slow = ops::matmul_naive(&a.transpose2(), &b);
+        for (x, y) in fast.data().iter().zip(slow.data()) {
+            prop_assert!((x - y).abs() < 1e-4, "{m}x{k}x{n}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_rows_bitwise_stable_for_any_row_count(seed in 0u64..1000, m in 1usize..20, k in 1usize..20, n in 1usize..20, pick in 0usize..20) {
+        // The batching property behind advise_batch: any row of a GEMM
+        // equals the same row computed through a 1-row GEMM, bit for bit.
+        let mut rng = SeededRng::new(seed);
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+        let full = ops::matmul(&a, &b);
+        let i = pick % m;
+        let single = ops::matmul(&a.slice_rows(i, 1), &b);
+        prop_assert_eq!(full.row(i), single.row(0));
+    }
 
     #[test]
     fn matmul_distributes_over_addition(seed in 0u64..1000, m in 1usize..8, k in 1usize..8, n in 1usize..8) {

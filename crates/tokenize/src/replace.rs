@@ -29,8 +29,10 @@ pub fn rename_identifiers(stmts: &[Stmt]) -> (Vec<Stmt>, HashMap<String, String>
     let mut kinds: HashMap<String, UseKind> = HashMap::new();
     let mut order: Vec<String> = Vec::new();
     {
-        let note = |name: &str, kind: UseKind, kinds: &mut HashMap<String, UseKind>,
-                        order: &mut Vec<String>| {
+        let note = |name: &str,
+                    kind: UseKind,
+                    kinds: &mut HashMap<String, UseKind>,
+                    order: &mut Vec<String>| {
             if !kinds.contains_key(name) {
                 order.push(name.to_string());
             }
@@ -236,14 +238,12 @@ fn rename_stmt(s: &Stmt, map: &HashMap<String, String>) -> Stmt {
             step: step.as_ref().map(|e| rename_expr(e, map)),
             body: Box::new(rename_stmt(body, map)),
         },
-        Stmt::While { cond, body } => Stmt::While {
-            cond: rename_expr(cond, map),
-            body: Box::new(rename_stmt(body, map)),
-        },
-        Stmt::DoWhile { body, cond } => Stmt::DoWhile {
-            body: Box::new(rename_stmt(body, map)),
-            cond: rename_expr(cond, map),
-        },
+        Stmt::While { cond, body } => {
+            Stmt::While { cond: rename_expr(cond, map), body: Box::new(rename_stmt(body, map)) }
+        }
+        Stmt::DoWhile { body, cond } => {
+            Stmt::DoWhile { body: Box::new(rename_stmt(body, map)), cond: rename_expr(cond, map) }
+        }
         Stmt::Return(e) => Stmt::Return(e.as_ref().map(|e| rename_expr(e, map))),
         Stmt::Pragma { directive, stmt } => {
             // Clause variable lists follow the same mapping so labels stay
@@ -304,9 +304,7 @@ fn rename_expr(e: &Expr, map: &HashMap<String, String>) -> Expr {
             l: Box::new(rename_expr(l, map)),
             r: Box::new(rename_expr(r, map)),
         },
-        Expr::Unary { op, expr } => {
-            Expr::Unary { op: *op, expr: Box::new(rename_expr(expr, map)) }
-        }
+        Expr::Unary { op, expr } => Expr::Unary { op: *op, expr: Box::new(rename_expr(expr, map)) },
         Expr::Assign { op, lhs, rhs } => Expr::Assign {
             op: *op,
             lhs: Box::new(rename_expr(lhs, map)),
@@ -337,9 +335,7 @@ fn rename_expr(e: &Expr, map: &HashMap<String, String>) -> Expr {
             pragformer_cparse::SizeofArg::Expr(e) => {
                 pragformer_cparse::SizeofArg::Expr(rename_expr(e, map))
             }
-            pragformer_cparse::SizeofArg::Type(t) => {
-                pragformer_cparse::SizeofArg::Type(t.clone())
-            }
+            pragformer_cparse::SizeofArg::Type(t) => pragformer_cparse::SizeofArg::Type(t.clone()),
         })),
         Expr::Comma(a, b) => {
             Expr::Comma(Box::new(rename_expr(a, map)), Box::new(rename_expr(b, map)))

@@ -67,11 +67,7 @@ fn strip_pragmas(stmts: &[Stmt]) -> Vec<Stmt> {
 /// Renders a snippet into the token sequence for the given representation.
 pub fn tokens_for(stmts: &[Stmt], repr: Representation) -> Vec<String> {
     let clean = strip_pragmas(stmts);
-    let subject = if repr.is_replaced() {
-        rename_identifiers(&clean).0
-    } else {
-        clean
-    };
+    let subject = if repr.is_replaced() { rename_identifiers(&clean).0 } else { clean };
     match repr {
         Representation::Text | Representation::ReplacedText => lexical_tokens(&subject),
         Representation::Ast | Representation::ReplacedAst => ast_tokens(&subject),

@@ -19,8 +19,7 @@ pub fn corpus_stats(
     valid: &[Vec<String>],
     test: &[Vec<String>],
 ) -> ReprStats {
-    let train_types: HashSet<&str> =
-        train.iter().flatten().map(String::as_str).collect();
+    let train_types: HashSet<&str> = train.iter().flatten().map(String::as_str).collect();
     let mut eval_types: HashSet<&str> = HashSet::new();
     for seq in valid.iter().chain(test) {
         for t in seq {
@@ -28,11 +27,9 @@ pub fn corpus_stats(
         }
     }
     let oov_types = eval_types.difference(&train_types).count();
-    let total_tokens: usize =
-        train.iter().chain(valid).chain(test).map(Vec::len).sum();
+    let total_tokens: usize = train.iter().chain(valid).chain(test).map(Vec::len).sum();
     let total_seqs = train.len() + valid.len() + test.len();
-    let avg_length =
-        if total_seqs == 0 { 0.0 } else { total_tokens as f64 / total_seqs as f64 };
+    let avg_length = if total_seqs == 0 { 0.0 } else { total_tokens as f64 / total_seqs as f64 };
     ReprStats { train_vocab_size: train_types.len(), oov_types, avg_length }
 }
 

@@ -47,8 +47,7 @@ impl Vocab {
         let mut id_to_token: Vec<String> =
             vec!["<pad>".into(), "<unk>".into(), "<cls>".into(), "<mask>".into()];
         id_to_token.extend(entries.iter().map(|(t, _)| t.to_string()));
-        let token_to_id =
-            id_to_token.iter().enumerate().map(|(i, t)| (t.clone(), i)).collect();
+        let token_to_id = id_to_token.iter().enumerate().map(|(i, t)| (t.clone(), i)).collect();
         Self { token_to_id, id_to_token }
     }
 

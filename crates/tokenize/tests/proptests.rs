@@ -1,9 +1,9 @@
 //! Property tests for identifier replacement and vocabulary encoding.
 
-use proptest::prelude::*;
 use pragformer_cparse::parse_snippet;
 use pragformer_cparse::printer::print_stmts;
 use pragformer_tokenize::{rename_identifiers, tokens_for, Representation, Vocab};
+use proptest::prelude::*;
 
 /// A pool of small loop snippets with assorted identifier usage.
 fn snippet() -> impl Strategy<Value = String> {
@@ -68,7 +68,7 @@ proptest! {
 
     #[test]
     fn vocab_ids_are_dense_and_stable(tokens in prop::collection::vec("[a-z]{1,6}", 1..40)) {
-        let seqs = vec![tokens.clone()];
+        let seqs = [tokens.clone()];
         let vocab = Vocab::build(seqs.iter(), 1, 100_000);
         // Ids form a dense range [0, len).
         let mut seen = vec![false; vocab.len()];

@@ -13,10 +13,7 @@ use pragformer_corpus::generate;
 use pragformer_eval::report::{f2, Table};
 
 fn main() {
-    let scale = std::env::args()
-        .nth(1)
-        .and_then(|s| Scale::parse(&s))
-        .unwrap_or(Scale::Tiny);
+    let scale = std::env::args().nth(1).and_then(|s| Scale::parse(&s)).unwrap_or(Scale::Tiny);
     eprintln!("generating corpus + training ({scale:?})…");
     let db = generate(&scale.generator(4242));
     let outcomes = run_generalization(&db, scale, 4242);

@@ -11,10 +11,7 @@ use pragformer_eval::lime::{explain, LimeConfig};
 use pragformer_tokenize::{tokens_for, Representation};
 
 fn main() {
-    let scale = std::env::args()
-        .nth(1)
-        .and_then(|s| Scale::parse(&s))
-        .unwrap_or(Scale::Tiny);
+    let scale = std::env::args().nth(1).and_then(|s| Scale::parse(&s)).unwrap_or(Scale::Tiny);
     eprintln!("training advisor ({scale:?})…");
     let mut advisor = Advisor::train_from_scratch(scale, 99);
 
@@ -32,9 +29,8 @@ fn main() {
         println!("{code}");
         println!("model p(directive) = {base:.3}");
         let cfg = LimeConfig { samples: 300, ..Default::default() };
-        let explanation = explain(&tokens, &cfg, &mut |ts| {
-            advisor.directive_probability_of_tokens(ts) as f64
-        });
+        let explanation =
+            explain(&tokens, &cfg, &mut |ts| advisor.directive_probability_of_tokens(ts) as f64);
         println!("most influential tokens:");
         for tw in explanation.top_tokens(6) {
             let direction = if tw.weight >= 0.0 { "→ parallel" } else { "→ serial" };

@@ -36,17 +36,23 @@ const KERNELS: &[(&str, &str)] = &[
 ];
 
 fn main() {
-    let scale = std::env::args()
-        .nth(1)
-        .and_then(|s| Scale::parse(&s))
-        .unwrap_or(Scale::Tiny);
+    let scale = std::env::args().nth(1).and_then(|s| Scale::parse(&s)).unwrap_or(Scale::Tiny);
     eprintln!("training advisor ({scale:?})…");
     let mut advisor = Advisor::train_from_scratch(scale, 7);
 
+    // One batched call for the whole translation unit: snippets are
+    // parsed/analyzed in parallel, bucketed by length, deduplicated and
+    // classified through three batched forwards — same results as
+    // per-loop advise() calls, at a fraction of the cost.
+    let sources: Vec<&str> = KERNELS.iter().map(|(_, code)| *code).collect();
+    let t = std::time::Instant::now();
+    let batch = advisor.advise_batch(&sources);
+    eprintln!("advise_batch over {} loops took {:?}", sources.len(), t.elapsed());
+
     println!("{:<16} {:>9} {:>6} {:>8} {:>9}  verdict", "kernel", "model", "p", "compar", "agree");
     println!("{}", "-".repeat(72));
-    for (name, code) in KERNELS {
-        let advice = advisor.advise(code).expect("kernel parses");
+    for ((name, code), advice) in KERNELS.iter().zip(batch) {
+        let advice = advice.expect("kernel parses");
         let compar = analyze_snippet(code, Strictness::Strict);
         let compar_str = match &compar {
             ComparResult::Parallelized(_) => "yes",

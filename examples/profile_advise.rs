@@ -1,0 +1,41 @@
+//! Ad-hoc timing breakdown of the advise pipeline (used while tuning the
+//! batched path; not part of the evaluation harness).
+//!
+//! ```text
+//! cargo run --release --example profile_advise
+//! ```
+
+use pragformer::core::{Advisor, Scale};
+use std::time::Instant;
+
+fn main() {
+    let mut advisor = Advisor::untrained(Scale::Tiny, 1);
+    let snippet =
+        "for (i = 0; i < n; i++)\n  for (j = 0; j < n; j++)\n    x1[i] = x1[i] + A[i][j] * y_1[j];";
+    let snippets: Vec<&str> = (0..64).map(|_| snippet).collect();
+
+    // Front-end cost.
+    let t = Instant::now();
+    for _ in 0..200 {
+        let stmts = pragformer::cparse::parse_snippet(snippet).unwrap();
+        let toks =
+            pragformer::tokenize::tokens_for(&stmts, pragformer::tokenize::Representation::Text);
+        std::hint::black_box(toks);
+        let c = pragformer::baselines::analyze_snippet(
+            snippet,
+            pragformer::baselines::Strictness::Strict,
+        );
+        std::hint::black_box(c);
+    }
+    println!("front-end per snippet: {:?}", t.elapsed() / 200);
+
+    for batch in [1usize, 8, 64] {
+        let t = Instant::now();
+        let iters = (128 / batch).max(2);
+        for _ in 0..iters {
+            std::hint::black_box(advisor.advise_batch(&snippets[..batch]));
+        }
+        let per = t.elapsed() / (iters * batch) as u32;
+        println!("advise_batch/{batch}: {per:?} per snippet");
+    }
+}

@@ -1,0 +1,28 @@
+//! Ad-hoc timing of PragFormer forwards at several batch sizes (tuning
+//! aid; not part of the evaluation harness).
+
+use pragformer::model::{ModelConfig, PragFormer};
+use pragformer::tensor::init::SeededRng;
+use std::time::Instant;
+
+fn main() {
+    let cfg = ModelConfig::tiny(800);
+    let mut rng = SeededRng::new(1);
+    let mut model = PragFormer::new(&cfg, &mut rng);
+    let seq = cfg.max_len;
+    for batch in [1usize, 8, 64] {
+        let ids: Vec<usize> = (0..batch * seq).map(|i| i % 800).collect();
+        let valid = vec![seq; batch];
+        // warm-up
+        for _ in 0..3 {
+            std::hint::black_box(model.predict_proba_batch(&ids, &valid, seq));
+        }
+        let iters = (256 / batch).max(4);
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(model.predict_proba_batch(&ids, &valid, seq));
+        }
+        let per = t.elapsed() / (iters * batch) as u32;
+        println!("predict_proba_batch batch={batch}: {per:?} per sequence");
+    }
+}

@@ -1,0 +1,183 @@
+//! Ad-hoc micro-kernel timings (tuning aid; not part of the evaluation
+//! harness).
+
+use pragformer::tensor::init::SeededRng;
+use pragformer::tensor::{ops, Tensor};
+use std::time::Instant;
+
+fn time(label: &str, mut f: impl FnMut()) {
+    let mut iters = 1u32;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let el = t.elapsed();
+        if el.as_millis() > 200 || iters > 1 << 20 {
+            println!("{label}: {:?}", el / iters);
+            break;
+        }
+        iters *= 4;
+    }
+}
+
+fn main() {
+    let mut rng = SeededRng::new(1);
+    // Shapes from a tiny-scale batch-64 forward (seq 48, d16, 2 heads).
+    let x = Tensor::randn(&[64 * 48, 16], 1.0, &mut rng);
+    let w = Tensor::randn(&[16, 16], 1.0, &mut rng);
+    let wff = Tensor::randn(&[16, 32], 1.0, &mut rng);
+    time("matmul 3072x16x16", || {
+        std::hint::black_box(ops::matmul(&x, &w));
+    });
+    time("matmul 3072x16x32", || {
+        std::hint::black_box(ops::matmul(&x, &wff));
+    });
+    let q = Tensor::randn(&[48, 8], 1.0, &mut rng);
+    let k = Tensor::randn(&[48, 8], 1.0, &mut rng);
+    time("matmul_nt 48x8 x 48x8 (scores)", || {
+        std::hint::black_box(ops::matmul_nt(&q, &k));
+    });
+    let mut s = Tensor::randn(&[48, 48], 1.0, &mut rng);
+    let valid = vec![48usize; 48];
+    time("softmax_rows 48x48", || {
+        let mut c = s.clone();
+        ops::softmax_rows(&mut c, Some(&valid));
+        std::hint::black_box(c);
+    });
+    time("clone 48x48 (baseline for softmax)", || {
+        std::hint::black_box(s.clone());
+    });
+    let p = Tensor::randn(&[48, 48], 1.0, &mut rng);
+    let v = Tensor::randn(&[48, 8], 1.0, &mut rng);
+    time("matmul 48x48x8 (ctx)", || {
+        std::hint::black_box(ops::matmul(&p, &v));
+    });
+    time("exp 2304", || {
+        s.map_in_place(|z| (z * 1e-9).exp() * 0.9999);
+        std::hint::black_box(&s);
+    });
+    let big = Tensor::randn(&[3072, 16], 1.0, &mut rng);
+    time("layernorm-ish passes 3072x16 (mean/var)", || {
+        let mut acc = 0.0f32;
+        for r in 0..3072 {
+            let row = big.row(r);
+            let m: f32 = row.iter().sum::<f32>() / 16.0;
+            let var: f32 = row.iter().map(|v| (v - m) * (v - m)).sum::<f32>() / 16.0;
+            acc += (var + 1e-5).sqrt();
+        }
+        std::hint::black_box(acc);
+    });
+    time("alloc+zero 3072x16", || {
+        std::hint::black_box(Tensor::zeros(&[3072, 16]));
+    });
+    time("alloc+zero 48x16", || {
+        std::hint::black_box(Tensor::zeros(&[48, 16]));
+    });
+    probe_extra();
+    probe_copy();
+}
+
+// Appended isolation probes (invoked only when PROBE=1).
+pub fn probe_extra() {
+    let mut rng = SeededRng::new(2);
+    let p = Tensor::randn(&[48, 48], 1.0, &mut rng);
+    let v = Tensor::randn(&[48, 8], 1.0, &mut rng);
+    // Pure fixed microkernel over the same shape: 12 tiles x k=48, NR=8.
+    let a = p.data();
+    let b = v.data();
+    time("raw fixed tile loop 48x48x8", || {
+        let mut out = vec![0.0f32; 48 * 8];
+        for tile in 0..12 {
+            let mut acc = [[0.0f32; 8]; 4];
+            for kk in 0..48 {
+                let stripe = &b[kk * 8..kk * 8 + 8];
+                for r in 0..4 {
+                    let av = a[(tile * 4 + r) * 48 + kk];
+                    for c in 0..8 {
+                        acc[r][c] += av * stripe[c];
+                    }
+                }
+            }
+            for r in 0..4 {
+                out[(tile * 4 + r) * 8..(tile * 4 + r) * 8 + 8].copy_from_slice(&acc[r]);
+            }
+        }
+        std::hint::black_box(out);
+    });
+    time("alloc+zero 48x48 out", || {
+        std::hint::black_box(Tensor::zeros(&[48, 8]));
+    });
+}
+
+/// Byte-for-byte copy of ops::gemm_packed_rows' hot branch, to compare
+/// codegen in-crate vs cross-crate.
+pub fn probe_copy() {
+    const MR: usize = 4;
+    const NR: usize = 8;
+    const KB: usize = 8;
+    let mut rng = SeededRng::new(3);
+    let p = Tensor::randn(&[48, 48], 1.0, &mut rng);
+    let v = Tensor::randn(&[48, 8], 1.0, &mut rng);
+    let (k, n) = (48usize, 8usize);
+    let a_rows = p.data().to_vec();
+    let packed = v.data().to_vec();
+    time("copied gemm_packed_rows 48x48x8", || {
+        let mut c_chunk = vec![0.0f32; 48 * 8];
+        let rows = c_chunk.len() / n;
+        let panels = n.div_ceil(NR);
+        let mut i = 0;
+        while i < rows {
+            let mr = MR.min(rows - i);
+            for jp in 0..panels {
+                let j0 = jp * NR;
+                let w = NR.min(n - j0);
+                let panel = &packed[jp * k * NR..(jp + 1) * k * NR];
+                let mut acc = [[0.0f32; NR]; MR];
+                if mr == MR {
+                    let mut acc0 = [0.0f32; NR];
+                    let mut acc1 = [0.0f32; NR];
+                    let mut acc2 = [0.0f32; NR];
+                    let mut acc3 = [0.0f32; NR];
+                    let row = |r: usize| &a_rows[(i + r) * k..(i + r + 1) * k];
+                    let (r0, r1, r2, r3) = (row(0), row(1), row(2), row(3));
+                    fn ablk(r: &[f32]) -> impl Iterator<Item = &[f32; KB]> {
+                        r.chunks_exact(KB).map(|s| <&[f32; KB]>::try_from(s).unwrap())
+                    }
+                    let pblocks = panel
+                        .chunks_exact(NR * KB)
+                        .map(|s| <&[f32; NR * KB]>::try_from(s).unwrap());
+                    for ((((pb, a0), a1), a2), a3) in
+                        pblocks.zip(ablk(r0)).zip(ablk(r1)).zip(ablk(r2)).zip(ablk(r3))
+                    {
+                        for pp in 0..KB {
+                            for c in 0..NR {
+                                let bv = pb[pp * NR + c];
+                                acc0[c] += a0[pp] * bv;
+                                acc1[c] += a1[pp] * bv;
+                                acc2[c] += a2[pp] * bv;
+                                acc3[c] += a3[pp] * bv;
+                            }
+                        }
+                    }
+                    for pp in (k - k % KB)..k {
+                        let stripe = &panel[pp * NR..(pp + 1) * NR];
+                        for c in 0..NR {
+                            acc0[c] += r0[pp] * stripe[c];
+                            acc1[c] += r1[pp] * stripe[c];
+                            acc2[c] += r2[pp] * stripe[c];
+                            acc3[c] += r3[pp] * stripe[c];
+                        }
+                    }
+                    acc = [acc0, acc1, acc2, acc3];
+                }
+                for r in 0..mr {
+                    let c_row = &mut c_chunk[(i + r) * n + j0..(i + r) * n + j0 + w];
+                    c_row.copy_from_slice(&acc[r][..w]);
+                }
+            }
+            i += mr;
+        }
+        std::hint::black_box(&c_chunk);
+    });
+}

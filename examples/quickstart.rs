@@ -8,10 +8,7 @@
 use pragformer_core::{Advisor, Scale};
 
 fn main() {
-    let scale = std::env::args()
-        .nth(1)
-        .and_then(|s| Scale::parse(&s))
-        .unwrap_or(Scale::Tiny);
+    let scale = std::env::args().nth(1).and_then(|s| Scale::parse(&s)).unwrap_or(Scale::Tiny);
     println!("training advisor at {scale:?} scale (generating corpus + 3 models)…");
     let start = std::time::Instant::now();
     let mut advisor = Advisor::train_from_scratch(scale, 42);

@@ -35,9 +35,10 @@ fn lime_blames_io_tokens_for_negative_predictions() {
     // The fprintf (or its stderr/format companions) must appear among the
     // strongest *negative* contributors — the paper's example 2 analysis.
     let top: Vec<_> = exp.top_tokens(5);
-    let io_in_top = top
-        .iter()
-        .any(|tw| (tw.token == "fprintf" || tw.token == "stderr" || tw.token == "\"<fmt>\"") && tw.weight < 0.0);
+    let io_in_top = top.iter().any(|tw| {
+        (tw.token == "fprintf" || tw.token == "stderr" || tw.token == "\"<fmt>\"")
+            && tw.weight < 0.0
+    });
     assert!(
         io_in_top,
         "no negative I/O token among the top-5: {:?}",
@@ -60,9 +61,7 @@ fn lime_weights_track_bow_coefficients() {
     let mut ranked: Vec<(&str, f32, f64)> = exp
         .weights
         .iter()
-        .filter_map(|tw| {
-            model.token_weight(&tw.token).map(|w| (tw.token.as_str(), w, tw.weight))
-        })
+        .filter_map(|tw| model.token_weight(&tw.token).map(|w| (tw.token.as_str(), w, tw.weight)))
         .collect();
     ranked.sort_by(|a, b| b.1.abs().total_cmp(&a.1.abs()));
     let mut checked = 0;

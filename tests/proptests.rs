@@ -1,11 +1,11 @@
 //! Cross-crate property tests: every generated corpus record flows
 //! through the whole pipeline without panics or invariant violations.
 
-use proptest::prelude::*;
 use pragformer_baselines::{analyze_snippet, Strictness};
 use pragformer_corpus::{generate, GeneratorConfig};
 use pragformer_cparse::parse_snippet;
 use pragformer_tokenize::{tokens_for, Representation, Vocab};
+use proptest::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]

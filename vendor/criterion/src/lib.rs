@@ -1,0 +1,310 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A miniature wall-clock benchmark harness with criterion's API shape:
+//! [`criterion_group!`] / [`criterion_main!`], benchmark groups,
+//! `bench_function` / `bench_with_input`, `iter` / `iter_batched`,
+//! [`Throughput`], [`BenchmarkId`]. Each benchmark is warmed up briefly,
+//! then timed over `sample_size` samples; the median per-iteration time
+//! is printed and appended as a JSON line to `BENCH_<group>.json` in the
+//! workspace root (next to `Cargo.lock`), so successive commits can be
+//! compared with plain `jq`/`diff`.
+
+use std::fmt::{self, Display};
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost; the shim treats all variants
+/// identically (setup is always excluded from timing).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// Throughput annotation attached to a group; reported alongside timings.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier made of a function name and a parameter.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, like criterion's display form.
+    pub fn new<P: Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    sample_size: usize,
+    warmup: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20, warmup: Duration::from_millis(200) }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warmup = d;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing throughput annotations.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), &mut f);
+    }
+
+    /// Runs one benchmark parameterized by an input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), &mut |b| f(b, input));
+    }
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let mut bencher = Bencher { duration: Duration::ZERO, iters: 0 };
+        // Warm-up: run until the warm-up budget is spent.
+        let warm_deadline = Instant::now() + self.criterion.warmup;
+        while Instant::now() < warm_deadline {
+            bencher.reset();
+            f(&mut bencher);
+            if bencher.iters == 0 {
+                break; // the closure never called iter(); avoid spinning
+            }
+        }
+        // Measurement.
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            bencher.reset();
+            f(&mut bencher);
+            if bencher.iters > 0 {
+                per_iter_ns.push(bencher.duration.as_nanos() as f64 / bencher.iters as f64);
+            }
+        }
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter_ns.get(per_iter_ns.len() / 2).copied().unwrap_or(f64::NAN);
+        let best = per_iter_ns.first().copied().unwrap_or(f64::NAN);
+        let thr = match self.throughput {
+            Some(Throughput::Elements(n)) if median > 0.0 => {
+                format!("  thrpt: {:>12.0} elem/s", n as f64 / (median * 1e-9))
+            }
+            Some(Throughput::Bytes(n)) if median > 0.0 => {
+                format!("  thrpt: {:>12.0} B/s", n as f64 / (median * 1e-9))
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{:<40} time: [{:>12} median, {:>12} best]{}",
+            id,
+            fmt_ns(median),
+            fmt_ns(best),
+            thr
+        );
+        self.append_json(id, median, best);
+    }
+
+    fn append_json(&self, id: &str, median_ns: f64, best_ns: f64) {
+        let Some(path) = results_path(&self.name) else { return };
+        let throughput = match self.throughput {
+            Some(Throughput::Elements(n)) => format!(",\"elements\":{n}"),
+            Some(Throughput::Bytes(n)) => format!(",\"bytes\":{n}"),
+            None => String::new(),
+        };
+        let line = format!(
+            "{{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{:.1},\"best_ns\":{:.1}{}}}\n",
+            self.name, id, median_ns, best_ns, throughput
+        );
+        if let Ok(mut f) = OpenOptions::new().create(true).append(true).open(path) {
+            let _ = f.write_all(line.as_bytes());
+        }
+    }
+
+    /// Ends the group (printing is immediate; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// Human-readable nanosecond formatting (`1.23 µs`-style).
+fn fmt_ns(ns: f64) -> String {
+    if !ns.is_finite() {
+        "n/a".to_string()
+    } else if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Resolves `BENCH_<group>.json` in the workspace root (two levels above
+/// the bench crate's manifest), falling back to the current directory.
+fn results_path(group: &str) -> Option<PathBuf> {
+    let file = format!("BENCH_{group}.json");
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        let mut p = PathBuf::from(manifest);
+        // crates/bench -> workspace root
+        if p.parent().and_then(|q| q.parent()).is_some() {
+            p = p.parent().unwrap().parent().unwrap().to_path_buf();
+        }
+        return Some(p.join(file));
+    }
+    Some(PathBuf::from(file))
+}
+
+/// Passed to benchmark closures; measures the timed section.
+pub struct Bencher {
+    duration: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn reset(&mut self) {
+        self.duration = Duration::ZERO;
+        self.iters = 0;
+    }
+
+    /// Times repeated calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let reps = 8;
+        let start = Instant::now();
+        for _ in 0..reps {
+            black_box(f());
+        }
+        self.duration += start.elapsed();
+        self.iters += reps;
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let reps = 8;
+        for _ in 0..reps {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.duration += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Declares a benchmark group function (named-field form).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` forwards harness flags like `--bench`; the shim
+            // runs everything and ignores filters.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3).warm_up_time(Duration::from_millis(1));
+        let mut group = c.benchmark_group("shim_selftest");
+        group.throughput(Throughput::Elements(64));
+        group.bench_function("sum", |b| b.iter(|| (0..64u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scaled", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

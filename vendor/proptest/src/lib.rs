@@ -1,0 +1,643 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! A miniature property-testing engine implementing exactly the API
+//! surface this workspace uses:
+//!
+//! * [`Strategy`] with `prop_map`, `prop_flat_map`, `prop_recursive`,
+//!   `boxed`;
+//! * strategies: integer/float ranges, [`Just`], [`any`], tuples up to
+//!   arity 6, `&'static str` char-class patterns (`"[a-z]{1,10}"`),
+//!   [`collection::vec`], [`sample::select`];
+//! * macros: [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`], [`prop_assert_ne!`];
+//! * [`ProptestConfig`] (only `cases` is honoured).
+//!
+//! There is **no shrinking**: a failing case panics immediately with the
+//! case number and the generating seed, which is enough to reproduce
+//! (generation is deterministic per test name).
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic generator driving value generation (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    /// Next raw 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform index in `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Hashes a test name into a base seed (FNV-1a) so each test gets an
+/// independent deterministic stream.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` returns.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Recursive strategies: `f` receives a boxed strategy for the inner
+    /// level and returns the strategy for one level up; recursion bottoms
+    /// out at `self` after at most `depth` applications. `desired_size`
+    /// and `expected_branch_size` are accepted for API compatibility but
+    /// only `depth` bounds generation.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let mut s: BoxedStrategy<Self::Value> = self.boxed();
+        for _ in 0..depth {
+            s = f(s).boxed();
+        }
+        s
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// A reference-counted, type-erased strategy (cheaply cloneable).
+pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.0.new_value(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.new_value(rng)).new_value(rng)
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed alternatives ([`prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len());
+        self.options[i].new_value(rng)
+    }
+}
+
+// --- ranges ----------------------------------------------------------------
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = self.end.wrapping_sub(self.start) as u64;
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty inclusive range strategy");
+                let span = (hi.wrapping_sub(lo) as u64).wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let u = rng.unit_f64() as $t;
+                self.start + u * (self.end - self.start)
+            }
+        }
+    )*};
+}
+impl_strategy_float_range!(f32, f64);
+
+// --- any -------------------------------------------------------------------
+
+/// Types with a canonical full-domain strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self { rng.next_u64() as $t }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy for the full domain of `T` (`proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// --- tuples ----------------------------------------------------------------
+
+macro_rules! impl_strategy_tuple {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    };
+}
+impl_strategy_tuple!(S0.0);
+impl_strategy_tuple!(S0.0, S1.1);
+impl_strategy_tuple!(S0.0, S1.1, S2.2);
+impl_strategy_tuple!(S0.0, S1.1, S2.2, S3.3);
+impl_strategy_tuple!(S0.0, S1.1, S2.2, S3.3, S4.4);
+impl_strategy_tuple!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5);
+
+// --- string patterns -------------------------------------------------------
+
+/// `&'static str` char-class patterns like `"[a-z0-9_]{1,10}"` generate
+/// `String`s. A pattern without a class/repetition generates itself
+/// literally.
+impl Strategy for &'static str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        pattern_value(self, rng)
+    }
+}
+
+fn pattern_value(pattern: &str, rng: &mut TestRng) -> String {
+    let bytes = pattern.as_bytes();
+    if bytes.first() != Some(&b'[') {
+        return pattern.to_string();
+    }
+    let close = match pattern.find(']') {
+        Some(i) => i,
+        None => return pattern.to_string(),
+    };
+    let class: Vec<char> = expand_class(&pattern[1..close]);
+    if class.is_empty() {
+        return String::new();
+    }
+    let rest = &pattern[close + 1..];
+    let (min, max) = parse_repetition(rest);
+    let len = if max > min { min + rng.below(max - min + 1) } else { min };
+    (0..len).map(|_| class[rng.below(class.len())]).collect()
+}
+
+fn expand_class(spec: &str) -> Vec<char> {
+    let chars: Vec<char> = spec.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (a, b) = (chars[i], chars[i + 2]);
+            for c in a..=b {
+                out.push(c);
+            }
+            i += 3;
+        } else {
+            out.push(chars[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+fn parse_repetition(spec: &str) -> (usize, usize) {
+    if !spec.starts_with('{') || !spec.ends_with('}') {
+        return (1, 1);
+    }
+    let body = &spec[1..spec.len() - 1];
+    let mut parts = body.splitn(2, ',');
+    let min = parts.next().and_then(|s| s.trim().parse().ok()).unwrap_or(1);
+    let max = parts.next().and_then(|s| s.trim().parse().ok()).unwrap_or(min);
+    (min, max.max(min))
+}
+
+// ---------------------------------------------------------------------------
+// collection / sample modules
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    //! Collection strategies (`proptest::collection`).
+
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Collection sizes: a fixed `usize` or a `Range<usize>`.
+    pub trait SizeRange {
+        /// Samples a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty vec size range");
+            self.start + rng.below(self.end - self.start)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with the given size.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies (`proptest::sample`).
+
+    use super::{Strategy, TestRng};
+
+    /// Uniform choice from a fixed list of values.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select { options }
+    }
+
+    /// Strategy returned by [`select`].
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len())].clone()
+        }
+    }
+}
+
+pub mod prop {
+    //! Re-export hub mirroring `proptest::prelude::prop`.
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+// ---------------------------------------------------------------------------
+// Config + macros
+// ---------------------------------------------------------------------------
+
+/// Explicit test-case failure, for `Err(TestCaseError::fail(..))?` style
+/// early exits inside `proptest!` bodies.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+
+    /// Alias of [`TestCaseError::fail`] (the real crate distinguishes
+    /// rejection from failure; the shim treats both as failure).
+    pub fn reject(message: impl Into<String>) -> Self {
+        Self::fail(message)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Runner configuration; only `cases` is honoured by the shim.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Accepted for compatibility; unused (no shrinking).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_shrink_iters: 0 }
+    }
+}
+
+impl fmt::Display for ProptestConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ProptestConfig(cases={})", self.cases)
+    }
+}
+
+/// Declares property tests. Each case generates all bound values and runs
+/// the body; any panic (including `prop_assert!`) fails the test with the
+/// case index in the panic note.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::new($crate::seed_for(concat!(
+                module_path!(), "::", stringify!($name)
+            )));
+            $(let $arg = &$strat;)+
+            for case in 0..config.cases {
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    $(let $arg = $crate::Strategy::new_value($arg, &mut rng);)+
+                    #[allow(clippy::redundant_closure_call)]
+                    let case_result = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        Ok(())
+                    })();
+                    if let Err(err) = case_result {
+                        panic!("test case failed: {err}");
+                    }
+                }));
+                if let Err(payload) = result {
+                    eprintln!(
+                        "proptest {}: failed at case {}/{} (no shrinking in offline shim)",
+                        stringify!($name), case, config.cases
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// `assert!` inside a property (no shrinking, so it simply panics).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+    pub use crate::prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestRng, Union,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::new(1);
+        let s = (1usize..8, 0u64..1000, -10.0f32..10.0);
+        for _ in 0..200 {
+            let (a, b, c) = s.new_value(&mut rng);
+            assert!((1..8).contains(&a));
+            assert!(b < 1000);
+            assert!((-10.0..10.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_class_and_len() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..200 {
+            let s = "[a-z]{1,10}".new_value(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 10);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s}");
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Clone, Debug)]
+        #[allow(dead_code)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(cs) => 1 + cs.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let leaf = any::<u8>().prop_map(Tree::Leaf);
+        let tree = leaf.prop_recursive(3, 12, 4, |inner| {
+            prop_oneof![
+                any::<u8>().prop_map(Tree::Leaf),
+                prop::collection::vec(inner, 0..3).prop_map(Tree::Node),
+            ]
+        });
+        let mut rng = TestRng::new(3);
+        for _ in 0..200 {
+            let t = tree.new_value(&mut rng);
+            assert!(depth(&t) <= 5);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn the_macro_itself_works(x in 0usize..100, s in "[a-c]{1,4}") {
+            prop_assert!(x < 100);
+            prop_assert!(!s.is_empty());
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Implements the subset of the API this workspace uses: the [`Rng`] and
+//! [`SeedableRng`] traits and [`rngs::StdRng`]. The generator is a
+//! xoshiro256++ seeded through SplitMix64 — high-quality and fast, but
+//! **not** stream-compatible with the real crate's ChaCha-based `StdRng`;
+//! seeded sequences are deterministic run-to-run, which is all the
+//! workspace relies on.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types that can be sampled uniformly from a generator's raw 64-bit
+/// output (the shim's analogue of `rand::distributions::Standard`).
+pub trait Standard: Sized {
+    /// Draws one uniform sample.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Numeric types that can be drawn uniformly from a range
+/// (`rand::distributions::uniform::SampleUniform`).
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Uniform sample in `[lo, hi)`.
+    fn sample_exclusive<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    /// Uniform sample in `[lo, hi]`.
+    fn sample_inclusive<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_exclusive<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo < hi, "empty range in gen_range");
+                let span = hi.wrapping_sub(lo) as $u as u64;
+                lo.wrapping_add((rng.next_u64() % span) as $t)
+            }
+            #[inline]
+            fn sample_inclusive<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo <= hi, "empty inclusive range in gen_range");
+                let span = (hi.wrapping_sub(lo) as $u as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width range: every raw draw is in range.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+impl_uniform_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_exclusive<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo < hi, "empty range in gen_range");
+                let u: $t = Standard::sample(rng);
+                lo + u * (hi - lo)
+            }
+            #[inline]
+            fn sample_inclusive<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                // Closed float ranges are sampled like half-open ones; the
+                // upper endpoint has measure zero anyway.
+                Self::sample_exclusive(lo, hi, rng)
+            }
+        }
+    )*};
+}
+impl_uniform_float!(f32, f64);
+
+/// Range forms accepted by [`Rng::gen_range`]. The element type `T` is a
+/// trait parameter (not an associated type) so return-type inference can
+/// pick integer literal types, exactly like the real crate.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_exclusive(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+/// The subset of `rand::Rng` the workspace uses.
+pub trait Rng {
+    /// Raw 64 uniform bits — everything else derives from this.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample of `T` (`Standard` distribution).
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Uniform sample from a range.
+    #[inline]
+    fn gen_range<T: SampleUniform, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        let u: f64 = Standard::sample(self);
+        u < p
+    }
+}
+
+/// The subset of `rand::SeedableRng` the workspace uses.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Named generator types.
+
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (stands in for the real
+    /// crate's ChaCha12-based `StdRng`).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = r.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = r.gen_range(0usize..=4);
+            assert!(y <= 4);
+            let f = r.gen_range(-2.0f32..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let u: f32 = r.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform_f32_has_sane_mean() {
+        let mut r = StdRng::seed_from_u64(9);
+        let n = 10_000;
+        let mean: f32 = (0..n).map(|_| r.gen::<f32>()).sum::<f32>() / n as f32;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}
