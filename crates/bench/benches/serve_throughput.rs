@@ -1,0 +1,123 @@
+//! Advisory-server throughput: N concurrent clients coalesced through
+//! the deadline scheduler vs the same N·R snippets advised sequentially
+//! on a bare advisor — the acceptance measurement for the `crates/serve`
+//! subsystem. JSON twin: `BENCH_serve_throughput.json`.
+//!
+//! The workload models overlapping IDE users: each client sweeps the
+//! same eight loop idioms a numerical translation unit keeps repeating,
+//! so concurrent submits coalesce into batches the scheduler can
+//! deduplicate (same-phase clients) and the cross-request cache can
+//! absorb (offset-phase clients, warm cache). The sequential baseline
+//! pays one full `advise` per snippet — no coalescing, no cache.
+//!
+//! Variants:
+//! * `sequential_direct/64` — baseline: 64 `advise` calls on a bare
+//!   advisor.
+//! * `coalesced_8_clients/64` — 8 client threads × 8 snippets, cache
+//!   **disabled**: wins come from coalescing + in-batch dedup only.
+//! * `coalesced_8_clients_warm_cache/64` — cache enabled and pre-warmed,
+//!   clients phase-offset so in-batch dedup can't help: wins come from
+//!   cache hits (every forward skipped).
+//! * `coalesced_16_clients_warm_cache/64` — same, 16 clients × 4.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pragformer_core::{Advisor, Scale};
+use pragformer_serve::{AdvisorServer, ServeConfig};
+use std::time::Duration;
+
+/// The loop idioms a numerical translation unit keeps repeating (same
+/// set as `inference_latency`'s translation-unit sweep).
+const TEMPLATES: [&str; 8] = [
+    "for (i = 0; i < n; i++) y[i] = alpha * x[i] + y[i];",
+    "for (i = 0; i < n; i++) v[i] = v[i] / norm;",
+    "s = 0.0;\nfor (i = 0; i < n; i++) s += a[i] * b[i];",
+    "for (i = 0; i < n; i++) { t = a[i]; a[i] = b[i]; b[i] = t; }",
+    "for (i = 0; i < n; i++)\n  for (j = 0; j < m; j++)\n    c[i][j] = a[i][j] + b[i][j];",
+    "for (i = 0; i < n; i++)\n  for (j = 0; j < n; j++)\n    x1[i] = x1[i] + A[i][j] * y_1[j];",
+    "acc = 0.0;\nfor (i = 0; i < n; i++) { acc += in[i]; out[i] = acc; }",
+    "for (i = 1; i < n; i++)\n  for (j = 1; j < m; j++)\n    u[i][j] = 0.25 * (u[i-1][j] + u[i+1][j] + u[i][j-1] + u[i][j+1]);",
+];
+
+const TOTAL: usize = 64;
+
+/// Runs `clients` threads, each advising `TOTAL / clients` snippets
+/// through its own handle. `offset_phase` rotates each client's idiom
+/// order so no two clients submit the same snippet in the same round
+/// (defeats in-batch dedup; isolates cache effects).
+fn run_clients(server: &AdvisorServer, clients: usize, offset_phase: bool) {
+    let per_client = TOTAL / clients;
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let client = server.client();
+            scope.spawn(move || {
+                for i in 0..per_client {
+                    let idx =
+                        if offset_phase { (i + c) % TEMPLATES.len() } else { i % TEMPLATES.len() };
+                    client.advise(TEMPLATES[idx]).expect("snippet parses");
+                }
+            });
+        }
+    });
+}
+
+fn serve_config(cache_capacity: usize) -> ServeConfig {
+    ServeConfig {
+        // Short deadline: enough for concurrently-submitted requests to
+        // coalesce, small against the ~300µs per-snippet advise cost.
+        deadline: Duration::from_micros(200),
+        max_batch: 64,
+        cache_capacity,
+        ..ServeConfig::default()
+    }
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(TOTAL as u64));
+
+    // Baseline: the same 64 snippets, one advise() call each, no server.
+    let mut direct = Advisor::untrained(Scale::Tiny, 1);
+    group.bench_function("sequential_direct/64", |b| {
+        b.iter(|| {
+            for i in 0..TOTAL {
+                direct
+                    .advise(std::hint::black_box(TEMPLATES[i % TEMPLATES.len()]))
+                    .expect("snippet parses");
+            }
+        })
+    });
+
+    // Coalescing only: cache disabled, clients in phase, so every batch
+    // is N copies of one idiom and in-batch dedup collapses it.
+    let server = AdvisorServer::start(Advisor::untrained(Scale::Tiny, 1), serve_config(0));
+    group.bench_function("coalesced_8_clients/64", |b| b.iter(|| run_clients(&server, 8, false)));
+    let _ = server.shutdown();
+
+    // Cache only: clients phase-offset (batches are pairwise-distinct),
+    // cache pre-warmed, so every snippet is a cross-request hit.
+    let server = AdvisorServer::start(Advisor::untrained(Scale::Tiny, 1), serve_config(4096));
+    run_clients(&server, 8, true); // warm the cache outside measurement
+    group.bench_function("coalesced_8_clients_warm_cache/64", |b| {
+        b.iter(|| run_clients(&server, 8, true))
+    });
+    group.bench_function("coalesced_16_clients_warm_cache/64", |b| {
+        b.iter(|| run_clients(&server, 16, true))
+    });
+    let stats = server.stats();
+    println!(
+        "server stats: {} requests in {} batches (max batch {}), cache {} hits / {} misses / {} evictions",
+        stats.requests, stats.batches, stats.max_batch, stats.cache_hits, stats.cache_misses,
+        stats.cache_evictions
+    );
+    let _ = server.shutdown();
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_serve_throughput
+}
+criterion_main!(benches);

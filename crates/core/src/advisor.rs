@@ -63,6 +63,59 @@ pub struct Advice {
     pub suggestion: Option<OmpDirective>,
 }
 
+/// The three head probabilities for one snippet — the model output an
+/// [`Advice`] is assembled from.
+///
+/// This is exactly the data a serving layer may cache: it depends only on
+/// the encoded id sequence (see [`PreparedSnippet::cache_key`]), never on
+/// the surrounding batch, so a cached value is bitwise-equal to a fresh
+/// forward of the same snippet.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HeadProbs {
+    /// P(needs `#pragma omp parallel for`).
+    pub directive: f32,
+    /// P(needs a `private` clause).
+    pub private: f32,
+    /// P(needs a `reduction` clause).
+    pub reduction: f32,
+}
+
+/// The front-end result for one snippet: encoded ids plus the S2S
+/// dependence analysis, ready for a batched forward.
+///
+/// Produced by [`Advisor::prepare_batch`]; consumed by
+/// [`Advisor::head_probs_batch`]. Splitting the pipeline here lets a
+/// serving layer interpose a cross-request cache between the (cheap,
+/// stateless) front-end and the (expensive) model forwards.
+pub struct PreparedSnippet {
+    /// Ids padded to `max_len` (buckets slice a prefix).
+    ids: Vec<usize>,
+    /// Count of meaningful leading ids; everything after is PAD.
+    valid: usize,
+    /// The ComPar-style dependence analysis of the source text.
+    compar: ComparResult,
+}
+
+impl PreparedSnippet {
+    /// The key under which this snippet's [`HeadProbs`] may be cached:
+    /// the valid prefix of the encoded id sequence.
+    ///
+    /// Padding is deterministic (always the PAD id, to `max_len`) and the
+    /// kernels are bitwise padding-invariant, so two snippets with equal
+    /// valid prefixes — regardless of whitespace, comments, or identifier
+    /// spelling that tokenizes identically — produce bit-identical
+    /// probabilities. This is the in-batch dedup key of
+    /// [`Advisor::advise_batch`], generalized across requests.
+    pub fn cache_key(&self) -> Vec<usize> {
+        self.ids[..self.valid].to_vec()
+    }
+
+    /// The S2S dependence-analysis result for this snippet.
+    pub fn compar(&self) -> &ComparResult {
+        &self.compar
+    }
+}
+
 /// A trained advisor.
 pub struct Advisor {
     vocab: Vocab,
@@ -87,24 +140,40 @@ impl Advisor {
         let mut directive_model = PragFormer::new(&model_cfg, &mut rng);
         trainer.fit(&mut directive_model, &enc.train, &enc.valid);
 
+        // Tokenize + encode every record exactly once with the shared
+        // vocabulary; the clause heads (and their balanced subsets, which
+        // overlap heavily) index into this instead of re-running the
+        // tokenizer per head × example. Lazy per slot: records no clause
+        // dataset touches are never encoded.
+        let mut record_enc: Vec<Option<(Vec<usize>, usize)>> = vec![None; db.records().len()];
         let mut train_clause = |kind: ClauseKind, salt: u64| -> PragFormer {
             let ds = Dataset::clause(db, kind, seed ^ salt).balanced(seed ^ salt ^ 1);
             let mut model = PragFormer::new(&model_cfg, &mut rng);
-            // Re-encode with the shared vocabulary so one tokenizer serves
-            // all three models (clause datasets are subsets of the same
-            // records).
-            let encode = |examples: &[pragformer_corpus::Example]| {
-                examples
-                    .iter()
-                    .map(|ex| {
-                        let toks = tokens_for(&db.records()[ex.record].stmts, Representation::Text);
-                        let (ids, valid) = enc.vocab.encode(&toks, max_len);
-                        pragformer_model::trainer::EncodedExample { ids, valid, label: ex.label }
-                    })
-                    .collect::<Vec<_>>()
-            };
-            let train = encode(&ds.split.train);
-            let valid = encode(&ds.split.valid);
+            let encode =
+                |examples: &[pragformer_corpus::Example],
+                 record_enc: &mut Vec<Option<(Vec<usize>, usize)>>| {
+                    examples
+                        .iter()
+                        .map(|ex| {
+                            let (ids, valid) = record_enc[ex.record]
+                                .get_or_insert_with(|| {
+                                    let toks = tokens_for(
+                                        &db.records()[ex.record].stmts,
+                                        Representation::Text,
+                                    );
+                                    enc.vocab.encode(&toks, max_len)
+                                })
+                                .clone();
+                            pragformer_model::trainer::EncodedExample {
+                                ids,
+                                valid,
+                                label: ex.label,
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                };
+            let train = encode(&ds.split.train, &mut record_enc);
+            let valid = encode(&ds.split.valid, &mut record_enc);
             if train.is_empty() {
                 return model; // degenerate corpus (tests); untrained model
             }
@@ -184,49 +253,90 @@ impl Advisor {
             })
             .collect();
 
-        // Phase 1 — parallel front-end over unique snippets: parse,
-        // tokenize, encode and run the S2S dependence analysis.
-        struct Prepared {
-            /// Ids padded to `max_len` (buckets slice a prefix).
-            ids: Vec<usize>,
-            valid: usize,
-            compar: ComparResult,
-        }
-        let max_len = self.max_len;
-        let vocab = &self.vocab;
-        let prepared: Vec<Result<Prepared, ParseError>> = par_map_indexed(unique.len(), 4, |u| {
-            let stmts = parse_snippet(unique[u])?;
-            let tokens = tokens_for(&stmts, Representation::Text);
-            let (ids, valid) = vocab.encode(&tokens, max_len);
-            let compar = analyze_snippet(unique[u], Strictness::Strict);
-            Ok(Prepared { ids, valid, compar })
-        });
+        // Phase 1 — parallel front-end over unique snippets.
+        let prepared = self.prepare_batch(&unique);
 
-        // Phase 2 — bucket parseable unique snippets by padded length.
-        let mut buckets: std::collections::BTreeMap<usize, Vec<usize>> =
-            std::collections::BTreeMap::new();
+        // Phases 2–3 — bucketed, deduplicated forwards over the parseable
+        // snippets.
+        let parsed: Vec<&PreparedSnippet> =
+            prepared.iter().filter_map(|p| p.as_ref().ok()).collect();
+        let probs = self.head_probs_batch(&parsed);
+        let mut probs_of =
+            vec![HeadProbs { directive: 0.0, private: 0.0, reduction: 0.0 }; unique.len()];
+        let mut next = 0;
         for (u, p) in prepared.iter().enumerate() {
-            if let Ok(p) = p {
-                buckets.entry(Self::bucket_len(p.valid, max_len)).or_default().push(u);
+            if p.is_ok() {
+                probs_of[u] = probs[next];
+                next += 1;
             }
         }
 
-        // Phase 3 — per bucket, one batched forward per model head.
-        // Distinct sources can still encode to identical id sequences
-        // (whitespace, comments), so the forward batch dedups again on
-        // the encoded key and fans results out.
-        let mut p_dir = vec![0.0f32; unique.len()];
-        let mut p_priv = vec![0.0f32; unique.len()];
-        let mut p_red = vec![0.0f32; unique.len()];
+        // Phase 4 — assemble per-input advice in input order (duplicates
+        // share their unique slot's front-end + model results).
+        slots
+            .into_iter()
+            .map(|u| match &prepared[u] {
+                Ok(p) => Ok(Self::advice_from_parts(probs_of[u], &p.compar)),
+                Err(e) => Err(e.clone()),
+            })
+            .collect()
+    }
+
+    /// The advisor's maximum (padded) sequence length.
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// The front-end for one snippet: parse, tokenize, encode, and run
+    /// the S2S dependence analysis. No model weights are touched.
+    pub fn prepare(&self, source: &str) -> Result<PreparedSnippet, ParseError> {
+        let stmts = parse_snippet(source)?;
+        let tokens = tokens_for(&stmts, Representation::Text);
+        let (ids, valid) = self.vocab.encode(&tokens, self.max_len);
+        let compar = analyze_snippet(source, Strictness::Strict);
+        Ok(PreparedSnippet { ids, valid, compar })
+    }
+
+    /// [`Advisor::prepare`] over a batch, parallelized on the persistent
+    /// thread pool. Per-snippet parse errors surface in their own slot.
+    pub fn prepare_batch(&self, sources: &[&str]) -> Vec<Result<PreparedSnippet, ParseError>> {
+        par_map_indexed(sources.len(), 4, |u| self.prepare(sources[u]))
+    }
+
+    /// Runs the three classifier heads over a set of prepared snippets,
+    /// returning one [`HeadProbs`] per input, in input order.
+    ///
+    /// Snippets are bucketed by padded length (smallest power of two ≥
+    /// the token count, capped at `max_len`) and identical encoded
+    /// sequences within a bucket are classified once; each bucket then
+    /// runs as one batched forward per head. Every returned probability
+    /// is **bitwise identical** to a batch-of-one forward of the same
+    /// snippet — the kernel row-determinism contract of
+    /// `pragformer_tensor::ops` — which is what lets a serving layer
+    /// cache these values across requests.
+    pub fn head_probs_batch(&mut self, snippets: &[&PreparedSnippet]) -> Vec<HeadProbs> {
+        let max_len = self.max_len;
+        // Bucket by padded length.
+        let mut buckets: std::collections::BTreeMap<usize, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for (u, p) in snippets.iter().enumerate() {
+            buckets.entry(Self::bucket_len(p.valid, max_len)).or_default().push(u);
+        }
+
+        let zero = HeadProbs { directive: 0.0, private: 0.0, reduction: 0.0 };
+        let mut out = vec![zero; snippets.len()];
         for (&seq, members) in &buckets {
             let mut ids = Vec::new();
             let mut valid = Vec::new();
-            // members[i] -> row in the deduplicated batch.
+            // members[i] -> row in the deduplicated batch. Distinct
+            // sources can encode to identical id sequences (whitespace,
+            // comments), so the forward batch dedups on the encoded key
+            // and fans results out.
             let mut row_of: Vec<usize> = Vec::with_capacity(members.len());
             let mut seen: std::collections::HashMap<(&[usize], usize), usize> =
                 std::collections::HashMap::with_capacity(members.len());
             for &u in members {
-                let p = prepared[u].as_ref().expect("bucket holds parsed snippets");
+                let p = snippets[u];
                 let key = (&p.ids[..seq], p.valid);
                 let next_row = seen.len();
                 let row = *seen.entry(key).or_insert_with(|| {
@@ -241,21 +351,19 @@ impl Advisor {
             let red = self.reduction_model.predict_proba_batch(&ids, &valid, seq);
             for (slot, &u) in members.iter().enumerate() {
                 let row = row_of[slot];
-                p_dir[u] = dir[row];
-                p_priv[u] = priv_[row];
-                p_red[u] = red[row];
+                out[u] =
+                    HeadProbs { directive: dir[row], private: priv_[row], reduction: red[row] };
             }
         }
+        out
+    }
 
-        // Phase 4 — assemble per-input advice in input order (duplicates
-        // share their unique slot's front-end + model results).
-        slots
-            .into_iter()
-            .map(|u| match &prepared[u] {
-                Ok(p) => Ok(Self::build_advice(p_dir[u], p_priv[u], p_red[u], &p.compar)),
-                Err(e) => Err(e.clone()),
-            })
-            .collect()
+    /// Assembles an [`Advice`] from head probabilities and the snippet's
+    /// dependence analysis — the last pipeline stage, shared by
+    /// [`Advisor::advise_batch`] and serving layers that cache
+    /// [`HeadProbs`] across requests.
+    pub fn advice_from_parts(probs: HeadProbs, compar: &ComparResult) -> Advice {
+        Self::build_advice(probs.directive, probs.private, probs.reduction, compar)
     }
 
     /// Smallest power of two ≥ `valid` (and ≥ 2, for the CLS + one token

@@ -1,0 +1,279 @@
+//! Cross-request LRU advice cache.
+//!
+//! [`AdviceCache`] maps an encoded id sequence (the valid prefix returned
+//! by `PreparedSnippet::cache_key`) to the three head probabilities the
+//! model produced for it. It generalizes `Advisor::advise_batch`'s
+//! in-batch dedup map across requests: once any client has asked about a
+//! snippet, every later request that tokenizes to the same id sequence —
+//! across batches, connections, and time — skips the model forward
+//! entirely.
+//!
+//! Caching [`HeadProbs`] (not [`pragformer_core::Advice`]) is what keeps
+//! the served answers bit-identical to direct `advise` calls: the head
+//! probabilities depend only on the encoded ids (kernel row-determinism),
+//! while the final `Advice` also folds in the per-source S2S dependence
+//! analysis, which the scheduler re-runs per request in the cheap
+//! front-end phase.
+//!
+//! The implementation is a classic intrusive LRU: a slot arena threaded
+//! by prev/next indices plus a key→slot map. `get` and `insert` are O(1)
+//! (amortized); hit/miss/eviction counters are maintained for the
+//! server's stats endpoint. A capacity of 0 disables the cache (every
+//! lookup misses, inserts are dropped).
+
+use pragformer_core::HeadProbs;
+use std::collections::HashMap;
+
+/// Sentinel slot index meaning "none".
+const NIL: usize = usize::MAX;
+
+/// Counters describing cache effectiveness since construction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found their key.
+    pub hits: u64,
+    /// Lookups that did not.
+    pub misses: u64,
+    /// Entries displaced to make room for new ones.
+    pub evictions: u64,
+}
+
+struct Slot {
+    key: Vec<usize>,
+    value: HeadProbs,
+    /// More-recently-used neighbor ([`NIL`] for the MRU slot).
+    prev: usize,
+    /// Less-recently-used neighbor ([`NIL`] for the LRU slot).
+    next: usize,
+}
+
+/// A bounded least-recently-used map from encoded id sequences to
+/// [`HeadProbs`]. See the module docs for semantics.
+pub struct AdviceCache {
+    capacity: usize,
+    map: HashMap<Vec<usize>, usize>,
+    slots: Vec<Slot>,
+    /// Most-recently-used slot.
+    head: usize,
+    /// Least-recently-used slot (the eviction candidate).
+    tail: usize,
+    stats: CacheStats,
+}
+
+impl AdviceCache {
+    /// Creates a cache holding at most `capacity` entries (0 disables).
+    pub fn new(capacity: usize) -> AdviceCache {
+        AdviceCache {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1 << 16)),
+            slots: Vec::with_capacity(capacity.min(1 << 16)),
+            head: NIL,
+            tail: NIL,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of entries currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Hit/miss/eviction counters since construction.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up `key`, marking it most-recently-used on a hit.
+    pub fn get(&mut self, key: &[usize]) -> Option<HeadProbs> {
+        match self.map.get(key).copied() {
+            Some(slot) => {
+                self.stats.hits += 1;
+                self.touch(slot);
+                Some(self.slots[slot].value)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) `key → value`, evicting the
+    /// least-recently-used entry if the cache is full.
+    pub fn insert(&mut self, key: Vec<usize>, value: HeadProbs) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&slot) = self.map.get(&key) {
+            self.slots[slot].value = value;
+            self.touch(slot);
+            return;
+        }
+        let slot = if self.map.len() < self.capacity {
+            // Grow into a fresh slot.
+            self.slots.push(Slot { key: key.clone(), value, prev: NIL, next: NIL });
+            self.slots.len() - 1
+        } else {
+            // Recycle the LRU slot.
+            let victim = self.tail;
+            self.unlink(victim);
+            let old_key = std::mem::replace(&mut self.slots[victim].key, key.clone());
+            self.map.remove(&old_key);
+            self.stats.evictions += 1;
+            self.slots[victim].value = value;
+            victim
+        };
+        self.map.insert(key, slot);
+        self.push_front(slot);
+    }
+
+    /// Unlinks `slot` from the recency list.
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slots[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slots[next].prev = prev;
+        }
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = NIL;
+    }
+
+    /// Links `slot` in as the most-recently-used entry.
+    fn push_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    /// Moves an existing `slot` to the front of the recency list.
+    fn touch(&mut self, slot: usize) {
+        if self.head != slot {
+            self.unlink(slot);
+            self.push_front(slot);
+        }
+    }
+
+    /// Keys from most- to least-recently-used (tests and debugging).
+    pub fn keys_by_recency(&self) -> Vec<Vec<usize>> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut cur = self.head;
+        while cur != NIL {
+            out.push(self.slots[cur].key.clone());
+            cur = self.slots[cur].next;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probs(x: f32) -> HeadProbs {
+        HeadProbs { directive: x, private: x / 2.0, reduction: x / 4.0 }
+    }
+
+    #[test]
+    fn get_returns_inserted_values() {
+        let mut c = AdviceCache::new(4);
+        c.insert(vec![1, 2, 3], probs(0.9));
+        assert_eq!(c.get(&[1, 2, 3]), Some(probs(0.9)));
+        assert_eq!(c.get(&[9, 9]), None);
+        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1, evictions: 0 });
+    }
+
+    #[test]
+    fn evicts_least_recently_used_in_order() {
+        let mut c = AdviceCache::new(2);
+        c.insert(vec![1], probs(0.1));
+        c.insert(vec![2], probs(0.2));
+        c.insert(vec![3], probs(0.3)); // evicts [1]
+        assert_eq!(c.get(&[1]), None);
+        assert_eq!(c.get(&[2]), Some(probs(0.2)));
+        assert_eq!(c.get(&[3]), Some(probs(0.3)));
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn get_refreshes_recency() {
+        let mut c = AdviceCache::new(2);
+        c.insert(vec![1], probs(0.1));
+        c.insert(vec![2], probs(0.2));
+        // Touch [1]; the eviction victim must now be [2].
+        assert!(c.get(&[1]).is_some());
+        c.insert(vec![3], probs(0.3));
+        assert_eq!(c.get(&[2]), None, "[2] was LRU after [1] was touched");
+        assert!(c.get(&[1]).is_some());
+        assert!(c.get(&[3]).is_some());
+    }
+
+    #[test]
+    fn insert_refreshes_existing_key_without_eviction() {
+        let mut c = AdviceCache::new(2);
+        c.insert(vec![1], probs(0.1));
+        c.insert(vec![2], probs(0.2));
+        c.insert(vec![1], probs(0.9)); // refresh, not insert
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.get(&[1]), Some(probs(0.9)));
+        // [2] is now LRU.
+        c.insert(vec![3], probs(0.3));
+        assert_eq!(c.get(&[2]), None);
+    }
+
+    #[test]
+    fn recency_order_is_tracked_exactly() {
+        let mut c = AdviceCache::new(3);
+        c.insert(vec![1], probs(0.1));
+        c.insert(vec![2], probs(0.2));
+        c.insert(vec![3], probs(0.3));
+        assert_eq!(c.keys_by_recency(), vec![vec![3], vec![2], vec![1]]);
+        c.get(&[1]);
+        assert_eq!(c.keys_by_recency(), vec![vec![1], vec![3], vec![2]]);
+        c.insert(vec![4], probs(0.4)); // evicts [2]
+        assert_eq!(c.keys_by_recency(), vec![vec![4], vec![1], vec![3]]);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = AdviceCache::new(0);
+        c.insert(vec![1], probs(0.1));
+        assert_eq!(c.get(&[1]), None);
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.stats(), CacheStats { hits: 0, misses: 1, evictions: 0 });
+    }
+
+    #[test]
+    fn single_entry_cache_cycles_cleanly() {
+        let mut c = AdviceCache::new(1);
+        for i in 0..10usize {
+            c.insert(vec![i], probs(i as f32 / 10.0));
+            assert_eq!(c.get(&[i]), Some(probs(i as f32 / 10.0)));
+            assert_eq!(c.len(), 1);
+        }
+        assert_eq!(c.stats().evictions, 9);
+    }
+}

@@ -1,0 +1,234 @@
+//! std-TCP front-end speaking the newline-delimited JSON protocol.
+//!
+//! [`TcpServer::bind`] takes a scheduler [`Client`] and serves it over a
+//! `TcpListener`. Each accepted connection gets its own handler thread
+//! (bounded by `max_connections`, the `ServeConfig::tcp_workers` knob:
+//! connections over the cap are answered with an `ok:false` line and
+//! closed immediately, so an army of idle peers can never starve new
+//! arrivals). Handlers read request lines, submit them through the
+//! shared `Client` — where the collector coalesces snippets *across
+//! connections* into batched forwards — and write one response line per
+//! request, in request order.
+//!
+//! **Pipelining coalesces.** When a peer writes several request lines
+//! back-to-back, the handler drains every complete line already buffered
+//! and submits them all before waiting for the first answer
+//! ([`Client::submit`]), so a single connection's burst lands in one
+//! collector batch instead of serializing through batches of one.
+//!
+//! A malformed line never kills a connection: the handler answers with
+//! an `ok:false` error response (id 0 when the line was too broken to
+//! carry one) and keeps reading. Connections close when the peer closes.
+//!
+//! [`TcpServer::shutdown`] (and `Drop`) stops accepting, wakes the
+//! accept loop with a loopback connect, and waits for handlers to wind
+//! down. Handlers poll a stop flag between reads (connections carry a
+//! short read timeout), so shutdown is bounded even with idle
+//! connections open.
+
+use crate::scheduler::{Client, Pending};
+use crate::wire;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often an idle connection handler re-checks the stop flag.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// How long shutdown waits for connection handlers to wind down.
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(5);
+
+/// A running TCP front-end. Dropping it shuts the listener down.
+pub struct TcpServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    /// Live connection-handler threads (they detach themselves on exit).
+    active: Arc<AtomicUsize>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts serving requests against `client`, allowing at most
+    /// `max_connections` concurrent connections.
+    pub fn bind(addr: &str, client: Client, max_connections: usize) -> std::io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let active = Arc::new(AtomicUsize::new(0));
+        let max_connections = max_connections.max(1);
+
+        let stop2 = Arc::clone(&stop);
+        let active2 = Arc::clone(&active);
+        let accept_thread = std::thread::Builder::new()
+            .name("pragformer-serve-accept".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if stop2.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    if active2.load(Ordering::Relaxed) >= max_connections {
+                        // Refuse rather than queue: a queued-but-unserved
+                        // socket looks like a hang to the peer.
+                        let mut s = stream;
+                        let _ = s.write_all(
+                            wire::format_error(0, "server at connection capacity").as_bytes(),
+                        );
+                        let _ = s.write_all(b"\n");
+                        continue;
+                    }
+                    active2.fetch_add(1, Ordering::Relaxed);
+                    let client = client.clone();
+                    let stop = Arc::clone(&stop2);
+                    let active = Arc::clone(&active2);
+                    let spawned = std::thread::Builder::new()
+                        .name("pragformer-serve-conn".to_string())
+                        .spawn(move || {
+                            handle_connection(stream, &client, &stop);
+                            active.fetch_sub(1, Ordering::Relaxed);
+                        });
+                    if spawned.is_err() {
+                        active2.fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+            })
+            .expect("failed to spawn accept thread");
+
+        Ok(TcpServer { local_addr, stop, active, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Number of currently-open connections.
+    pub fn active_connections(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting and waits (bounded) for open connections to wind
+    /// down.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Wake the blocking accept() so it observes the flag.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // Handlers poll the stop flag at READ_POLL granularity; give
+        // them a bounded grace period to drain.
+        let deadline = std::time::Instant::now() + SHUTDOWN_GRACE;
+        while self.active.load(Ordering::Relaxed) > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+/// Serves one connection: request lines in, response lines out (in
+/// request order), until the peer closes or the server stops. Pipelined
+/// lines already buffered are submitted together so they coalesce into
+/// one collector batch.
+fn handle_connection(stream: TcpStream, client: &Client, stop: &AtomicBool) {
+    // Short read timeout so an idle connection cannot pin a handler
+    // across shutdown.
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    // Lines are accumulated as raw bytes (`read_until`, not
+    // `read_line`): a read timeout mid-line then simply leaves the
+    // partial bytes in the buffer for the next call, with no UTF-8
+    // validation guard that could discard a prefix cut mid-character.
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        match reader.read_until(b'\n', &mut line) {
+            Ok(0) => return, // peer closed (any partial line is dropped)
+            Ok(_) => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                // A timeout may leave a partial line in `line`; keep it —
+                // the next read_until call appends the rest.
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+
+        // Submit the line just read plus every *complete* line already
+        // sitting in the read buffer, so a pipelined burst becomes one
+        // coalesced batch. (`reader.buffer()` never blocks.)
+        let mut in_flight: Vec<Submitted> = Vec::new();
+        in_flight.extend(submit_line(client, &line));
+        line.clear();
+        while reader.buffer().contains(&b'\n') {
+            match reader.read_until(b'\n', &mut line) {
+                Ok(0) => break,
+                Ok(_) => {
+                    in_flight.extend(submit_line(client, &line));
+                    line.clear();
+                }
+                Err(_) => break,
+            }
+        }
+
+        // Answer in request order, one buffered write per burst.
+        let mut out = String::new();
+        for submitted in in_flight {
+            match submitted {
+                Submitted::Pending(id, pending) => {
+                    out.push_str(&wire::format_response(id, &pending.wait()))
+                }
+                Submitted::Immediate(response) => out.push_str(&response),
+            }
+            out.push('\n');
+        }
+        if writer.write_all(out.as_bytes()).is_err() || writer.flush().is_err() {
+            return;
+        }
+    }
+}
+
+/// A request line after submission: either in flight on the scheduler,
+/// or already answered (blank line, malformed JSON, server closed).
+enum Submitted {
+    Pending(u64, Pending),
+    Immediate(String),
+}
+
+/// Parses and submits one request line without waiting for the answer.
+/// Blank lines are ignored (`None`); invalid UTF-8 is a bad request.
+fn submit_line(client: &Client, line: &[u8]) -> Option<Submitted> {
+    let Ok(line) = std::str::from_utf8(line) else {
+        return Some(Submitted::Immediate(wire::format_error(0, "bad request: invalid UTF-8")));
+    };
+    if line.trim().is_empty() {
+        return None;
+    }
+    Some(match wire::parse_request(line) {
+        Ok(req) => match client.submit(&req.code) {
+            Ok(pending) => Submitted::Pending(req.id, pending),
+            Err(e) => Submitted::Immediate(wire::format_error(req.id, &e.to_string())),
+        },
+        Err(msg) => Submitted::Immediate(wire::format_error(0, &format!("bad request: {msg}"))),
+    })
+}

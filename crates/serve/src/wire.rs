@@ -1,0 +1,431 @@
+//! Newline-delimited JSON wire protocol.
+//!
+//! One request per line, one response per line, hand-rolled like the
+//! bench harness's JSON writer (the container has no serde). The schema
+//! is deliberately flat:
+//!
+//! ```text
+//! → {"id": 7, "code": "for (i = 0; i < n; i++) a[i] = b[i];"}
+//! ← {"id":7,"ok":true,"needs_directive":true,"confidence":0.93,
+//!    "private_probability":0.12,"reduction_probability":0.03,
+//!    "compar_agrees":true,"suggestion":"#pragma omp parallel for"}
+//! ← {"id":8,"ok":false,"error":"parse error: ..."}
+//! ```
+//!
+//! `id` is an opaque client-chosen correlation number echoed back
+//! verbatim. Probabilities are printed with Rust's shortest-roundtrip
+//! float formatting, so a client parsing them back recovers the exact
+//! `f32` bits the model produced — the wire keeps the subsystem's
+//! bit-identical-to-`advise` guarantee intact.
+//!
+//! The parser handles exactly the JSON subset the protocol emits: one
+//! flat object of string / number / bool / null fields, with standard
+//! string escapes (including `\uXXXX`).
+
+use crate::scheduler::ServeError;
+use pragformer_core::Advice;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed request line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireRequest {
+    /// Client-chosen correlation id, echoed back in the response.
+    pub id: u64,
+    /// The C snippet to advise on.
+    pub code: String,
+}
+
+/// A parsed response line (used by the loopback client in tests, benches
+/// and the example binary).
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireResponse {
+    /// Correlation id echoed from the request.
+    pub id: u64,
+    /// Whether advice was produced.
+    pub ok: bool,
+    /// Advice fields (meaningful when `ok`).
+    pub needs_directive: bool,
+    /// Model probability behind the verdict.
+    pub confidence: f32,
+    /// P(`private` clause).
+    pub private_probability: f32,
+    /// P(`reduction` clause).
+    pub reduction_probability: f32,
+    /// S2S agreement (`None` when the S2S engine failed to parse).
+    pub compar_agrees: Option<bool>,
+    /// Rendered `#pragma` suggestion, when any.
+    pub suggestion: Option<String>,
+    /// Error message (when `!ok`).
+    pub error: Option<String>,
+}
+
+/// One JSON scalar in the flat protocol objects.
+///
+/// Numbers keep their raw text next to the parsed value so integer
+/// fields (`id`) can be re-parsed at full `u64` precision instead of
+/// round-tripping through `f64` (which silently corrupts ids above
+/// 2⁵³).
+#[derive(Clone, Debug, PartialEq)]
+enum Scalar {
+    Str(String),
+    Num(f64, String),
+    Bool(bool),
+    Null,
+}
+
+/// Escapes `s` as JSON string *contents* (no surrounding quotes).
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parses one flat JSON object into field → scalar.
+fn parse_object(line: &str) -> Result<BTreeMap<String, Scalar>, String> {
+    let mut chars = line.trim().chars().peekable();
+    let mut fields = BTreeMap::new();
+
+    fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+        while matches!(chars.peek(), Some(c) if c.is_ascii_whitespace()) {
+            chars.next();
+        }
+    }
+    fn expect(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+        want: char,
+    ) -> Result<(), String> {
+        skip_ws(chars);
+        match chars.next() {
+            Some(c) if c == want => Ok(()),
+            other => Err(format!("expected '{want}', found {other:?}")),
+        }
+    }
+    fn parse_string(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    ) -> Result<String, String> {
+        expect(chars, '"')?;
+        let mut out = String::new();
+        loop {
+            match chars.next() {
+                None => return Err("unterminated string".to_string()),
+                Some('"') => return Ok(out),
+                Some('\\') => match chars.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('u') => {
+                        let hex: String = chars.by_ref().take(4).collect();
+                        if hex.len() != 4 {
+                            return Err("truncated \\u escape".to_string());
+                        }
+                        let cp = u32::from_str_radix(&hex, 16)
+                            .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                        // Standard JSON encoders (ensure_ascii-style)
+                        // emit non-BMP characters as surrogate pairs;
+                        // decode them rather than reject the request.
+                        let cp = if (0xD800..0xDC00).contains(&cp) {
+                            if chars.next() != Some('\\') || chars.next() != Some('u') {
+                                return Err("high surrogate not followed by \\u escape".into());
+                            }
+                            let hex2: String = chars.by_ref().take(4).collect();
+                            let low = u32::from_str_radix(&hex2, 16)
+                                .map_err(|_| format!("bad \\u escape {hex2:?}"))?;
+                            if !(0xDC00..0xE000).contains(&low) {
+                                return Err(format!("\\u{hex2} is not a low surrogate"));
+                            }
+                            0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00)
+                        } else {
+                            cp
+                        };
+                        let c = char::from_u32(cp)
+                            .ok_or_else(|| format!("\\u escape {cp:#x} is not a scalar value"))?;
+                        out.push(c);
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    expect(&mut chars, '{')?;
+    skip_ws(&mut chars);
+    if chars.peek() == Some(&'}') {
+        chars.next();
+        return Ok(fields);
+    }
+    loop {
+        skip_ws(&mut chars);
+        let key = parse_string(&mut chars)?;
+        expect(&mut chars, ':')?;
+        skip_ws(&mut chars);
+        let value = match chars.peek() {
+            Some('"') => Scalar::Str(parse_string(&mut chars)?),
+            Some('t') => {
+                for want in "true".chars() {
+                    if chars.next() != Some(want) {
+                        return Err("bad literal".to_string());
+                    }
+                }
+                Scalar::Bool(true)
+            }
+            Some('f') => {
+                for want in "false".chars() {
+                    if chars.next() != Some(want) {
+                        return Err("bad literal".to_string());
+                    }
+                }
+                Scalar::Bool(false)
+            }
+            Some('n') => {
+                for want in "null".chars() {
+                    if chars.next() != Some(want) {
+                        return Err("bad literal".to_string());
+                    }
+                }
+                Scalar::Null
+            }
+            Some(c) if *c == '-' || c.is_ascii_digit() => {
+                let mut num = String::new();
+                while matches!(chars.peek(),
+                    Some(c) if c.is_ascii_digit()
+                        || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+                {
+                    num.push(chars.next().unwrap());
+                }
+                let value = num.parse::<f64>().map_err(|_| format!("bad number {num:?}"))?;
+                Scalar::Num(value, num)
+            }
+            other => return Err(format!("unexpected value start {other:?}")),
+        };
+        fields.insert(key, value);
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some(',') => continue,
+            Some('}') => break,
+            other => return Err(format!("expected ',' or '}}', found {other:?}")),
+        }
+    }
+    skip_ws(&mut chars);
+    if let Some(c) = chars.next() {
+        return Err(format!("trailing content starting at {c:?}"));
+    }
+    Ok(fields)
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<WireRequest, String> {
+    let fields = parse_object(line)?;
+    let id = match fields.get("id") {
+        // Parse the raw digits, not the f64: ids are echoed back
+        // verbatim over the full u64 range.
+        Some(Scalar::Num(_, raw)) if raw.parse::<u64>().is_ok() => raw.parse::<u64>().unwrap(),
+        Some(other) => return Err(format!("\"id\" must be a non-negative integer, got {other:?}")),
+        None => return Err("missing \"id\" field".to_string()),
+    };
+    let code = match fields.get("code") {
+        Some(Scalar::Str(s)) => s.clone(),
+        Some(other) => return Err(format!("\"code\" must be a string, got {other:?}")),
+        None => return Err("missing \"code\" field".to_string()),
+    };
+    Ok(WireRequest { id, code })
+}
+
+/// Formats one response line (no trailing newline).
+pub fn format_response(id: u64, result: &Result<Advice, ServeError>) -> String {
+    match result {
+        Ok(advice) => {
+            let compar = match advice.compar_agrees {
+                Some(true) => "true",
+                Some(false) => "false",
+                None => "null",
+            };
+            let suggestion = match &advice.suggestion {
+                Some(d) => format!("\"{}\"", escape_json(&d.to_string())),
+                None => "null".to_string(),
+            };
+            format!(
+                "{{\"id\":{id},\"ok\":true,\"needs_directive\":{},\"confidence\":{},\
+                 \"private_probability\":{},\"reduction_probability\":{},\
+                 \"compar_agrees\":{compar},\"suggestion\":{suggestion}}}",
+                advice.needs_directive,
+                advice.confidence,
+                advice.private_probability,
+                advice.reduction_probability,
+            )
+        }
+        Err(e) => format_error(id, &e.to_string()),
+    }
+}
+
+/// Formats an error response line (no trailing newline).
+pub fn format_error(id: u64, message: &str) -> String {
+    format!("{{\"id\":{id},\"ok\":false,\"error\":\"{}\"}}", escape_json(message))
+}
+
+/// Parses one response line (loopback clients).
+pub fn parse_response(line: &str) -> Result<WireResponse, String> {
+    let fields = parse_object(line)?;
+    let num = |name: &str| -> Result<f64, String> {
+        match fields.get(name) {
+            Some(Scalar::Num(n, _)) => Ok(*n),
+            other => Err(format!("\"{name}\" must be a number, got {other:?}")),
+        }
+    };
+    let flag = |name: &str| -> Result<bool, String> {
+        match fields.get(name) {
+            Some(Scalar::Bool(b)) => Ok(*b),
+            other => Err(format!("\"{name}\" must be a bool, got {other:?}")),
+        }
+    };
+    let ok = flag("ok")?;
+    let id = match fields.get("id") {
+        // Raw digits, full u64 range (ids are opaque correlation keys).
+        Some(Scalar::Num(_, raw)) if raw.parse::<u64>().is_ok() => raw.parse::<u64>().unwrap(),
+        other => return Err(format!("\"id\" must be a non-negative integer, got {other:?}")),
+    };
+    if !ok {
+        let error = match fields.get("error") {
+            Some(Scalar::Str(s)) => Some(s.clone()),
+            _ => None,
+        };
+        return Ok(WireResponse {
+            id,
+            ok,
+            needs_directive: false,
+            confidence: 0.0,
+            private_probability: 0.0,
+            reduction_probability: 0.0,
+            compar_agrees: None,
+            suggestion: None,
+            error,
+        });
+    }
+    let compar_agrees = match fields.get("compar_agrees") {
+        Some(Scalar::Bool(b)) => Some(*b),
+        Some(Scalar::Null) | None => None,
+        other => return Err(format!("\"compar_agrees\" must be bool or null, got {other:?}")),
+    };
+    let suggestion = match fields.get("suggestion") {
+        Some(Scalar::Str(s)) => Some(s.clone()),
+        Some(Scalar::Null) | None => None,
+        other => return Err(format!("\"suggestion\" must be string or null, got {other:?}")),
+    };
+    Ok(WireResponse {
+        id,
+        ok,
+        needs_directive: flag("needs_directive")?,
+        confidence: num("confidence")? as f32,
+        private_probability: num("private_probability")? as f32,
+        reduction_probability: num("reduction_probability")? as f32,
+        compar_agrees,
+        suggestion,
+        error: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip_with_escapes() {
+        let line = r#"{"id": 42, "code": "for (i = 0; i < n; i++)\n  a[i] = \"x\";\t"}"#;
+        let req = parse_request(line).unwrap();
+        assert_eq!(req.id, 42);
+        assert_eq!(req.code, "for (i = 0; i < n; i++)\n  a[i] = \"x\";\t");
+    }
+
+    #[test]
+    fn request_rejects_malformed_lines() {
+        assert!(parse_request("").is_err());
+        assert!(parse_request("{\"id\":1}").is_err(), "missing code");
+        assert!(parse_request("{\"code\":\"x\"}").is_err(), "missing id");
+        assert!(parse_request("{\"id\":-3,\"code\":\"x\"}").is_err(), "negative id");
+        assert!(parse_request("{\"id\":1.5,\"code\":\"x\"}").is_err(), "fractional id");
+        assert!(parse_request("{\"id\":1,\"code\":\"x\"} extra").is_err(), "trailing junk");
+        assert!(parse_request("{\"id\":1,\"code\":\"unterminated").is_err());
+    }
+
+    #[test]
+    fn unicode_escape_decodes() {
+        let req = parse_request("{\"id\":1,\"code\":\"a\\u0041b\"}").unwrap();
+        assert_eq!(req.code, "aAb");
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_and_lone_surrogates_fail() {
+        // 😀 as Python's json.dumps(ensure_ascii=True) would send it.
+        let req = parse_request("{\"id\":1,\"code\":\"x = \\ud83d\\ude00;\"}").unwrap();
+        assert_eq!(req.code, "x = \u{1F600};");
+        assert!(parse_request("{\"id\":1,\"code\":\"\\ud83d\"}").is_err(), "lone high");
+        assert!(parse_request("{\"id\":1,\"code\":\"\\ud83dx\"}").is_err(), "high + literal");
+        assert!(parse_request("{\"id\":1,\"code\":\"\\ude00\"}").is_err(), "lone low");
+    }
+
+    #[test]
+    fn error_response_roundtrip() {
+        let line = format_error(9, "parse error: unexpected `{`\nline 2");
+        let resp = parse_response(&line).unwrap();
+        assert_eq!(resp.id, 9);
+        assert!(!resp.ok);
+        assert_eq!(resp.error.as_deref(), Some("parse error: unexpected `{`\nline 2"));
+    }
+
+    #[test]
+    fn float_fields_roundtrip_exactly() {
+        use pragformer_core::Advice;
+        // Adversarial f32 values: denormal-ish, many digits, exact halves.
+        for &p in &[0.1f32, 0.333_333_34, 1.0e-7, 0.999_999_94, 0.5] {
+            let advice = Advice {
+                needs_directive: p > 0.5,
+                confidence: p,
+                private_probability: 1.0 - p,
+                reduction_probability: p / 3.0,
+                compar_agrees: Some(false),
+                suggestion: None,
+            };
+            let line = format_response(3, &Ok(advice.clone()));
+            let resp = parse_response(&line).unwrap();
+            assert_eq!(resp.confidence.to_bits(), advice.confidence.to_bits());
+            assert_eq!(resp.private_probability.to_bits(), advice.private_probability.to_bits());
+            assert_eq!(
+                resp.reduction_probability.to_bits(),
+                advice.reduction_probability.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn ids_above_2_pow_53_round_trip_exactly() {
+        // f64 cannot represent 2^53 + 1; the raw-digit path must.
+        let id = (1u64 << 53) + 1;
+        let req = parse_request(&format!("{{\"id\":{id},\"code\":\"x;\"}}")).unwrap();
+        assert_eq!(req.id, id);
+        let resp = parse_response(&format_error(u64::MAX, "nope")).unwrap();
+        assert_eq!(resp.id, u64::MAX);
+    }
+
+    #[test]
+    fn escape_json_handles_control_characters() {
+        assert_eq!(escape_json("a\"b\\c\nd\u{1}"), "a\\\"b\\\\c\\nd\\u0001");
+    }
+}

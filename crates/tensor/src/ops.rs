@@ -18,8 +18,10 @@
 //!   i-k-j loop.
 //! * [`matmul_nt`] is row-times-row dot products, each split into four
 //!   independent `k`-lanes for instruction-level parallelism.
-//! * [`matmul_tn`] walks the `m` samples accumulating outer products into
-//!   a worker-owned slice of `k` rows.
+//! * [`matmul_tn`] (gradient path) reuses the packed microkernel: `B` is
+//!   packed into the same column panels and each worker transposes its
+//!   slice of `Aᵀ` into contiguous rows first; tiny outputs fall back to
+//!   the outer-product loop.
 //!
 //! ## Determinism
 //!
@@ -237,31 +239,89 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     out
 }
 
+/// Outer-product accumulation over a chunk of `matmul_tn` output rows
+/// (the unpacked fallback, and the pre-PR-2 kernel). Ascending-`s`
+/// single-chain accumulation per element — the same reduction order as
+/// the packed path, so both produce bitwise-identical results.
+fn tn_simple_rows(
+    a: &[f32],
+    m: usize,
+    k: usize,
+    row0: usize,
+    b: &[f32],
+    n: usize,
+    chunk: &mut [f32],
+) {
+    let rows = chunk.len() / n;
+    for s in 0..m {
+        let b_row = &b[s * n..(s + 1) * n];
+        for r in 0..rows {
+            let a_sk = a[s * k + row0 + r];
+            let c_row = &mut chunk[r * n..(r + 1) * n];
+            for (c, &b_sj) in c_row.iter_mut().zip(b_row) {
+                *c += a_sk * b_sj;
+            }
+        }
+    }
+}
+
 /// `C[k×n] = Aᵀ · B` where `A` is `[m×k]`, `B` is `[m×n]`.
 ///
-/// Used for weight gradients `dW = Xᵀ·dY`. Parallelizes over rows of the
-/// `k×n` output; each worker walks the `m` samples accumulating outer-
-/// product contributions for its slice of `k`.
+/// Used for weight gradients `dW = Xᵀ·dY` (the training hot path).
+/// Blocked the same way as [`matmul`]: `B` is packed into [`NR`]-wide
+/// column panels and each worker gathers its `k`-slice of `Aᵀ` into
+/// contiguous rows (`at[r][s] = A[s][row0+r]`, an `O(rows·m)` transpose
+/// amortized over the `O(rows·m·n)` GEMM), then runs the same
+/// [`MR`]`×`[`NR`]`×`[`KB`] microkernel as the forward pass. Tiny
+/// outputs (`k <` [`PACK_MIN_ROWS`] or `n <` [`NR`]) skip the
+/// packing/transpose and fall back to the outer-product loop.
+///
+/// Both paths accumulate every output element in a single chain,
+/// ascending in the sample index `s`, so results are bitwise identical
+/// across paths, worker splits, and the pre-blocking kernel.
 pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.rows(), a.cols());
     let (mb, n) = (b.rows(), b.cols());
     assert_eq!(m, mb, "matmul_tn outer dims: {:?}ᵀ x {:?}", a.shape(), b.shape());
     let mut out = Tensor::zeros(&[k, n]);
     let (a_d, b_d) = (a.data(), b.data());
+    if k < PACK_MIN_ROWS || n < NR {
+        par_rows_mut(out.data_mut(), n, MIN_ROWS_PER_THREAD, |row0, chunk| {
+            tn_simple_rows(a_d, m, k, row0, b_d, n, chunk);
+        });
+        return out;
+    }
+    let packed = pack_b_panels(b_d, m, n);
     par_rows_mut(out.data_mut(), n, MIN_ROWS_PER_THREAD, |row0, chunk| {
-        let rows = chunk.len() / n;
-        for s in 0..m {
-            let b_row = &b_d[s * n..(s + 1) * n];
-            for r in 0..rows {
-                let a_sk = a_d[s * k + row0 + r];
-                let c_row = &mut chunk[r * n..(r + 1) * n];
-                for (c, &b_sj) in c_row.iter_mut().zip(b_row) {
-                    *c += a_sk * b_sj;
-                }
-            }
-        }
+        tn_packed_rows(a_d, m, k, row0, &packed, n, chunk);
     });
     out
+}
+
+/// Packed-path body of [`matmul_tn`] for one worker's chunk of output
+/// rows `row0 .. row0 + chunk.len()/n`: gathers the worker's columns of
+/// `A` as contiguous rows (`at[r][s] = A[s][row0+r]`), then runs the
+/// shared microkernel. Split out so tests can drive nonzero `row0`
+/// directly — on machines where the pool runs inline (1 core), the
+/// public entry point only ever produces a single `row0 = 0` chunk.
+fn tn_packed_rows(
+    a: &[f32],
+    m: usize,
+    k: usize,
+    row0: usize,
+    packed: &[f32],
+    n: usize,
+    chunk: &mut [f32],
+) {
+    let rows = chunk.len() / n;
+    let mut at = vec![0.0f32; rows * m];
+    for s in 0..m {
+        let a_slice = &a[s * k + row0..s * k + row0 + rows];
+        for (r, &v) in a_slice.iter().enumerate() {
+            at[r * m + s] = v;
+        }
+    }
+    gemm_packed_rows(&at, m, packed, n, chunk);
 }
 
 /// Reference `C = A · B`: textbook triple loop, no blocking, no packing,
@@ -478,6 +538,49 @@ mod tests {
         let b = t(&[3, 2], vec![1., 2., 3., 4., 5., 6.]);
         let c = matmul(&a, &b);
         assert_eq!(c.data(), &[0., 0., 11., 14.]);
+    }
+
+    /// Drives the worker-split path of `matmul_tn` (nonzero `row0`
+    /// gather offsets) directly: on 1-core machines `par_rows_mut` runs
+    /// inline and the public entry point never splits, so this is the
+    /// only coverage of multi-chunk gathers there. Uneven splits cross
+    /// the MR remainder inside each chunk.
+    #[test]
+    fn matmul_tn_worker_chunks_reassemble_bitwise() {
+        let mut rng = crate::init::SeededRng::new(13);
+        let (m, k, n) = (37, 129, 33);
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let b = Tensor::randn(&[m, n], 1.0, &mut rng);
+        let whole = matmul_tn(&a, &b);
+        // Anchor against the naive ascending-s reference (bitwise: same
+        // single accumulation chain per element).
+        for i in 0..k {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for s in 0..m {
+                    acc += a.data()[s * k + i] * b.data()[s * n + j];
+                }
+                assert_eq!(whole.data()[i * n + j].to_bits(), acc.to_bits(), "({i},{j})");
+            }
+        }
+        let packed = pack_b_panels(b.data(), m, n);
+        for chunk_rows in [1usize, 5, 64, 129] {
+            let mut pieced = vec![0.0f32; k * n];
+            let mut row0 = 0;
+            while row0 < k {
+                let rows = chunk_rows.min(k - row0);
+                let chunk = &mut pieced[row0 * n..(row0 + rows) * n];
+                tn_packed_rows(a.data(), m, k, row0, &packed, n, chunk);
+                row0 += rows;
+            }
+            for (i, (x, y)) in pieced.iter().zip(whole.data()).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "chunk_rows {chunk_rows}, elem {i}: {x} vs {y}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! The advisory service, end to end: start the deadline-coalescing
+//! server, expose it over newline-delimited JSON on a loopback TCP port,
+//! and (in `--smoke` mode) drive it with a real TCP client — the mode CI
+//! runs to prove the whole subsystem works over an actual socket.
+//!
+//! ```text
+//! cargo run --release --example serve -- --smoke        # self-test, exits
+//! cargo run --release --example serve -- [tiny|small] [addr]   # serve until killed
+//! ```
+//!
+//! In serve mode each line on the socket is one request, e.g.
+//!
+//! ```text
+//! {"id": 1, "code": "for (i = 0; i < n; i++) a[i] = b[i] + c[i];"}
+//! ```
+//!
+//! answered by one JSON line carrying the verdict, the three head
+//! probabilities, S2S agreement, and a rendered `#pragma` suggestion.
+
+use pragformer_core::{Advisor, Scale};
+use pragformer_serve::{wire, AdvisorServer, ServeConfig, TcpServer};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        smoke_test();
+        return;
+    }
+
+    let scale = args.iter().find_map(|a| Scale::parse(a)).unwrap_or(Scale::Tiny);
+    let addr = args
+        .iter()
+        .find(|a| a.contains(':'))
+        .map(|s| s.as_str())
+        .unwrap_or("127.0.0.1:8477")
+        .to_string();
+
+    eprintln!("training advisor ({scale:?})…");
+    let advisor = Advisor::train_from_scratch(scale, 7);
+    let config = ServeConfig::default();
+    let workers = config.tcp_workers;
+    let server = AdvisorServer::start(advisor, config);
+    let tcp = TcpServer::bind(&addr, server.client(), workers).expect("bind TCP address");
+    eprintln!(
+        "serving NDJSON advice on {} ({} connection workers); try:",
+        tcp.local_addr(),
+        workers
+    );
+    eprintln!(
+        "  printf '{{\"id\": 1, \"code\": \"for (i = 0; i < n; i++) a[i] = 2 * b[i];\"}}\\n' | nc {} {}",
+        tcp.local_addr().ip(),
+        tcp.local_addr().port()
+    );
+    // Serve until killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(60));
+        let s = server.stats();
+        eprintln!(
+            "[stats] {} requests / {} batches (max {}), cache {}h/{}m/{}e",
+            s.requests, s.batches, s.max_batch, s.cache_hits, s.cache_misses, s.cache_evictions
+        );
+    }
+}
+
+/// Loopback self-test: untrained tiny advisor (weights are irrelevant —
+/// this exercises the serving machinery), ephemeral port, a scripted
+/// NDJSON conversation, hard assertions. Exits non-zero on any failure.
+fn smoke_test() {
+    eprintln!("smoke: building untrained tiny advisor…");
+    let advisor = Advisor::untrained(Scale::Tiny, 7);
+    let server = AdvisorServer::start(advisor, ServeConfig::default());
+    let tcp = TcpServer::bind("127.0.0.1:0", server.client(), 2).expect("bind loopback");
+    let addr = tcp.local_addr();
+    eprintln!("smoke: serving on {addr}");
+
+    let stream = TcpStream::connect(addr).expect("connect to loopback server");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let mut ask = |id: u64, code: &str| -> wire::WireResponse {
+        writer
+            .write_all(
+                format!("{{\"id\": {id}, \"code\": \"{}\"}}\n", wire::escape_json(code)).as_bytes(),
+            )
+            .expect("send request");
+        writer.flush().expect("flush");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read response");
+        let resp = wire::parse_response(&line).expect("well-formed response");
+        eprintln!("smoke: ← {}", line.trim_end());
+        resp
+    };
+
+    // A parallel loop, a reduction, a repeat (cache hit), a parse error.
+    let a = ask(1, "for (i = 0; i < n; i++) a[i] = b[i] + c[i];");
+    assert!(a.ok, "well-formed snippet must be advised");
+    let b = ask(2, "s = 0.0;\nfor (i = 0; i < n; i++) s += a[i] * b[i];");
+    assert!(b.ok);
+    let c = ask(3, "for (i = 0; i < n; i++) a[i] = b[i] + c[i];");
+    assert!(c.ok);
+    assert_eq!(
+        a.confidence.to_bits(),
+        c.confidence.to_bits(),
+        "repeat of the same snippet must return bit-identical probabilities"
+    );
+    let d = ask(4, "for (i = 0; i < ; i++ {");
+    assert!(!d.ok, "parse error must be reported");
+    assert_eq!(d.id, 4);
+
+    let stats = server.stats();
+    eprintln!(
+        "smoke: stats {} requests / {} batches, cache {} hits / {} misses",
+        stats.requests, stats.batches, stats.cache_hits, stats.cache_misses
+    );
+    assert_eq!(stats.requests, 4);
+    assert!(stats.cache_hits >= 1, "request 3 must hit the cross-request cache");
+
+    drop(writer);
+    drop(reader);
+    tcp.shutdown();
+    let _ = server.shutdown();
+    eprintln!("smoke: OK");
+}
