@@ -22,7 +22,15 @@ fn synthetic_batch(cfg: &ModelConfig, batch: usize) -> (Vec<usize>, Vec<usize>, 
 
 fn bench_train_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("train_step");
-    for (name, cfg) in [("tiny", ModelConfig::tiny(512)), ("small", ModelConfig::small(2048))] {
+    // CI smoke mode: exercise the bench at tiny cost without writing
+    // shrunken timings into the tracked JSON twin.
+    let profiles: Vec<(&str, ModelConfig)> = if pragformer_bench::bench_smoke() {
+        group.sample_size(2);
+        vec![("tiny", ModelConfig::tiny(512))]
+    } else {
+        vec![("tiny", ModelConfig::tiny(512)), ("small", ModelConfig::small(2048))]
+    };
+    for (name, cfg) in profiles {
         let batch = 16usize;
         let mut rng = SeededRng::new(3);
         let mut model = PragFormer::new(&cfg, &mut rng);

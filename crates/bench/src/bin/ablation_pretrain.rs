@@ -6,11 +6,11 @@
 //! -model objective on the (unlabeled) training snippets.
 
 use pragformer_bench::{emit, parse_args};
-use pragformer_core::{encode_dataset, Scale};
+use pragformer_core::encode_dataset;
 use pragformer_corpus::{generate, Dataset};
 use pragformer_eval::metrics::confusion;
 use pragformer_eval::report::{f3, Table};
-use pragformer_model::mlm::pretrain;
+use pragformer_model::mlm::{pretrain, MlmSequence};
 use pragformer_model::trainer::Trainer;
 use pragformer_model::PragFormer;
 use pragformer_tensor::init::SeededRng;
@@ -33,20 +33,20 @@ fn main() {
     let mut scratch = PragFormer::new(&model_cfg, &mut rng);
     let scratch_history = trainer.fit(&mut scratch, &enc.train, &enc.valid);
 
-    // Arm 2: MLM pre-training on the unlabeled training snippets.
-    let sequences: Vec<(Vec<usize>, usize)> =
-        enc.train.iter().map(|e| (e.ids.clone(), e.valid)).collect();
-    let mlm_epochs = match scale {
-        Scale::Tiny => 2,
-        Scale::Small => 3,
-        Scale::Paper => 4,
+    // Arm 2: MLM pre-training on the unlabeled training snippets, with
+    // the unlabeled validation split driving best-checkpoint selection
+    // (both run on the shared bucketed engine).
+    let as_seqs = |examples: &[pragformer_model::trainer::EncodedExample]| {
+        examples.iter().map(|e| MlmSequence { ids: e.ids.clone() }).collect::<Vec<_>>()
     };
-    eprintln!("pre-training MLM for {mlm_epochs} epochs…");
-    let (state, mlm_losses) =
-        pretrain(&model_cfg, &sequences, mlm_epochs, 32, 8e-4, opts.seed ^ 0x31AC);
+    let mlm_cfg = scale.mlm_train(opts.seed ^ 0x31AC);
+    eprintln!("pre-training MLM for {} epochs…", mlm_cfg.epochs);
+    let (state, mlm_history) =
+        pretrain(&model_cfg, &as_seqs(&enc.train), &as_seqs(&enc.valid), &mlm_cfg);
     let mut rng2 = SeededRng::new(opts.seed);
     let mut pretrained = PragFormer::new(&model_cfg, &mut rng2);
     let restored = pretrained.load_state_dict(&state);
+    let mlm_losses: Vec<f32> = mlm_history.iter().map(|m| m.train_loss).collect();
     eprintln!("restored {restored} encoder tensors; MLM losses {mlm_losses:?}");
     let pretrained_history = trainer.fit(&mut pretrained, &enc.train, &enc.valid);
 

@@ -96,6 +96,19 @@ pub fn emit(name: &str, table: &Table) {
     }
 }
 
+/// True when `PRAGFORMER_BENCH_SMOKE` asks the criterion benches to run
+/// at shrunken sizes (the CI smoke). Also sets `BENCH_NO_JSON` so the
+/// criterion shim suppresses its JSON record — shrunken timings must
+/// never masquerade as real measurements in the tracked `BENCH_*.json`
+/// twins.
+pub fn bench_smoke() -> bool {
+    let on = std::env::var("PRAGFORMER_BENCH_SMOKE").is_ok_and(|v| v != "0");
+    if on {
+        std::env::set_var("BENCH_NO_JSON", "1");
+    }
+    on
+}
+
 /// Formats a ratio as a percentage string.
 pub fn pct(num: usize, den: usize) -> String {
     if den == 0 {

@@ -164,11 +164,7 @@ impl Advisor {
                                     enc.vocab.encode(&toks, max_len)
                                 })
                                 .clone();
-                            pragformer_model::trainer::EncodedExample {
-                                ids,
-                                valid,
-                                label: ex.label,
-                            }
+                            pragformer_model::trainer::EncodedExample::new(ids, valid, ex.label)
                         })
                         .collect::<Vec<_>>()
                 };
@@ -371,9 +367,11 @@ impl Advisor {
     /// length produce bitwise-identical predictions to `max_len` padding,
     /// so the bucket choice is purely a throughput knob: a 9-token loop
     /// in a 16-bucket does ~5% of the attention work `max_len = 72`
-    /// would.
+    /// would. Shared with the training engine
+    /// ([`pragformer_model::batching::bucket_len`]) so training and
+    /// inference bucket identically.
     fn bucket_len(valid: usize, max_len: usize) -> usize {
-        valid.max(2).next_power_of_two().min(max_len)
+        pragformer_model::batching::bucket_len(valid, max_len)
     }
 
     /// Turns the three head probabilities plus the S2S analysis into an

@@ -56,7 +56,7 @@ pub fn encode_dataset(
             .zip(examples)
             .map(|(toks, ex)| {
                 let (ids, valid) = vocab.encode(toks, max_len);
-                EncodedExample { ids, valid, label: ex.label }
+                EncodedExample::new(ids, valid, ex.label)
             })
             .collect::<Vec<_>>()
     };
@@ -94,8 +94,8 @@ mod tests {
         assert_eq!(enc.test.len(), enc.test_meta.len());
         assert_eq!(enc.test.len(), enc.test_labels.len());
         for (ex, label) in enc.train.iter().zip(&enc.train_labels) {
-            assert_eq!(ex.ids.len(), 48);
-            assert!(ex.valid >= 1 && ex.valid <= 48);
+            assert!(ex.valid() >= 1 && ex.valid() <= 48);
+            assert_eq!(ex.ids.len(), ex.valid(), "examples must store only the valid prefix");
             assert_eq!(ex.label, *label);
         }
     }

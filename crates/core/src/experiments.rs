@@ -60,18 +60,15 @@ fn train_and_predict(
     (preds, history, model)
 }
 
-/// Batch prediction helper.
+/// Batch prediction helper. Each chunk runs at its length bucket
+/// (bitwise identical to `max_len` padding, proportionally cheaper).
 pub fn predict_all(model: &mut PragFormer, examples: &[EncodedExample], batch: usize) -> Vec<bool> {
+    let max_len = model.config().max_len;
     let mut out = Vec::with_capacity(examples.len());
-    for chunk in examples.chunks(batch.max(1)) {
-        let seq = chunk[0].ids.len();
-        let mut ids = Vec::with_capacity(chunk.len() * seq);
-        let mut valid = Vec::with_capacity(chunk.len());
-        for e in chunk {
-            ids.extend_from_slice(&e.ids);
-            valid.push(e.valid);
-        }
-        out.extend(model.predict(&ids, &valid));
+    let idxs: Vec<usize> = (0..examples.len()).collect();
+    for chunk in idxs.chunks(batch.max(1)) {
+        let b = pragformer_model::batching::gather(examples, chunk, max_len);
+        out.extend(model.predict_proba_batch(&b.ids, &b.valid, b.seq).into_iter().map(|p| p > 0.5));
     }
     out
 }
@@ -246,7 +243,7 @@ pub fn run_generalization(db: &Database, scale: Scale, seed: u64) -> Vec<SuiteOu
                 labels.push(r.has_directive());
                 let tokens = pragformer_tokenize::tokens_for(&r.stmts, Representation::Text);
                 let (ids, valid) = enc.vocab.encode(&tokens, max_len);
-                examples.push(EncodedExample { ids, valid, label: r.has_directive() });
+                examples.push(EncodedExample::new(ids, valid, r.has_directive()));
                 let result = analyze_snippet(&r.code(), Strictness::Strict);
                 if result.is_parse_failure() {
                     parse_failures += 1;

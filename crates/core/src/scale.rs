@@ -78,6 +78,19 @@ impl Scale {
         }
     }
 
+    /// MLM pre-training settings for the shared bucketed engine
+    /// (`pragformer_model::mlm::pretrain`). Same clip/warmup machinery as
+    /// fine-tuning — pre-training gained both when it moved onto
+    /// `TrainLoop` — with the epoch counts the A1 ablation uses.
+    pub fn mlm_train(self, seed: u64) -> TrainConfig {
+        let epochs = match self {
+            Scale::Tiny => 2,
+            Scale::Small => 3,
+            Scale::Paper => 4,
+        };
+        TrainConfig { epochs, batch_size: 32, lr: 8e-4, clip: 1.0, seed, warmup_frac: 0.1 }
+    }
+
     /// Vocabulary limits `(min_freq, max_size)`.
     pub fn vocab_limits(self) -> (usize, usize) {
         match self {
@@ -109,6 +122,8 @@ mod tests {
             assert!(m.validate().is_ok());
             let t = s.train(1);
             assert!(t.epochs >= 4);
+            let m = s.mlm_train(1);
+            assert!(m.epochs >= 2 && m.clip > 0.0 && m.warmup_frac > 0.0);
         }
     }
 

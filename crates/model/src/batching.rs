@@ -1,0 +1,433 @@
+//! Length-bucketed batching and the shared training engine.
+//!
+//! Fine-tuning ([`crate::trainer::Trainer`]) and MLM pre-training
+//! ([`crate::mlm::pretrain`]) used to carry two divergent copies of the
+//! same epoch loop, both padding every batch to `max_len`. This module
+//! owns the loop once — shuffle → bucket → gather → step → clip →
+//! AdamW/schedule → per-epoch metrics → best-checkpoint selection — and
+//! pads each batch only to its **length bucket** (the smallest power of
+//! two ≥ the longest example, capped at `max_len`), exactly like
+//! inference-side `Advisor::advise_batch`.
+//!
+//! ## Determinism contract
+//!
+//! Training on bucketed batches is a pure wall-clock optimization, never
+//! a numerics change:
+//!
+//! * **Forward** — attention masks every key past an example's valid
+//!   length to an exact probability of 0 and all other sub-layers are
+//!   row-local, so valid-prefix activations are bitwise identical for
+//!   every padded length `seq ≥ valid` (the PR 1 inference property).
+//! * **Backward** — padded rows enter the backward pass with exactly-zero
+//!   gradients, and every cross-row reduction (weight gradients, attention
+//!   score/context products) accumulates those rows as additive zeros, so
+//!   parameter gradients are bitwise identical between a batch padded to
+//!   its bucket and the same batch padded to `max_len`. Enforced over
+//!   randomized shapes by `crates/model/tests/train_proptests.rs`.
+//! * **Dropout** — mask samples are drawn per *valid* position only
+//!   ([`pragformer_tensor::nn::Dropout::forward_rows`]); padded rows
+//!   consume no randomness, so the RNG stream — and therefore the whole
+//!   training trajectory — does not depend on the padded length either.
+//!   Bucketed and fixed-pad training coincide bit for bit even with
+//!   dropout enabled.
+//! * **Scheduling** — epoch shuffles and bucket-batch order come from one
+//!   [`SeededRng`] seeded with [`TrainConfig::seed`]; two runs with equal
+//!   configs and data produce identical histories and weights.
+//!
+//! The padded length a batch runs at is therefore chosen purely for
+//! throughput: a corpus whose examples are mostly short trains roughly in
+//! proportion to its *valid* token count rather than `n × max_len`
+//! (measured in `BENCH_train_throughput.json`).
+
+use pragformer_tensor::init::SeededRng;
+use pragformer_tensor::nn::Param;
+use pragformer_tensor::optim::{clip_global_norm_visit, AdamW, Schedule};
+use pragformer_tensor::serialize::StateDict;
+use pragformer_tokenize::vocab::special;
+use std::collections::BTreeMap;
+
+/// Training hyper-parameters, shared by both objectives.
+#[derive(Clone, Debug)]
+pub struct TrainConfig {
+    /// Passes over the training set (paper: ~10, early-selected at 7-9).
+    pub epochs: usize,
+    /// Mini-batch size (an upper bound; bucket remainders run short).
+    pub batch_size: usize,
+    /// AdamW learning rate.
+    pub lr: f32,
+    /// Global-norm gradient clip (0 disables).
+    pub clip: f32,
+    /// Shuffling/dropout seed.
+    pub seed: u64,
+    /// Linear warmup fraction of total steps (0 = constant LR).
+    pub warmup_frac: f32,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self { epochs: 10, batch_size: 32, lr: 3e-4, clip: 1.0, seed: 1, warmup_frac: 0.1 }
+    }
+}
+
+/// Per-epoch metrics — the series behind Figures 4, 5 and 6.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EpochMetrics {
+    /// 1-based epoch number.
+    pub epoch: usize,
+    /// Training loss, weighted by each batch's loss-carrying unit count.
+    pub train_loss: f32,
+    /// Validation loss (same weighting).
+    pub valid_loss: f32,
+    /// Validation accuracy (classification: threshold 0.5; MLM: masked
+    /// top-1).
+    pub valid_accuracy: f32,
+}
+
+/// Smallest power of two ≥ `valid` (and ≥ 2, for the CLS + one token
+/// minimum), capped at `max_len` — the shared padded-length policy of
+/// `Advisor::advise_batch` and the training engine.
+pub fn bucket_len(valid: usize, max_len: usize) -> usize {
+    valid.max(2).next_power_of_two().min(max_len)
+}
+
+/// Anything the engine can batch: an example exposing its valid token-id
+/// prefix (CLS-led, *unpadded* — padding is the engine's job).
+pub trait TrainExample {
+    /// The valid token ids (no padding).
+    fn token_ids(&self) -> &[usize];
+}
+
+/// A gathered mini-batch, padded to a common `seq`.
+#[derive(Clone, Debug)]
+pub struct Batch {
+    /// `indices.len() × seq` flattened ids, PAD-filled past each valid
+    /// prefix.
+    pub ids: Vec<usize>,
+    /// Valid prefix length per example.
+    pub valid: Vec<usize>,
+    /// The common padded length (`≤ max_len`).
+    pub seq: usize,
+    /// Positions of the gathered examples in the source slice, in batch
+    /// row order.
+    pub indices: Vec<usize>,
+}
+
+/// Gathers `idxs` into a batch padded to the indices' length bucket.
+pub fn gather<E: TrainExample>(examples: &[E], idxs: &[usize], max_len: usize) -> Batch {
+    let longest = idxs.iter().map(|&i| examples[i].token_ids().len()).max().unwrap_or(1);
+    gather_padded(examples, idxs, bucket_len(longest, max_len))
+}
+
+/// Gathers `idxs` into a batch padded to an explicit `seq` (every
+/// example's valid prefix must fit). [`gather`] with `seq = max_len` is
+/// the old fixed-pad behavior — kept callable for equivalence tests and
+/// the `train_throughput` baseline arm.
+pub fn gather_padded<E: TrainExample>(examples: &[E], idxs: &[usize], seq: usize) -> Batch {
+    assert!(!idxs.is_empty(), "empty batch");
+    let mut ids = Vec::with_capacity(idxs.len() * seq);
+    let mut valid = Vec::with_capacity(idxs.len());
+    for &i in idxs {
+        let t = examples[i].token_ids();
+        assert!(t.len() <= seq, "example {i} has {} tokens, padded length {seq}", t.len());
+        ids.extend_from_slice(t);
+        ids.extend(std::iter::repeat_n(special::PAD, seq - t.len()));
+        valid.push(t.len());
+    }
+    Batch { ids, valid, seq, indices: idxs.to_vec() }
+}
+
+/// Plans one training epoch: a seeded shuffle, then batches of at most
+/// `batch_size` drawn within each length bucket, in seeded order.
+///
+/// Two shuffles drive the plan — example order (which examples share a
+/// batch) and batch order (when each bucket's batches run) — both from
+/// `rng`, so a `(seed, lengths, batch_size, max_len)` tuple always yields
+/// the same plan. The *number* of batches depends only on bucket
+/// membership, never on the shuffle (see [`batches_per_epoch`]).
+pub fn plan_epoch(
+    lengths: &[usize],
+    batch_size: usize,
+    max_len: usize,
+    rng: &mut SeededRng,
+) -> Vec<Vec<usize>> {
+    let batch_size = batch_size.max(1);
+    let mut order: Vec<usize> = (0..lengths.len()).collect();
+    rng.shuffle(&mut order);
+    let mut buckets: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for &i in &order {
+        buckets.entry(bucket_len(lengths[i], max_len)).or_default().push(i);
+    }
+    let mut batches: Vec<Vec<usize>> = Vec::new();
+    for members in buckets.values() {
+        for chunk in members.chunks(batch_size) {
+            batches.push(chunk.to_vec());
+        }
+    }
+    rng.shuffle(&mut batches);
+    batches
+}
+
+/// Deterministic (unshuffled) bucketed plan for evaluation: buckets
+/// ascending, original order within each bucket.
+pub fn plan_eval(lengths: &[usize], batch_size: usize, max_len: usize) -> Vec<Vec<usize>> {
+    let batch_size = batch_size.max(1);
+    let mut buckets: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (i, &len) in lengths.iter().enumerate() {
+        buckets.entry(bucket_len(len, max_len)).or_default().push(i);
+    }
+    buckets.values().flat_map(|m| m.chunks(batch_size).map(<[usize]>::to_vec)).collect()
+}
+
+/// Batches per epoch under bucketed planning — constant across epochs
+/// (bucket membership is shuffle-invariant), so the LR schedule's total
+/// step count can be computed up front.
+pub fn batches_per_epoch(lengths: &[usize], batch_size: usize, max_len: usize) -> usize {
+    let batch_size = batch_size.max(1);
+    let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
+    for &len in lengths {
+        *counts.entry(bucket_len(len, max_len)).or_default() += 1;
+    }
+    counts.values().map(|n| n.div_ceil(batch_size)).sum()
+}
+
+/// One step of an eval pass: a batch-mean loss with its weight plus a
+/// correct/scored accuracy contribution.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EvalStep {
+    /// Mean loss over this batch's loss-carrying units.
+    pub loss: f32,
+    /// How many units the mean was taken over (examples for
+    /// classification, masked positions for MLM).
+    pub weight: f32,
+    /// Correctly scored units.
+    pub correct: f32,
+    /// Scored units.
+    pub scored: f32,
+}
+
+/// A training objective pluggable into [`TrainLoop`]: owns a model's
+/// forward/backward for one gathered batch; the loop owns everything else
+/// (shuffling, bucketing, clipping, the optimizer and schedule, metrics,
+/// checkpoint selection).
+pub trait Objective {
+    /// The example type this objective consumes.
+    type Example: TrainExample;
+
+    /// Zeroes gradients, runs forward at `batch.seq` and backward.
+    /// Returns `(mean batch loss, weight)` where `weight` counts the
+    /// loss-carrying units the mean was taken over; a zero weight (e.g.
+    /// an MLM batch where nothing got masked) skips the optimizer step.
+    fn train_step(&mut self, examples: &[Self::Example], batch: &Batch) -> (f32, f32);
+
+    /// Eval-mode forward over one batch.
+    fn eval_step(&mut self, examples: &[Self::Example], batch: &Batch) -> EvalStep;
+
+    /// Parameter traversal (for clipping and optimizer updates).
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Captures the weights backing best-checkpoint selection.
+    fn state_dict(&mut self) -> StateDict;
+
+    /// Restores captured weights; returns how many parameters matched.
+    fn load_state_dict(&mut self, dict: &StateDict) -> usize;
+
+    /// Called once before each evaluation pass (e.g. to reseed an
+    /// objective-private masking RNG so every epoch scores the same
+    /// corruption). Default: nothing.
+    fn begin_eval(&mut self) {}
+}
+
+/// The shared epoch loop. Construct with a [`TrainConfig`] and the
+/// model's `max_len` (the bucket cap), then [`TrainLoop::fit`] an
+/// [`Objective`].
+pub struct TrainLoop {
+    cfg: TrainConfig,
+    max_len: usize,
+}
+
+impl TrainLoop {
+    /// Creates the loop.
+    pub fn new(cfg: TrainConfig, max_len: usize) -> Self {
+        Self { cfg, max_len }
+    }
+
+    /// Runs the loop: per epoch, a seeded bucketed plan, one optimizer
+    /// step per batch (with global-norm clipping and the warmup/decay
+    /// schedule), then a weighted evaluation on `valid`. Returns
+    /// per-epoch metrics and — when `valid` is non-empty — restores the
+    /// objective to the best-validation-loss epoch's weights.
+    pub fn fit<O: Objective>(
+        &self,
+        obj: &mut O,
+        train: &[O::Example],
+        valid: &[O::Example],
+    ) -> Vec<EpochMetrics> {
+        assert!(!train.is_empty(), "empty training set");
+        let cfg = &self.cfg;
+        let batch_size = cfg.batch_size.max(1);
+        let train_lens: Vec<usize> = train.iter().map(|e| e.token_ids().len()).collect();
+        let steps_per_epoch = batches_per_epoch(&train_lens, batch_size, self.max_len) as u64;
+        let total_steps = steps_per_epoch * cfg.epochs as u64;
+        let schedule = if cfg.warmup_frac > 0.0 {
+            Schedule::LinearWarmupDecay {
+                warmup: ((total_steps as f32 * cfg.warmup_frac) as u64).max(1),
+                total: total_steps + 1,
+            }
+        } else {
+            Schedule::Constant
+        };
+        let mut opt = AdamW::new(cfg.lr).with_schedule(schedule);
+        let mut rng = SeededRng::new(cfg.seed);
+        let mut history = Vec::with_capacity(cfg.epochs);
+        let mut best: Option<(f32, StateDict)> = None;
+        for epoch in 1..=cfg.epochs {
+            let plan = plan_epoch(&train_lens, batch_size, self.max_len, &mut rng);
+            let mut loss_sum = 0.0f32;
+            let mut weight_sum = 0.0f32;
+            for idxs in &plan {
+                let batch = gather(train, idxs, self.max_len);
+                let (loss, weight) = obj.train_step(train, &batch);
+                // The schedule's total counted every planned batch, so the
+                // step clock advances even when a zero-weight batch (e.g.
+                // an MLM batch where nothing got masked) skips the update.
+                opt.begin_step();
+                if weight > 0.0 {
+                    if cfg.clip > 0.0 {
+                        clip_global_norm_visit(&mut |f| obj.visit_params(f), cfg.clip);
+                    }
+                    obj.visit_params(&mut |p| opt.update(p));
+                    loss_sum += loss * weight;
+                    weight_sum += weight;
+                }
+            }
+            let train_loss = if weight_sum > 0.0 { loss_sum / weight_sum } else { 0.0 };
+            let (valid_loss, valid_accuracy) = evaluate(obj, valid, batch_size, self.max_len);
+            history.push(EpochMetrics { epoch, train_loss, valid_loss, valid_accuracy });
+            if !valid.is_empty() && best.as_ref().is_none_or(|(b, _)| valid_loss < *b) {
+                best = Some((valid_loss, obj.state_dict()));
+            }
+        }
+        if let Some((_, dict)) = best {
+            obj.load_state_dict(&dict);
+        }
+        history
+    }
+}
+
+/// Weighted eval-mode loss and accuracy of an objective over a split,
+/// bucketed like training. Each batch contributes its loss weighted by
+/// its loss-carrying unit count — a short final chunk no longer skews the
+/// mean the way per-batch averaging did.
+pub fn evaluate<O: Objective>(
+    obj: &mut O,
+    examples: &[O::Example],
+    batch_size: usize,
+    max_len: usize,
+) -> (f32, f32) {
+    if examples.is_empty() {
+        return (0.0, 0.0);
+    }
+    obj.begin_eval();
+    let lens: Vec<usize> = examples.iter().map(|e| e.token_ids().len()).collect();
+    let (mut loss_sum, mut loss_w) = (0.0f32, 0.0f32);
+    let (mut correct, mut scored) = (0.0f32, 0.0f32);
+    for idxs in plan_eval(&lens, batch_size, max_len) {
+        let batch = gather(examples, &idxs, max_len);
+        let step = obj.eval_step(examples, &batch);
+        loss_sum += step.loss * step.weight;
+        loss_w += step.weight;
+        correct += step.correct;
+        scored += step.scored;
+    }
+    (
+        if loss_w > 0.0 { loss_sum / loss_w } else { 0.0 },
+        if scored > 0.0 { correct / scored } else { 0.0 },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Toy(Vec<usize>);
+    impl TrainExample for Toy {
+        fn token_ids(&self) -> &[usize] {
+            &self.0
+        }
+    }
+
+    fn toys(lens: &[usize]) -> Vec<Toy> {
+        lens.iter().map(|&l| Toy((0..l).map(|t| t + 4).collect())).collect()
+    }
+
+    #[test]
+    fn bucket_len_is_monotone_and_capped() {
+        for max_len in [8usize, 48, 72, 110] {
+            let mut prev = 0;
+            for valid in 1..=max_len {
+                let b = bucket_len(valid, max_len);
+                assert!(b >= valid && b <= max_len && b >= prev);
+                prev = b;
+            }
+        }
+        assert_eq!(bucket_len(1, 48), 2);
+        assert_eq!(bucket_len(9, 48), 16);
+        assert_eq!(bucket_len(40, 48), 48);
+    }
+
+    #[test]
+    fn gather_pads_to_the_batch_bucket() {
+        let ex = toys(&[3, 9, 5]);
+        let b = gather(&ex, &[0, 2], 48);
+        assert_eq!(b.seq, 8); // longest is 5 → bucket 8
+        assert_eq!(b.valid, vec![3, 5]);
+        assert_eq!(b.ids.len(), 2 * 8);
+        assert_eq!(&b.ids[..3], &[4, 5, 6]);
+        assert_eq!(&b.ids[3..8], &[special::PAD; 5]);
+        let fixed = gather_padded(&ex, &[0, 2], 48);
+        assert_eq!(fixed.seq, 48);
+        assert_eq!(fixed.valid, b.valid);
+    }
+
+    #[test]
+    fn plan_covers_every_example_exactly_once_within_buckets() {
+        let lens = [3usize, 40, 5, 9, 9, 17, 2, 33, 8, 5, 70, 6];
+        let max_len = 72;
+        let mut rng = SeededRng::new(9);
+        let plan = plan_epoch(&lens, 4, max_len, &mut rng);
+        let mut seen: Vec<usize> = plan.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..lens.len()).collect::<Vec<_>>());
+        // No batch mixes buckets.
+        for batch in &plan {
+            let buckets: std::collections::HashSet<usize> =
+                batch.iter().map(|&i| bucket_len(lens[i], max_len)).collect();
+            assert_eq!(buckets.len(), 1, "mixed-bucket batch {batch:?}");
+        }
+        assert_eq!(plan.len(), batches_per_epoch(&lens, 4, max_len));
+        // Eval plan covers everything too, deterministically.
+        let e1 = plan_eval(&lens, 4, max_len);
+        let e2 = plan_eval(&lens, 4, max_len);
+        assert_eq!(e1, e2);
+        let mut seen: Vec<usize> = e1.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..lens.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn plans_are_seed_deterministic_and_shuffle_sensitive() {
+        let lens: Vec<usize> = (0..40).map(|i| 2 + (i * 7) % 30).collect();
+        let mut a = SeededRng::new(5);
+        let mut b = SeededRng::new(5);
+        assert_eq!(plan_epoch(&lens, 8, 48, &mut a), plan_epoch(&lens, 8, 48, &mut b));
+        // Next epoch draws a different plan from the same stream.
+        assert_ne!(plan_epoch(&lens, 8, 48, &mut a), plan_epoch(&lens, 8, 48, &mut b.fork()));
+    }
+
+    #[test]
+    #[should_panic(expected = "padded length")]
+    fn gather_padded_rejects_overlong_examples() {
+        let ex = toys(&[10]);
+        let _ = gather_padded(&ex, &[0], 8);
+    }
+}

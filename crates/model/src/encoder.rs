@@ -139,7 +139,10 @@ impl Encoder {
         let pos = self.pos.lookup(&pos_ids);
         let summed = tok.add(&pos);
         let normed = self.ln.forward(&summed, train);
-        let mut h = self.drop.forward(&normed, train);
+        // Dropout draws per *valid* position only, so the mask stream —
+        // and therefore the whole training trajectory — is independent of
+        // the padded length (the bucketed-training determinism contract).
+        let mut h = self.drop.forward_rows(&normed, train, seq, valid);
         for blk in &mut self.blocks {
             h = blk.forward(&h, batch, seq, valid);
         }

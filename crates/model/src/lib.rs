@@ -16,16 +16,22 @@
 //! * [`pragformer::PragFormer`] — encoder + CLS head, `forward`/`backward`
 //!   /`predict`;
 //! * [`mlm`] — MLM pre-training (15% masking, 80/10/10 mask policy);
-//! * [`trainer`] — mini-batch fine-tuning loop emitting the per-epoch
-//!   train-loss / valid-loss / valid-accuracy series of Figures 4-6.
+//! * [`batching`] — the shared length-bucketed training engine
+//!   ([`batching::TrainLoop`] + the [`batching::Objective`] trait) both
+//!   training entry points run on;
+//! * [`trainer`] — mini-batch fine-tuning (the classification objective)
+//!   emitting the per-epoch train-loss / valid-loss / valid-accuracy
+//!   series of Figures 4-6.
 
 pub mod attention;
+pub mod batching;
 pub mod config;
 pub mod encoder;
 pub mod mlm;
 pub mod pragformer;
 pub mod trainer;
 
+pub use batching::{EpochMetrics, TrainConfig, TrainLoop};
 pub use config::ModelConfig;
 pub use pragformer::PragFormer;
-pub use trainer::{EpochMetrics, TrainConfig, Trainer};
+pub use trainer::Trainer;

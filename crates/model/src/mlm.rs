@@ -7,14 +7,26 @@
 //! (80% `<mask>`, 10% random token, 10% unchanged), then hand the weights
 //! to the classifier. EXPERIMENTS.md §A1 measures the benefit against a
 //! from-scratch baseline.
+//!
+//! Pre-training runs as a second [`Objective`] on the shared
+//! length-bucketed engine ([`crate::batching::TrainLoop`]), which gives
+//! it the gradient clipping, warmup/decay schedule and validation-based
+//! checkpoint selection the fine-tuning loop always had — and the same
+//! bucketed-batch wall-clock win. Masking randomness is drawn **per
+//! valid position** (never for padding), so the corruption pattern and
+//! the RNG stream are independent of the padded length, exactly like the
+//! engine's dropout contract.
 
+use crate::batching::{Batch, EvalStep, Objective, TrainExample, TrainLoop};
 use crate::encoder::Encoder;
 use crate::ModelConfig;
 use pragformer_tensor::init::SeededRng;
 use pragformer_tensor::loss;
 use pragformer_tensor::nn::{Layer, Linear, Param};
-use pragformer_tensor::optim::AdamW;
+use pragformer_tensor::serialize::StateDict;
 use pragformer_tokenize::vocab::special;
+
+pub use crate::batching::{EpochMetrics, TrainConfig};
 
 /// Encoder plus vocabulary-projection head for MLM.
 pub struct MlmModel {
@@ -40,6 +52,28 @@ impl Default for MaskPolicy {
     }
 }
 
+/// One unlabeled pre-training sequence: the valid token prefix only
+/// (CLS-led, unpadded).
+#[derive(Clone, Debug)]
+pub struct MlmSequence {
+    /// Valid token ids (no padding).
+    pub ids: Vec<usize>,
+}
+
+impl MlmSequence {
+    /// Builds a sequence from a possibly-padded `(ids, valid)` encoding.
+    pub fn new(mut ids: Vec<usize>, valid: usize) -> Self {
+        ids.truncate(valid);
+        Self { ids }
+    }
+}
+
+impl TrainExample for MlmSequence {
+    fn token_ids(&self) -> &[usize] {
+        &self.ids
+    }
+}
+
 impl MlmModel {
     /// Builds an encoder + MLM head.
     pub fn new(cfg: &ModelConfig, rng: &mut SeededRng) -> Self {
@@ -49,18 +83,21 @@ impl MlmModel {
         }
     }
 
-    /// Applies the masking policy to a batch of id sequences.
+    /// Applies the masking policy to a batch of id sequences padded to an
+    /// explicit `seq`.
     ///
     /// Returns the corrupted ids and per-position targets (`Some(original)`
-    /// at masked positions).
+    /// at masked positions). Randomness is drawn only for valid, non-CLS
+    /// positions, so for a fixed RNG state the corruption of the valid
+    /// prefix is bitwise independent of `seq`.
     pub fn mask_batch(
         &self,
         ids: &[usize],
         valid: &[usize],
+        seq: usize,
         policy: &MaskPolicy,
         rng: &mut SeededRng,
     ) -> (Vec<usize>, Vec<Option<usize>>) {
-        let seq = self.encoder.config().max_len;
         let vocab = self.encoder.config().vocab;
         let mut corrupted = ids.to_vec();
         let mut targets = vec![None; ids.len()];
@@ -82,41 +119,59 @@ impl MlmModel {
         (corrupted, targets)
     }
 
-    /// One MLM training step; returns the masked cross-entropy loss.
-    pub fn train_step(
+    /// One MLM gradient step over a batch padded to `seq`: zeroes grads,
+    /// masks, runs forward/backward. Returns `(masked cross-entropy,
+    /// masked position count)`; a zero count leaves all gradients zero.
+    /// The optimizer is owned by the engine, not this method.
+    pub fn train_step_seq(
         &mut self,
         ids: &[usize],
         valid: &[usize],
+        seq: usize,
         policy: &MaskPolicy,
-        opt: &mut AdamW,
         rng: &mut SeededRng,
-    ) -> f32 {
-        let (corrupted, targets) = self.mask_batch(ids, valid, policy, rng);
+    ) -> (f32, usize) {
+        let (corrupted, targets) = self.mask_batch(ids, valid, seq, policy, rng);
         self.visit_params(&mut |p| p.zero_grad());
-        let h = self.encoder.forward(&corrupted, valid, true);
+        let h = self.encoder.forward_seq(&corrupted, valid, seq, true);
         let logits = self.head.forward(&h, true);
         let (l, dlogits) = loss::masked_cross_entropy(&logits, &targets);
-        if l > 0.0 {
+        let masked = targets.iter().filter(|t| t.is_some()).count();
+        if masked > 0 {
             let dh = self.head.backward(&dlogits);
             self.encoder.backward(&dh);
-            opt.begin_step();
-            self.visit_params(&mut |p| opt.update(p));
         }
-        l
+        (l, masked)
     }
 
-    /// Evaluation loss on a batch without updating weights.
-    pub fn eval_loss(
+    /// Eval-mode masked loss and top-1 accuracy over a batch padded to
+    /// `seq`. Returns `(loss, masked positions, correct predictions)`.
+    pub fn eval_masked(
         &mut self,
         ids: &[usize],
         valid: &[usize],
+        seq: usize,
         policy: &MaskPolicy,
         rng: &mut SeededRng,
-    ) -> f32 {
-        let (corrupted, targets) = self.mask_batch(ids, valid, policy, rng);
-        let h = self.encoder.forward(&corrupted, valid, false);
+    ) -> (f32, usize, usize) {
+        let (corrupted, targets) = self.mask_batch(ids, valid, seq, policy, rng);
+        let h = self.encoder.forward_seq(&corrupted, valid, seq, false);
         let logits = self.head.forward(&h, false);
-        loss::masked_cross_entropy(&logits, &targets).0
+        let (l, _) = loss::masked_cross_entropy(&logits, &targets);
+        let mut masked = 0usize;
+        let mut correct = 0usize;
+        for (r, t) in targets.iter().enumerate() {
+            if let Some(y) = *t {
+                masked += 1;
+                let row = logits.row(r);
+                let argmax =
+                    row.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map_or(0, |(i, _)| i);
+                if argmax == y {
+                    correct += 1;
+                }
+            }
+        }
+        (l, masked, correct)
     }
 
     /// Parameter traversal (encoder + head).
@@ -125,72 +180,147 @@ impl MlmModel {
         self.head.visit_params(f);
     }
 
+    /// Captures all weights (encoder + head) into a [`StateDict`] — the
+    /// engine's best-checkpoint snapshot.
+    pub fn state_dict(&mut self) -> StateDict {
+        let mut dict = StateDict::new();
+        self.visit_params(&mut |p| dict.capture(p));
+        dict
+    }
+
+    /// Restores weights by name; returns how many parameters matched.
+    pub fn load_state_dict(&mut self, dict: &StateDict) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| {
+            if dict.restore(p) {
+                n += 1;
+            }
+        });
+        n
+    }
+
     /// Extracts the pre-trained encoder weights as a state dict, ready for
     /// [`crate::PragFormer::load_state_dict`] (head weights excluded — the
     /// classifier head trains fresh, like the paper's fine-tuning).
-    pub fn encoder_state(&mut self) -> pragformer_tensor::serialize::StateDict {
-        let mut dict = pragformer_tensor::serialize::StateDict::new();
+    pub fn encoder_state(&mut self) -> StateDict {
+        let mut dict = StateDict::new();
         self.encoder.visit_params(&mut |p| dict.capture(p));
         dict
     }
 }
 
-/// Pre-trains an encoder on token-id sequences; returns the state dict.
+/// The MLM objective for [`TrainLoop`]: one masked position = one loss
+/// unit, so epoch losses weight batches by how much was actually masked.
+pub struct MlmObjective<'m> {
+    model: &'m mut MlmModel,
+    policy: MaskPolicy,
+    rng: SeededRng,
+    eval_rng: SeededRng,
+    eval_seed: u64,
+}
+
+impl<'m> MlmObjective<'m> {
+    /// Wraps a model with a masking policy; `seed` drives the training
+    /// corruption stream, `seed ^ EVAL_SALT` the (per-pass re-seeded)
+    /// evaluation corruption so every epoch scores the same masks.
+    pub fn new(model: &'m mut MlmModel, policy: MaskPolicy, seed: u64) -> Self {
+        let eval_seed = seed ^ 0xE7A1_5EED;
+        Self {
+            model,
+            policy,
+            rng: SeededRng::new(seed),
+            eval_rng: SeededRng::new(eval_seed),
+            eval_seed,
+        }
+    }
+}
+
+impl Objective for MlmObjective<'_> {
+    type Example = MlmSequence;
+
+    fn train_step(&mut self, _examples: &[MlmSequence], batch: &Batch) -> (f32, f32) {
+        let (l, masked) = self.model.train_step_seq(
+            &batch.ids,
+            &batch.valid,
+            batch.seq,
+            &self.policy,
+            &mut self.rng,
+        );
+        (l, masked as f32)
+    }
+
+    fn eval_step(&mut self, _examples: &[MlmSequence], batch: &Batch) -> EvalStep {
+        let (l, masked, correct) = self.model.eval_masked(
+            &batch.ids,
+            &batch.valid,
+            batch.seq,
+            &self.policy,
+            &mut self.eval_rng,
+        );
+        EvalStep { loss: l, weight: masked as f32, correct: correct as f32, scored: masked as f32 }
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.model.visit_params(f);
+    }
+
+    fn state_dict(&mut self) -> StateDict {
+        self.model.state_dict()
+    }
+
+    fn load_state_dict(&mut self, dict: &StateDict) -> usize {
+        self.model.load_state_dict(dict)
+    }
+
+    fn begin_eval(&mut self) {
+        self.eval_rng = SeededRng::new(self.eval_seed);
+    }
+}
+
+/// Pre-trains an encoder on unlabeled [`MlmSequence`]s; returns the
+/// encoder state dict (for [`crate::PragFormer::load_state_dict`]) and
+/// per-epoch metrics.
 ///
-/// `sequences` are already-encoded `(ids, valid)` pairs of length
-/// `cfg.max_len`. Runs `epochs` passes with mini-batches of `batch_size`.
+/// Runs on the shared bucketed engine with the full [`TrainConfig`] —
+/// gradient clipping, warmup/decay and validation-based best-checkpoint
+/// selection included (pass an empty `valid` to keep the final epoch's
+/// weights).
 pub fn pretrain(
     cfg: &ModelConfig,
-    sequences: &[(Vec<usize>, usize)],
-    epochs: usize,
-    batch_size: usize,
-    lr: f32,
-    seed: u64,
-) -> (pragformer_tensor::serialize::StateDict, Vec<f32>) {
-    let mut rng = SeededRng::new(seed);
+    train: &[MlmSequence],
+    valid: &[MlmSequence],
+    tcfg: &TrainConfig,
+) -> (StateDict, Vec<EpochMetrics>) {
+    let mut rng = SeededRng::new(tcfg.seed);
     let mut model = MlmModel::new(cfg, &mut rng);
-    let mut opt = AdamW::new(lr);
     let policy = MaskPolicy::default();
-    let mut order: Vec<usize> = (0..sequences.len()).collect();
-    let mut epoch_losses = Vec::with_capacity(epochs);
-    for _ in 0..epochs {
-        rng.shuffle(&mut order);
-        let mut total = 0.0f32;
-        let mut batches = 0usize;
-        for chunk in order.chunks(batch_size.max(1)) {
-            let mut ids = Vec::with_capacity(chunk.len() * cfg.max_len);
-            let mut valid = Vec::with_capacity(chunk.len());
-            for &i in chunk {
-                ids.extend_from_slice(&sequences[i].0);
-                valid.push(sequences[i].1);
-            }
-            total += model.train_step(&ids, &valid, &policy, &mut opt, &mut rng);
-            batches += 1;
-        }
-        epoch_losses.push(if batches == 0 { 0.0 } else { total / batches as f32 });
-    }
-    (model.encoder_state(), epoch_losses)
+    let mut objective = MlmObjective::new(&mut model, policy, tcfg.seed ^ 0x3A5C_0FFE);
+    let history = TrainLoop::new(tcfg.clone(), cfg.max_len).fit(&mut objective, train, valid);
+    (model.encoder_state(), history)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn toy_sequences(cfg: &ModelConfig, n: usize) -> Vec<(Vec<usize>, usize)> {
-        // Deterministic patterned sequences: abababab…
+    fn toy_seqs(cfg: &ModelConfig, n: usize) -> Vec<MlmSequence> {
+        // Deterministic patterned sequences of varied length: abab…
         (0..n)
             .map(|s| {
                 let a = special::COUNT + (s % 3);
                 let b = special::COUNT + 3 + (s % 2);
-                let len = cfg.max_len - 2;
+                let len = (cfg.max_len / 2 + (s % (cfg.max_len / 2))).min(cfg.max_len - 2);
                 let mut ids = vec![special::CLS];
                 for t in 0..len {
                     ids.push(if t % 2 == 0 { a } else { b });
                 }
-                ids.resize(cfg.max_len, special::PAD);
-                (ids, len + 1)
+                MlmSequence { ids }
             })
             .collect()
+    }
+
+    fn quick_cfg(epochs: usize, lr: f32, seed: u64) -> TrainConfig {
+        TrainConfig { epochs, batch_size: 8, lr, clip: 1.0, seed, warmup_frac: 0.1 }
     }
 
     #[test]
@@ -198,20 +328,22 @@ mod tests {
         let cfg = ModelConfig::tiny(16);
         let mut rng = SeededRng::new(1);
         let model = MlmModel::new(&cfg, &mut rng);
-        let seqs = toy_sequences(&cfg, 2);
+        let seqs = toy_seqs(&cfg, 2);
+        let seq = cfg.max_len;
         let mut ids = Vec::new();
         let mut valid = Vec::new();
-        for (s, v) in &seqs {
-            ids.extend_from_slice(s);
-            valid.push(*v);
+        for s in &seqs {
+            ids.extend_from_slice(&s.ids);
+            ids.resize(ids.len() + (seq - s.ids.len()), special::PAD);
+            valid.push(s.ids.len());
         }
         let policy = MaskPolicy { mask_fraction: 1.0, ..Default::default() };
-        let (corrupted, targets) = model.mask_batch(&ids, &valid, &policy, &mut rng);
+        let (corrupted, targets) = model.mask_batch(&ids, &valid, seq, &policy, &mut rng);
         for (b, &vb) in valid.iter().enumerate() {
-            let base = b * cfg.max_len;
+            let base = b * seq;
             assert_eq!(corrupted[base], special::CLS, "CLS corrupted");
             assert!(targets[base].is_none());
-            for t in vb..cfg.max_len {
+            for t in vb..seq {
                 assert_eq!(corrupted[base + t], special::PAD, "padding corrupted");
                 assert!(targets[base + t].is_none());
             }
@@ -223,33 +355,83 @@ mod tests {
     }
 
     #[test]
+    fn mask_stream_is_padding_invariant() {
+        // Same RNG seed, same valid prefixes, different padded lengths:
+        // identical corruption on the valid prefix and identical RNG
+        // state afterwards.
+        let cfg = ModelConfig::tiny(16);
+        let mut rng = SeededRng::new(4);
+        let model = MlmModel::new(&cfg, &mut rng);
+        let prefix: Vec<usize> = vec![special::CLS, 5, 6, 7, 5, 6, 7, 5];
+        let policy = MaskPolicy::default();
+        let run = |seq: usize| {
+            let mut ids = prefix.clone();
+            ids.resize(seq, special::PAD);
+            let mut r = SeededRng::new(99);
+            let out = model.mask_batch(&ids, &[prefix.len()], seq, &policy, &mut r);
+            (out, r.uniform())
+        };
+        let ((c8, t8), next8) = run(8);
+        let ((c48, t48), next48) = run(cfg.max_len);
+        assert_eq!(&c8[..8], &c48[..8]);
+        assert_eq!(&t8[..8], &t48[..8]);
+        assert_eq!(next8, next48, "RNG streams diverged with padding");
+    }
+
+    #[test]
+    fn mlm_sequence_new_truncates_padding() {
+        // The adapter for padded `Vocab::encode` output: only the valid
+        // prefix survives.
+        let s = MlmSequence::new(vec![special::CLS, 7, 9, special::PAD, special::PAD], 3);
+        assert_eq!(s.ids, vec![special::CLS, 7, 9]);
+        assert_eq!(s.token_ids(), &[special::CLS, 7, 9]);
+    }
+
+    #[test]
     fn mask_fraction_zero_is_identity() {
         let cfg = ModelConfig::tiny(16);
         let mut rng = SeededRng::new(2);
         let model = MlmModel::new(&cfg, &mut rng);
-        let seqs = toy_sequences(&cfg, 1);
+        let seqs = toy_seqs(&cfg, 1);
         let policy = MaskPolicy { mask_fraction: 0.0, ..Default::default() };
-        let (corrupted, targets) = model.mask_batch(&seqs[0].0, &[seqs[0].1], &policy, &mut rng);
-        assert_eq!(corrupted, seqs[0].0);
+        let ids = &seqs[0].ids;
+        let (corrupted, targets) =
+            model.mask_batch(ids, &[ids.len()], ids.len(), &policy, &mut rng);
+        assert_eq!(&corrupted, ids);
         assert!(targets.iter().all(Option::is_none));
     }
 
     #[test]
     fn pretraining_reduces_loss() {
         let cfg = ModelConfig::tiny(16);
-        let seqs = toy_sequences(&cfg, 24);
-        let (_, losses) = pretrain(&cfg, &seqs, 8, 8, 3e-3, 7);
-        assert!(losses.len() == 8);
-        let first = losses[0];
-        let last = *losses.last().unwrap();
-        assert!(last < first * 0.8, "MLM loss did not fall: {first} -> {last} ({losses:?})");
+        let seqs = toy_seqs(&cfg, 24);
+        let (_, history) = pretrain(&cfg, &seqs, &[], &quick_cfg(8, 3e-3, 7));
+        assert_eq!(history.len(), 8);
+        let first = history[0].train_loss;
+        let last = history.last().unwrap().train_loss;
+        assert!(last < first * 0.8, "MLM loss did not fall: {first} -> {last} ({history:?})");
+    }
+
+    #[test]
+    fn pretraining_tracks_validation_and_selects_best() {
+        let cfg = ModelConfig::tiny(16);
+        let all = toy_seqs(&cfg, 24);
+        let (train, valid) = all.split_at(18);
+        let (_, history) = pretrain(&cfg, train, valid, &quick_cfg(4, 3e-3, 9));
+        assert_eq!(history.len(), 4);
+        for m in &history {
+            assert!(m.valid_loss.is_finite());
+            assert!((0.0..=1.0).contains(&m.valid_accuracy));
+        }
+        // Validation loss should improve over training on this toy set.
+        assert!(history.last().unwrap().valid_loss < history[0].valid_loss * 1.5);
     }
 
     #[test]
     fn pretrained_state_loads_into_classifier() {
         let cfg = ModelConfig::tiny(16);
-        let seqs = toy_sequences(&cfg, 8);
-        let (state, _) = pretrain(&cfg, &seqs, 1, 4, 1e-3, 8);
+        let seqs = toy_seqs(&cfg, 8);
+        let (state, _) = pretrain(&cfg, &seqs, &[], &quick_cfg(1, 1e-3, 8));
         let mut rng = SeededRng::new(9);
         let mut clf = crate::PragFormer::new(&cfg, &mut rng);
         let restored = clf.load_state_dict(&state);

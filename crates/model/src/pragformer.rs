@@ -104,9 +104,31 @@ impl PragFormer {
     }
 
     /// One fused train step helper: forward, CE loss, backward.
-    /// Returns the batch loss.
+    /// Returns the batch loss. Equivalent to [`PragFormer::train_step_seq`]
+    /// at `seq = max_len`.
     pub fn train_step(&mut self, ids: &[usize], valid: &[usize], labels: &[usize]) -> f32 {
-        let logits = self.forward(ids, valid, true);
+        self.train_step_seq(ids, valid, self.config().max_len, labels)
+    }
+
+    /// One fused train step over a batch padded to an explicit
+    /// `seq ≤ max_len` — the length-bucketed training entry point.
+    ///
+    /// With a fixed dropout-RNG state, the loss and every accumulated
+    /// parameter gradient are **bitwise identical** for every padded
+    /// length `seq ≥ max(valid)`: forward activations on the valid prefix
+    /// are padding-invariant (see [`PragFormer::forward_seq`]), padded
+    /// rows carry exactly-zero gradients backward, every cross-row
+    /// reduction treats them as additive zeros, and dropout draws its
+    /// mask per valid position only. Enforced over randomized shapes by
+    /// `tests/train_proptests.rs`.
+    pub fn train_step_seq(
+        &mut self,
+        ids: &[usize],
+        valid: &[usize],
+        seq: usize,
+        labels: &[usize],
+    ) -> f32 {
+        let logits = self.forward_seq(ids, valid, seq, true);
         let (l, dlogits) = loss::softmax_cross_entropy(&logits, labels);
         self.backward(&dlogits);
         l

@@ -1,61 +1,97 @@
-//! Mini-batch fine-tuning loop.
+//! Mini-batch fine-tuning: the classification objective on the shared
+//! length-bucketed engine ([`crate::batching::TrainLoop`]).
 //!
 //! Emits exactly the series the paper's Figures 4-6 plot: per-epoch
 //! training loss, validation loss and validation accuracy. Model
 //! selection follows §5.1: keep the weights from the epoch with the best
-//! validation loss.
+//! validation loss. Batches are padded to their length bucket, not to
+//! `max_len` — bitwise equivalent (see the `batching` module docs) and
+//! proportionally cheaper on length-skewed corpora.
 
+use crate::batching::{self, Batch, EvalStep, Objective, TrainExample, TrainLoop};
 use crate::pragformer::PragFormer;
 use pragformer_tensor::init::SeededRng;
 use pragformer_tensor::loss;
-use pragformer_tensor::optim::{AdamW, Schedule};
+use pragformer_tensor::nn::Param;
 use pragformer_tensor::serialize::StateDict;
 
-/// One encoded example.
+pub use crate::batching::{EpochMetrics, TrainConfig};
+
+/// One encoded example: the **valid token prefix only** (CLS-prefixed,
+/// unpadded — the batching engine pads to each batch's length bucket).
 #[derive(Clone, Debug)]
 pub struct EncodedExample {
-    /// `max_len` token ids (CLS-prefixed, padded).
+    /// Valid token ids (no padding).
     pub ids: Vec<usize>,
-    /// Non-pad prefix length.
-    pub valid: usize,
     /// Binary label.
     pub label: bool,
 }
 
-/// Training hyper-parameters.
-#[derive(Clone, Debug)]
-pub struct TrainConfig {
-    /// Passes over the training set (paper: ~10, early-selected at 7-9).
-    pub epochs: usize,
-    /// Mini-batch size.
-    pub batch_size: usize,
-    /// AdamW learning rate.
-    pub lr: f32,
-    /// Global-norm gradient clip (0 disables).
-    pub clip: f32,
-    /// Shuffling/dropout seed.
-    pub seed: u64,
-    /// Linear warmup fraction of total steps (0 = constant LR).
-    pub warmup_frac: f32,
-}
+impl EncodedExample {
+    /// Builds an example from a possibly-padded encoding, keeping only
+    /// the `valid` prefix (the shape `Vocab::encode` returns).
+    pub fn new(mut ids: Vec<usize>, valid: usize, label: bool) -> Self {
+        ids.truncate(valid);
+        Self { ids, label }
+    }
 
-impl Default for TrainConfig {
-    fn default() -> Self {
-        Self { epochs: 10, batch_size: 32, lr: 3e-4, clip: 1.0, seed: 1, warmup_frac: 0.1 }
+    /// Non-pad token count.
+    pub fn valid(&self) -> usize {
+        self.ids.len()
     }
 }
 
-/// Per-epoch metrics — the series behind Figures 4, 5 and 6.
-#[derive(Clone, Debug, PartialEq)]
-pub struct EpochMetrics {
-    /// 1-based epoch number.
-    pub epoch: usize,
-    /// Mean training loss.
-    pub train_loss: f32,
-    /// Mean validation loss.
-    pub valid_loss: f32,
-    /// Validation accuracy at threshold 0.5.
-    pub valid_accuracy: f32,
+impl TrainExample for EncodedExample {
+    fn token_ids(&self) -> &[usize] {
+        &self.ids
+    }
+}
+
+/// The fine-tuning objective: softmax cross-entropy over a
+/// [`PragFormer`]'s CLS head, one example = one loss unit.
+pub struct FineTune<'m> {
+    /// The model being fine-tuned.
+    pub model: &'m mut PragFormer,
+}
+
+impl FineTune<'_> {
+    fn labels(examples: &[EncodedExample], batch: &Batch) -> Vec<usize> {
+        batch.indices.iter().map(|&i| examples[i].label as usize).collect()
+    }
+}
+
+impl Objective for FineTune<'_> {
+    type Example = EncodedExample;
+
+    fn train_step(&mut self, examples: &[EncodedExample], batch: &Batch) -> (f32, f32) {
+        let labels = Self::labels(examples, batch);
+        self.model.zero_grad();
+        let loss = self.model.train_step_seq(&batch.ids, &batch.valid, batch.seq, &labels);
+        (loss, batch.indices.len() as f32)
+    }
+
+    fn eval_step(&mut self, examples: &[EncodedExample], batch: &Batch) -> EvalStep {
+        let labels = Self::labels(examples, batch);
+        let logits = self.model.forward_seq(&batch.ids, &batch.valid, batch.seq, false);
+        let (l, _) = loss::softmax_cross_entropy(&logits, &labels);
+        let probs = loss::positive_probabilities(&logits);
+        let correct =
+            probs.iter().zip(&labels).filter(|(p, &y)| (**p > 0.5) == (y == 1)).count() as f32;
+        let n = batch.indices.len() as f32;
+        EvalStep { loss: l, weight: n, correct, scored: n }
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.model.visit_params(f);
+    }
+
+    fn state_dict(&mut self) -> StateDict {
+        self.model.state_dict()
+    }
+
+    fn load_state_dict(&mut self, dict: &StateDict) -> usize {
+        self.model.load_state_dict(dict)
+    }
 }
 
 /// Fine-tunes a [`PragFormer`] on encoded examples.
@@ -69,115 +105,35 @@ impl Trainer {
         Self { cfg }
     }
 
-    /// Runs the loop. Returns per-epoch metrics and restores the model to
-    /// the best-validation-loss epoch's weights before returning.
+    /// Runs the shared engine with the fine-tuning objective. Returns
+    /// per-epoch metrics and restores the model to the
+    /// best-validation-loss epoch's weights before returning.
     pub fn fit(
         &self,
         model: &mut PragFormer,
         train: &[EncodedExample],
         valid: &[EncodedExample],
     ) -> Vec<EpochMetrics> {
-        assert!(!train.is_empty(), "empty training set");
-        let cfg = &self.cfg;
-        let steps_per_epoch = train.len().div_ceil(cfg.batch_size.max(1)) as u64;
-        let total_steps = steps_per_epoch * cfg.epochs as u64;
-        let schedule = if cfg.warmup_frac > 0.0 {
-            Schedule::LinearWarmupDecay {
-                warmup: ((total_steps as f32 * cfg.warmup_frac) as u64).max(1),
-                total: total_steps + 1,
-            }
-        } else {
-            Schedule::Constant
-        };
-        let mut opt = AdamW::new(cfg.lr).with_schedule(schedule);
-        let mut rng = SeededRng::new(cfg.seed);
-        let mut order: Vec<usize> = (0..train.len()).collect();
-        let mut history = Vec::with_capacity(cfg.epochs);
-        let mut best: Option<(f32, StateDict)> = None;
-        for epoch in 1..=cfg.epochs {
-            rng.shuffle(&mut order);
-            let mut total = 0.0f32;
-            let mut batches = 0usize;
-            for chunk in order.chunks(cfg.batch_size.max(1)) {
-                let (ids, valid_lens, labels) = gather(train, chunk);
-                model.zero_grad();
-                let batch_loss = model.train_step(&ids, &valid_lens, &labels);
-                if cfg.clip > 0.0 {
-                    // Two visit passes: measure the global norm, then scale.
-                    let mut sq = 0.0f32;
-                    model.visit_params(&mut |p| {
-                        sq += p.grad.data().iter().map(|g| g * g).sum::<f32>();
-                    });
-                    let norm = sq.sqrt();
-                    if norm > cfg.clip {
-                        let scale = cfg.clip / norm;
-                        model.visit_params(&mut |p| p.grad.map_in_place(|g| g * scale));
-                    }
-                }
-                opt.begin_step();
-                model.visit_params(&mut |p| opt.update(p));
-                total += batch_loss;
-                batches += 1;
-            }
-            let train_loss = total / batches.max(1) as f32;
-            let (valid_loss, valid_accuracy) = evaluate(model, valid, cfg.batch_size);
-            history.push(EpochMetrics { epoch, train_loss, valid_loss, valid_accuracy });
-            let better = best.as_ref().is_none_or(|(b, _)| valid_loss < *b);
-            if better {
-                best = Some((valid_loss, model.state_dict()));
-            }
-        }
-        if let Some((_, dict)) = best {
-            model.load_state_dict(&dict);
-        }
-        history
+        let max_len = model.config().max_len;
+        TrainLoop::new(self.cfg.clone(), max_len).fit(&mut FineTune { model }, train, valid)
     }
 }
 
-/// Mean loss and accuracy over a split (eval mode).
+/// Mean loss and accuracy over a split (eval mode), weighted by example
+/// count — a short final chunk no longer biases the mean the way
+/// per-batch averaging did.
 pub fn evaluate(
     model: &mut PragFormer,
     examples: &[EncodedExample],
     batch_size: usize,
 ) -> (f32, f32) {
-    if examples.is_empty() {
-        return (0.0, 0.0);
-    }
-    let mut total_loss = 0.0f32;
-    let mut correct = 0usize;
-    let mut batches = 0usize;
-    let idxs: Vec<usize> = (0..examples.len()).collect();
-    for chunk in idxs.chunks(batch_size.max(1)) {
-        let (ids, valid_lens, labels) = gather(examples, chunk);
-        let logits = model.forward(&ids, &valid_lens, false);
-        let (l, _) = loss::softmax_cross_entropy(&logits, &labels);
-        total_loss += l;
-        batches += 1;
-        let probs = loss::positive_probabilities(&logits);
-        for (p, y) in probs.iter().zip(&labels) {
-            if (*p > 0.5) == (*y == 1) {
-                correct += 1;
-            }
-        }
-    }
-    (total_loss / batches as f32, correct as f32 / examples.len() as f32)
+    let max_len = model.config().max_len;
+    batching::evaluate(&mut FineTune { model }, examples, batch_size, max_len)
 }
 
-fn gather(examples: &[EncodedExample], idxs: &[usize]) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
-    let seq = examples[idxs[0]].ids.len();
-    let mut ids = Vec::with_capacity(idxs.len() * seq);
-    let mut valid = Vec::with_capacity(idxs.len());
-    let mut labels = Vec::with_capacity(idxs.len());
-    for &i in idxs {
-        ids.extend_from_slice(&examples[i].ids);
-        valid.push(examples[i].valid);
-        labels.push(examples[i].label as usize);
-    }
-    (ids, valid, labels)
-}
-
-/// Synthesizes a linearly-separable toy set for tests and doc examples:
-/// label 1 sequences contain token `hot`, label 0 sequences do not.
+/// Synthesizes a linearly-separable toy set for tests, benches and doc
+/// examples: label 1 sequences contain token `hot`, label 0 sequences do
+/// not. Lengths are uniform in `[4, max_len - 2]`.
 pub fn synthetic_examples(
     n: usize,
     max_len: usize,
@@ -186,6 +142,11 @@ pub fn synthetic_examples(
     seed: u64,
 ) -> Vec<EncodedExample> {
     use pragformer_tokenize::vocab::special;
+    assert!(
+        max_len >= 6,
+        "synthetic_examples needs max_len >= 6 to fit CLS plus a 4..=max_len-2 token body \
+         (got {max_len})"
+    );
     let mut rng = SeededRng::new(seed);
     (0..n)
         .map(|k| {
@@ -203,8 +164,7 @@ pub fn synthetic_examples(
                 let pos = 1 + rng.below(len - 1);
                 ids[pos] = hot;
             }
-            ids.resize(max_len, special::PAD);
-            EncodedExample { ids, valid: len, label }
+            EncodedExample { ids, label }
         })
         .collect()
 }
@@ -262,9 +222,47 @@ mod tests {
             history.iter().min_by(|a, b| a.valid_loss.total_cmp(&b.valid_loss)).unwrap().clone();
         let (loss_now, _) = evaluate(&mut model, &valid, 16);
         assert!(
-            (loss_now - best.valid_loss).abs() < 0.05,
+            (loss_now - best.valid_loss).abs() < 1e-5,
             "restored loss {loss_now} vs best epoch {best:?}"
         );
+    }
+
+    #[test]
+    fn fit_is_seed_deterministic() {
+        let vocab = 20;
+        let cfg = ModelConfig::tiny(vocab);
+        let train = synthetic_examples(40, cfg.max_len, vocab, 9, 11);
+        let valid = synthetic_examples(16, cfg.max_len, vocab, 9, 12);
+        let run = || {
+            let mut rng = SeededRng::new(13);
+            let mut model = PragFormer::new(&cfg, &mut rng);
+            let trainer = Trainer::new(TrainConfig {
+                epochs: 2,
+                batch_size: 8,
+                lr: 1e-3,
+                clip: 1.0,
+                seed: 14,
+                warmup_frac: 0.1,
+            });
+            trainer.fit(&mut model, &train, &valid)
+        };
+        assert_eq!(run(), run(), "same seed must reproduce the history exactly");
+    }
+
+    #[test]
+    fn evaluate_weights_by_example_count() {
+        // 17 examples at batch 16 used to average a 16-batch and a
+        // 1-batch equally; the weighted mean must match a direct
+        // per-example computation regardless of batch size.
+        let vocab = 20;
+        let cfg = ModelConfig::tiny(vocab);
+        let examples = synthetic_examples(17, cfg.max_len, vocab, 9, 15);
+        let mut rng = SeededRng::new(16);
+        let mut model = PragFormer::new(&cfg, &mut rng);
+        let (l16, a16) = evaluate(&mut model, &examples, 16);
+        let (l1, a1) = evaluate(&mut model, &examples, 1);
+        assert!((l16 - l1).abs() < 1e-5, "batch-size-dependent loss: {l16} vs {l1}");
+        assert_eq!(a16, a1);
     }
 
     #[test]
@@ -274,11 +272,24 @@ mod tests {
         let pos = ex.iter().filter(|e| e.label).count();
         assert_eq!(pos, 50);
         for e in &ex {
-            assert_eq!(e.ids.len(), 24);
-            assert!(e.valid >= 4 && e.valid <= 24);
-            let has_hot = e.ids[..e.valid].contains(&12);
+            assert!(e.valid() >= 4 && e.valid() <= 24);
+            assert_eq!(e.ids.len(), e.valid(), "examples must be unpadded");
+            let has_hot = e.ids.contains(&12);
             assert_eq!(has_hot, e.label);
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "max_len >= 6")]
+    fn synthetic_examples_rejects_tiny_max_len() {
+        let _ = synthetic_examples(4, 5, 10, 6, 1);
+    }
+
+    #[test]
+    fn encoded_example_new_truncates_padding() {
+        let e = EncodedExample::new(vec![2, 7, 8, 0, 0, 0], 3, true);
+        assert_eq!(e.ids, vec![2, 7, 8]);
+        assert_eq!(e.valid(), 3);
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! Property tests for length-bucketed *training* — the backward-pass twin
+//! of `crates/tensor/tests/gemm_proptests.rs`.
+//!
+//! The claim the training engine leans on: one gradient step over a batch
+//! padded to its length bucket is **bitwise identical** — same loss bits,
+//! same bits in every accumulated parameter gradient — to the same batch
+//! padded all the way to `max_len`. Forward activations on the valid
+//! prefix are padding-invariant (the PR 1 inference property), padded
+//! rows enter backward with exactly-zero gradients, and every cross-row
+//! reduction (weight gradients, attention score/context products)
+//! accumulates those rows as additive zeros.
+//!
+//! Randomized over batch shape, per-example valid lengths, label
+//! patterns and weight seeds, for both objectives (classification CE and
+//! masked-LM CE). Dropout is off in the proptests (the RNG stream is the
+//! one thing two *separate* step calls on one model can't share); the
+//! dropout-on case is covered by the deterministic twin-model tests at
+//! the bottom, which rely on per-valid-position mask draws.
+
+use pragformer_model::batching::bucket_len;
+use pragformer_model::mlm::{MaskPolicy, MlmModel};
+use pragformer_model::{ModelConfig, PragFormer};
+use pragformer_tensor::init::SeededRng;
+use pragformer_tokenize::vocab::special;
+use proptest::prelude::*;
+
+const MAX_LEN: usize = 24;
+const VOCAB: usize = 18;
+
+fn tiny_cfg(dropout: f32) -> ModelConfig {
+    ModelConfig {
+        vocab: VOCAB,
+        d_model: 16,
+        n_heads: 2,
+        n_layers: 1,
+        d_ff: 32,
+        max_len: MAX_LEN,
+        dropout,
+        n_classes: 2,
+    }
+}
+
+/// Random CLS-led valid prefixes for a batch.
+fn random_prefixes(lens: &[usize], seed: u64) -> Vec<Vec<usize>> {
+    let mut rng = SeededRng::new(seed);
+    lens.iter()
+        .map(|&len| {
+            let mut ids = vec![special::CLS];
+            for _ in 1..len {
+                ids.push(special::COUNT + rng.below(VOCAB - special::COUNT));
+            }
+            ids
+        })
+        .collect()
+}
+
+/// Flattens prefixes into a `batch × seq` id block padded with PAD.
+fn pad_to(prefixes: &[Vec<usize>], seq: usize) -> (Vec<usize>, Vec<usize>) {
+    let mut ids = Vec::with_capacity(prefixes.len() * seq);
+    let mut valid = Vec::with_capacity(prefixes.len());
+    for p in prefixes {
+        ids.extend_from_slice(p);
+        ids.extend(std::iter::repeat_n(special::PAD, seq - p.len()));
+        valid.push(p.len());
+    }
+    (ids, valid)
+}
+
+/// Snapshot of every parameter gradient, bit-exact, keyed by name.
+fn grad_bits(visit: pragformer_tensor::optim::ParamVisitor<'_>) -> Vec<(String, Vec<u32>)> {
+    let mut out = Vec::new();
+    visit(&mut |p| {
+        out.push((p.name.clone(), p.grad.data().iter().map(|g| g.to_bits()).collect()));
+    });
+    out
+}
+
+fn assert_grads_bitwise_equal(
+    a: &[(String, Vec<u32>)],
+    b: &[(String, Vec<u32>)],
+    context: &str,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.len(), b.len());
+    for ((name_a, ga), (name_b, gb)) in a.iter().zip(b) {
+        prop_assert_eq!(name_a, name_b);
+        for (i, (x, y)) in ga.iter().zip(gb).enumerate() {
+            prop_assert_eq!(
+                *x,
+                *y,
+                "{context}: param {name_a}[{i}]: bucketed {} vs max_len {}",
+                f32::from_bits(*x),
+                f32::from_bits(*y)
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Classification: `train_step_seq` at the batch's bucket vs at
+    /// `max_len` — same loss bits, same gradient bits.
+    #[test]
+    fn finetune_bucketed_step_matches_maxlen_bitwise(
+        lens in proptest::collection::vec(2usize..=MAX_LEN, 1..5),
+        data_seed in 0u64..1_000,
+        weight_seed in 0u64..1_000,
+    ) {
+        let cfg = tiny_cfg(0.0);
+        let prefixes = random_prefixes(&lens, data_seed);
+        let labels: Vec<usize> = (0..lens.len()).map(|i| i % 2).collect();
+        let longest = lens.iter().copied().max().unwrap();
+        let seq = bucket_len(longest, MAX_LEN);
+
+        let mut model = PragFormer::new(&cfg, &mut SeededRng::new(weight_seed));
+
+        let (ids_b, valid_b) = pad_to(&prefixes, seq);
+        model.zero_grad();
+        let loss_bucketed = model.train_step_seq(&ids_b, &valid_b, seq, &labels);
+        let grads_bucketed = grad_bits(&mut |f| model.visit_params(f));
+
+        let (ids_f, valid_f) = pad_to(&prefixes, MAX_LEN);
+        model.zero_grad();
+        let loss_fixed = model.train_step_seq(&ids_f, &valid_f, MAX_LEN, &labels);
+        let grads_fixed = grad_bits(&mut |f| model.visit_params(f));
+
+        prop_assert_eq!(
+            loss_bucketed.to_bits(), loss_fixed.to_bits(),
+            "loss differs: bucketed {} (seq {}) vs max_len {}", loss_bucketed, seq, loss_fixed
+        );
+        assert_grads_bitwise_equal(&grads_bucketed, &grads_fixed, "finetune")?;
+    }
+
+    /// MLM: masking + `train_step_seq` at the bucket vs at `max_len`,
+    /// with identical masking-RNG seeds — same loss bits, same masked
+    /// count, same gradient bits.
+    #[test]
+    fn mlm_bucketed_step_matches_maxlen_bitwise(
+        lens in proptest::collection::vec(2usize..=MAX_LEN, 1..5),
+        data_seed in 0u64..1_000,
+        weight_seed in 0u64..1_000,
+        mask_seed in 0u64..1_000,
+    ) {
+        let cfg = tiny_cfg(0.0);
+        let prefixes = random_prefixes(&lens, data_seed);
+        let policy = MaskPolicy::default();
+        let longest = lens.iter().copied().max().unwrap();
+        let seq = bucket_len(longest, MAX_LEN);
+
+        let mut model = MlmModel::new(&cfg, &mut SeededRng::new(weight_seed));
+
+        let (ids_b, valid_b) = pad_to(&prefixes, seq);
+        let (loss_bucketed, masked_bucketed) = model.train_step_seq(
+            &ids_b, &valid_b, seq, &policy, &mut SeededRng::new(mask_seed));
+        let grads_bucketed = grad_bits(&mut |f| model.visit_params(f));
+
+        let (ids_f, valid_f) = pad_to(&prefixes, MAX_LEN);
+        let (loss_fixed, masked_fixed) = model.train_step_seq(
+            &ids_f, &valid_f, MAX_LEN, &policy, &mut SeededRng::new(mask_seed));
+        let grads_fixed = grad_bits(&mut |f| model.visit_params(f));
+
+        prop_assert_eq!(masked_bucketed, masked_fixed, "masked counts differ");
+        prop_assert_eq!(
+            loss_bucketed.to_bits(), loss_fixed.to_bits(),
+            "MLM loss differs: bucketed {} (seq {}) vs max_len {}", loss_bucketed, seq, loss_fixed
+        );
+        assert_grads_bitwise_equal(&grads_bucketed, &grads_fixed, "mlm")?;
+    }
+}
+
+/// The dropout-on twin: per-valid-position mask draws make even the
+/// *stochastic* training path padding-invariant. Two models built from
+/// the same seed (identical weights and dropout streams) must produce
+/// bit-identical losses and gradients when one steps at the bucket and
+/// the other at `max_len`.
+#[test]
+fn dropout_on_step_is_padding_invariant_across_twin_models() {
+    let cfg = tiny_cfg(0.3);
+    let lens = [5usize, 11, 3];
+    let prefixes = random_prefixes(&lens, 42);
+    let labels = vec![0usize, 1, 1];
+    let seq = bucket_len(11, MAX_LEN);
+    assert!(seq < MAX_LEN, "test needs a real bucket gap");
+
+    let mut model_a = PragFormer::new(&cfg, &mut SeededRng::new(7));
+    let mut model_b = PragFormer::new(&cfg, &mut SeededRng::new(7));
+
+    let (ids_b, valid_b) = pad_to(&prefixes, seq);
+    model_a.zero_grad();
+    let loss_a = model_a.train_step_seq(&ids_b, &valid_b, seq, &labels);
+
+    let (ids_f, valid_f) = pad_to(&prefixes, MAX_LEN);
+    model_b.zero_grad();
+    let loss_b = model_b.train_step_seq(&ids_f, &valid_f, MAX_LEN, &labels);
+
+    assert_eq!(
+        loss_a.to_bits(),
+        loss_b.to_bits(),
+        "dropout-on loss differs: bucketed {loss_a} vs max_len {loss_b}"
+    );
+    let mut grads_a = Vec::new();
+    model_a.visit_params(&mut |p| grads_a.push((p.name.clone(), p.grad.clone())));
+    let mut i = 0usize;
+    model_b.visit_params(&mut |p| {
+        let (name, ga) = &grads_a[i];
+        assert_eq!(name, &p.name);
+        for (j, (x, y)) in ga.data().iter().zip(p.grad.data()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "param {name}[{j}]: {x} vs {y}");
+        }
+        i += 1;
+    });
+}
+
+/// And the same for MLM with dropout on.
+#[test]
+fn dropout_on_mlm_step_is_padding_invariant_across_twin_models() {
+    let cfg = tiny_cfg(0.2);
+    let lens = [9usize, 4];
+    let prefixes = random_prefixes(&lens, 17);
+    let policy = MaskPolicy::default();
+    let seq = bucket_len(9, MAX_LEN);
+
+    let mut model_a = MlmModel::new(&cfg, &mut SeededRng::new(3));
+    let mut model_b = MlmModel::new(&cfg, &mut SeededRng::new(3));
+
+    let (ids_b, valid_b) = pad_to(&prefixes, seq);
+    let (loss_a, m_a) =
+        model_a.train_step_seq(&ids_b, &valid_b, seq, &policy, &mut SeededRng::new(5));
+    let (ids_f, valid_f) = pad_to(&prefixes, MAX_LEN);
+    let (loss_b, m_b) =
+        model_b.train_step_seq(&ids_f, &valid_f, MAX_LEN, &policy, &mut SeededRng::new(5));
+
+    assert_eq!(m_a, m_b);
+    assert_eq!(loss_a.to_bits(), loss_b.to_bits(), "{loss_a} vs {loss_b}");
+}

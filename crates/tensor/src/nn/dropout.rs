@@ -25,6 +25,39 @@ impl Dropout {
     pub fn p(&self) -> f32 {
         self.p
     }
+
+    /// Dropout over `[batch*seq, width]` activations that draws mask
+    /// samples **only for valid rows** (row `b*seq + t` is valid iff
+    /// `t < valid[b]`); padded rows pass through unchanged and consume no
+    /// randomness.
+    ///
+    /// This is the determinism contract length-bucketed training leans
+    /// on: the RNG stream — and therefore every valid row's mask —
+    /// depends only on the batch's valid lengths, never on the padded
+    /// length `seq`, so a batch padded to its length bucket trains
+    /// bitwise-identically to the same batch padded to `max_len`.
+    pub fn forward_rows(&mut self, x: &Tensor, train: bool, seq: usize, valid: &[usize]) -> Tensor {
+        if !train || self.p == 0.0 {
+            self.mask = None;
+            return x.clone();
+        }
+        let width = x.cols();
+        assert_eq!(x.rows(), seq * valid.len(), "rows must be batch*seq");
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mut mask = Tensor::full(x.shape(), 1.0);
+        for (b, &vb) in valid.iter().enumerate() {
+            for t in 0..vb.min(seq) {
+                let row = &mut mask.row_mut(b * seq + t)[..width];
+                for m in row {
+                    *m = if self.rng.bernoulli(keep) { scale } else { 0.0 };
+                }
+            }
+        }
+        let y = x.mul(&mask);
+        self.mask = Some(mask);
+        y
+    }
 }
 
 impl Layer for Dropout {
@@ -91,6 +124,56 @@ mod tests {
         for (yv, dv) in y.data().iter().zip(dx.data()) {
             assert_eq!(*yv == 0.0, *dv == 0.0);
         }
+    }
+
+    #[test]
+    fn forward_rows_mask_stream_is_padding_invariant() {
+        // Same seed, same valid lengths, different padded lengths: the
+        // masks on valid rows must be bit-identical and padded rows must
+        // be untouched.
+        let make = || {
+            let mut rng = SeededRng::new(7);
+            Dropout::new(0.4, &mut rng)
+        };
+        let (batch, width) = (3usize, 5usize);
+        let valid = [4usize, 1, 3];
+        let run = |seq: usize| {
+            let mut d = make();
+            let x = Tensor::full(&[batch * seq, width], 1.0);
+            d.forward_rows(&x, true, seq, &valid)
+        };
+        let short = run(4);
+        let long = run(9);
+        for (b, &vb) in valid.iter().enumerate() {
+            for t in 0..vb {
+                assert_eq!(short.row(b * 4 + t), long.row(b * 9 + t), "row ({b},{t})");
+            }
+            for t in vb..9 {
+                assert_eq!(long.row(b * 9 + t), &[1.0; 5][..], "padded row ({b},{t}) touched");
+            }
+        }
+        // And the next draw after the batch is also in sync.
+        let mut da = make();
+        let mut db = make();
+        let xa = Tensor::full(&[3 * 4, width], 1.0);
+        let xb = Tensor::full(&[3 * 9, width], 1.0);
+        let _ = da.forward_rows(&xa, true, 4, &valid);
+        let _ = db.forward_rows(&xb, true, 9, &valid);
+        assert_eq!(da.rng.uniform(), db.rng.uniform(), "RNG streams diverged");
+    }
+
+    #[test]
+    fn forward_rows_backward_uses_mask() {
+        let mut rng = SeededRng::new(11);
+        let mut d = Dropout::new(0.5, &mut rng);
+        let x = Tensor::full(&[4, 3], 1.0);
+        let y = d.forward_rows(&x, true, 2, &[2, 1]);
+        let dx = d.backward(&Tensor::full(&[4, 3], 1.0));
+        for (yv, dv) in y.data().iter().zip(dx.data()) {
+            assert_eq!(*yv, *dv);
+        }
+        // Padded row (sequence 1, position 1) passes through.
+        assert_eq!(y.row(3), &[1.0, 1.0, 1.0][..]);
     }
 
     #[test]

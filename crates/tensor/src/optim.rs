@@ -174,6 +174,28 @@ pub fn clip_global_norm(params: &mut [&mut Param], max_norm: f32) -> f32 {
     norm
 }
 
+/// A model's parameter traversal: invokes the given callback on every
+/// trainable [`Param`] (the shape of `visit_params` methods).
+pub type ParamVisitor<'a> = &'a mut dyn FnMut(&mut dyn FnMut(&mut Param));
+
+/// [`clip_global_norm`] for models that expose their parameters only
+/// through a `visit_params(&mut dyn FnMut(&mut Param))` traversal (two
+/// passes: measure, then scale). Both training objectives — fine-tuning
+/// and MLM pre-training — share this through the model crate's
+/// `TrainLoop`. Returns the pre-clip norm.
+pub fn clip_global_norm_visit(visit: ParamVisitor<'_>, max_norm: f32) -> f32 {
+    let mut sq = 0.0f32;
+    visit(&mut |p: &mut Param| {
+        sq += p.grad.data().iter().map(|g| g * g).sum::<f32>();
+    });
+    let norm = sq.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        visit(&mut |p: &mut Param| p.grad.map_in_place(|g| g * scale));
+    }
+    norm
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,6 +278,35 @@ mod tests {
         }
         let clipped = ((a.grad.data()[0]).powi(2) + (a.grad.data()[1]).powi(2)).sqrt();
         assert!((clipped - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_visit_matches_slice_form() {
+        let mut a = Param::new("a", Tensor::zeros(&[2]));
+        let mut b = Param::new("b", Tensor::zeros(&[1]));
+        a.grad = Tensor::from_vec(&[2], vec![3.0, 4.0]);
+        b.grad = Tensor::from_vec(&[1], vec![12.0]); // global norm 13
+        let norm = clip_global_norm_visit(
+            &mut |f| {
+                f(&mut a);
+                f(&mut b);
+            },
+            1.0,
+        );
+        assert!((norm - 13.0).abs() < 1e-5);
+        let clipped =
+            (a.grad.data().iter().chain(b.grad.data()).map(|g| g * g)).sum::<f32>().sqrt();
+        assert!((clipped - 1.0).abs() < 1e-5);
+        // Below the threshold: untouched.
+        let before = a.grad.data().to_vec();
+        let _ = clip_global_norm_visit(
+            &mut |f| {
+                f(&mut a);
+                f(&mut b);
+            },
+            10.0,
+        );
+        assert_eq!(a.grad.data(), &before[..]);
     }
 
     #[test]

@@ -209,7 +209,13 @@ fn fmt_ns(ns: f64) -> String {
 
 /// Resolves `BENCH_<group>.json` in the workspace root (two levels above
 /// the bench crate's manifest), falling back to the current directory.
+/// Returns `None` — suppressing the JSON record — when `BENCH_NO_JSON`
+/// is set, so smoke/CI runs at shrunken sizes can't append rows that
+/// look like real measurements into the tracked twins.
 fn results_path(group: &str) -> Option<PathBuf> {
+    if std::env::var("BENCH_NO_JSON").is_ok_and(|v| v != "0") {
+        return None;
+    }
     let file = format!("BENCH_{group}.json");
     if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
         let mut p = PathBuf::from(manifest);
