@@ -17,10 +17,10 @@
 //! can keep the JSON twin fresh without paying the full measurement.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use pragformer_model::batching::{gather, gather_padded, plan_epoch};
+use pragformer_model::batching::{gather, gather_padded, plan_epoch, plan_epoch_grouped};
 use pragformer_model::mlm::{MaskPolicy, MlmModel};
 use pragformer_model::trainer::{synthetic_examples, EncodedExample};
-use pragformer_model::{ModelConfig, PragFormer};
+use pragformer_model::{ModelConfig, MultiTaskExample, MultiTaskPragFormer, PragFormer, Task};
 use pragformer_tensor::init::SeededRng;
 
 use pragformer_bench::bench_smoke as smoke;
@@ -90,6 +90,70 @@ fn bench_train_throughput(c: &mut Criterion) {
                 model.zero_grad();
                 total +=
                     model.train_step_seq(&batch.ids, &batch.valid, batch.seq, &labels_of(&batch));
+            }
+            total
+        })
+    });
+
+    // Bucketed shuffling (sort within shuffled window): same corpus,
+    // fewer remainder batches than the strict per-bucket plan — the gap
+    // to `bucketed` is the satellite's win, not a numerics change.
+    let windowed_plan =
+        plan_epoch_grouped(&lens, None, batch_size, cfg.max_len, 4, &mut SeededRng::new(9));
+    group.bench_with_input(BenchmarkId::new("finetune_epoch", "windowed"), &(), |b, ()| {
+        b.iter(|| {
+            let mut total = 0.0f32;
+            for idxs in &windowed_plan {
+                let batch = gather(&examples, idxs, cfg.max_len);
+                model.zero_grad();
+                total +=
+                    model.train_step_seq(&batch.ids, &batch.valid, batch.seq, &labels_of(&batch));
+            }
+            total
+        })
+    });
+
+    // One multi-task epoch over the same corpus tagged round-robin with
+    // the three tasks: per step the trunk does the same work as a
+    // single-task epoch (the shared trunk's win is at *inference*), so
+    // this arm tracks the multi-task engine's overhead — task-grouped
+    // batch formation plus per-batch head dispatch.
+    let mt_examples: Vec<MultiTaskExample> = examples
+        .iter()
+        .enumerate()
+        .map(|(i, e)| MultiTaskExample {
+            ids: e.ids.clone(),
+            label: e.label,
+            task: Task::ALL[i % 3],
+        })
+        .collect();
+    let mt_groups: Vec<usize> = mt_examples.iter().map(|e| e.task.index()).collect();
+    let mt_plan = plan_epoch_grouped(
+        &lens,
+        Some(&mt_groups),
+        batch_size,
+        cfg.max_len,
+        0,
+        &mut SeededRng::new(9),
+    );
+    let mut mt_model = MultiTaskPragFormer::new(&cfg, &mut rng);
+    group.bench_with_input(BenchmarkId::new("multitask_epoch", "shared_trunk"), &(), |b, ()| {
+        b.iter(|| {
+            let mut total = 0.0f32;
+            for idxs in &mt_plan {
+                let batch = gather(&mt_examples, idxs, cfg.max_len);
+                let task = mt_examples[batch.indices[0]].task;
+                let labels: Vec<usize> =
+                    batch.indices.iter().map(|&i| mt_examples[i].label as usize).collect();
+                mt_model.zero_grad();
+                total += mt_model.train_step_seq(
+                    task,
+                    &batch.ids,
+                    &batch.valid,
+                    batch.seq,
+                    &labels,
+                    1.0,
+                );
             }
             total
         })

@@ -37,8 +37,9 @@ use pragformer_baselines::{analyze_snippet, ComparResult, Strictness};
 use pragformer_corpus::{generate, ClauseKind, Database, Dataset};
 use pragformer_cparse::omp::{OmpClause, OmpDirective};
 use pragformer_cparse::{parse_snippet, ParseError};
+use pragformer_model::multitask::{self, MultiTaskConfig, MultiTaskExample, Task};
 use pragformer_model::trainer::Trainer;
-use pragformer_model::PragFormer;
+use pragformer_model::{MultiTaskPragFormer, PragFormer};
 use pragformer_tensor::init::SeededRng;
 use pragformer_tensor::parallel::par_map_indexed;
 use pragformer_tokenize::{tokens_for, Representation, Vocab};
@@ -116,70 +117,198 @@ impl PreparedSnippet {
     }
 }
 
+/// Which model architecture backs an [`Advisor`].
+///
+/// Both backends share the tokenizer, bucketing, dedup, ComPar engine,
+/// wire formats and [`PreparedSnippet::cache_key`] semantics; they differ
+/// only in how the three head probabilities are produced.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AdvisorBackend {
+    /// The paper-faithful ensemble: three complete [`PragFormer`] models,
+    /// three full transformer forwards per snippet.
+    PerHead,
+    /// One shared [`MultiTaskPragFormer`] trunk with three classifier
+    /// heads: **one** transformer forward per snippet plus three cheap
+    /// head projections (~3× less inference compute and weights). The
+    /// default.
+    #[default]
+    SharedTrunk,
+}
+
+impl AdvisorBackend {
+    /// Parses `per-head` / `shared-trunk` (CLI flags).
+    pub fn parse(s: &str) -> Option<AdvisorBackend> {
+        match s {
+            "per-head" => Some(AdvisorBackend::PerHead),
+            "shared-trunk" => Some(AdvisorBackend::SharedTrunk),
+            _ => None,
+        }
+    }
+}
+
+/// The models behind an advisor — one variant per [`AdvisorBackend`].
+/// Boxed: a model is a page-plus of inline layer state, and the enum
+/// lives inside every `Advisor` moved across threads by the serve layer.
+enum Models {
+    PerHead { directive: Box<PragFormer>, private: Box<PragFormer>, reduction: Box<PragFormer> },
+    SharedTrunk(Box<MultiTaskPragFormer>),
+}
+
 /// A trained advisor.
 pub struct Advisor {
     vocab: Vocab,
-    directive_model: PragFormer,
-    private_model: PragFormer,
-    reduction_model: PragFormer,
+    models: Models,
     max_len: usize,
 }
 
+/// The exact `(directive, private, reduction)` datasets
+/// [`Advisor::train_backend`] fits on — one constructor shared with the
+/// backend-parity experiment, so its held-out test splits can never
+/// drift out of sync with what the models trained on.
+pub(crate) fn training_datasets(
+    db: &Database,
+    seed: u64,
+) -> (Dataset<'_>, Dataset<'_>, Dataset<'_>) {
+    (
+        Dataset::directive(db, seed),
+        Dataset::clause(db, ClauseKind::Private, seed ^ 0xAAAA).balanced(seed ^ 0xAAAA ^ 1),
+        Dataset::clause(db, ClauseKind::Reduction, seed ^ 0xBBBB).balanced(seed ^ 0xBBBB ^ 1),
+    )
+}
+
 impl Advisor {
-    /// Trains all three classifiers on a database.
+    /// Trains the default ([`AdvisorBackend::SharedTrunk`]) advisor on a
+    /// database.
     pub fn train(db: &Database, scale: Scale, seed: u64) -> Advisor {
+        Advisor::train_backend(db, scale, seed, AdvisorBackend::default())
+    }
+
+    /// Trains an advisor with an explicit backend.
+    ///
+    /// Both backends train on identical datasets and a shared vocabulary
+    /// (built from the directive task's training split): the directive
+    /// task over the full corpus plus the balanced `private`/`reduction`
+    /// clause subsets. `PerHead` fits three separate models sequentially;
+    /// `SharedTrunk` interleaves the three datasets through the
+    /// multi-task engine ([`pragformer_model::multitask::fit`]) with a
+    /// seeded deterministic task schedule.
+    pub fn train_backend(
+        db: &Database,
+        scale: Scale,
+        seed: u64,
+        backend: AdvisorBackend,
+    ) -> Advisor {
         let (min_freq, max_vocab) = scale.vocab_limits();
         let max_len = scale.model(8).max_len;
 
-        let directive_ds = Dataset::directive(db, seed);
+        let (directive_ds, private_ds, reduction_ds) = training_datasets(db, seed);
         let enc =
             encode_dataset(db, &directive_ds, Representation::Text, max_len, min_freq, max_vocab);
         let mut rng = SeededRng::new(seed);
         let model_cfg = scale.model(enc.vocab.len());
-        let trainer = Trainer::new(scale.train(seed));
-        let mut directive_model = PragFormer::new(&model_cfg, &mut rng);
-        trainer.fit(&mut directive_model, &enc.train, &enc.valid);
 
         // Tokenize + encode every record exactly once with the shared
-        // vocabulary; the clause heads (and their balanced subsets, which
-        // overlap heavily) index into this instead of re-running the
-        // tokenizer per head × example. Lazy per slot: records no clause
-        // dataset touches are never encoded.
+        // vocabulary; the clause datasets (and their balanced subsets,
+        // which overlap heavily) index into this instead of re-running
+        // the tokenizer per head × example. Lazy per slot: records no
+        // clause dataset touches are never encoded.
         let mut record_enc: Vec<Option<(Vec<usize>, usize)>> = vec![None; db.records().len()];
-        let mut train_clause = |kind: ClauseKind, salt: u64| -> PragFormer {
-            let ds = Dataset::clause(db, kind, seed ^ salt).balanced(seed ^ salt ^ 1);
-            let mut model = PragFormer::new(&model_cfg, &mut rng);
-            let encode =
-                |examples: &[pragformer_corpus::Example],
-                 record_enc: &mut Vec<Option<(Vec<usize>, usize)>>| {
-                    examples
-                        .iter()
-                        .map(|ex| {
-                            let (ids, valid) = record_enc[ex.record]
-                                .get_or_insert_with(|| {
-                                    let toks = tokens_for(
-                                        &db.records()[ex.record].stmts,
-                                        Representation::Text,
-                                    );
-                                    enc.vocab.encode(&toks, max_len)
-                                })
-                                .clone();
-                            pragformer_model::trainer::EncodedExample::new(ids, valid, ex.label)
-                        })
-                        .collect::<Vec<_>>()
-                };
-            let train = encode(&ds.split.train, &mut record_enc);
-            let valid = encode(&ds.split.valid, &mut record_enc);
-            if train.is_empty() {
-                return model; // degenerate corpus (tests); untrained model
-            }
-            trainer.fit(&mut model, &train, &valid);
-            model
-        };
-        let private_model = train_clause(ClauseKind::Private, 0xAAAA);
-        let reduction_model = train_clause(ClauseKind::Reduction, 0xBBBB);
+        let mut encode_examples =
+            |examples: &[pragformer_corpus::Example]| -> Vec<(Vec<usize>, usize, bool)> {
+                examples
+                    .iter()
+                    .map(|ex| {
+                        let (ids, valid) = record_enc[ex.record]
+                            .get_or_insert_with(|| {
+                                let toks = tokens_for(
+                                    &db.records()[ex.record].stmts,
+                                    Representation::Text,
+                                );
+                                enc.vocab.encode(&toks, max_len)
+                            })
+                            .clone();
+                        (ids, valid, ex.label)
+                    })
+                    .collect()
+            };
+        let private_train = encode_examples(&private_ds.split.train);
+        let private_valid = encode_examples(&private_ds.split.valid);
+        let reduction_train = encode_examples(&reduction_ds.split.train);
+        let reduction_valid = encode_examples(&reduction_ds.split.valid);
 
-        Advisor { vocab: enc.vocab, directive_model, private_model, reduction_model, max_len }
+        let models = match backend {
+            AdvisorBackend::PerHead => {
+                let trainer = Trainer::new(scale.train(seed));
+                let mut directive = PragFormer::new(&model_cfg, &mut rng);
+                trainer.fit(&mut directive, &enc.train, &enc.valid);
+                let mut train_clause = |train: &[(Vec<usize>, usize, bool)],
+                                        valid: &[(Vec<usize>, usize, bool)]|
+                 -> PragFormer {
+                    let mut model = PragFormer::new(&model_cfg, &mut rng);
+                    let to_examples = |set: &[(Vec<usize>, usize, bool)]| {
+                        set.iter()
+                            .map(|(ids, valid, label)| {
+                                pragformer_model::trainer::EncodedExample::new(
+                                    ids.clone(),
+                                    *valid,
+                                    *label,
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                    };
+                    let train = to_examples(train);
+                    if train.is_empty() {
+                        return model; // degenerate corpus (tests); untrained
+                    }
+                    trainer.fit(&mut model, &train, &to_examples(valid));
+                    model
+                };
+                let private = train_clause(&private_train, &private_valid);
+                let reduction = train_clause(&reduction_train, &reduction_valid);
+                Models::PerHead {
+                    directive: Box::new(directive),
+                    private: Box::new(private),
+                    reduction: Box::new(reduction),
+                }
+            }
+            AdvisorBackend::SharedTrunk => {
+                let mut model = MultiTaskPragFormer::new(&model_cfg, &mut rng);
+                let mut train: Vec<MultiTaskExample> = Vec::new();
+                let mut valid: Vec<MultiTaskExample> = Vec::new();
+                for ex in &enc.train {
+                    train.push(MultiTaskExample {
+                        ids: ex.ids.clone(),
+                        label: ex.label,
+                        task: Task::Directive,
+                    });
+                }
+                for ex in &enc.valid {
+                    valid.push(MultiTaskExample {
+                        ids: ex.ids.clone(),
+                        label: ex.label,
+                        task: Task::Directive,
+                    });
+                }
+                let push = |set: &mut Vec<MultiTaskExample>,
+                            src: &[(Vec<usize>, usize, bool)],
+                            task: Task| {
+                    for (ids, valid, label) in src {
+                        set.push(MultiTaskExample::new(ids.clone(), *valid, *label, task));
+                    }
+                };
+                push(&mut train, &private_train, Task::Private);
+                push(&mut valid, &private_valid, Task::Private);
+                push(&mut train, &reduction_train, Task::Reduction);
+                push(&mut valid, &reduction_valid, Task::Reduction);
+                if !train.is_empty() {
+                    let cfg = MultiTaskConfig { train: scale.train(seed), weights: [1.0; 3] };
+                    multitask::fit(&mut model, &cfg, &train, &valid);
+                }
+                Models::SharedTrunk(Box::new(model))
+            }
+        };
+
+        Advisor { vocab: enc.vocab, models, max_len }
     }
 
     /// Convenience: generate a corpus and train, in one call.
@@ -188,7 +317,16 @@ impl Advisor {
         Advisor::train(&db, scale, seed)
     }
 
-    /// Builds an advisor with freshly initialized, **untrained** weights.
+    /// The backend this advisor runs on.
+    pub fn backend(&self) -> AdvisorBackend {
+        match &self.models {
+            Models::PerHead { .. } => AdvisorBackend::PerHead,
+            Models::SharedTrunk(_) => AdvisorBackend::SharedTrunk,
+        }
+    }
+
+    /// Builds an advisor with freshly initialized, **untrained** weights
+    /// on the default backend.
     ///
     /// Inference latency does not depend on weight values, so benchmarks
     /// (`pragformer-bench`'s `inference_latency`) use this to measure the
@@ -196,6 +334,12 @@ impl Advisor {
     /// meaningless; everything else (tokenizer, bucketing, batching,
     /// ComPar agreement) behaves exactly like a trained advisor.
     pub fn untrained(scale: Scale, seed: u64) -> Advisor {
+        Advisor::untrained_backend(scale, seed, AdvisorBackend::default())
+    }
+
+    /// [`Advisor::untrained`] with an explicit backend (benchmarks use
+    /// this to compare `PerHead` and `SharedTrunk` inference cost).
+    pub fn untrained_backend(scale: Scale, seed: u64, backend: AdvisorBackend) -> Advisor {
         let db = generate(&scale.generator(seed));
         let (min_freq, max_vocab) = scale.vocab_limits();
         let max_len = scale.model(8).max_len;
@@ -204,13 +348,17 @@ impl Advisor {
         let vocab = Vocab::build(tokens.iter(), min_freq, max_vocab);
         let cfg = scale.model(vocab.len());
         let mut rng = SeededRng::new(seed);
-        Advisor {
-            directive_model: PragFormer::new(&cfg, &mut rng),
-            private_model: PragFormer::new(&cfg, &mut rng),
-            reduction_model: PragFormer::new(&cfg, &mut rng),
-            vocab,
-            max_len,
-        }
+        let models = match backend {
+            AdvisorBackend::PerHead => Models::PerHead {
+                directive: Box::new(PragFormer::new(&cfg, &mut rng)),
+                private: Box::new(PragFormer::new(&cfg, &mut rng)),
+                reduction: Box::new(PragFormer::new(&cfg, &mut rng)),
+            },
+            AdvisorBackend::SharedTrunk => {
+                Models::SharedTrunk(Box::new(MultiTaskPragFormer::new(&cfg, &mut rng)))
+            }
+        };
+        Advisor { vocab, models, max_len }
     }
 
     /// Classifies a C snippet. Errors if the snippet does not parse.
@@ -304,12 +452,15 @@ impl Advisor {
     ///
     /// Snippets are bucketed by padded length (smallest power of two ≥
     /// the token count, capped at `max_len`) and identical encoded
-    /// sequences within a bucket are classified once; each bucket then
-    /// runs as one batched forward per head. Every returned probability
-    /// is **bitwise identical** to a batch-of-one forward of the same
-    /// snippet — the kernel row-determinism contract of
-    /// `pragformer_tensor::ops` — which is what lets a serving layer
-    /// cache these values across requests.
+    /// sequences within a bucket are classified once. Per bucket, the
+    /// [`AdvisorBackend::SharedTrunk`] backend then runs **one** batched
+    /// trunk forward followed by the three head projections; the
+    /// paper-faithful [`AdvisorBackend::PerHead`] backend runs one full
+    /// batched forward per head. Every returned probability is **bitwise
+    /// identical** to a batch-of-one forward of the same snippet — the
+    /// kernel row-determinism contract of `pragformer_tensor::ops` —
+    /// which is what lets a serving layer cache these values across
+    /// requests, under either backend.
     pub fn head_probs_batch(&mut self, snippets: &[&PreparedSnippet]) -> Vec<HeadProbs> {
         let max_len = self.max_len;
         // Bucket by padded length.
@@ -342,13 +493,31 @@ impl Advisor {
                 });
                 row_of.push(row);
             }
-            let dir = self.directive_model.predict_proba_batch(&ids, &valid, seq);
-            let priv_ = self.private_model.predict_proba_batch(&ids, &valid, seq);
-            let red = self.reduction_model.predict_proba_batch(&ids, &valid, seq);
+            let probs: Vec<HeadProbs> = match &mut self.models {
+                Models::PerHead { directive, private, reduction } => {
+                    let dir = directive.predict_proba_batch(&ids, &valid, seq);
+                    let priv_ = private.predict_proba_batch(&ids, &valid, seq);
+                    let red = reduction.predict_proba_batch(&ids, &valid, seq);
+                    (0..valid.len())
+                        .map(|r| HeadProbs {
+                            directive: dir[r],
+                            private: priv_[r],
+                            reduction: red[r],
+                        })
+                        .collect()
+                }
+                Models::SharedTrunk(model) => model
+                    .predict_probs_batch(&ids, &valid, seq)
+                    .into_iter()
+                    .map(|[directive, private, reduction]| HeadProbs {
+                        directive,
+                        private,
+                        reduction,
+                    })
+                    .collect(),
+            };
             for (slot, &u) in members.iter().enumerate() {
-                let row = row_of[slot];
-                out[u] =
-                    HeadProbs { directive: dir[row], private: priv_[row], reduction: red[row] };
+                out[u] = probs[row_of[slot]];
             }
         }
         out
@@ -437,17 +606,18 @@ impl Advisor {
         self.vocab.len()
     }
 
-    /// Mutable access to the directive model (explainability harnesses
-    /// re-use it for LIME queries).
-    pub fn directive_model_mut(&mut self) -> &mut PragFormer {
-        &mut self.directive_model
-    }
-
     /// Probability that a *token sequence* needs a directive — the
-    /// black-box interface LIME perturbs (Figure 8).
+    /// black-box interface LIME perturbs (Figure 8). Works on either
+    /// backend.
     pub fn directive_probability_of_tokens(&mut self, tokens: &[String]) -> f32 {
         let (ids, valid) = self.vocab.encode(tokens, self.max_len);
-        self.directive_model.predict_proba(&ids, &[valid])[0]
+        match &mut self.models {
+            Models::PerHead { directive, .. } => directive.predict_proba(&ids, &[valid])[0],
+            Models::SharedTrunk(model) => {
+                let max_len = self.max_len;
+                model.predict_proba_task(Task::Directive, &ids, &[valid], max_len)[0]
+            }
+        }
     }
 }
 
@@ -578,6 +748,76 @@ mod tests {
                 prev = b;
             }
         }
+    }
+
+    #[test]
+    fn backends_produce_identically_shaped_advice_on_parse_errors() {
+        // Weight values are irrelevant to error handling and advice
+        // shape, so untrained advisors suffice here.
+        let mut per_head = Advisor::untrained_backend(Scale::Tiny, 3, AdvisorBackend::PerHead);
+        let mut shared = Advisor::untrained_backend(Scale::Tiny, 3, AdvisorBackend::SharedTrunk);
+        assert_eq!(per_head.backend(), AdvisorBackend::PerHead);
+        assert_eq!(shared.backend(), AdvisorBackend::SharedTrunk);
+        let snippets: Vec<&str> = vec![
+            "for (i = 0; i < ; i++ {",                     // parse error
+            "for (i = 0; i < n; i++) a[i] = b[i] + c[i];", // fine
+            "while (",                                     // parse error
+        ];
+        let a = per_head.advise_batch(&snippets);
+        let b = shared.advise_batch(&snippets);
+        assert_eq!(a.len(), b.len());
+        for (i, (ra, rb)) in a.iter().zip(&b).enumerate() {
+            match (ra, rb) {
+                (Err(ea), Err(eb)) => {
+                    assert_eq!(ea.to_string(), eb.to_string(), "snippet {i}");
+                }
+                (Ok(aa), Ok(ab)) => {
+                    // Same populated fields (values differ: different
+                    // weights), same ComPar verdict (model-independent).
+                    assert_eq!(aa.compar_agrees, ab.compar_agrees, "snippet {i}");
+                    assert!((0.0..=1.0).contains(&aa.confidence));
+                    assert!((0.0..=1.0).contains(&ab.confidence));
+                }
+                other => panic!("snippet {i}: backends disagree on ok/err: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn shared_trunk_batch_matches_sequential_bitwise() {
+        // The PR 1 bitwise contract must survive the shared-trunk path:
+        // one trunk forward over a coalesced batch reproduces per-snippet
+        // calls bit for bit.
+        let mut advisor = Advisor::untrained_backend(Scale::Tiny, 5, AdvisorBackend::SharedTrunk);
+        let snippets: Vec<&str> = vec![
+            "for (i = 0; i < n; i++) a[i] = b[i] + c[i];",
+            "s = 0.0;\nfor (i = 0; i < n; i++) s += a[i] * b[i];",
+            "for (i = 0; i < n; i++) printf(\"%d\\n\", a[i]);",
+        ];
+        let batched = advisor.advise_batch(&snippets);
+        for (i, src) in snippets.iter().enumerate() {
+            let single = advisor.advise(src).unwrap();
+            let b = batched[i].as_ref().unwrap();
+            assert_eq!(b.confidence.to_bits(), single.confidence.to_bits(), "snippet {i}");
+            assert_eq!(
+                b.private_probability.to_bits(),
+                single.private_probability.to_bits(),
+                "snippet {i}"
+            );
+            assert_eq!(
+                b.reduction_probability.to_bits(),
+                single.reduction_probability.to_bits(),
+                "snippet {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn backend_parse_roundtrip() {
+        assert_eq!(AdvisorBackend::parse("per-head"), Some(AdvisorBackend::PerHead));
+        assert_eq!(AdvisorBackend::parse("shared-trunk"), Some(AdvisorBackend::SharedTrunk));
+        assert_eq!(AdvisorBackend::parse("both"), None);
+        assert_eq!(AdvisorBackend::default(), AdvisorBackend::SharedTrunk);
     }
 
     #[test]

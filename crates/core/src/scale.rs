@@ -58,6 +58,7 @@ impl Scale {
                 clip: 1.0,
                 seed,
                 warmup_frac: 0.1,
+                shuffle_window: 0,
             },
             Scale::Small => TrainConfig {
                 epochs: 8,
@@ -66,6 +67,7 @@ impl Scale {
                 clip: 1.0,
                 seed,
                 warmup_frac: 0.1,
+                shuffle_window: 0,
             },
             Scale::Paper => TrainConfig {
                 epochs: 10,
@@ -74,6 +76,7 @@ impl Scale {
                 clip: 1.0,
                 seed,
                 warmup_frac: 0.1,
+                shuffle_window: 0,
             },
         }
     }
@@ -88,7 +91,15 @@ impl Scale {
             Scale::Small => 3,
             Scale::Paper => 4,
         };
-        TrainConfig { epochs, batch_size: 32, lr: 8e-4, clip: 1.0, seed, warmup_frac: 0.1 }
+        TrainConfig {
+            epochs,
+            batch_size: 32,
+            lr: 8e-4,
+            clip: 1.0,
+            seed,
+            warmup_frac: 0.1,
+            shuffle_window: 0,
+        }
     }
 
     /// Vocabulary limits `(min_freq, max_size)`.

@@ -50,6 +50,22 @@ impl Confusion {
         self.tp + self.fp + self.fn_ + self.tn
     }
 
+    /// The confusion matrix with the positive/negative roles swapped —
+    /// the negative class scored as if it were the positive one.
+    pub fn swapped(&self) -> Confusion {
+        Confusion { tp: self.tn, fp: self.fn_, fn_: self.fp, tn: self.tp }
+    }
+
+    /// Macro-averaged F1: the unweighted mean of the positive-class F1
+    /// and the negative-class F1 ([`Confusion::swapped`]).
+    ///
+    /// The backend-parity acceptance metric: unlike plain (positive) F1
+    /// it cannot be gamed by always predicting the majority class, which
+    /// matters on the imbalanced clause tasks.
+    pub fn macro_f1(&self) -> f64 {
+        (self.metrics().f1 + self.swapped().metrics().f1) / 2.0
+    }
+
     /// Derives the four headline metrics.
     pub fn metrics(&self) -> BinaryMetrics {
         let precision = ratio(self.tp, self.tp + self.fp);
@@ -142,5 +158,19 @@ mod tests {
         let m = confusion(&[], &[]).metrics();
         assert_eq!(m.accuracy, 0.0);
         assert_eq!(m.f1, 0.0);
+    }
+
+    #[test]
+    fn macro_f1_averages_both_classes() {
+        // A perfect classifier: both class F1s are 1.
+        let c = confusion(&[true, false], &[true, false]);
+        assert_eq!(c.macro_f1(), 1.0);
+        // Always-positive on a 50/50 split: positive F1 = 2/3, negative
+        // F1 = 0 → macro 1/3, where plain F1 reports 2/3.
+        let c = confusion(&[true; 4], &[true, true, false, false]);
+        assert!((c.macro_f1() - 1.0 / 3.0).abs() < 1e-12, "{}", c.macro_f1());
+        assert!((c.metrics().f1 - 2.0 / 3.0).abs() < 1e-12);
+        // Swapping is an involution.
+        assert_eq!(c.swapped().swapped(), c);
     }
 }

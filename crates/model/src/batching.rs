@@ -46,7 +46,7 @@ use pragformer_tensor::serialize::StateDict;
 use pragformer_tokenize::vocab::special;
 use std::collections::BTreeMap;
 
-/// Training hyper-parameters, shared by both objectives.
+/// Training hyper-parameters, shared by all objectives.
 #[derive(Clone, Debug)]
 pub struct TrainConfig {
     /// Passes over the training set (paper: ~10, early-selected at 7-9).
@@ -61,11 +61,31 @@ pub struct TrainConfig {
     pub seed: u64,
     /// Linear warmup fraction of total steps (0 = constant LR).
     pub warmup_frac: f32,
+    /// Bucketed-shuffling window, measured in batches; 0 keeps strict
+    /// per-bucket batches (the PR 3 policy).
+    ///
+    /// When `k > 0`, each epoch shuffles the examples, splits them into
+    /// consecutive windows of `k × batch_size`, sorts each window by
+    /// length (fairseq's "sort within shuffled window"), and takes
+    /// consecutive `batch_size` chunks — so a batch's padded bucket is
+    /// still tight, but remainder batches shrink from one per length
+    /// bucket to at most one per window tail. Batches never cross
+    /// objective groups (see [`Objective::group_of`]) under either
+    /// policy.
+    pub shuffle_window: usize,
 }
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { epochs: 10, batch_size: 32, lr: 3e-4, clip: 1.0, seed: 1, warmup_frac: 0.1 }
+        Self {
+            epochs: 10,
+            batch_size: 32,
+            lr: 3e-4,
+            clip: 1.0,
+            seed: 1,
+            warmup_frac: 0.1,
+            shuffle_window: 0,
+        }
     }
 }
 
@@ -150,17 +170,65 @@ pub fn plan_epoch(
     max_len: usize,
     rng: &mut SeededRng,
 ) -> Vec<Vec<usize>> {
+    plan_epoch_grouped(lengths, None, batch_size, max_len, 0, rng)
+}
+
+/// [`plan_epoch`] generalized over objective groups and the bucketed
+/// shuffling window — the planner the engine actually runs.
+///
+/// * `groups` — optional per-example group key; **batches never mix
+///   groups** (the multi-task engine sets one group per task so every
+///   batch trains exactly one head).
+/// * `window` — bucketed-shuffling window in batches
+///   ([`TrainConfig::shuffle_window`]). `0` forms batches strictly within
+///   `(group, length-bucket)` cells; `k > 0` sorts each shuffled window
+///   of `k × batch_size` examples by length and chunks it consecutively,
+///   leaving at most one remainder batch per group instead of one per
+///   `(group, bucket)` cell.
+///
+/// With `groups = None` and `window = 0` this is bit-for-bit the PR 3
+/// plan: the same shuffles drawn from `rng` in the same order produce the
+/// same batches.
+pub fn plan_epoch_grouped(
+    lengths: &[usize],
+    groups: Option<&[usize]>,
+    batch_size: usize,
+    max_len: usize,
+    window: usize,
+    rng: &mut SeededRng,
+) -> Vec<Vec<usize>> {
     let batch_size = batch_size.max(1);
+    let group_of = |i: usize| groups.map_or(0, |g| g[i]);
     let mut order: Vec<usize> = (0..lengths.len()).collect();
     rng.shuffle(&mut order);
-    let mut buckets: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-    for &i in &order {
-        buckets.entry(bucket_len(lengths[i], max_len)).or_default().push(i);
-    }
     let mut batches: Vec<Vec<usize>> = Vec::new();
-    for members in buckets.values() {
-        for chunk in members.chunks(batch_size) {
-            batches.push(chunk.to_vec());
+    if window == 0 {
+        // Strict policy: batches within one (group, bucket) cell.
+        let mut cells: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
+        for &i in &order {
+            cells.entry((group_of(i), bucket_len(lengths[i], max_len))).or_default().push(i);
+        }
+        for members in cells.values() {
+            for chunk in members.chunks(batch_size) {
+                batches.push(chunk.to_vec());
+            }
+        }
+    } else {
+        // Bucketed shuffling: sort within each shuffled window, then take
+        // consecutive chunks. The sort is stable, so ties keep their
+        // shuffled order and the plan stays a pure function of the seed.
+        let mut per_group: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for &i in &order {
+            per_group.entry(group_of(i)).or_default().push(i);
+        }
+        for members in per_group.values() {
+            for win in members.chunks(window * batch_size) {
+                let mut win = win.to_vec();
+                win.sort_by_key(|&i| lengths[i]);
+                for chunk in win.chunks(batch_size) {
+                    batches.push(chunk.to_vec());
+                }
+            }
         }
     }
     rng.shuffle(&mut batches);
@@ -170,24 +238,66 @@ pub fn plan_epoch(
 /// Deterministic (unshuffled) bucketed plan for evaluation: buckets
 /// ascending, original order within each bucket.
 pub fn plan_eval(lengths: &[usize], batch_size: usize, max_len: usize) -> Vec<Vec<usize>> {
+    plan_eval_grouped(lengths, None, batch_size, max_len)
+}
+
+/// [`plan_eval`] with optional objective groups: `(group, bucket)` cells
+/// ascending, original order within each cell; batches never mix groups.
+pub fn plan_eval_grouped(
+    lengths: &[usize],
+    groups: Option<&[usize]>,
+    batch_size: usize,
+    max_len: usize,
+) -> Vec<Vec<usize>> {
     let batch_size = batch_size.max(1);
-    let mut buckets: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    let group_of = |i: usize| groups.map_or(0, |g| g[i]);
+    let mut cells: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
     for (i, &len) in lengths.iter().enumerate() {
-        buckets.entry(bucket_len(len, max_len)).or_default().push(i);
+        cells.entry((group_of(i), bucket_len(len, max_len))).or_default().push(i);
     }
-    buckets.values().flat_map(|m| m.chunks(batch_size).map(<[usize]>::to_vec)).collect()
+    cells.values().flat_map(|m| m.chunks(batch_size).map(<[usize]>::to_vec)).collect()
 }
 
 /// Batches per epoch under bucketed planning — constant across epochs
 /// (bucket membership is shuffle-invariant), so the LR schedule's total
 /// step count can be computed up front.
 pub fn batches_per_epoch(lengths: &[usize], batch_size: usize, max_len: usize) -> usize {
+    batches_per_epoch_grouped(lengths, None, batch_size, max_len, 0)
+}
+
+/// [`batches_per_epoch`] for the grouped/windowed planner. Like the plan
+/// itself, the count is shuffle-invariant: it depends only on `(group,
+/// bucket)` membership (strict policy) or per-group sizes (windowed
+/// policy).
+pub fn batches_per_epoch_grouped(
+    lengths: &[usize],
+    groups: Option<&[usize]>,
+    batch_size: usize,
+    max_len: usize,
+    window: usize,
+) -> usize {
     let batch_size = batch_size.max(1);
-    let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
-    for &len in lengths {
-        *counts.entry(bucket_len(len, max_len)).or_default() += 1;
+    let group_of = |i: usize| groups.map_or(0, |g| g[i]);
+    if window == 0 {
+        let mut counts: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+        for (i, &len) in lengths.iter().enumerate() {
+            *counts.entry((group_of(i), bucket_len(len, max_len))).or_default() += 1;
+        }
+        counts.values().map(|n| n.div_ceil(batch_size)).sum()
+    } else {
+        let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
+        for i in 0..lengths.len() {
+            *counts.entry(group_of(i)).or_default() += 1;
+        }
+        let per_window = window * batch_size;
+        counts
+            .values()
+            .map(|&n| {
+                let full = n / per_window;
+                full * window + (n % per_window).div_ceil(batch_size)
+            })
+            .sum()
     }
-    counts.values().map(|n| n.div_ceil(batch_size)).sum()
 }
 
 /// One step of an eval pass: a batch-mean loss with its weight plus a
@@ -233,8 +343,18 @@ pub trait Objective {
 
     /// Called once before each evaluation pass (e.g. to reseed an
     /// objective-private masking RNG so every epoch scores the same
-    /// corruption). Default: nothing.
+    /// corruption, or to snapshot per-epoch accumulators — it fires even
+    /// when the validation split is empty, so objectives can use it as
+    /// the epoch boundary). Default: nothing.
     fn begin_eval(&mut self) {}
+
+    /// Batch-formation group of an example. Batches never mix groups —
+    /// the multi-task objective returns the task index here so every
+    /// batch runs exactly one head. Default: one group.
+    fn group_of(&self, example: &Self::Example) -> usize {
+        let _ = example;
+        0
+    }
 }
 
 /// The shared epoch loop. Construct with a [`TrainConfig`] and the
@@ -266,7 +386,14 @@ impl TrainLoop {
         let cfg = &self.cfg;
         let batch_size = cfg.batch_size.max(1);
         let train_lens: Vec<usize> = train.iter().map(|e| e.token_ids().len()).collect();
-        let steps_per_epoch = batches_per_epoch(&train_lens, batch_size, self.max_len) as u64;
+        let train_groups: Vec<usize> = train.iter().map(|e| obj.group_of(e)).collect();
+        let steps_per_epoch = batches_per_epoch_grouped(
+            &train_lens,
+            Some(&train_groups),
+            batch_size,
+            self.max_len,
+            cfg.shuffle_window,
+        ) as u64;
         let total_steps = steps_per_epoch * cfg.epochs as u64;
         let schedule = if cfg.warmup_frac > 0.0 {
             Schedule::LinearWarmupDecay {
@@ -281,7 +408,14 @@ impl TrainLoop {
         let mut history = Vec::with_capacity(cfg.epochs);
         let mut best: Option<(f32, StateDict)> = None;
         for epoch in 1..=cfg.epochs {
-            let plan = plan_epoch(&train_lens, batch_size, self.max_len, &mut rng);
+            let plan = plan_epoch_grouped(
+                &train_lens,
+                Some(&train_groups),
+                batch_size,
+                self.max_len,
+                cfg.shuffle_window,
+                &mut rng,
+            );
             let mut loss_sum = 0.0f32;
             let mut weight_sum = 0.0f32;
             for idxs in &plan {
@@ -324,14 +458,17 @@ pub fn evaluate<O: Objective>(
     batch_size: usize,
     max_len: usize,
 ) -> (f32, f32) {
+    // begin_eval fires before the empty check so objectives can treat it
+    // as the epoch boundary even without a validation split.
+    obj.begin_eval();
     if examples.is_empty() {
         return (0.0, 0.0);
     }
-    obj.begin_eval();
     let lens: Vec<usize> = examples.iter().map(|e| e.token_ids().len()).collect();
+    let groups: Vec<usize> = examples.iter().map(|e| obj.group_of(e)).collect();
     let (mut loss_sum, mut loss_w) = (0.0f32, 0.0f32);
     let (mut correct, mut scored) = (0.0f32, 0.0f32);
-    for idxs in plan_eval(&lens, batch_size, max_len) {
+    for idxs in plan_eval_grouped(&lens, Some(&groups), batch_size, max_len) {
         let batch = gather(examples, &idxs, max_len);
         let step = obj.eval_step(examples, &batch);
         loss_sum += step.loss * step.weight;
@@ -429,5 +566,79 @@ mod tests {
     fn gather_padded_rejects_overlong_examples() {
         let ex = toys(&[10]);
         let _ = gather_padded(&ex, &[0], 8);
+    }
+
+    #[test]
+    fn grouped_plan_never_mixes_groups() {
+        let lens: Vec<usize> = (0..30).map(|i| 2 + (i * 5) % 40).collect();
+        let groups: Vec<usize> = (0..30).map(|i| i % 3).collect();
+        let mut rng = SeededRng::new(21);
+        for window in [0usize, 2] {
+            let plan = plan_epoch_grouped(&lens, Some(&groups), 4, 48, window, &mut rng);
+            let mut seen: Vec<usize> = plan.iter().flatten().copied().collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..30).collect::<Vec<_>>(), "window {window}");
+            for batch in &plan {
+                let gs: std::collections::HashSet<usize> =
+                    batch.iter().map(|&i| groups[i]).collect();
+                assert_eq!(gs.len(), 1, "window {window}: mixed-group batch {batch:?}");
+            }
+            assert_eq!(
+                plan.len(),
+                batches_per_epoch_grouped(&lens, Some(&groups), 4, 48, window),
+                "window {window}"
+            );
+        }
+        let eval = plan_eval_grouped(&lens, Some(&groups), 4, 48);
+        for batch in &eval {
+            let gs: std::collections::HashSet<usize> = batch.iter().map(|&i| groups[i]).collect();
+            assert_eq!(gs.len(), 1, "eval mixed-group batch {batch:?}");
+        }
+    }
+
+    #[test]
+    fn windowed_plan_cuts_remainder_batches() {
+        // A length-diverse corpus spread over many buckets: the strict
+        // policy leaves one short batch per bucket; the windowed policy
+        // at most one per window tail.
+        let lens: Vec<usize> = (0..130).map(|i| 2 + (i * 17) % 68).collect();
+        let (batch, max_len) = (16usize, 72);
+        let strict = batches_per_epoch_grouped(&lens, None, batch, max_len, 0);
+        let windowed = batches_per_epoch_grouped(&lens, None, batch, max_len, 4);
+        assert!(
+            windowed < strict,
+            "windowed planning should cut batches: strict {strict}, windowed {windowed}"
+        );
+        // And the windowed count is what the plan actually produces, with
+        // full coverage and tight per-batch buckets.
+        let mut rng = SeededRng::new(5);
+        let plan = plan_epoch_grouped(&lens, None, batch, max_len, 4, &mut rng);
+        assert_eq!(plan.len(), windowed);
+        let mut seen: Vec<usize> = plan.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..lens.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn windowed_plan_is_seed_deterministic() {
+        let lens: Vec<usize> = (0..50).map(|i| 2 + (i * 11) % 45).collect();
+        let mut a = SeededRng::new(8);
+        let mut b = SeededRng::new(8);
+        assert_eq!(
+            plan_epoch_grouped(&lens, None, 8, 48, 3, &mut a),
+            plan_epoch_grouped(&lens, None, 8, 48, 3, &mut b),
+        );
+    }
+
+    #[test]
+    fn ungrouped_unwindowed_plan_matches_legacy_plan_epoch() {
+        // plan_epoch is the grouped planner at (no groups, window 0);
+        // the wrapper must stay bit-for-bit the PR 3 plan.
+        let lens: Vec<usize> = (0..40).map(|i| 2 + (i * 7) % 30).collect();
+        let mut a = SeededRng::new(14);
+        let mut b = SeededRng::new(14);
+        let legacy = plan_epoch(&lens, 8, 48, &mut a);
+        let grouped = plan_epoch_grouped(&lens, Some(&vec![0; 40]), 8, 48, 0, &mut b);
+        assert_eq!(legacy, grouped);
     }
 }

@@ -1,0 +1,202 @@
+//! The trunk/head split of the PragFormer classifier.
+//!
+//! §4.3's "FC layer" (two dense layers with a ReLU between them, plus
+//! dropout) used to live inline in [`crate::PragFormer`]; it is now a
+//! standalone [`ClassifierHead`] so several heads can share **one**
+//! [`Trunk`] forward — the shared-trunk multi-task model
+//! ([`crate::multitask::MultiTaskPragFormer`]) runs the encoder once per
+//! snippet and only the cheap `[batch, d_model] → [batch, n_classes]`
+//! head projections per task.
+//!
+//! [`Trunk`] owns everything below the heads: the embedding + encoder
+//! stack ([`Encoder`]) and CLS pooling. Its `[batch, d_model]` CLS output
+//! is the hand-off point: bitwise identical regardless of batch size and
+//! padded length (the `pragformer_tensor::ops` row-determinism contract),
+//! which is what lets heads, caches and serving layers treat it as a pure
+//! function of the encoded id sequence.
+
+use crate::config::ModelConfig;
+use crate::encoder::Encoder;
+use pragformer_tensor::init::SeededRng;
+use pragformer_tensor::nn::{Activation, ActivationKind, Dropout, Layer, Linear, Param};
+use pragformer_tensor::Tensor;
+
+/// The shared lower stack: embeddings + encoder blocks + CLS pooling.
+///
+/// `forward_cls` runs the whole encoder and gathers row `b·seq` of each
+/// sequence (the CLS position) into a `[batch, d_model]` matrix;
+/// `backward_cls` scatters CLS gradients back and completes the encoder
+/// backward pass. One trunk forward feeds any number of
+/// [`ClassifierHead`]s.
+pub struct Trunk {
+    encoder: Encoder,
+    cache: Option<(usize, usize)>,
+}
+
+impl Trunk {
+    /// Builds a trunk from a config and seed.
+    pub fn new(cfg: &ModelConfig, rng: &mut SeededRng) -> Self {
+        Self { encoder: Encoder::new(cfg, rng), cache: None }
+    }
+
+    /// Wraps an already-built encoder (e.g. one restored from MLM
+    /// pre-training).
+    pub fn from_encoder(encoder: Encoder) -> Self {
+        Self { encoder, cache: None }
+    }
+
+    /// Model configuration.
+    pub fn config(&self) -> &ModelConfig {
+        self.encoder.config()
+    }
+
+    /// Read access to the underlying encoder (attention maps etc.).
+    pub fn encoder(&self) -> &Encoder {
+        &self.encoder
+    }
+
+    /// Forward over `batch × seq` flattened ids (`seq ≤ max_len`),
+    /// returning the `[batch, d_model]` CLS representations.
+    ///
+    /// Per row, the result is **bitwise identical** for every batch size
+    /// and every padded length `seq ≥ valid[b]` (see
+    /// [`Encoder::forward_seq`]) — the property every head, cache and
+    /// serving layer above this trunk relies on.
+    pub fn forward_cls(
+        &mut self,
+        ids: &[usize],
+        valid: &[usize],
+        seq: usize,
+        train: bool,
+    ) -> Tensor {
+        let batch = ids.len() / seq.max(1);
+        let h = self.encoder.forward_seq(ids, valid, seq, train);
+        let d_model = self.config().d_model;
+        let mut cls = Tensor::zeros(&[batch, d_model]);
+        for b in 0..batch {
+            cls.row_mut(b).copy_from_slice(h.row(b * seq));
+        }
+        self.cache = Some((batch, seq));
+        cls
+    }
+
+    /// Backward from CLS gradients (`[batch, d_model]`) into every
+    /// encoder parameter. Must follow a matching [`Trunk::forward_cls`].
+    pub fn backward_cls(&mut self, dcls: &Tensor) {
+        let (batch, seq) = self.cache.take().expect("Trunk backward before forward");
+        let d_model = self.config().d_model;
+        let mut dh = Tensor::zeros(&[batch * seq, d_model]);
+        for b in 0..batch {
+            dh.row_mut(b * seq).copy_from_slice(dcls.row(b));
+        }
+        self.encoder.backward(&dh);
+    }
+
+    /// Drops the forward cache (eval-mode forwards that skip backward).
+    pub fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+
+    /// Parameter traversal over the encoder stack.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.encoder.visit_params(f);
+    }
+}
+
+/// One classification head: `fc1 → ReLU → dropout → fc2` over CLS
+/// representations (§4.3's two-dense FC block).
+///
+/// Parameters are named `{name}.fc1` / `{name}.fc2`, so the single-head
+/// [`crate::PragFormer`] (name `"head"`) keeps its historical state-dict
+/// keys and the multi-task heads get distinct ones
+/// (`head.directive.fc1`, …).
+pub struct ClassifierHead {
+    fc1: Linear,
+    act: Activation,
+    drop: Dropout,
+    fc2: Linear,
+}
+
+impl ClassifierHead {
+    /// Builds a head whose parameters are named under `name`.
+    pub fn new(name: &str, cfg: &ModelConfig, rng: &mut SeededRng) -> Self {
+        Self {
+            fc1: Linear::named(&format!("{name}.fc1"), cfg.d_model, cfg.d_model, rng),
+            act: Activation::new(ActivationKind::Relu),
+            drop: Dropout::new(cfg.dropout, rng),
+            fc2: Linear::named(&format!("{name}.fc2"), cfg.d_model, cfg.n_classes, rng),
+        }
+    }
+
+    /// `[batch, d_model]` CLS rows → `[batch, n_classes]` logits.
+    pub fn forward(&mut self, cls: &Tensor, train: bool) -> Tensor {
+        let z = self.fc1.forward(cls, train);
+        let z = self.act.forward(&z, train);
+        let z = self.drop.forward(&z, train);
+        self.fc2.forward(&z, train)
+    }
+
+    /// Backward from logit gradients; returns the CLS gradient.
+    pub fn backward(&mut self, dlogits: &Tensor) -> Tensor {
+        let dz = self.fc2.backward(dlogits);
+        let dz = self.drop.backward(&dz);
+        let dz = self.act.backward(&dz);
+        self.fc1.backward(&dz)
+    }
+
+    /// Parameter traversal.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.fc1.visit_params(f);
+        self.act.visit_params(f);
+        self.drop.visit_params(f);
+        self.fc2.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trunk_cls_shape_and_determinism() {
+        let cfg = ModelConfig::tiny(12);
+        let mut rng = SeededRng::new(1);
+        let mut trunk = Trunk::new(&cfg, &mut rng);
+        let ids: Vec<usize> = (0..3 * cfg.max_len).map(|i| i % 12).collect();
+        let cls = trunk.forward_cls(&ids, &[5, 7, 9], cfg.max_len, false);
+        trunk.clear_cache();
+        assert_eq!(cls.shape(), &[3, cfg.d_model]);
+        let again = trunk.forward_cls(&ids, &[5, 7, 9], cfg.max_len, false);
+        trunk.clear_cache();
+        assert_eq!(cls, again);
+    }
+
+    #[test]
+    fn head_forward_backward_shapes() {
+        let cfg = ModelConfig::tiny(12);
+        let mut rng = SeededRng::new(2);
+        let mut head = ClassifierHead::new("head", &cfg, &mut rng);
+        let cls = Tensor::full(&[4, cfg.d_model], 0.1);
+        let logits = head.forward(&cls, true);
+        assert_eq!(logits.shape(), &[4, cfg.n_classes]);
+        let dcls = head.backward(&Tensor::full(&[4, cfg.n_classes], 0.5));
+        assert_eq!(dcls.shape(), &[4, cfg.d_model]);
+        let mut names = Vec::new();
+        head.visit_params(&mut |p| names.push(p.name.clone()));
+        assert!(names.iter().any(|n| n == "head.fc1.w"));
+        assert!(names.iter().any(|n| n == "head.fc2.b"));
+    }
+
+    #[test]
+    fn head_names_follow_prefix() {
+        let cfg = ModelConfig::tiny(12);
+        let mut rng = SeededRng::new(3);
+        let mut head = ClassifierHead::new("head.private", &cfg, &mut rng);
+        let mut names = Vec::new();
+        head.visit_params(&mut |p| names.push(p.name.clone()));
+        assert!(!names.is_empty());
+        for n in &names {
+            assert!(n.starts_with("head.private.fc"), "unexpected param name {n}");
+        }
+    }
+}

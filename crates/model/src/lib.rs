@@ -13,12 +13,21 @@
 //!   reproduction-scale model that trains on two CPU cores);
 //! * [`attention`] — multi-head self-attention with padding masks;
 //! * [`encoder`] — embeddings + encoder blocks (post-LN, GELU FFN);
-//! * [`pragformer::PragFormer`] — encoder + CLS head, `forward`/`backward`
-//!   /`predict`;
+//! * [`head`] — the trunk/head split: [`head::Trunk`] (embeddings +
+//!   encoder + CLS pooling) and [`head::ClassifierHead`] (the two-dense
+//!   FC block), the pieces every classifier above is assembled from;
+//! * [`pragformer::PragFormer`] — one trunk + one head, the
+//!   paper-faithful single-task model;
+//! * [`multitask::MultiTaskPragFormer`] — one trunk + three task heads
+//!   (directive / private / reduction): one encoder forward per snippet
+//!   instead of three, with the multi-task training objective
+//!   ([`multitask::fit`]) on the shared engine;
 //! * [`mlm`] — MLM pre-training (15% masking, 80/10/10 mask policy);
 //! * [`batching`] — the shared length-bucketed training engine
-//!   ([`batching::TrainLoop`] + the [`batching::Objective`] trait) both
-//!   training entry points run on;
+//!   ([`batching::TrainLoop`] + the [`batching::Objective`] trait) every
+//!   training entry point runs on, including grouped (per-task) batch
+//!   formation and fairseq-style bucketed shuffling
+//!   ([`TrainConfig::shuffle_window`]);
 //! * [`trainer`] — mini-batch fine-tuning (the classification objective)
 //!   emitting the per-epoch train-loss / valid-loss / valid-accuracy
 //!   series of Figures 4-6.
@@ -27,11 +36,17 @@ pub mod attention;
 pub mod batching;
 pub mod config;
 pub mod encoder;
+pub mod head;
 pub mod mlm;
+pub mod multitask;
 pub mod pragformer;
 pub mod trainer;
 
 pub use batching::{EpochMetrics, TrainConfig, TrainLoop};
 pub use config::ModelConfig;
+pub use head::{ClassifierHead, Trunk};
+pub use multitask::{
+    MultiTaskConfig, MultiTaskExample, MultiTaskHistory, MultiTaskPragFormer, Task,
+};
 pub use pragformer::PragFormer;
 pub use trainer::Trainer;

@@ -320,7 +320,15 @@ mod tests {
     }
 
     fn quick_cfg(epochs: usize, lr: f32, seed: u64) -> TrainConfig {
-        TrainConfig { epochs, batch_size: 8, lr, clip: 1.0, seed, warmup_frac: 0.1 }
+        TrainConfig {
+            epochs,
+            batch_size: 8,
+            lr,
+            clip: 1.0,
+            seed,
+            warmup_frac: 0.1,
+            shuffle_window: 0,
+        }
     }
 
     #[test]

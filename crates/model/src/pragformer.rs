@@ -3,52 +3,44 @@
 //! §4.3 of the paper: "The FC layer in PragFormer contains two dense
 //! layers with a ReLU activation function between them. We implemented
 //! dropout as a regularization strategy."
+//!
+//! Since the trunk/head split, this type is a thin composition of the
+//! shared [`Trunk`] (embedding + encoder stack + CLS pooling) and one
+//! [`ClassifierHead`] — the paper-faithful single-task model. The
+//! multi-task variant ([`crate::multitask::MultiTaskPragFormer`]) reuses
+//! exactly the same two pieces with three heads on one trunk.
 
 use crate::config::ModelConfig;
 use crate::encoder::Encoder;
+use crate::head::{ClassifierHead, Trunk};
 use pragformer_tensor::init::SeededRng;
-use pragformer_tensor::nn::{Activation, ActivationKind, Dropout, Layer, Param};
+use pragformer_tensor::nn::Param;
 use pragformer_tensor::serialize::StateDict;
 use pragformer_tensor::{loss, Tensor};
 
-/// The full classification model.
+/// The full classification model: one [`Trunk`], one [`ClassifierHead`].
 pub struct PragFormer {
-    /// The transformer encoder (shared with MLM pre-training).
-    pub encoder: Encoder,
-    head1: pragformer_tensor::nn::Linear,
-    head_act: Activation,
-    head_drop: Dropout,
-    head2: pragformer_tensor::nn::Linear,
-    cache: Option<HeadCache>,
-}
-
-struct HeadCache {
-    batch: usize,
-    seq: usize,
+    trunk: Trunk,
+    head: ClassifierHead,
 }
 
 impl PragFormer {
     /// Builds a model from a config and seed.
     pub fn new(cfg: &ModelConfig, rng: &mut SeededRng) -> Self {
-        let encoder = Encoder::new(cfg, rng);
-        Self {
-            encoder,
-            head1: pragformer_tensor::nn::Linear::named("head.fc1", cfg.d_model, cfg.d_model, rng),
-            head_act: Activation::new(ActivationKind::Relu),
-            head_drop: Dropout::new(cfg.dropout, rng),
-            head2: pragformer_tensor::nn::Linear::named(
-                "head.fc2",
-                cfg.d_model,
-                cfg.n_classes,
-                rng,
-            ),
-            cache: None,
-        }
+        // Construction order (trunk, then head) fixes the RNG draw order;
+        // the head keeps its historical parameter names ("head.fc1", …)
+        // so pre-split state dicts keep loading.
+        Self { trunk: Trunk::new(cfg, rng), head: ClassifierHead::new("head", cfg, rng) }
     }
 
     /// Model configuration.
     pub fn config(&self) -> &ModelConfig {
-        self.encoder.config()
+        self.trunk.config()
+    }
+
+    /// Read access to the encoder (attention maps, explainability).
+    pub fn encoder(&self) -> &Encoder {
+        self.trunk.encoder()
     }
 
     /// Forward pass: `[batch × max_len]` ids → `[batch, n_classes]` logits.
@@ -71,36 +63,15 @@ impl PragFormer {
         seq: usize,
         train: bool,
     ) -> Tensor {
-        let batch = ids.len() / seq.max(1);
-        let h = self.encoder.forward_seq(ids, valid, seq, train);
-        // CLS pooling: row b*seq of each sequence.
-        let mut cls = Tensor::zeros(&[batch, self.config().d_model]);
-        for b in 0..batch {
-            cls.row_mut(b).copy_from_slice(h.row(b * seq));
-        }
-        let z = self.head1.forward(&cls, train);
-        let z = self.head_act.forward(&z, train);
-        let z = self.head_drop.forward(&z, train);
-        let logits = self.head2.forward(&z, train);
-        self.cache = Some(HeadCache { batch, seq });
-        logits
+        let cls = self.trunk.forward_cls(ids, valid, seq, train);
+        self.head.forward(&cls, train)
     }
 
     /// Backward pass from `dlogits` (as produced by
     /// [`pragformer_tensor::loss::softmax_cross_entropy`]).
     pub fn backward(&mut self, dlogits: &Tensor) {
-        let HeadCache { batch, seq } =
-            self.cache.take().expect("PragFormer backward before forward");
-        let dz = self.head2.backward(dlogits);
-        let dz = self.head_drop.backward(&dz);
-        let dz = self.head_act.backward(&dz);
-        let dcls = self.head1.backward(&dz);
-        // Scatter CLS gradients back into the hidden-state layout.
-        let mut dh = Tensor::zeros(&[batch * seq, self.config().d_model]);
-        for b in 0..batch {
-            dh.row_mut(b * seq).copy_from_slice(dcls.row(b));
-        }
-        self.encoder.backward(&dh);
+        let dcls = self.head.backward(dlogits);
+        self.trunk.backward_cls(&dcls);
     }
 
     /// One fused train step helper: forward, CE loss, backward.
@@ -154,7 +125,7 @@ impl PragFormer {
     /// performance choices, never accuracy trade-offs.
     pub fn predict_proba_batch(&mut self, ids: &[usize], valid: &[usize], seq: usize) -> Vec<f32> {
         let logits = self.forward_seq(ids, valid, seq, false);
-        self.cache = None;
+        self.trunk.clear_cache();
         loss::positive_probabilities(&logits)
     }
 
@@ -165,11 +136,8 @@ impl PragFormer {
 
     /// Parameter traversal over encoder + head.
     pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
-        self.encoder.visit_params(f);
-        self.head1.visit_params(f);
-        self.head_act.visit_params(f);
-        self.head_drop.visit_params(f);
-        self.head2.visit_params(f);
+        self.trunk.visit_params(f);
+        self.head.visit_params(f);
     }
 
     /// Zeroes all gradients.
@@ -233,6 +201,7 @@ mod tests {
         let mut model = PragFormer::new(&cfg, &mut rng);
         let (ids, valid, _) = toy_batch(&cfg, 4);
         let logits = model.forward(&ids, &valid, false);
+        model.trunk.clear_cache();
         assert_eq!(logits.shape(), &[4, 2]);
     }
 
@@ -257,7 +226,7 @@ mod tests {
         }
         let final_loss = {
             let logits = model.forward(&ids, &valid, false);
-            model.cache = None;
+            model.trunk.clear_cache();
             pragformer_tensor::loss::softmax_cross_entropy(&logits, &labels).0
         };
         assert!(final_loss < last * 0.5, "no learning: {last} -> {final_loss}");

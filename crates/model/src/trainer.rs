@@ -190,6 +190,7 @@ mod tests {
             clip: 1.0,
             seed: 4,
             warmup_frac: 0.1,
+            shuffle_window: 0,
         });
         let history = trainer.fit(&mut model, &train, &valid);
         assert_eq!(history.len(), 12);
@@ -216,6 +217,7 @@ mod tests {
             clip: 1.0,
             seed: 8,
             warmup_frac: 0.0,
+            shuffle_window: 0,
         });
         let history = trainer.fit(&mut model, &train, &valid);
         let best =
@@ -243,6 +245,7 @@ mod tests {
                 clip: 1.0,
                 seed: 14,
                 warmup_frac: 0.1,
+                shuffle_window: 0,
             });
             trainer.fit(&mut model, &train, &valid)
         };

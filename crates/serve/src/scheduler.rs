@@ -121,9 +121,16 @@ enum Msg {
 #[derive(Clone)]
 pub struct Client {
     tx: SyncSender<Msg>,
+    stats: Arc<StatsInner>,
 }
 
 impl Client {
+    /// Current serving counters (same snapshot as
+    /// [`AdvisorServer::stats`]) — lets front-ends answer `stats` wire
+    /// requests without a scheduler round-trip.
+    pub fn stats(&self) -> ServerStats {
+        self.stats.snapshot()
+    }
     /// Submits one snippet and blocks until its advice (or error) comes
     /// back. Blocks earlier — in the submit itself — when the bounded
     /// queue is full (backpressure).
@@ -188,6 +195,19 @@ struct StatsInner {
     cache_evictions: AtomicU64,
 }
 
+impl StatsInner {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// A running advisory server: one collector thread owning the advisor
 /// and the cross-request cache. Construct with [`AdvisorServer::start`],
 /// submit through [`AdvisorServer::client`] handles.
@@ -213,19 +233,12 @@ impl AdvisorServer {
     /// A new submit handle. Handles stay valid until shutdown; submits
     /// after shutdown return [`ServeError::Closed`].
     pub fn client(&self) -> Client {
-        Client { tx: self.tx.clone() }
+        Client { tx: self.tx.clone(), stats: Arc::clone(&self.stats) }
     }
 
     /// Current serving counters.
     pub fn stats(&self) -> ServerStats {
-        ServerStats {
-            requests: self.stats.requests.load(Ordering::Relaxed),
-            batches: self.stats.batches.load(Ordering::Relaxed),
-            max_batch: self.stats.max_batch.load(Ordering::Relaxed),
-            cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.stats.cache_misses.load(Ordering::Relaxed),
-            cache_evictions: self.stats.cache_evictions.load(Ordering::Relaxed),
-        }
+        self.stats.snapshot()
     }
 
     /// Stops the collector after it drains and answers every request

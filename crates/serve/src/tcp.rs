@@ -199,6 +199,11 @@ fn handle_connection(stream: TcpStream, client: &Client, stop: &AtomicBool) {
                     out.push_str(&wire::format_response(id, &pending.wait()))
                 }
                 Submitted::Immediate(response) => out.push_str(&response),
+                // Snapshot here — after every earlier request in the
+                // burst has been answered (the collector publishes its
+                // counters before replying) — so a pipelined stats line
+                // deterministically reflects the requests ahead of it.
+                Submitted::Stats(id) => out.push_str(&wire::format_stats(id, &client.stats())),
             }
             out.push('\n');
         }
@@ -208,11 +213,13 @@ fn handle_connection(stream: TcpStream, client: &Client, stop: &AtomicBool) {
     }
 }
 
-/// A request line after submission: either in flight on the scheduler,
-/// or already answered (blank line, malformed JSON, server closed).
+/// A request line after submission: in flight on the scheduler, already
+/// answered (blank line, malformed JSON, server closed), or a stats
+/// probe resolved when its turn to answer comes.
 enum Submitted {
     Pending(u64, Pending),
     Immediate(String),
+    Stats(u64),
 }
 
 /// Parses and submits one request line without waiting for the answer.
@@ -225,10 +232,15 @@ fn submit_line(client: &Client, line: &[u8]) -> Option<Submitted> {
         return None;
     }
     Some(match wire::parse_request(line) {
-        Ok(req) => match client.submit(&req.code) {
-            Ok(pending) => Submitted::Pending(req.id, pending),
-            Err(e) => Submitted::Immediate(wire::format_error(req.id, &e.to_string())),
+        Ok(wire::WireRequest::Advise { id, code }) => match client.submit(&code) {
+            Ok(pending) => Submitted::Pending(id, pending),
+            Err(e) => Submitted::Immediate(wire::format_error(id, &e.to_string())),
         },
+        // Stats never enter the scheduler queue — scraping them is free
+        // even under backpressure; the snapshot is taken when the answer
+        // loop reaches this line so it covers the burst's earlier
+        // requests.
+        Ok(wire::WireRequest::Stats { id }) => Submitted::Stats(id),
         Err(msg) => Submitted::Immediate(wire::format_error(0, &format!("bad request: {msg}"))),
     })
 }

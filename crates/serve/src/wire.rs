@@ -10,6 +10,10 @@
 //!    "private_probability":0.12,"reduction_probability":0.03,
 //!    "compar_agrees":true,"suggestion":"#pragma omp parallel for"}
 //! ← {"id":8,"ok":false,"error":"parse error: ..."}
+//! → {"id": 9, "stats": true}
+//! ← {"id":9,"ok":true,"stats":true,"requests":128,"batches":9,
+//!    "max_batch":64,"cache_hits":31,"cache_misses":97,
+//!    "cache_evictions":0}
 //! ```
 //!
 //! `id` is an opaque client-chosen correlation number echoed back
@@ -18,22 +22,36 @@
 //! `f32` bits the model produced — the wire keeps the subsystem's
 //! bit-identical-to-`advise` guarantee intact.
 //!
+//! `stats` requests return the server's monotonic
+//! [`ServerStats`] counters (requests, batches formed, largest batch,
+//! cache hits/misses/evictions), so operators can scrape them with `nc`
+//! instead of a debugger; they are answered by the connection handler
+//! directly and never enter the scheduler queue.
+//!
 //! The parser handles exactly the JSON subset the protocol emits: one
 //! flat object of string / number / bool / null fields, with standard
 //! string escapes (including `\uXXXX`).
 
-use crate::scheduler::ServeError;
+use crate::scheduler::{ServeError, ServerStats};
 use pragformer_core::Advice;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// A parsed request line.
 #[derive(Clone, Debug, PartialEq)]
-pub struct WireRequest {
-    /// Client-chosen correlation id, echoed back in the response.
-    pub id: u64,
-    /// The C snippet to advise on.
-    pub code: String,
+pub enum WireRequest {
+    /// Classify one snippet.
+    Advise {
+        /// Client-chosen correlation id, echoed back in the response.
+        id: u64,
+        /// The C snippet to advise on.
+        code: String,
+    },
+    /// Return the server's [`ServerStats`] counters.
+    Stats {
+        /// Client-chosen correlation id, echoed back in the response.
+        id: u64,
+    },
 }
 
 /// A parsed response line (used by the loopback client in tests, benches
@@ -231,7 +249,8 @@ fn parse_object(line: &str) -> Result<BTreeMap<String, Scalar>, String> {
     Ok(fields)
 }
 
-/// Parses one request line.
+/// Parses one request line: an advise request (`code` field) or a stats
+/// request (`stats: true`), never both.
 pub fn parse_request(line: &str) -> Result<WireRequest, String> {
     let fields = parse_object(line)?;
     let id = match fields.get("id") {
@@ -241,12 +260,64 @@ pub fn parse_request(line: &str) -> Result<WireRequest, String> {
         Some(other) => return Err(format!("\"id\" must be a non-negative integer, got {other:?}")),
         None => return Err("missing \"id\" field".to_string()),
     };
+    let stats = match fields.get("stats") {
+        Some(Scalar::Bool(b)) => *b,
+        None => false,
+        Some(other) => return Err(format!("\"stats\" must be a bool, got {other:?}")),
+    };
+    if stats {
+        if fields.contains_key("code") {
+            return Err("a request carries either \"code\" or \"stats\", not both".to_string());
+        }
+        return Ok(WireRequest::Stats { id });
+    }
     let code = match fields.get("code") {
         Some(Scalar::Str(s)) => s.clone(),
         Some(other) => return Err(format!("\"code\" must be a string, got {other:?}")),
         None => return Err("missing \"code\" field".to_string()),
     };
-    Ok(WireRequest { id, code })
+    Ok(WireRequest::Advise { id, code })
+}
+
+/// Formats a stats response line (no trailing newline). The `stats:true`
+/// marker distinguishes it from advice responses for line-by-line
+/// consumers.
+pub fn format_stats(id: u64, s: &ServerStats) -> String {
+    format!(
+        "{{\"id\":{id},\"ok\":true,\"stats\":true,\"requests\":{},\"batches\":{},\
+         \"max_batch\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{}}}",
+        s.requests, s.batches, s.max_batch, s.cache_hits, s.cache_misses, s.cache_evictions,
+    )
+}
+
+/// Parses a stats response line back into `(id, ServerStats)` (loopback
+/// clients, the example binary, scrape scripts).
+pub fn parse_stats_response(line: &str) -> Result<(u64, ServerStats), String> {
+    let fields = parse_object(line)?;
+    match fields.get("stats") {
+        Some(Scalar::Bool(true)) => {}
+        other => return Err(format!("not a stats response (stats = {other:?})")),
+    }
+    let counter = |name: &str| -> Result<u64, String> {
+        match fields.get(name) {
+            Some(Scalar::Num(_, raw)) if raw.parse::<u64>().is_ok() => {
+                Ok(raw.parse::<u64>().unwrap())
+            }
+            other => Err(format!("\"{name}\" must be a non-negative integer, got {other:?}")),
+        }
+    };
+    let id = counter("id")?;
+    Ok((
+        id,
+        ServerStats {
+            requests: counter("requests")?,
+            batches: counter("batches")?,
+            max_batch: counter("max_batch")?,
+            cache_hits: counter("cache_hits")?,
+            cache_misses: counter("cache_misses")?,
+            cache_evictions: counter("cache_evictions")?,
+        },
+    ))
 }
 
 /// Formats one response line (no trailing newline).
@@ -346,12 +417,60 @@ pub fn parse_response(line: &str) -> Result<WireResponse, String> {
 mod tests {
     use super::*;
 
+    fn advise(req: WireRequest) -> (u64, String) {
+        match req {
+            WireRequest::Advise { id, code } => (id, code),
+            other => panic!("expected an advise request, got {other:?}"),
+        }
+    }
+
     #[test]
     fn request_roundtrip_with_escapes() {
         let line = r#"{"id": 42, "code": "for (i = 0; i < n; i++)\n  a[i] = \"x\";\t"}"#;
-        let req = parse_request(line).unwrap();
-        assert_eq!(req.id, 42);
-        assert_eq!(req.code, "for (i = 0; i < n; i++)\n  a[i] = \"x\";\t");
+        let (id, code) = advise(parse_request(line).unwrap());
+        assert_eq!(id, 42);
+        assert_eq!(code, "for (i = 0; i < n; i++)\n  a[i] = \"x\";\t");
+    }
+
+    #[test]
+    fn stats_request_parses_and_rejects_ambiguity() {
+        assert_eq!(
+            parse_request("{\"id\":5,\"stats\":true}").unwrap(),
+            WireRequest::Stats { id: 5 }
+        );
+        // stats:false is an ordinary advise request (and needs code).
+        assert!(parse_request("{\"id\":5,\"stats\":false}").is_err(), "missing code");
+        let (id, code) =
+            advise(parse_request("{\"id\":5,\"stats\":false,\"code\":\"x;\"}").unwrap());
+        assert_eq!((id, code.as_str()), (5, "x;"));
+        assert!(
+            parse_request("{\"id\":5,\"stats\":true,\"code\":\"x;\"}").is_err(),
+            "both code and stats"
+        );
+        assert!(parse_request("{\"id\":5,\"stats\":1}").is_err(), "non-bool stats");
+    }
+
+    #[test]
+    fn stats_response_roundtrip() {
+        let s = ServerStats {
+            requests: u64::MAX,
+            batches: 9,
+            max_batch: 64,
+            cache_hits: 31,
+            cache_misses: 97,
+            cache_evictions: 2,
+        };
+        let line = format_stats(7, &s);
+        let (id, back) = parse_stats_response(&line).unwrap();
+        assert_eq!(id, 7);
+        assert_eq!(back.requests, u64::MAX);
+        assert_eq!(back.batches, 9);
+        assert_eq!(back.max_batch, 64);
+        assert_eq!(back.cache_hits, 31);
+        assert_eq!(back.cache_misses, 97);
+        assert_eq!(back.cache_evictions, 2);
+        // An advice response is not a stats response.
+        assert!(parse_stats_response(&format_error(1, "nope")).is_err());
     }
 
     #[test]
@@ -367,15 +486,16 @@ mod tests {
 
     #[test]
     fn unicode_escape_decodes() {
-        let req = parse_request("{\"id\":1,\"code\":\"a\\u0041b\"}").unwrap();
-        assert_eq!(req.code, "aAb");
+        let (_, code) = advise(parse_request("{\"id\":1,\"code\":\"a\\u0041b\"}").unwrap());
+        assert_eq!(code, "aAb");
     }
 
     #[test]
     fn surrogate_pairs_decode_and_lone_surrogates_fail() {
         // 😀 as Python's json.dumps(ensure_ascii=True) would send it.
-        let req = parse_request("{\"id\":1,\"code\":\"x = \\ud83d\\ude00;\"}").unwrap();
-        assert_eq!(req.code, "x = \u{1F600};");
+        let (_, code) =
+            advise(parse_request("{\"id\":1,\"code\":\"x = \\ud83d\\ude00;\"}").unwrap());
+        assert_eq!(code, "x = \u{1F600};");
         assert!(parse_request("{\"id\":1,\"code\":\"\\ud83d\"}").is_err(), "lone high");
         assert!(parse_request("{\"id\":1,\"code\":\"\\ud83dx\"}").is_err(), "high + literal");
         assert!(parse_request("{\"id\":1,\"code\":\"\\ude00\"}").is_err(), "lone low");
@@ -418,8 +538,8 @@ mod tests {
     fn ids_above_2_pow_53_round_trip_exactly() {
         // f64 cannot represent 2^53 + 1; the raw-digit path must.
         let id = (1u64 << 53) + 1;
-        let req = parse_request(&format!("{{\"id\":{id},\"code\":\"x;\"}}")).unwrap();
-        assert_eq!(req.id, id);
+        let (got, _) = advise(parse_request(&format!("{{\"id\":{id},\"code\":\"x;\"}}")).unwrap());
+        assert_eq!(got, id);
         let resp = parse_response(&format_error(u64::MAX, "nope")).unwrap();
         assert_eq!(resp.id, u64::MAX);
     }

@@ -361,3 +361,67 @@ fn tcp_connections_share_the_cache() {
     tcp.shutdown();
     let _ = server.shutdown();
 }
+
+/// The `stats` wire request: counters come back over the same NDJSON
+/// connection, reflect the requests already answered, and never disturb
+/// advice traffic.
+#[test]
+fn tcp_stats_request_returns_live_counters() {
+    let advisor = Advisor::untrained(Scale::Tiny, 23);
+    let server = AdvisorServer::start(
+        advisor,
+        ServeConfig { deadline: Duration::from_millis(1), ..ServeConfig::default() },
+    );
+    let tcp = TcpServer::bind("127.0.0.1:0", server.client(), 2).expect("bind loopback");
+
+    let stream = TcpStream::connect(tcp.local_addr()).expect("connect");
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let send = |writer: &mut TcpStream, line: &str| {
+        writer.write_all(line.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        writer.flush().unwrap();
+    };
+    let recv = |reader: &mut BufReader<TcpStream>| -> String {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read response");
+        line
+    };
+
+    // Two advice requests (one repeated → a cache hit), then stats.
+    for id in [1u64, 2] {
+        send(
+            &mut writer,
+            &format!("{{\"id\": {id}, \"code\": \"for (i = 0; i < n; i++) a[i] = b[i];\"}}"),
+        );
+        let resp = pragformer_serve::wire::parse_response(&recv(&mut reader)).unwrap();
+        assert!(resp.ok, "advice request {id} failed: {:?}", resp.error);
+    }
+    send(&mut writer, "{\"id\": 3, \"stats\": true}");
+    let (id, stats) = pragformer_serve::wire::parse_stats_response(&recv(&mut reader))
+        .expect("stats response parses");
+    assert_eq!(id, 3);
+    assert_eq!(stats.requests, 2, "stats request itself must not count as a request");
+    assert!(stats.batches >= 1);
+    assert!(stats.cache_misses >= 1);
+    assert!(stats.cache_hits >= 1, "repeated snippet must hit the cache: {stats:?}");
+    // The handler snapshot equals the server's own view.
+    let direct = server.stats();
+    assert_eq!(direct.requests, stats.requests);
+    assert_eq!(direct.cache_hits, stats.cache_hits);
+
+    // Stats interleave with advice on a pipelined burst: both answered,
+    // in order.
+    send(&mut writer, "{\"id\": 4, \"code\": \"for (i = 0; i < n; i++) a[i] = 0;\"}\n{\"id\": 5, \"stats\": true}");
+    let resp = pragformer_serve::wire::parse_response(&recv(&mut reader)).unwrap();
+    assert_eq!(resp.id, 4);
+    assert!(resp.ok);
+    let (id, stats2) = pragformer_serve::wire::parse_stats_response(&recv(&mut reader)).unwrap();
+    assert_eq!(id, 5);
+    assert_eq!(stats2.requests, 3);
+
+    drop(writer);
+    drop(reader);
+    tcp.shutdown();
+    let _ = server.shutdown();
+}

@@ -11,9 +11,9 @@
 //! in [`crate::parallel`] (no threads are spawned per call) and are
 //! cache-blocked:
 //!
-//! * [`matmul`] packs `B` into column panels of width [`NR`] so the
+//! * [`matmul`] packs `B` into column panels of width `NR` so the
 //!   microkernel streams one contiguous panel per output tile, and
-//!   register-tiles [`MR`]` × `[`NR`] outputs. Small left-hand sides skip
+//!   register-tiles `MR`` × ``NR` outputs. Small left-hand sides skip
 //!   the packing (the panel build would dominate) and fall back to an
 //!   i-k-j loop.
 //! * [`matmul_nt`] is row-times-row dot products, each split into four
@@ -61,7 +61,7 @@ const KB: usize = 8;
 ///
 /// Panel `jp` holds columns `jp*NR .. jp*NR+NR` in `k`-major order:
 /// element `(p, c)` of the panel is `b[p, jp*NR + c]`, zero-padded when
-/// `n` is not a multiple of [`NR`]. The microkernel then reads one
+/// `n` is not a multiple of `NR`. The microkernel then reads one
 /// contiguous `NR`-wide stripe per `k` step.
 fn pack_b_panels(b: &[f32], k: usize, n: usize) -> Vec<f32> {
     let panels = n.div_ceil(NR);
@@ -219,7 +219,7 @@ fn dot4(x: &[f32], y: &[f32]) -> f32 {
 /// `C[m×n] = A[m×k] · Bᵀ` where `B` is `[n×k]`.
 ///
 /// Row-times-row dot products: both operands stream contiguously. Each
-/// dot is computed by [`dot4`], which splits `k` into four independent
+/// dot is computed by `dot4`, which splits `k` into four independent
 /// accumulator lanes (fixed reduction order — see the module docs).
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.rows(), a.cols());
@@ -268,12 +268,12 @@ fn tn_simple_rows(
 /// `C[k×n] = Aᵀ · B` where `A` is `[m×k]`, `B` is `[m×n]`.
 ///
 /// Used for weight gradients `dW = Xᵀ·dY` (the training hot path).
-/// Blocked the same way as [`matmul`]: `B` is packed into [`NR`]-wide
+/// Blocked the same way as [`matmul`]: `B` is packed into `NR`-wide
 /// column panels and each worker gathers its `k`-slice of `Aᵀ` into
 /// contiguous rows (`at[r][s] = A[s][row0+r]`, an `O(rows·m)` transpose
 /// amortized over the `O(rows·m·n)` GEMM), then runs the same
-/// [`MR`]`×`[`NR`]`×`[`KB`] microkernel as the forward pass. Tiny
-/// outputs (`k <` [`PACK_MIN_ROWS`] or `n <` [`NR`]) skip the
+/// `MR``×``NR``×``KB` microkernel as the forward pass. Tiny
+/// outputs (`k <` `PACK_MIN_ROWS` or `n <` `NR`) skip the
 /// packing/transpose and fall back to the outer-product loop.
 ///
 /// Both paths accumulate every output element in a single chain,
@@ -369,12 +369,72 @@ pub fn sum_rows(x: &Tensor) -> Tensor {
     out
 }
 
+/// Largest input [`exp_approx`] flushes to zero (≈ `ln(f32::MIN_POSITIVE)`);
+/// below this, `e^x` is at best denormal and softmax treats it as an
+/// exact additive zero anyway.
+const EXP_UNDERFLOW: f32 = -87.336_54;
+
+/// Largest input [`exp_approx`] evaluates; above this (`e^x > ~3.1e38`)
+/// it returns `+∞` like `f32::exp` effectively does at `f32` precision.
+const EXP_OVERFLOW: f32 = 88.0;
+
+/// Deterministic polynomial `e^x` — the softmax kernel's `exp`.
+///
+/// libm's `expf` was ~6.8 µs per 2304-element attention softmax, a
+/// visible slice of inference after the GEMMs were blocked (PR 1). This
+/// replacement is the classic vectorizable recipe: round `x / ln 2` to an
+/// integer `k`, reduce `r = x − k·ln 2` with a two-constant (hi/lo)
+/// subtraction so `|r| ≤ ½ln 2` stays accurate, evaluate a degree-7
+/// Taylor/Horner polynomial in `r`, and scale by `2^k` through exponent
+/// bits. No tables, no libm, no FMA dependence.
+///
+/// Properties the softmax contract needs:
+///
+/// * **Pure and deterministic** — a function of the input bits alone
+///   (two range guards plus a branch-free core), so results are
+///   bit-stable across batch composition, padding length, thread count
+///   and call site (the row-determinism contract every batched ==
+///   sequential test pins).
+/// * **Accurate** — within a few ULP of `f32::exp` on the evaluated
+///   domain; `tests/proptests.rs` pins the maximum observed ULP distance.
+/// * **Softmax-safe tails** — inputs below `EXP_UNDERFLOW` (where
+///   `f32::exp` is at best denormal) flush to exactly `0.0`, inputs above
+///   `EXP_OVERFLOW` saturate to `+∞`, and `NaN` propagates.
+#[inline]
+pub fn exp_approx(x: f32) -> f32 {
+    if x < EXP_UNDERFLOW {
+        return 0.0; // also reached by -∞
+    }
+    if x > EXP_OVERFLOW {
+        return if x.is_nan() { x } else { f32::INFINITY };
+    }
+    const LOG2_E: f32 = std::f32::consts::LOG2_E;
+    // ln 2 split so `k * LN2_HI` is exact for |k| < 2^15 (LN2_HI carries
+    // only 17 mantissa bits) and the reduction error lives in the tiny
+    // LN2_LO term.
+    const LN2_HI: f32 = 0.693_145_75;
+    const LN2_LO: f32 = 1.428_606_8e-6;
+    let k = (x * LOG2_E).round();
+    let r = (x - k * LN2_HI) - k * LN2_LO;
+    // Degree-7 Taylor of e^r on |r| ≤ ½ln2: the truncation remainder
+    // (r⁸/8! ≈ 5e-10 relative) sits far below f32 rounding noise.
+    let p = 1.0
+        + r * (1.0
+            + r * (0.5
+                + r * (1.0 / 6.0
+                    + r * (1.0 / 24.0
+                        + r * (1.0 / 120.0 + r * (1.0 / 720.0 + r * (1.0 / 5040.0)))))));
+    // 2^k via exponent bits: k ∈ [-126, 127] on the accepted domain.
+    let scale = f32::from_bits((((k as i32) + 127) as u32) << 23);
+    p * scale
+}
+
 /// One numerically-stable softmax over `row[..valid]`, zeroing the tail.
 ///
 /// The single row body shared by [`softmax_rows`] and
 /// [`softmax_rows_uniform`] — `advise_batch`'s bitwise batched ==
 /// sequential contract depends on every masked softmax running exactly
-/// this arithmetic.
+/// this arithmetic (including [`exp_approx`], its polynomial `exp`).
 #[inline]
 fn softmax_row(row: &mut [f32], valid: usize) {
     if valid == 0 {
@@ -384,7 +444,7 @@ fn softmax_row(row: &mut [f32], valid: usize) {
     let m = row[..valid].iter().copied().fold(f32::NEG_INFINITY, f32::max);
     let mut z = 0.0f32;
     for v in &mut row[..valid] {
-        *v = (*v - m).exp();
+        *v = exp_approx(*v - m);
         z += *v;
     }
     let inv = 1.0 / z;
@@ -590,6 +650,51 @@ mod tests {
         add_bias(&mut x, &b);
         assert_eq!(x.data(), &[1., 2., 3., 1., 2., 3.]);
         assert_eq!(sum_rows(&x).data(), &[2., 4., 6.]);
+    }
+
+    /// ULP distance between two finite positive f32s.
+    fn ulp_distance(a: f32, b: f32) -> u32 {
+        a.to_bits().abs_diff(b.to_bits())
+    }
+
+    #[test]
+    fn exp_approx_tracks_exp_within_a_few_ulp() {
+        // Dense sweep over the softmax-relevant domain (inputs ≤ 0) and
+        // the positive side up to overflow.
+        let mut max_ulp = 0u32;
+        let mut worst = 0.0f32;
+        let mut x = -87.3f32;
+        while x < 88.0 {
+            let got = exp_approx(x);
+            let want = x.exp();
+            let d = ulp_distance(got, want);
+            if d > max_ulp {
+                max_ulp = d;
+                worst = x;
+            }
+            x += 0.0137; // irrational-ish step: no lattice alignment
+        }
+        assert!(max_ulp <= 4, "max ULP {max_ulp} at x = {worst}");
+    }
+
+    #[test]
+    fn exp_approx_edges() {
+        assert_eq!(exp_approx(0.0), 1.0);
+        assert_eq!(exp_approx(f32::NEG_INFINITY), 0.0);
+        assert_eq!(exp_approx(-1.0e9), 0.0);
+        assert_eq!(exp_approx(-100.0), 0.0, "sub-denormal range flushes to exact zero");
+        assert_eq!(exp_approx(1.0e9), f32::INFINITY);
+        assert!(exp_approx(f32::NAN).is_nan());
+        // Near the underflow knee the result is tiny but finite.
+        let knee = exp_approx(-87.0);
+        assert!(knee > 0.0 && knee < 2.0e-38, "{knee}");
+    }
+
+    #[test]
+    fn exp_approx_is_bit_deterministic() {
+        for x in [-50.0f32, -3.7, -0.2, 0.0] {
+            assert_eq!(exp_approx(x).to_bits(), exp_approx(x).to_bits());
+        }
     }
 
     #[test]

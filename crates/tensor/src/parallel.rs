@@ -29,7 +29,7 @@
 //! # Safety
 //!
 //! The job closure is lent to worker threads through a raw pointer with an
-//! erased lifetime. This is sound because [`run_tasks`] does not return
+//! erased lifetime. This is sound because `run_tasks` does not return
 //! until every worker has acknowledged the job (a counting latch), and it
 //! acknowledges *after* its last access to the shared job state. Panics
 //! inside tasks are caught, the latch still fires, and the panic is
@@ -122,7 +122,7 @@ unsafe impl Send for JobPtr {}
 
 /// A handle to a set of persistent worker threads.
 ///
-/// The process-wide instance is created lazily by [`global`] and reused by
+/// The process-wide instance is created lazily by `global` and reused by
 /// every parallel call. Dropping a `Pool` disconnects the job channels,
 /// which makes each worker exit its receive loop, and then joins the
 /// threads.
@@ -224,7 +224,7 @@ fn run_tasks(n: usize, f: &(dyn Fn(usize) + Sync)) {
     run_tasks_on(global(), nested, n, f);
 }
 
-/// Pool-explicit core of [`run_tasks`]; tests drive it with a private
+/// Pool-explicit core of `run_tasks`; tests drive it with a private
 /// pool so the cross-thread dispatch machinery (worker loop, latch,
 /// erased-lifetime job pointer, panic forwarding) executes even on
 /// single-core machines where the global pool is empty.

@@ -95,6 +95,44 @@ proptest! {
     }
 
     #[test]
+    fn exp_approx_stays_within_ulp_budget(xs in vec(-87.3f32..88.0, 1..256)) {
+        // The polynomial softmax exp must track f32::exp to a pinned ULP
+        // budget everywhere on its evaluated domain.
+        for &x in &xs {
+            let got = ops::exp_approx(x);
+            let want = x.exp();
+            let ulp = got.to_bits().abs_diff(want.to_bits());
+            prop_assert!(ulp <= 4, "exp_approx({x}) = {got} vs {want} ({ulp} ULP)");
+        }
+    }
+
+    #[test]
+    fn exp_approx_is_monotone_on_samples(a in -87.0f32..87.0, d in 1e-3f32..5.0) {
+        // Monotonicity keeps softmax argmax-preservation exact.
+        prop_assert!(ops::exp_approx(a) <= ops::exp_approx(a + d));
+    }
+
+    #[test]
+    fn softmax_with_polynomial_exp_keeps_invariants(t in matrix(10), shift in -30.0f32..30.0) {
+        // The softmax invariants under exp_approx: probabilities in
+        // [0, 1], rows sum to ~1, and a uniform row shift changes nothing
+        // beyond float noise (shift invariance).
+        let mut p = t.clone();
+        ops::softmax_rows(&mut p, None);
+        let mut shifted = t.map(|v| v + shift);
+        ops::softmax_rows(&mut shifted, None);
+        for r in 0..p.rows() {
+            let row = p.row(r);
+            let s: f32 = row.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4, "row {r} sums to {s}");
+            for (a, b) in row.iter().zip(shifted.row(r)) {
+                prop_assert!((0.0..=1.0).contains(a));
+                prop_assert!((a - b).abs() < 1e-4, "shift variance: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
     fn softmax_rows_are_distributions(t in matrix(10)) {
         let mut p = t.clone();
         ops::softmax_rows(&mut p, None);

@@ -16,6 +16,8 @@
 //!
 //! answered by one JSON line carrying the verdict, the three head
 //! probabilities, S2S agreement, and a rendered `#pragma` suggestion.
+//! A `{"id": 2, "stats": true}` line returns the server's counters
+//! (requests, batches, cache hits/misses/evictions) on the same wire.
 
 use pragformer_core::{Advisor, Scale};
 use pragformer_serve::{wire, AdvisorServer, ServeConfig, TcpServer};
@@ -108,6 +110,16 @@ fn smoke_test() {
     assert!(!d.ok, "parse error must be reported");
     assert_eq!(d.id, 4);
 
+    // The stats wire request: counters over the same NDJSON connection.
+    writer.write_all(b"{\"id\": 5, \"stats\": true}\n").expect("send stats request");
+    writer.flush().expect("flush");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read stats response");
+    eprintln!("smoke: ← {}", line.trim_end());
+    let (id, wire_stats) = wire::parse_stats_response(&line).expect("stats response parses");
+    assert_eq!(id, 5);
+    assert_eq!(wire_stats.requests, 4, "stats probes must not count as requests");
+
     let stats = server.stats();
     eprintln!(
         "smoke: stats {} requests / {} batches, cache {} hits / {} misses",
@@ -115,6 +127,7 @@ fn smoke_test() {
     );
     assert_eq!(stats.requests, 4);
     assert!(stats.cache_hits >= 1, "request 3 must hit the cross-request cache");
+    assert_eq!(wire_stats.cache_hits, stats.cache_hits);
 
     drop(writer);
     drop(reader);

@@ -24,6 +24,7 @@ fn main() {
         clip: 1.0,
         seed: 4,
         warmup_frac: 0.1,
+        shuffle_window: 0,
     });
     let start = std::time::Instant::now();
     let history = trainer.fit(&mut model, &train, &valid);

@@ -398,7 +398,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`](fn@vec).
     pub struct VecStrategy<S, Z> {
         element: S,
         size: Z,
