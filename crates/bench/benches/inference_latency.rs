@@ -9,7 +9,10 @@ use pragformer_baselines::{analyze_snippet, BowModel, BowTrainConfig, Strictness
 use pragformer_core::{Advisor, AdvisorBackend, Scale};
 use pragformer_model::{ModelConfig, PragFormer};
 use pragformer_tensor::init::SeededRng;
+use pragformer_tensor::kernel::{self, KernelTier};
 use pragformer_tokenize::{tokens_for, Representation, Vocab};
+
+const TIERS: [KernelTier; 3] = [KernelTier::Scalar, KernelTier::Avx2, KernelTier::Int8];
 
 const SNIPPET: &str =
     "for (i = 0; i < n; i++)\n  for (j = 0; j < n; j++)\n    x1[i] = x1[i] + A[i][j] * y_1[j];";
@@ -40,6 +43,25 @@ fn bench_inference(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+    // Per-tier twins: the same forward with the kernel tier pinned
+    // (`pragformer_forward` above keeps measuring the auto-detected
+    // tier). Benches are single-threaded, so flipping the global tier
+    // per arm is safe; unsupported tiers are skipped with a note.
+    let prior = kernel::active_tier();
+    for tier in TIERS {
+        if kernel::set_tier(tier).is_err() {
+            eprintln!("(skipping pragformer_forward_{}: unsupported on this CPU)", tier.name());
+            continue;
+        }
+        group.bench_function(format!("pragformer_forward_{}", tier.name()), |b| {
+            b.iter_batched(
+                || (ids.clone(), vec![valid]),
+                |(ids, valid)| model.predict_proba(&ids, &valid),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    kernel::set_tier(prior).expect("restore kernel tier");
     group.bench_function("bow_predict", |b| {
         b.iter(|| bow.predict_proba(std::hint::black_box(&tokens)))
     });
@@ -119,6 +141,25 @@ fn bench_batched_throughput(c: &mut Criterion) {
     group.bench_function("advise_batch_shared_distinct/64", |b| {
         b.iter(|| shared.advise_batch(&distinct_refs))
     });
+    // Per-tier twins of the shared-trunk distinct batch-64 arm, kernel
+    // tier pinned per arm (single-threaded here, so the global flip is
+    // safe). The distinct set keeps all 64 forwards live — the repeated
+    // idiom set dedups to a handful of forwards, burying the kernel
+    // share under parse/tokenize time.
+    let prior = kernel::active_tier();
+    for tier in TIERS {
+        if kernel::set_tier(tier).is_err() {
+            eprintln!(
+                "(skipping advise_batch_shared_distinct_{}/64: unsupported on this CPU)",
+                tier.name()
+            );
+            continue;
+        }
+        group.bench_function(format!("advise_batch_shared_distinct_{}/64", tier.name()), |b| {
+            b.iter(|| shared.advise_batch(&distinct_refs))
+        });
+    }
+    kernel::set_tier(prior).expect("restore kernel tier");
     // The baselines the batch path is measured against: the same
     // snippets, one advise() call each.
     group.bench_function("advise_sequential/64", |b| {

@@ -4,8 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pragformer_tensor::init::SeededRng;
+use pragformer_tensor::kernel::quantize::{self, QuantizedMatrix};
 use pragformer_tensor::nn::{Layer, LayerNorm};
-use pragformer_tensor::{ops, Tensor};
+use pragformer_tensor::{kernel, ops, Tensor};
 
 fn bench_kernels(c: &mut Criterion) {
     let mut rng = SeededRng::new(5);
@@ -37,6 +38,26 @@ fn bench_kernels(c: &mut Criterion) {
     let mut ln = LayerNorm::new("ln", 128);
     group.bench_function("layernorm_512x128", |b| {
         b.iter(|| ln.forward(std::hint::black_box(&x), false))
+    });
+    group.finish();
+
+    // Per-tier GEMM arms: the same 128×128 product through each SIMD
+    // backend explicitly (`matmul_with` bypasses the global tier), plus
+    // the int8 path with B pre-quantized (the trunk's steady state —
+    // weights are quantized once, activations per call).
+    let mut group = c.benchmark_group("kernel_tier");
+    let n = 128usize;
+    let a = Tensor::randn(&[n, n], 1.0, &mut rng);
+    let b = Tensor::randn(&[n, n], 1.0, &mut rng);
+    group.throughput(Throughput::Elements(2 * (n as u64).pow(3)));
+    for simd in kernel::available_simds() {
+        group.bench_with_input(BenchmarkId::new("matmul", simd.name()), &n, |bch, _| {
+            bch.iter(|| ops::matmul_with(simd, std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+    }
+    let qb = QuantizedMatrix::quantize(&b);
+    group.bench_with_input(BenchmarkId::new("matmul", "int8"), &n, |bch, _| {
+        bch.iter(|| quantize::matmul_quant(std::hint::black_box(&a), std::hint::black_box(&qb)))
     });
     group.finish();
 }

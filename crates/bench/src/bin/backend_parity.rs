@@ -7,8 +7,9 @@
 //! three; this binary checks the speed did not cost accuracy (the PR's
 //! acceptance bound: within ±2 macro-F1 points per head at small scale).
 //! Single-seed gaps on the small clause splits are noisy (a few hundred
-//! test examples), so the comparison trains both backends under **three**
-//! seeds (`--seed`, `+1`, `+2`) and reports per-seed gaps plus the mean.
+//! test examples), so the comparison trains both backends under `--seeds`
+//! seeds (default 3: `--seed`, `+1`, `+2`) and reports per-seed gaps plus
+//! the mean.
 
 use pragformer_bench::{emit, parse_args};
 use pragformer_core::experiments::run_backend_parity;
@@ -16,33 +17,32 @@ use pragformer_corpus::generate;
 use pragformer_eval::report::{f2, Table};
 
 const HEADS: [&str; 3] = ["directive", "private", "reduction"];
-const SEEDS: u64 = 3;
 
 fn main() {
     let opts = parse_args();
     let mut per_seed: Vec<[f64; 3]> = Vec::new(); // gap per head, per seed
     let mut mean_ph = [0.0f64; 3];
     let mut mean_sh = [0.0f64; 3];
-    for offset in 0..SEEDS {
+    for offset in 0..opts.seeds {
         let seed = opts.seed + offset;
         eprintln!("training both advisor backends ({:?} scale, seed {seed})…", opts.scale);
         let db = generate(&opts.scale.generator(seed));
         let out = run_backend_parity(&db, opts.scale, seed);
         per_seed.push([0, 1, 2].map(|h| out.heads[h].macro_f1_gap_points()));
         for h in 0..3 {
-            mean_ph[h] += out.heads[h].per_head.macro_f1() / SEEDS as f64;
-            mean_sh[h] += out.heads[h].shared.macro_f1() / SEEDS as f64;
+            mean_ph[h] += out.heads[h].per_head.macro_f1() / opts.seeds as f64;
+            mean_sh[h] += out.heads[h].shared.macro_f1() / opts.seeds as f64;
         }
     }
 
     let mut t = Table::new(
-        "Backend parity — per-head macro-F1, PerHead vs SharedTrunk (3 seeds)",
+        "Backend parity — per-head macro-F1, PerHead vs SharedTrunk",
         &["Head", "PerHead mean", "SharedTrunk mean", "Gap/seed (pts)", "Mean gap (pts)"],
     );
     let mut max_mean_gap = 0.0f64;
     for h in 0..3 {
         let gaps: Vec<String> = per_seed.iter().map(|s| format!("{:+.1}", s[h])).collect();
-        let mean_gap = per_seed.iter().map(|s| s[h]).sum::<f64>() / SEEDS as f64;
+        let mean_gap = per_seed.iter().map(|s| s[h]).sum::<f64>() / opts.seeds as f64;
         max_mean_gap = max_mean_gap.max(mean_gap.abs());
         t.row(&[
             HEADS[h].to_string(),

@@ -42,16 +42,19 @@ pub struct HarnessOptions {
     pub scale: Scale,
     /// Master seed.
     pub seed: u64,
+    /// Seed-repeat count for the parity harnesses (`--seeds N`,
+    /// default 3: `--seed`, `+1`, `+2`). Most binaries ignore it.
+    pub seeds: u64,
 }
 
-/// Parses `--scale` / `--seed` from `std::env::args` with defaults
-/// (`small`, 20220404). Unknown flags abort with usage help.
+/// Parses `--scale` / `--seed` / `--seeds` from `std::env::args` with
+/// defaults (`small`, 20220404, 3). Unknown flags abort with usage help.
 pub fn parse_args() -> HarnessOptions {
     parse_arg_list(std::env::args().skip(1))
 }
 
 fn parse_arg_list(args: impl Iterator<Item = String>) -> HarnessOptions {
-    let mut opts = HarnessOptions { scale: Scale::Small, seed: 20220404 };
+    let mut opts = HarnessOptions { scale: Scale::Small, seed: 20220404, seeds: 3 };
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -69,8 +72,15 @@ fn parse_arg_list(args: impl Iterator<Item = String>) -> HarnessOptions {
                     std::process::exit(2);
                 });
             }
+            "--seeds" => {
+                let v = args.next().unwrap_or_default();
+                opts.seeds = v.parse().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
+                    eprintln!("bad seed count '{v}' (need an integer ≥ 1)");
+                    std::process::exit(2);
+                });
+            }
             "--help" | "-h" => {
-                eprintln!("usage: <harness> [--scale tiny|small|paper] [--seed N]");
+                eprintln!("usage: <harness> [--scale tiny|small|paper] [--seed N] [--seeds N]");
                 std::process::exit(0);
             }
             other => {
@@ -134,6 +144,13 @@ mod tests {
         let o = parse_arg_list(["--scale", "tiny", "--seed", "99"].iter().map(|s| s.to_string()));
         assert_eq!(o.scale, Scale::Tiny);
         assert_eq!(o.seed, 99);
+        assert_eq!(o.seeds, 3);
+    }
+
+    #[test]
+    fn parses_seed_count() {
+        let o = parse_arg_list(["--seeds", "1"].iter().map(|s| s.to_string()));
+        assert_eq!(o.seeds, 1);
     }
 
     #[test]

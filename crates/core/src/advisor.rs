@@ -39,8 +39,9 @@ use pragformer_cparse::omp::{OmpClause, OmpDirective};
 use pragformer_cparse::{parse_snippet, ParseError};
 use pragformer_model::multitask::{self, MultiTaskConfig, MultiTaskExample, Task};
 use pragformer_model::trainer::Trainer;
-use pragformer_model::{MultiTaskPragFormer, PragFormer};
+use pragformer_model::{MultiTaskPragFormer, PragFormer, TrunkWeightBytes};
 use pragformer_tensor::init::SeededRng;
+use pragformer_tensor::kernel::KernelTier;
 use pragformer_tensor::parallel::par_map_indexed;
 use pragformer_tokenize::{tokens_for, Representation, Vocab};
 
@@ -322,6 +323,44 @@ impl Advisor {
         match &self.models {
             Models::PerHead { .. } => AdvisorBackend::PerHead,
             Models::SharedTrunk(_) => AdvisorBackend::SharedTrunk,
+        }
+    }
+
+    /// The process-wide kernel tier the advisor's GEMMs dispatch on
+    /// (reported by serve/CLI startup lines and experiment logs).
+    pub fn kernel_tier(&self) -> KernelTier {
+        pragformer_tensor::kernel::active_tier()
+    }
+
+    /// Advisor-local int8 override, forwarded to every backing trunk:
+    /// `Some(true)` runs quantized trunk inference, `Some(false)` forces
+    /// f32, `None` follows the process kernel tier. Model-local, so
+    /// parity harnesses can compare both paths without flipping the
+    /// global tier under other threads.
+    pub fn set_int8(&mut self, force: Option<bool>) {
+        match &mut self.models {
+            Models::PerHead { directive, private, reduction } => {
+                directive.set_int8_override(force);
+                private.set_int8_override(force);
+                reduction.set_int8_override(force);
+            }
+            Models::SharedTrunk(model) => model.set_int8_override(force),
+        }
+    }
+
+    /// Static f32-vs-int8 weight accounting over the advisor's trunk(s):
+    /// `(f32_bytes, int8_bytes)` summed across backing models.
+    pub fn trunk_weight_bytes(&self) -> (usize, usize) {
+        let sum = |parts: &[TrunkWeightBytes]| {
+            parts.iter().fold((0usize, 0usize), |(a, b), w| (a + w.f32_bytes, b + w.int8_bytes))
+        };
+        match &self.models {
+            Models::PerHead { directive, private, reduction } => sum(&[
+                directive.trunk_weight_bytes(),
+                private.trunk_weight_bytes(),
+                reduction.trunk_weight_bytes(),
+            ]),
+            Models::SharedTrunk(model) => sum(&[model.trunk_weight_bytes()]),
         }
     }
 
@@ -810,6 +849,41 @@ mod tests {
                 "snippet {i}"
             );
         }
+    }
+
+    #[test]
+    fn int8_advice_is_shape_identical_and_batch_invariant() {
+        // The int8 trunk must change only probability *values*: parse
+        // errors, advice shape and the batched == sequential bitwise
+        // contract all hold exactly as in f32. Model-local override —
+        // the global tier is never touched.
+        let mut advisor = Advisor::untrained_backend(Scale::Tiny, 9, AdvisorBackend::SharedTrunk);
+        let snippets: Vec<&str> = vec![
+            "for (i = 0; i < n; i++) a[i] = b[i] + c[i];",
+            "for (i = 0; i < ; i++ {", // parse error mid-batch
+            "s = 0.0;\nfor (i = 0; i < n; i++) s += a[i] * b[i];",
+        ];
+        advisor.set_int8(Some(false));
+        let f32_out = advisor.advise_batch(&snippets);
+        advisor.set_int8(Some(true));
+        let int8_out = advisor.advise_batch(&snippets);
+        for (i, (a, b)) in f32_out.iter().zip(&int8_out).enumerate() {
+            match (a, b) {
+                (Err(ea), Err(eb)) => assert_eq!(ea.to_string(), eb.to_string(), "snippet {i}"),
+                (Ok(fa), Ok(ib)) => {
+                    assert_eq!(fa.compar_agrees, ib.compar_agrees, "snippet {i}");
+                    assert!((0.0..=1.0).contains(&ib.confidence), "snippet {i}");
+                }
+                other => panic!("snippet {i}: int8 changed ok/err shape: {other:?}"),
+            }
+        }
+        // Batched == sequential, bit for bit, under the quantized trunk.
+        let single = advisor.advise(snippets[0]).unwrap();
+        let batched = int8_out[0].as_ref().unwrap();
+        assert_eq!(batched.confidence.to_bits(), single.confidence.to_bits());
+        assert_eq!(batched.private_probability.to_bits(), single.private_probability.to_bits());
+        let (f32_bytes, int8_bytes) = advisor.trunk_weight_bytes();
+        assert!(int8_bytes < f32_bytes, "int8 accounting must shrink the trunk");
     }
 
     #[test]

@@ -351,6 +351,108 @@ pub fn run_backend_parity(db: &Database, scale: Scale, seed: u64) -> BackendPari
     }
 }
 
+/// One head's held-out comparison between f32 and int8 trunk inference.
+pub struct Int8HeadParity {
+    /// Head name (`directive` / `private` / `reduction`).
+    pub head: &'static str,
+    /// Confusion with the f32 trunk.
+    pub f32: Confusion,
+    /// Confusion with the int8-quantized trunk.
+    pub int8: Confusion,
+}
+
+impl Int8HeadParity {
+    /// Macro-F1 gap `int8 − f32` in points (×100).
+    pub fn macro_f1_gap_points(&self) -> f64 {
+        (self.int8.macro_f1() - self.f32.macro_f1()) * 100.0
+    }
+}
+
+/// Outcome of the int8-parity experiment: one trained advisor, each head's
+/// held-out test split scored twice — once with the f32 trunk, once with
+/// the per-channel int8 trunk — plus the trunk weight-byte accounting.
+pub struct Int8Parity {
+    /// One entry per head, in `Task` order.
+    pub heads: [Int8HeadParity; 3],
+    /// Trunk matrix/embedding weight bytes at f32.
+    pub trunk_f32_bytes: usize,
+    /// The same weights under the int8 scheme (per-column i8 + f32 scale).
+    pub trunk_int8_bytes: usize,
+}
+
+impl Int8Parity {
+    /// Largest absolute per-head macro-F1 gap, in points.
+    pub fn max_gap_points(&self) -> f64 {
+        self.heads.iter().map(|h| h.macro_f1_gap_points().abs()).fold(0.0, f64::max)
+    }
+
+    /// `trunk_int8_bytes / trunk_f32_bytes`.
+    pub fn byte_ratio(&self) -> f64 {
+        self.trunk_int8_bytes as f64 / self.trunk_f32_bytes as f64
+    }
+}
+
+/// Trains one shared-trunk advisor and scores each head's held-out test
+/// split twice through the full advise pipeline — with the f32 trunk and
+/// with the int8 trunk — using the model-local override
+/// ([`Advisor::set_int8`]) so the global kernel tier is never disturbed.
+///
+/// This is the accuracy gate for [`pragformer_tensor::kernel::KernelTier::Int8`]:
+/// the tier is acceptable when the per-head macro-F1 gap stays within a
+/// couple of points of f32 while the trunk weight bytes shrink to ≲30%.
+pub fn run_int8_parity(db: &Database, scale: Scale, seed: u64) -> Int8Parity {
+    let mut advisor = Advisor::train_backend(db, scale, seed, AdvisorBackend::SharedTrunk);
+    let (trunk_f32_bytes, trunk_int8_bytes) = advisor.trunk_weight_bytes();
+
+    // Same split constructor `train_backend` uses → test splits are held
+    // out by construction (see `run_backend_parity`).
+    let (directive_ds, private_ds, reduction_ds) = crate::advisor::training_datasets(db, seed);
+
+    let mut eval_head = |examples: &[pragformer_corpus::Example],
+                         pick: fn(&crate::advisor::HeadProbs) -> f32|
+     -> (Confusion, Confusion) {
+        let sources: Vec<String> = examples.iter().map(|e| db.records()[e.record].code()).collect();
+        let refs: Vec<&str> = sources.iter().map(String::as_str).collect();
+        let labels: Vec<bool> = examples.iter().map(|e| e.label).collect();
+        let score = |advisor: &mut Advisor, int8: bool| -> Confusion {
+            advisor.set_int8(Some(int8));
+            let prepared = advisor.prepare_batch(&refs);
+            let parsed: Vec<&crate::advisor::PreparedSnippet> =
+                prepared.iter().filter_map(|p| p.as_ref().ok()).collect();
+            let probs = advisor.head_probs_batch(&parsed);
+            let mut next = 0;
+            let preds: Vec<bool> = prepared
+                .iter()
+                .map(|p| {
+                    if p.is_ok() {
+                        let verdict = pick(&probs[next]) > 0.5;
+                        next += 1;
+                        verdict
+                    } else {
+                        false // strict-front-end failure → negative
+                    }
+                })
+                .collect();
+            confusion(&preds, &labels)
+        };
+        (score(&mut advisor, false), score(&mut advisor, true))
+    };
+
+    let (d_f, d_q) = eval_head(&directive_ds.split.test, |p| p.directive);
+    let (p_f, p_q) = eval_head(&private_ds.split.test, |p| p.private);
+    let (r_f, r_q) = eval_head(&reduction_ds.split.test, |p| p.reduction);
+    advisor.set_int8(None);
+    Int8Parity {
+        heads: [
+            Int8HeadParity { head: "directive", f32: d_f, int8: d_q },
+            Int8HeadParity { head: "private", f32: p_f, int8: p_q },
+            Int8HeadParity { head: "reduction", f32: r_f, int8: r_q },
+        ],
+        trunk_f32_bytes,
+        trunk_int8_bytes,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -415,6 +517,36 @@ mod tests {
         let d = &out.heads[0];
         assert!(d.per_head.metrics().accuracy > 0.55, "{:?}", d.per_head.metrics());
         assert!(d.shared.metrics().accuracy > 0.55, "{:?}", d.shared.metrics());
+    }
+
+    #[test]
+    fn int8_parity_scores_every_head_twice_and_shrinks_the_trunk() {
+        let db = tiny_db(15);
+        let out = run_int8_parity(&db, Scale::Tiny, 5);
+        for h in &out.heads {
+            assert!(h.f32.total() > 0, "{}: empty test split", h.head);
+            assert_eq!(
+                h.f32.total(),
+                h.int8.total(),
+                "{}: f32/int8 scored different example counts",
+                h.head
+            );
+            assert!((0.0..=1.0).contains(&h.f32.macro_f1()), "{}", h.head);
+            assert!((0.0..=1.0).contains(&h.int8.macro_f1()), "{}", h.head);
+        }
+        // At tiny scale the per-f32-scale overhead is proportionally
+        // large; the ≤30% acceptance gate is checked at small scale by
+        // the `kernel_parity` bench binary.
+        assert!(out.byte_ratio() < 0.45, "byte ratio {:.3}", out.byte_ratio());
+        assert!(out.trunk_int8_bytes < out.trunk_f32_bytes);
+        // Quantization must not wreck a learned head at tiny scale.
+        let d = &out.heads[0];
+        assert!(d.f32.metrics().accuracy > 0.55, "{:?}", d.f32.metrics());
+        assert!(
+            d.macro_f1_gap_points().abs() < 15.0,
+            "directive gap {:.1} pts",
+            d.macro_f1_gap_points()
+        );
     }
 
     #[test]

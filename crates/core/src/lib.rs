@@ -31,4 +31,5 @@ pub mod scale;
 
 pub use advisor::{Advice, Advisor, AdvisorBackend, HeadProbs, PreparedSnippet};
 pub use encode::{encode_dataset, EncodedDataset};
+pub use pragformer_tensor::kernel::KernelTier;
 pub use scale::Scale;

@@ -193,6 +193,15 @@ impl MultiHeadSelfAttention {
         self.wo.visit_params(f);
     }
 
+    /// Visits the four projection layers themselves (int8 cache
+    /// management, weight accounting).
+    pub fn for_each_linear(&mut self, f: &mut dyn FnMut(&mut Linear)) {
+        f(&mut self.wq);
+        f(&mut self.wk);
+        f(&mut self.wv);
+        f(&mut self.wo);
+    }
+
     /// Attention probabilities of the last forward call, per
     /// `(batch, head)` in row-major order — used by explainability tools.
     pub fn last_probs(&self) -> Option<&[Tensor]> {

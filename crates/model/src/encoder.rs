@@ -67,6 +67,14 @@ impl EncoderBlock {
     pub fn last_attention(&self) -> Option<&[Tensor]> {
         self.attn.last_probs()
     }
+
+    /// Visits every dense layer in the block (int8 cache management,
+    /// weight accounting).
+    pub fn for_each_linear(&mut self, f: &mut dyn FnMut(&mut Linear)) {
+        self.attn.for_each_linear(f);
+        f(&mut self.ff1);
+        f(&mut self.ff2);
+    }
 }
 
 /// Token + position embeddings, embedding LayerNorm/dropout, and the block
@@ -175,6 +183,31 @@ impl Encoder {
     /// Attention maps of the final block's last forward.
     pub fn last_attention(&self) -> Option<&[Tensor]> {
         self.blocks.last().and_then(EncoderBlock::last_attention)
+    }
+
+    /// Builds int8 copies of every weight matrix and embedding table for
+    /// quantized inference. Idempotent: already-quantized layers keep
+    /// their caches, so calling this per eval forward is cheap.
+    pub fn ensure_int8(&mut self) {
+        self.tok.ensure_quantized();
+        self.pos.ensure_quantized();
+        for blk in &mut self.blocks {
+            blk.for_each_linear(&mut |lin| lin.ensure_quantized());
+        }
+    }
+
+    /// Drops every int8 copy; forwards return to pure f32.
+    pub fn drop_int8(&mut self) {
+        self.tok.drop_quantized();
+        self.pos.drop_quantized();
+        for blk in &mut self.blocks {
+            blk.for_each_linear(&mut |lin| lin.drop_quantized());
+        }
+    }
+
+    /// Whether the int8 weight copies are currently built.
+    pub fn int8_active(&self) -> bool {
+        self.tok.is_quantized()
     }
 }
 

@@ -18,6 +18,8 @@
 use crate::config::ModelConfig;
 use crate::encoder::Encoder;
 use pragformer_tensor::init::SeededRng;
+use pragformer_tensor::kernel::quantize::{QuantizedEmbedding, QuantizedMatrix};
+use pragformer_tensor::kernel::{active_tier, KernelTier};
 use pragformer_tensor::nn::{Activation, ActivationKind, Dropout, Layer, Linear, Param};
 use pragformer_tensor::Tensor;
 
@@ -31,18 +33,35 @@ use pragformer_tensor::Tensor;
 pub struct Trunk {
     encoder: Encoder,
     cache: Option<(usize, usize)>,
+    /// Per-model override of the int8 decision: `Some(true)` forces the
+    /// quantized trunk, `Some(false)` forces f32, `None` follows the
+    /// process-wide kernel tier. Model-local so parity harnesses can
+    /// compare both paths without flipping the global tier under
+    /// concurrently running models.
+    int8_override: Option<bool>,
 }
 
 impl Trunk {
     /// Builds a trunk from a config and seed.
     pub fn new(cfg: &ModelConfig, rng: &mut SeededRng) -> Self {
-        Self { encoder: Encoder::new(cfg, rng), cache: None }
+        Self { encoder: Encoder::new(cfg, rng), cache: None, int8_override: None }
     }
 
     /// Wraps an already-built encoder (e.g. one restored from MLM
     /// pre-training).
     pub fn from_encoder(encoder: Encoder) -> Self {
-        Self { encoder, cache: None }
+        Self { encoder, cache: None, int8_override: None }
+    }
+
+    /// Sets the model-local int8 override (see the field docs). Takes
+    /// effect on the next eval forward.
+    pub fn set_int8_override(&mut self, force: Option<bool>) {
+        self.int8_override = force;
+    }
+
+    /// The current model-local int8 override.
+    pub fn int8_override(&self) -> Option<bool> {
+        self.int8_override
     }
 
     /// Model configuration.
@@ -69,6 +88,19 @@ impl Trunk {
         seq: usize,
         train: bool,
     ) -> Tensor {
+        // Quantized inference is gated here (not in the layers): eval
+        // forwards under the Int8 tier — or a model-local override —
+        // run on int8 weight copies; training always runs f32. The
+        // ensure/drop pair is idempotent and the copies are invalidated
+        // by any parameter mutation, so this stays correct across
+        // train/eval interleavings and checkpoint restores.
+        let want_int8 =
+            !train && self.int8_override.unwrap_or_else(|| active_tier() == KernelTier::Int8);
+        if want_int8 {
+            self.encoder.ensure_int8();
+        } else {
+            self.encoder.drop_int8();
+        }
         let batch = ids.len() / seq.max(1);
         let h = self.encoder.forward_seq(ids, valid, seq, train);
         let d_model = self.config().d_model;
@@ -100,6 +132,53 @@ impl Trunk {
     /// Parameter traversal over the encoder stack.
     pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         self.encoder.visit_params(f);
+    }
+
+    /// Static weight-memory accounting for this trunk (f32 vs the int8
+    /// tier). Pure shape arithmetic from the config — building the int8
+    /// caches is not required and nothing is invalidated.
+    pub fn weight_bytes(&self) -> TrunkWeightBytes {
+        let cfg = self.config();
+        let (d, dff) = (cfg.d_model, cfg.d_ff);
+        let mut f32_bytes = 0usize;
+        let mut int8_bytes = 0usize;
+        // Embedding tables: quantized per row under int8.
+        for (rows, dim) in [(cfg.vocab, d), (cfg.max_len, d)] {
+            f32_bytes += rows * dim * 4;
+            int8_bytes += QuantizedEmbedding::bytes_for(rows, dim);
+        }
+        // Weight matrices: quantized per output column under int8.
+        let mats_per_layer = [(d, d), (d, d), (d, d), (d, d), (d, dff), (dff, d)];
+        for (rows, cols) in mats_per_layer.into_iter().cycle().take(6 * cfg.n_layers) {
+            f32_bytes += rows * cols * 4;
+            int8_bytes += QuantizedMatrix::bytes_for(rows, cols);
+        }
+        // Biases and LayerNorm affine params stay f32 in both tiers:
+        // embedding LN (2d) + per layer 4 attention biases (4d), two
+        // LNs (4d), and the FFN biases (dff + d).
+        let small = 2 * d + cfg.n_layers * (4 * d + 4 * d + dff + d);
+        f32_bytes += small * 4;
+        int8_bytes += small * 4;
+        TrunkWeightBytes { f32_bytes, int8_bytes }
+    }
+}
+
+/// Byte totals for a trunk's weights in the f32 and int8 tiers
+/// (see [`Trunk::weight_bytes`]).
+#[derive(Clone, Copy, Debug)]
+pub struct TrunkWeightBytes {
+    /// Total bytes of every trunk parameter held as f32.
+    pub f32_bytes: usize,
+    /// Total bytes with every weight matrix / embedding table in its
+    /// int8 form (i8 values + f32 scales); biases and LN params stay f32.
+    pub int8_bytes: usize,
+}
+
+impl TrunkWeightBytes {
+    /// `int8_bytes / f32_bytes` — the compression ratio the int8
+    /// acceptance gate bounds (≤ 0.30 at evaluation scales).
+    pub fn ratio(&self) -> f64 {
+        self.int8_bytes as f64 / self.f32_bytes as f64
     }
 }
 
@@ -169,6 +248,72 @@ mod tests {
         let again = trunk.forward_cls(&ids, &[5, 7, 9], cfg.max_len, false);
         trunk.clear_cache();
         assert_eq!(cls, again);
+    }
+
+    #[test]
+    fn weight_bytes_f32_total_matches_param_traversal() {
+        let cfg = ModelConfig::tiny(12);
+        let mut rng = SeededRng::new(5);
+        let mut trunk = Trunk::new(&cfg, &mut rng);
+        let wb = trunk.weight_bytes();
+        let mut traversed = 0usize;
+        trunk.visit_params(&mut |p| traversed += p.value.len() * 4);
+        assert_eq!(wb.f32_bytes, traversed, "static accounting drifted from real params");
+        assert!(wb.int8_bytes < wb.f32_bytes);
+        // Tiny dims carry proportionally more scale overhead than the
+        // eval scales the ≤0.30 gate targets; still far below 1.
+        assert!(wb.ratio() < 0.45, "ratio {}", wb.ratio());
+    }
+
+    #[test]
+    fn int8_override_quantizes_eval_and_training_restores_f32() {
+        let cfg = ModelConfig::tiny(12);
+        let mut rng = SeededRng::new(6);
+        let mut trunk = Trunk::new(&cfg, &mut rng);
+        let ids: Vec<usize> = (0..2 * cfg.max_len).map(|i| i % 12).collect();
+        let valid = [7usize, 9];
+        let f32_cls = trunk.forward_cls(&ids, &valid, cfg.max_len, false);
+        trunk.clear_cache();
+        assert!(!trunk.encoder().int8_active());
+        trunk.set_int8_override(Some(true));
+        let q_cls = trunk.forward_cls(&ids, &valid, cfg.max_len, false);
+        trunk.clear_cache();
+        assert!(trunk.encoder().int8_active(), "override must build int8 caches");
+        assert_ne!(f32_cls, q_cls, "quantization should perturb some bits");
+        for (a, b) in f32_cls.data().iter().zip(q_cls.data()) {
+            assert!((a - b).abs() < 0.35, "int8 CLS {b} too far from f32 {a}");
+        }
+        // A training forward must tear the int8 caches down even while
+        // the override is still set.
+        let _ = trunk.forward_cls(&ids, &valid, cfg.max_len, true);
+        trunk.clear_cache();
+        assert!(!trunk.encoder().int8_active(), "train forward left int8 caches up");
+        trunk.set_int8_override(None);
+        let back = trunk.forward_cls(&ids, &valid, cfg.max_len, false);
+        trunk.clear_cache();
+        assert_eq!(back, f32_cls, "f32 path must restore bitwise");
+    }
+
+    #[test]
+    fn int8_cls_rows_are_batch_invariant() {
+        let cfg = ModelConfig::tiny(12);
+        let mut rng = SeededRng::new(7);
+        let mut trunk = Trunk::new(&cfg, &mut rng);
+        trunk.set_int8_override(Some(true));
+        let ids: Vec<usize> = (0..3 * cfg.max_len).map(|i| (i * 3 + 1) % 12).collect();
+        let valid = [5usize, 8, 11];
+        let batched = trunk.forward_cls(&ids, &valid, cfg.max_len, false);
+        trunk.clear_cache();
+        for b in 0..3 {
+            let one = trunk.forward_cls(
+                &ids[b * cfg.max_len..(b + 1) * cfg.max_len],
+                &valid[b..b + 1],
+                cfg.max_len,
+                false,
+            );
+            trunk.clear_cache();
+            assert_eq!(one.row(0), batched.row(b), "int8 CLS row {b} not batch invariant");
+        }
     }
 
     #[test]

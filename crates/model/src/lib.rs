@@ -44,7 +44,7 @@ pub mod trainer;
 
 pub use batching::{EpochMetrics, TrainConfig, TrainLoop};
 pub use config::ModelConfig;
-pub use head::{ClassifierHead, Trunk};
+pub use head::{ClassifierHead, Trunk, TrunkWeightBytes};
 pub use multitask::{
     MultiTaskConfig, MultiTaskExample, MultiTaskHistory, MultiTaskPragFormer, Task,
 };

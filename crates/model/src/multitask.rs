@@ -83,6 +83,18 @@ impl MultiTaskPragFormer {
         self.trunk.config()
     }
 
+    /// Model-local int8 override for the shared trunk: `Some(true)`
+    /// forces quantized inference, `Some(false)` forces f32, `None`
+    /// follows the process kernel tier.
+    pub fn set_int8_override(&mut self, force: Option<bool>) {
+        self.trunk.set_int8_override(force);
+    }
+
+    /// Static f32-vs-int8 weight accounting for the shared trunk.
+    pub fn trunk_weight_bytes(&self) -> crate::head::TrunkWeightBytes {
+        self.trunk.weight_bytes()
+    }
+
     /// The advisor's shared-trunk hot path: one batched trunk forward,
     /// then all three head projections (eval mode).
     ///

@@ -43,6 +43,18 @@ impl PragFormer {
         self.trunk.encoder()
     }
 
+    /// Model-local int8 override: `Some(true)` forces quantized trunk
+    /// inference, `Some(false)` forces f32, `None` follows the process
+    /// kernel tier (see [`crate::head::Trunk::set_int8_override`]).
+    pub fn set_int8_override(&mut self, force: Option<bool>) {
+        self.trunk.set_int8_override(force);
+    }
+
+    /// Static f32-vs-int8 weight accounting for the trunk.
+    pub fn trunk_weight_bytes(&self) -> crate::head::TrunkWeightBytes {
+        self.trunk.weight_bytes()
+    }
+
     /// Forward pass: `[batch × max_len]` ids → `[batch, n_classes]` logits.
     pub fn forward(&mut self, ids: &[usize], valid: &[usize], train: bool) -> Tensor {
         self.forward_seq(ids, valid, self.config().max_len, train)

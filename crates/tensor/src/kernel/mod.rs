@@ -1,0 +1,305 @@
+//! Kernel tiers: runtime-dispatched compute backends for the GEMM stack.
+//!
+//! Every dense kernel in [`crate::ops`] runs on one of three **tiers**,
+//! selected once per process:
+//!
+//! * [`KernelTier::Scalar`] — the portable f32 microkernels (the only
+//!   tier before this module existed). Bit-for-bit identical to the
+//!   historical kernels on every platform.
+//! * [`KernelTier::Avx2`] — the same `MR×NR` packed microkernels
+//!   reimplemented with `core::arch::x86_64` AVX2/FMA intrinsics behind
+//!   `#[target_feature]` (see [`self`] internals). Selected by default
+//!   when the CPU reports `avx2` **and** `fma`.
+//! * [`KernelTier::Int8`] — an inference-only tier: trunk weights are
+//!   quantized per output channel to `i8` ([`quantize`]) and activations
+//!   dynamically per row; accumulation is exact `i32`. Float GEMMs that
+//!   are not quantized (gradients, heads, attention scores) run on the
+//!   best available SIMD tier. Never auto-selected — it trades bounded
+//!   accuracy for speed and memory, so turning it on is an explicit
+//!   choice (env override or a model-level switch).
+//!
+//! ## Selection
+//!
+//! The tier is picked lazily on first kernel use: the
+//! `PRAGFORMER_KERNEL=scalar|avx2|int8` environment variable wins if set
+//! (an unavailable or unknown value falls back to detection with a note);
+//! otherwise runtime CPU detection (`is_x86_feature_detected!`) chooses
+//! between `Avx2` and `Scalar`. One startup line on stderr records the
+//! detected features, the chosen tier and its provenance, so recorded
+//! benchmarks are attributable. Harnesses can switch tiers in-process
+//! with [`set_tier`].
+//!
+//! ## The tier contract
+//!
+//! * **Bitwise determinism *within* a tier.** Each tier accumulates
+//!   every output element in a single chain ascending in the contraction
+//!   index, so per-row results are bitwise identical across batch sizes,
+//!   padding lengths, worker splits and the packed/simple dispatch —
+//!   the repo-wide row-determinism contract (`advise_batch` == sequential
+//!   `advise`, serve-cache reuse) holds under every tier. Proptested per
+//!   tier in `tests/kernel_tier_proptests.rs`.
+//! * **Parity bounds *across* tiers.** Tiers legitimately differ in
+//!   their bits: `Avx2` fuses each multiply-add into one rounding,
+//!   `Int8` quantizes trunk weights. Cross-tier agreement is bounded,
+//!   not bitwise: Avx2-vs-Scalar differences are a few ULP per reduction
+//!   step, and the `Int8` trunk is gated by an accuracy harness
+//!   (`run_int8_parity`: macro-F1 within ±2 points of f32 on every
+//!   head). Checkpoints, caches and recorded probabilities are only
+//!   comparable within one tier.
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod avx2;
+pub mod quantize;
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// The compute backend every kernel call dispatches on. See the
+/// [module docs](self) for the three tiers and the determinism contract.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelTier {
+    /// Portable scalar f32 microkernels (bit-identical to the
+    /// pre-tier kernels everywhere).
+    Scalar,
+    /// AVX2/FMA f32 microkernels (x86_64 with `avx2`+`fma` only).
+    Avx2,
+    /// Int8-quantized trunk inference on top of the best available
+    /// float SIMD tier. Opt-in only.
+    Int8,
+}
+
+impl KernelTier {
+    /// Parses `scalar` / `avx2` / `int8` (the `PRAGFORMER_KERNEL`
+    /// values and CLI flags).
+    pub fn parse(s: &str) -> Option<KernelTier> {
+        match s {
+            "scalar" => Some(KernelTier::Scalar),
+            "avx2" => Some(KernelTier::Avx2),
+            "int8" => Some(KernelTier::Int8),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase name (logs, bench arm labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelTier::Scalar => "scalar",
+            KernelTier::Avx2 => "avx2",
+            KernelTier::Int8 => "int8",
+        }
+    }
+}
+
+/// The float-GEMM instruction set a tier resolves to — what
+/// [`crate::ops::matmul_with`] and friends actually dispatch on.
+/// (`Int8` has no `Simd` of its own: its float GEMMs use the best
+/// available set, its quantized GEMM is integer arithmetic.)
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Simd {
+    /// Portable scalar loops.
+    Scalar,
+    /// AVX2 + FMA intrinsics.
+    Avx2,
+}
+
+impl Simd {
+    /// Stable lowercase name (bench arm labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            Simd::Scalar => "scalar",
+            Simd::Avx2 => "avx2",
+        }
+    }
+}
+
+/// True when this CPU can run the [`KernelTier::Avx2`] kernels
+/// (x86_64 reporting both `avx2` and `fma`).
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Short description of the detected CPU features relevant to tier
+/// selection (`"avx2+fma"` / `"no avx2+fma"`).
+pub fn cpu_features() -> &'static str {
+    if avx2_available() {
+        "avx2+fma"
+    } else {
+        "no avx2+fma"
+    }
+}
+
+/// Every [`Simd`] instruction set this CPU can run — the list per-tier
+/// tests and benches iterate.
+pub fn available_simds() -> Vec<Simd> {
+    let mut v = vec![Simd::Scalar];
+    if avx2_available() {
+        v.push(Simd::Avx2);
+    }
+    v
+}
+
+/// 0 = uninitialized; otherwise `KernelTier` + 1.
+static TIER: AtomicU8 = AtomicU8::new(0);
+
+fn encode(t: KernelTier) -> u8 {
+    match t {
+        KernelTier::Scalar => 1,
+        KernelTier::Avx2 => 2,
+        KernelTier::Int8 => 3,
+    }
+}
+
+fn decode(v: u8) -> KernelTier {
+    match v {
+        1 => KernelTier::Scalar,
+        2 => KernelTier::Avx2,
+        3 => KernelTier::Int8,
+        other => unreachable!("corrupt kernel-tier state {other}"),
+    }
+}
+
+/// The active tier, initializing it on first use (env override, then
+/// CPU detection) with one startup log line on stderr.
+pub fn active_tier() -> KernelTier {
+    match TIER.load(Ordering::Relaxed) {
+        0 => init_tier(),
+        v => decode(v),
+    }
+}
+
+/// The float instruction set the active tier's f32 GEMMs run on.
+pub fn active_simd() -> Simd {
+    match active_tier() {
+        KernelTier::Scalar => Simd::Scalar,
+        KernelTier::Avx2 => Simd::Avx2,
+        KernelTier::Int8 => {
+            if avx2_available() {
+                Simd::Avx2
+            } else {
+                Simd::Scalar
+            }
+        }
+    }
+}
+
+/// Switches the active tier in-process (benches, parity harnesses, the
+/// startup override). Fails when the tier's instruction set is not
+/// available on this CPU.
+///
+/// The tier is process-global: switching while other threads run
+/// kernels makes *concurrent* calls pick either tier (each individual
+/// GEMM reads the tier once at entry, so no single call mixes tiers).
+/// Test code that must not perturb other threads should prefer the
+/// model-level int8 override or the explicit `*_with` kernel entry
+/// points instead.
+pub fn set_tier(tier: KernelTier) -> Result<(), String> {
+    if tier == KernelTier::Avx2 && !avx2_available() {
+        return Err(format!("kernel tier 'avx2' unavailable on this CPU ({})", cpu_features()));
+    }
+    // Initialize first so the startup log (with provenance) still
+    // happens exactly once even when a harness switches tiers early.
+    let _ = active_tier();
+    TIER.store(encode(tier), Ordering::Relaxed);
+    Ok(())
+}
+
+/// One-line description of the detection outcome and active tier
+/// (what the startup log prints; `profile_kernels` prints it too).
+pub fn describe() -> String {
+    format!("pragformer kernels: tier={} (cpu: {})", active_tier().name(), cpu_features())
+}
+
+#[cold]
+fn init_tier() -> KernelTier {
+    let (mut tier, mut source) = if avx2_available() {
+        (KernelTier::Avx2, "detected")
+    } else {
+        (KernelTier::Scalar, "detected")
+    };
+    let mut note = String::new();
+    if let Ok(v) = std::env::var("PRAGFORMER_KERNEL") {
+        match KernelTier::parse(&v) {
+            Some(KernelTier::Avx2) if !avx2_available() => {
+                note = format!(" (PRAGFORMER_KERNEL={v} unavailable on this CPU; falling back)");
+            }
+            Some(t) => {
+                tier = t;
+                source = "PRAGFORMER_KERNEL";
+            }
+            None => {
+                note = format!(" (ignoring unknown PRAGFORMER_KERNEL={v})");
+            }
+        }
+    }
+    // First writer wins; only the winner logs, so the startup line
+    // appears exactly once even under concurrent first use.
+    match TIER.compare_exchange(0, encode(tier), Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => {
+            eprintln!(
+                "pragformer kernels: tier={} (cpu: {}) [{}]{}",
+                tier.name(),
+                cpu_features(),
+                source,
+                note
+            );
+            tier
+        }
+        Err(v) => decode(v),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_parse_roundtrip() {
+        for t in [KernelTier::Scalar, KernelTier::Avx2, KernelTier::Int8] {
+            assert_eq!(KernelTier::parse(t.name()), Some(t));
+        }
+        assert_eq!(KernelTier::parse("sse2"), None);
+    }
+
+    #[test]
+    fn available_simds_starts_with_scalar() {
+        let simds = available_simds();
+        assert_eq!(simds[0], Simd::Scalar);
+        assert_eq!(simds.contains(&Simd::Avx2), avx2_available());
+    }
+
+    #[test]
+    fn active_tier_is_stable_and_switchable() {
+        let initial = active_tier();
+        assert_eq!(active_tier(), initial, "tier must not drift between reads");
+        // Scalar is always available; switching and restoring must work.
+        set_tier(KernelTier::Scalar).unwrap();
+        assert_eq!(active_tier(), KernelTier::Scalar);
+        assert_eq!(active_simd(), Simd::Scalar);
+        set_tier(initial).unwrap();
+        assert_eq!(active_tier(), initial);
+    }
+
+    #[test]
+    fn avx2_tier_requires_cpu_support() {
+        if avx2_available() {
+            let initial = active_tier();
+            set_tier(KernelTier::Avx2).unwrap();
+            assert_eq!(active_simd(), Simd::Avx2);
+            set_tier(initial).unwrap();
+        } else {
+            assert!(set_tier(KernelTier::Avx2).is_err());
+        }
+    }
+
+    #[test]
+    fn describe_names_the_tier() {
+        let d = describe();
+        assert!(d.contains(active_tier().name()), "{d}");
+    }
+}

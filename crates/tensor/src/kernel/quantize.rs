@@ -1,0 +1,346 @@
+//! Per-channel symmetric int8 quantization for the [`KernelTier::Int8`]
+//! inference tier.
+//!
+//! [`QuantizedMatrix`] stores a weight matrix as `i8` values in the same
+//! `NR`-wide k-major column panels `ops::pack_b_panels` builds for f32,
+//! with one f32 scale per *output column* (per channel): column `j` of
+//! the original matrix is `q[p][j] * scales[j]` with
+//! `scales[j] = max_p |w[p][j]| / 127` — symmetric, zero-point-free, so
+//! the quantized GEMM needs no offset corrections.
+//!
+//! [`matmul_quant`] quantizes each activation row dynamically (one scale
+//! per row), accumulates in exact `i32` — the contraction lengths in this
+//! codebase (`k ≤ a few hundred`) keep `Σ |qa·qb| ≤ 127²·k` far below
+//! `i32::MAX`, so integer accumulation is associative and order-free —
+//! then rescales with one f32 multiply per output element. Because the
+//! integer dot is exact and the row's quantization depends only on the
+//! row's own values, quantized results are trivially bitwise invariant
+//! to batch size, padding and worker splits: the same per-tier contract
+//! the float kernels uphold, here for free.
+//!
+//! This tier is **inference-only**: quantized caches never participate
+//! in backward passes (the nn layers assert this), and accuracy is gated
+//! end-to-end by the `run_int8_parity` harness rather than per-op error
+//! bounds. The per-op guarantee tests pin is the round-trip bound
+//! `|w − dequant(quant(w))| ≤ scale/2` per element.
+//!
+//! [`KernelTier::Int8`]: super::KernelTier::Int8
+
+use crate::Tensor;
+
+/// Panel width — matches `ops::NR` so the int8 panels mirror the f32
+/// packing layout.
+pub(crate) const NR: usize = 8;
+
+/// Quantization range: symmetric `[-127, 127]` (−128 is unused so the
+/// range is symmetric and `-q` is always representable).
+const QMAX: f32 = 127.0;
+
+/// A `k × n` weight matrix quantized per output column to `i8`, packed
+/// into `NR`-wide k-major column panels (zero-padded in the last panel).
+#[derive(Clone, Debug)]
+pub struct QuantizedMatrix {
+    k: usize,
+    n: usize,
+    /// `⌈n/NR⌉` panels, each `k × NR`, k-major: element `(p, c)` of panel
+    /// `jp` is column `jp*NR + c` at row `p`.
+    panels: Vec<i8>,
+    /// Per-column scales, length `n`; `scales[j] = amax_j / 127`
+    /// (`0.0` for an all-zero column).
+    scales: Vec<f32>,
+}
+
+impl QuantizedMatrix {
+    /// Quantizes a `[k × n]` f32 matrix per output column.
+    pub fn quantize(w: &Tensor) -> QuantizedMatrix {
+        let (k, n) = (w.rows(), w.cols());
+        let d = w.data();
+        let mut scales = vec![0.0f32; n];
+        let mut invs = vec![0.0f32; n];
+        for j in 0..n {
+            let mut amax = 0.0f32;
+            for p in 0..k {
+                amax = amax.max(d[p * n + j].abs());
+            }
+            if amax > 0.0 {
+                scales[j] = amax / QMAX;
+                invs[j] = QMAX / amax;
+            }
+        }
+        let panels_count = n.div_ceil(NR);
+        let mut panels = vec![0i8; panels_count * k * NR];
+        for jp in 0..panels_count {
+            let j0 = jp * NR;
+            let w_cols = NR.min(n - j0);
+            let panel = &mut panels[jp * k * NR..(jp + 1) * k * NR];
+            for p in 0..k {
+                for c in 0..w_cols {
+                    let j = j0 + c;
+                    panel[p * NR + c] = quantize_value(d[p * n + j], invs[j]);
+                }
+            }
+        }
+        QuantizedMatrix { k, n, panels, scales }
+    }
+
+    /// Rows of the original matrix (the contraction length).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Columns of the original matrix (output channels).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Per-column scales (length [`n`](Self::n)).
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Reconstructs the f32 matrix (`q * scale` per element) — the value
+    /// the round-trip error-bound tests compare against the original.
+    pub fn dequantize(&self) -> Tensor {
+        let mut out = Tensor::zeros(&[self.k, self.n]);
+        let o = out.data_mut();
+        for jp in 0..self.n.div_ceil(NR) {
+            let j0 = jp * NR;
+            let w = NR.min(self.n - j0);
+            let panel = &self.panels[jp * self.k * NR..(jp + 1) * self.k * NR];
+            for p in 0..self.k {
+                for c in 0..w {
+                    o[p * self.n + j0 + c] = panel[p * NR + c] as f32 * self.scales[j0 + c];
+                }
+            }
+        }
+        out
+    }
+
+    /// Bytes this quantized form occupies (i8 panels + f32 scales).
+    pub fn bytes(&self) -> usize {
+        self.panels.len() + self.scales.len() * 4
+    }
+
+    /// [`bytes`](Self::bytes) for a `k × n` matrix without building it —
+    /// static weight-memory accounting.
+    pub fn bytes_for(k: usize, n: usize) -> usize {
+        n.div_ceil(NR) * k * NR + n * 4
+    }
+}
+
+/// `round(v * inv)` clamped to the symmetric i8 range.
+#[inline]
+fn quantize_value(v: f32, inv: f32) -> i8 {
+    (v * inv).round().clamp(-QMAX, QMAX) as i8
+}
+
+/// Quantizes one activation row symmetrically; returns its scale.
+/// An all-zero row quantizes to zeros with scale `0.0`.
+fn quantize_row(row: &[f32], out: &mut [i8]) -> f32 {
+    let amax = row.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    if amax == 0.0 {
+        out.iter_mut().for_each(|q| *q = 0);
+        return 0.0;
+    }
+    let inv = QMAX / amax;
+    for (q, &v) in out.iter_mut().zip(row) {
+        *q = quantize_value(v, inv);
+    }
+    amax / QMAX
+}
+
+/// `C[m×n] = A[m×k] · dequant(QB)` computed in int8: dynamic per-row
+/// activation quantization, exact `i32` panel dot products, one f32
+/// rescale per output element.
+pub fn matmul_quant(a: &Tensor, qb: &QuantizedMatrix) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    assert_eq!(k, qb.k, "matmul_quant inner dims: {:?} x {}x{}", a.shape(), qb.k, qb.n);
+    let n = qb.n;
+    let mut out = Tensor::zeros(&[m, n]);
+    let a_d = a.data();
+    let o = out.data_mut();
+    let panels_count = n.div_ceil(NR);
+    let mut qa = vec![0i8; k];
+    for i in 0..m {
+        let a_scale = quantize_row(&a_d[i * k..(i + 1) * k], &mut qa);
+        let c_row = &mut o[i * n..(i + 1) * n];
+        if a_scale == 0.0 {
+            continue; // row of exact zeros stays exact zeros
+        }
+        for jp in 0..panels_count {
+            let j0 = jp * NR;
+            let w = NR.min(n - j0);
+            let panel = &qb.panels[jp * k * NR..(jp + 1) * k * NR];
+            let mut acc = [0i32; NR];
+            for (p, &qa_v) in qa.iter().enumerate() {
+                let stripe = &panel[p * NR..(p + 1) * NR];
+                for c in 0..NR {
+                    acc[c] += qa_v as i32 * stripe[c] as i32;
+                }
+            }
+            for c in 0..w {
+                c_row[j0 + c] = acc[c] as f32 * (a_scale * qb.scales[j0 + c]);
+            }
+        }
+    }
+    out
+}
+
+/// An embedding table quantized per *row* to `i8` (each row is one
+/// token's vector, so per-row scaling is the per-channel choice here).
+#[derive(Clone, Debug)]
+pub struct QuantizedEmbedding {
+    rows: usize,
+    dim: usize,
+    /// Row-major `i8` values, `rows × dim`.
+    data: Vec<i8>,
+    /// Per-row scales, length `rows`.
+    scales: Vec<f32>,
+}
+
+impl QuantizedEmbedding {
+    /// Quantizes a `[rows × dim]` table per row.
+    pub fn quantize(table: &Tensor) -> QuantizedEmbedding {
+        let (rows, dim) = (table.rows(), table.cols());
+        let d = table.data();
+        let mut data = vec![0i8; rows * dim];
+        let mut scales = vec![0.0f32; rows];
+        for r in 0..rows {
+            scales[r] = quantize_row(&d[r * dim..(r + 1) * dim], &mut data[r * dim..(r + 1) * dim]);
+        }
+        QuantizedEmbedding { rows, dim, data, scales }
+    }
+
+    /// Table rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Writes the dequantized row `r` into `out` (`out.len() == dim`).
+    pub fn write_row(&self, r: usize, out: &mut [f32]) {
+        assert!(r < self.rows, "embedding row {r} out of range {}", self.rows);
+        let s = self.scales[r];
+        for (o, &q) in out.iter_mut().zip(&self.data[r * self.dim..(r + 1) * self.dim]) {
+            *o = q as f32 * s;
+        }
+    }
+
+    /// Bytes this quantized form occupies (i8 table + f32 scales).
+    pub fn bytes(&self) -> usize {
+        self.data.len() + self.scales.len() * 4
+    }
+
+    /// [`bytes`](Self::bytes) for a `rows × dim` table without building
+    /// it — static weight-memory accounting.
+    pub fn bytes_for(rows: usize, dim: usize) -> usize {
+        rows * dim + rows * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::SeededRng;
+
+    #[test]
+    fn round_trip_error_is_bounded_by_half_scale() {
+        let mut rng = SeededRng::new(41);
+        let w = Tensor::randn(&[17, 11], 1.0, &mut rng);
+        let q = QuantizedMatrix::quantize(&w);
+        let back = q.dequantize();
+        for j in 0..11 {
+            let bound = q.scales()[j] * 0.500_000_3;
+            for p in 0..17 {
+                let err = (w.at2(p, j) - back.at2(p, j)).abs();
+                assert!(err <= bound, "({p},{j}): err {err} > {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_column_and_zero_row_stay_exact_zero() {
+        let mut w = Tensor::zeros(&[4, 3]);
+        w.data_mut()[1] = 2.0; // column 1 nonzero, columns 0 and 2 zero
+        let q = QuantizedMatrix::quantize(&w);
+        assert_eq!(q.scales()[0], 0.0);
+        assert_eq!(q.scales()[2], 0.0);
+        let a = Tensor::from_vec(&[2, 4], vec![0.0, 0.0, 0.0, 0.0, 1.0, 2.0, 3.0, 4.0]);
+        let c = matmul_quant(&a, &q);
+        assert_eq!(c.row(0), &[0.0, 0.0, 0.0], "zero activation row");
+        assert_eq!(c.at2(1, 0), 0.0, "zero weight column");
+        assert_eq!(c.at2(1, 2), 0.0, "zero weight column");
+    }
+
+    #[test]
+    fn matmul_quant_matches_integer_reference() {
+        // The int8 GEMM must equal the naive dequant-free reference
+        // exactly: quantize both operands, integer-dot, rescale.
+        let mut rng = SeededRng::new(42);
+        let a = Tensor::randn(&[5, 13], 1.0, &mut rng);
+        let w = Tensor::randn(&[13, 9], 1.0, &mut rng);
+        let q = QuantizedMatrix::quantize(&w);
+        let c = matmul_quant(&a, &q);
+        let mut qa = vec![0i8; 13];
+        for i in 0..5 {
+            let a_scale = quantize_row(&a.data()[i * 13..(i + 1) * 13], &mut qa);
+            for j in 0..9 {
+                let jp = j / NR;
+                let ccol = j % NR;
+                let panel = &q.panels[jp * 13 * NR..(jp + 1) * 13 * NR];
+                let mut acc = 0i64;
+                for p in 0..13 {
+                    acc += qa[p] as i64 * panel[p * NR + ccol] as i64;
+                }
+                let want = acc as f32 * (a_scale * q.scales()[j]);
+                assert_eq!(c.at2(i, j).to_bits(), want.to_bits(), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_gemm_tracks_f32_within_quantization_noise() {
+        let mut rng = SeededRng::new(43);
+        let a = Tensor::randn(&[8, 24], 1.0, &mut rng);
+        let w = Tensor::randn(&[24, 16], 0.3, &mut rng);
+        let q = QuantizedMatrix::quantize(&w);
+        let exact = crate::ops::matmul(&a, &w);
+        let quant = matmul_quant(&a, &q);
+        for (x, y) in exact.data().iter().zip(quant.data()) {
+            // ~1% relative of the row/col magnitudes: generous but tight
+            // enough to catch scale or layout bugs.
+            assert!((x - y).abs() < 0.15, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn embedding_round_trip_is_bounded() {
+        let mut rng = SeededRng::new(44);
+        let t = Tensor::randn(&[9, 6], 1.0, &mut rng);
+        let q = QuantizedEmbedding::quantize(&t);
+        let mut row = vec![0.0f32; 6];
+        for r in 0..9 {
+            q.write_row(r, &mut row);
+            let amax = t.row(r).iter().fold(0.0f32, |m, v| m.max(v.abs()));
+            let bound = (amax / 127.0) * 0.500_000_3;
+            for (got, want) in row.iter().zip(t.row(r)) {
+                assert!((got - want).abs() <= bound);
+            }
+        }
+    }
+
+    #[test]
+    fn byte_accounting_matches_construction() {
+        let mut rng = SeededRng::new(45);
+        let w = Tensor::randn(&[30, 20], 1.0, &mut rng);
+        let q = QuantizedMatrix::quantize(&w);
+        assert_eq!(q.bytes(), QuantizedMatrix::bytes_for(30, 20));
+        let t = Tensor::randn(&[12, 7], 1.0, &mut rng);
+        let e = QuantizedEmbedding::quantize(&t);
+        assert_eq!(e.bytes(), QuantizedEmbedding::bytes_for(12, 7));
+    }
+}

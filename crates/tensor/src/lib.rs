@@ -13,6 +13,10 @@
 //!   microkernels), softmax, bias addition — the hot GEMM loops are
 //!   parallelized over rows on a persistent worker pool (see
 //!   [`parallel`]);
+//! * [`kernel`]: runtime-dispatched kernel tiers — portable scalar,
+//!   AVX2/FMA intrinsics, and an int8-quantized inference tier
+//!   ([`kernel::quantize`]) — selected once per process by CPU detection
+//!   with a `PRAGFORMER_KERNEL` override;
 //! * [`nn`]: layers with explicit forward/backward passes ([`nn::Linear`],
 //!   [`nn::LayerNorm`], [`nn::Embedding`], [`nn::Dropout`], activations);
 //!   no autograd tape — every layer caches what its analytic backward needs,
@@ -43,6 +47,7 @@
 
 pub mod gradcheck;
 pub mod init;
+pub mod kernel;
 pub mod loss;
 pub mod nn;
 pub mod ops;

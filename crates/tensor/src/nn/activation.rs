@@ -4,8 +4,8 @@
 use super::{Layer, Param};
 use crate::Tensor;
 
-const SQRT_2_OVER_PI: f32 = 0.797_884_6;
-const GELU_C: f32 = 0.044_715;
+pub(crate) const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+pub(crate) const GELU_C: f32 = 0.044_715;
 
 /// ReLU applied element-wise.
 pub fn relu(x: &Tensor) -> Tensor {
@@ -19,8 +19,24 @@ pub fn relu_backward(x: &Tensor, dy: &Tensor) -> Tensor {
 
 /// GELU, tanh approximation (the variant used by BERT/RoBERTa):
 /// `0.5·x·(1 + tanh(√(2/π)(x + 0.044715 x³)))`.
+///
+/// Dispatches on the active kernel tier: libm `tanh` per element on the
+/// scalar tier, the exp-based vector twin under AVX2 (within a few ulp;
+/// bitwise deterministic per tier like every forward kernel).
 pub fn gelu(x: &Tensor) -> Tensor {
-    x.map(gelu_scalar)
+    match crate::kernel::active_simd() {
+        crate::kernel::Simd::Scalar => x.map(gelu_scalar),
+        crate::kernel::Simd::Avx2 => {
+            #[cfg(target_arch = "x86_64")]
+            {
+                let mut out = Tensor::zeros(x.shape());
+                crate::kernel::avx2::gelu(x.data(), out.data_mut());
+                out
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            unreachable!("avx2 kernels requested on a non-x86_64 build");
+        }
+    }
 }
 
 #[inline]

@@ -2,6 +2,7 @@
 
 use super::{Layer, Param};
 use crate::init::{SeededRng, EMBEDDING_STD};
+use crate::kernel::quantize::QuantizedEmbedding;
 use crate::Tensor;
 
 /// Lookup table `[vocab, dim]`; forward gathers rows by id, backward
@@ -10,17 +11,46 @@ use crate::Tensor;
 /// Since the ids are not a `Tensor`, the lookup uses [`Embedding::lookup`]
 /// rather than the generic [`Layer::forward`]; `Layer` is still implemented
 /// for parameter traversal, with `forward` panicking to catch misuse.
+///
+/// Like [`super::Linear`], the table can hold an int8 copy for the
+/// quantized inference tier ([`Embedding::ensure_quantized`]): lookups
+/// then gather dequantized rows. Inference-only; dropped on
+/// `visit_params`.
 pub struct Embedding {
     /// The table `[vocab, dim]`.
     pub table: Param,
     cache_ids: Option<Vec<usize>>,
+    qt: Option<QuantizedEmbedding>,
 }
 
 impl Embedding {
     /// Creates a table with N(0, 0.02²) entries, the BERT-family default.
     pub fn new(name: &str, vocab: usize, dim: usize, rng: &mut SeededRng) -> Self {
         let table = Tensor::randn(&[vocab, dim], EMBEDDING_STD, rng);
-        Self { table: Param::new(format!("{name}.table"), table), cache_ids: None }
+        Self { table: Param::new(format!("{name}.table"), table), cache_ids: None, qt: None }
+    }
+
+    /// Builds (or keeps) the int8 copy of the table used by quantized
+    /// inference. Idempotent.
+    pub fn ensure_quantized(&mut self) {
+        if self.qt.is_none() {
+            self.qt = Some(QuantizedEmbedding::quantize(&self.table.value));
+        }
+    }
+
+    /// Drops the int8 copy; lookups return to f32 rows.
+    pub fn drop_quantized(&mut self) {
+        self.qt = None;
+    }
+
+    /// Whether quantized lookups are active.
+    pub fn is_quantized(&self) -> bool {
+        self.qt.is_some()
+    }
+
+    /// Bytes of the quantized form of this table (static accounting).
+    pub fn quantized_weight_bytes(&self) -> usize {
+        QuantizedEmbedding::bytes_for(self.vocab(), self.dim())
     }
 
     /// Vocabulary size.
@@ -44,7 +74,10 @@ impl Embedding {
         let mut out = Tensor::zeros(&[ids.len(), dim]);
         for (r, &id) in ids.iter().enumerate() {
             assert!(id < vocab, "embedding id {id} out of range (vocab {vocab})");
-            out.row_mut(r).copy_from_slice(self.table.value.row(id));
+            match &self.qt {
+                Some(q) => q.write_row(id, out.row_mut(r)),
+                None => out.row_mut(r).copy_from_slice(self.table.value.row(id)),
+            }
         }
         self.cache_ids = Some(ids.to_vec());
         out
@@ -52,6 +85,7 @@ impl Embedding {
 
     /// Scatter-adds `dy` rows into the table gradient.
     pub fn backward_ids(&mut self, dy: &Tensor) {
+        assert!(self.qt.is_none(), "Embedding::backward on a quantized (inference-only) table");
         let ids = self.cache_ids.take().expect("Embedding::backward before lookup");
         assert_eq!(dy.rows(), ids.len(), "Embedding backward rows");
         for (r, &id) in ids.iter().enumerate() {
@@ -75,6 +109,8 @@ impl Layer for Embedding {
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        // &mut access can rewrite the table; the int8 copy must go.
+        self.qt = None;
         f(&mut self.table);
     }
 }
@@ -103,6 +139,35 @@ mod tests {
         assert_eq!(emb.table.grad.row(1), &[3., 3.]);
         assert_eq!(emb.table.grad.row(2), &[5., 5.]);
         assert_eq!(emb.table.grad.row(0), &[0., 0.]);
+    }
+
+    #[test]
+    fn quantized_lookup_tracks_f32_and_cache_lifecycle() {
+        let mut rng = SeededRng::new(9);
+        let mut emb = Embedding::new("tok", 8, 6, &mut rng);
+        let exact = emb.lookup(&[2, 5, 2]);
+        emb.ensure_quantized();
+        assert!(emb.is_quantized());
+        let quant = emb.lookup(&[2, 5, 2]);
+        assert_eq!(quant.row(0), quant.row(2), "duplicate ids must gather identical rows");
+        for (a, b) in exact.data().iter().zip(quant.data()) {
+            // Table entries are N(0, 0.02²): half a quantization step of
+            // amax ≈ 0.05 is well below 1e-3.
+            assert!((a - b).abs() < 1e-3, "int8 {b} too far from f32 {a}");
+        }
+        emb.visit_params(&mut |_| {});
+        assert!(!emb.is_quantized(), "quantized cache survived visit_params");
+        assert_eq!(emb.lookup(&[2, 5, 2]).data(), exact.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "inference-only")]
+    fn quantized_backward_panics() {
+        let mut rng = SeededRng::new(10);
+        let mut emb = Embedding::new("tok", 5, 2, &mut rng);
+        emb.ensure_quantized();
+        let _ = emb.lookup(&[1]);
+        emb.backward_ids(&Tensor::zeros(&[1, 2]));
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use super::{Layer, Param};
 use crate::init::{xavier_bound, SeededRng};
+use crate::kernel::quantize::{matmul_quant, QuantizedMatrix};
 use crate::ops;
 use crate::Tensor;
 
@@ -9,12 +10,20 @@ use crate::Tensor;
 ///
 /// Input `[n, in]`, output `[n, out]`. Weights are Xavier-uniform
 /// initialized; the bias starts at zero.
+///
+/// For the int8 inference tier the layer can hold a quantized copy of
+/// `W` ([`Linear::ensure_quantized`]); while present, `forward` runs the
+/// int8 GEMM instead of f32. The cache is inference-only — `backward`
+/// refuses to run with it set — and is dropped whenever parameters are
+/// handed out mutably (`visit_params`: optimizer steps, checkpoint
+/// restores), so it can never go stale.
 pub struct Linear {
     /// Weight matrix `[in, out]`.
     pub w: Param,
     /// Bias vector `[out]`.
     pub b: Param,
     cache_x: Option<Tensor>,
+    qw: Option<QuantizedMatrix>,
 }
 
 impl Linear {
@@ -31,6 +40,7 @@ impl Linear {
             w: Param::new(format!("{name}.w"), w),
             b: Param::new(format!("{name}.b"), Tensor::zeros(&[out_dim])),
             cache_x: None,
+            qw: None,
         }
     }
 
@@ -43,18 +53,46 @@ impl Linear {
     pub fn out_dim(&self) -> usize {
         self.w.value.cols()
     }
+
+    /// Builds (or keeps) the int8 copy of `W` used by quantized
+    /// inference. Idempotent; cheap when already present.
+    pub fn ensure_quantized(&mut self) {
+        if self.qw.is_none() {
+            self.qw = Some(QuantizedMatrix::quantize(&self.w.value));
+        }
+    }
+
+    /// Drops the int8 copy; `forward` returns to f32.
+    pub fn drop_quantized(&mut self) {
+        self.qw = None;
+    }
+
+    /// Whether quantized inference is active.
+    pub fn is_quantized(&self) -> bool {
+        self.qw.is_some()
+    }
+
+    /// Bytes of the quantized form of this layer's weight matrix
+    /// (static accounting; does not require the cache to exist).
+    pub fn quantized_weight_bytes(&self) -> usize {
+        QuantizedMatrix::bytes_for(self.in_dim(), self.out_dim())
+    }
 }
 
 impl Layer for Linear {
     fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
         assert_eq!(x.cols(), self.in_dim(), "Linear input dim");
-        let mut y = ops::matmul(x, &self.w.value);
+        let mut y = match &self.qw {
+            Some(q) => matmul_quant(x, q),
+            None => ops::matmul(x, &self.w.value),
+        };
         ops::add_bias(&mut y, &self.b.value);
         self.cache_x = Some(x.clone());
         y
     }
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
+        assert!(self.qw.is_none(), "Linear::backward on a quantized (inference-only) layer");
         let x = self.cache_x.take().expect("Linear::backward before forward");
         // dW = xᵀ·dy, db = Σ rows dy, dx = dy·Wᵀ
         self.w.grad.add_assign(&ops::matmul_tn(&x, dy));
@@ -64,6 +102,10 @@ impl Layer for Linear {
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        // Handing out &mut Params can change the weights (optimizer
+        // step, checkpoint restore): the quantized copy must not
+        // survive it.
+        self.qw = None;
         f(&mut self.w);
         f(&mut self.b);
     }
@@ -111,6 +153,36 @@ mod tests {
         let lin = Linear::new(3, 4, &mut rng);
         let x = Tensor::randn(&[5, 3], 1.0, &mut rng);
         gradcheck::check_layer(lin, &x, 2e-2);
+    }
+
+    #[test]
+    fn quantized_forward_tracks_f32_and_cache_lifecycle() {
+        let mut rng = SeededRng::new(9);
+        let mut lin = Linear::new(6, 4, &mut rng);
+        let x = Tensor::randn(&[3, 6], 1.0, &mut rng);
+        let y32 = lin.forward(&x, false);
+        lin.ensure_quantized();
+        assert!(lin.is_quantized());
+        let y8 = lin.forward(&x, false);
+        for (a, b) in y32.data().iter().zip(y8.data()) {
+            assert!((a - b).abs() < 0.1, "int8 {b} too far from f32 {a}");
+        }
+        // visit_params (optimizer step / state restore) must drop the cache.
+        lin.visit_params(&mut |_| {});
+        assert!(!lin.is_quantized(), "quantized cache survived visit_params");
+        let y_back = lin.forward(&x, false);
+        assert_eq!(y_back.data(), y32.data(), "f32 path must be restored exactly");
+    }
+
+    #[test]
+    #[should_panic(expected = "inference-only")]
+    fn quantized_backward_panics() {
+        let mut rng = SeededRng::new(10);
+        let mut lin = Linear::new(3, 3, &mut rng);
+        let x = Tensor::randn(&[2, 3], 1.0, &mut rng);
+        lin.ensure_quantized();
+        let y = lin.forward(&x, true);
+        let _ = lin.backward(&Tensor::full(y.shape(), 1.0));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! [`Layer::visit_params`]; parameter identity (for optimizer state such
 //! as Adam moments) comes from the unique [`Param::id`].
 
-mod activation;
+pub(crate) mod activation;
 mod dropout;
 mod embedding;
 mod layernorm;

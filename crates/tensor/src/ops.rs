@@ -23,6 +23,15 @@
 //!   slice of `Aᵀ` into contiguous rows first; tiny outputs fall back to
 //!   the outer-product loop.
 //!
+//! ## Kernel tiers
+//!
+//! Each GEMM dispatches once at entry on the process-wide kernel tier
+//! ([`crate::kernel::active_simd`]): the portable scalar microkernels
+//! below, or their AVX2/FMA twins in `kernel::avx2`. The `*_with`
+//! variants ([`matmul_with`] etc.) take the [`Simd`] explicitly for
+//! benches and per-tier tests that must not depend on (or perturb) the
+//! global tier.
+//!
 //! ## Determinism
 //!
 //! Every path accumulates each output element strictly in ascending-`k`
@@ -31,12 +40,17 @@
 //! across workers. Consequently a row of `matmul(A, B)` is **bitwise
 //! identical** whether `A` has 1 row or 1000 — the property that lets
 //! `Advisor::advise_batch` promise bit-equal probabilities with the
-//! sequential path. (The earlier per-element `a_ik == 0.0` skip was
+//! sequential path. This holds *within* each kernel tier: the AVX2 twins
+//! keep the same chains but fuse each multiply-add, so their bits differ
+//! from scalar by bounded rounding while remaining equally
+//! batch/split-invariant (see [`crate::kernel`] for the tier contract).
+//! (The earlier per-element `a_ik == 0.0` skip was
 //! removed: it pessimized the dense hot loop with a branch per
 //! multiply-add for a sparsity that transformer activations do not have.
 //! No sparse entry point replaces it — profiling showed no caller with
 //! meaningfully sparse operands.)
 
+use crate::kernel::{self, Simd};
 use crate::parallel::par_rows_mut;
 use crate::Tensor;
 
@@ -47,10 +61,10 @@ use crate::Tensor;
 const MIN_ROWS_PER_THREAD: usize = 32;
 
 /// Microkernel register tile: rows of `A` processed together.
-const MR: usize = 4;
+pub(crate) const MR: usize = 4;
 /// Microkernel register tile: columns of `B` processed together (one
 /// auto-vectorizable lane group).
-const NR: usize = 8;
+pub(crate) const NR: usize = 8;
 /// Inner `k` sub-block: the microkernel consumes `KB` consecutive `k`
 /// steps through fixed-size array references, so the hot loop has no
 /// bounds checks or per-step iterator overhead — critical for the short
@@ -174,21 +188,59 @@ fn gemm_simple_rows(a_rows: &[f32], k: usize, b: &[f32], n: usize, c_chunk: &mut
 /// Left-hand rows below which `matmul` skips packing `B`.
 const PACK_MIN_ROWS: usize = 4;
 
-/// `C[m×n] = A[m×k] · B[k×n]`.
+/// [`gemm_packed_rows`] on the requested instruction set.
+fn dispatch_packed(
+    simd: Simd,
+    a_rows: &[f32],
+    k: usize,
+    packed: &[f32],
+    n: usize,
+    c_chunk: &mut [f32],
+) {
+    match simd {
+        Simd::Scalar => gemm_packed_rows(a_rows, k, packed, n, c_chunk),
+        Simd::Avx2 => {
+            #[cfg(target_arch = "x86_64")]
+            kernel::avx2::gemm_packed_rows(a_rows, k, packed, n, c_chunk);
+            #[cfg(not(target_arch = "x86_64"))]
+            unreachable!("avx2 kernels requested on a non-x86_64 build");
+        }
+    }
+}
+
+/// [`gemm_simple_rows`] on the requested instruction set.
+fn dispatch_simple(simd: Simd, a_rows: &[f32], k: usize, b: &[f32], n: usize, c_chunk: &mut [f32]) {
+    match simd {
+        Simd::Scalar => gemm_simple_rows(a_rows, k, b, n, c_chunk),
+        Simd::Avx2 => {
+            #[cfg(target_arch = "x86_64")]
+            kernel::avx2::gemm_simple_rows(a_rows, k, b, n, c_chunk);
+            #[cfg(not(target_arch = "x86_64"))]
+            unreachable!("avx2 kernels requested on a non-x86_64 build");
+        }
+    }
+}
+
+/// `C[m×n] = A[m×k] · B[k×n]` on the active kernel tier.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    matmul_with(kernel::active_simd(), a, b)
+}
+
+/// [`matmul`] on an explicit instruction set (per-tier tests, benches).
+pub fn matmul_with(simd: Simd, a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.rows(), a.cols());
     let (kb, n) = (b.rows(), b.cols());
     assert_eq!(k, kb, "matmul inner dims: {:?} x {:?}", a.shape(), b.shape());
     let mut out = Tensor::zeros(&[m, n]);
     let (a_d, b_d) = (a.data(), b.data());
     if m < PACK_MIN_ROWS || n < NR {
-        gemm_simple_rows(a_d, k, b_d, n, out.data_mut());
+        dispatch_simple(simd, a_d, k, b_d, n, out.data_mut());
         return out;
     }
     let packed = pack_b_panels(b_d, k, n);
     par_rows_mut(out.data_mut(), n, MIN_ROWS_PER_THREAD, |row0, chunk| {
         let rows = chunk.len() / n;
-        gemm_packed_rows(&a_d[row0 * k..(row0 + rows) * k], k, &packed, n, chunk);
+        dispatch_packed(simd, &a_d[row0 * k..(row0 + rows) * k], k, &packed, n, chunk);
     });
     out
 }
@@ -216,12 +268,45 @@ fn dot4(x: &[f32], y: &[f32]) -> f32 {
     sum
 }
 
-/// `C[m×n] = A[m×k] · Bᵀ` where `B` is `[n×k]`.
+/// Below this `k`, the AVX2 tier's `matmul_nt` dots fall back to
+/// [`dot4`]: one or two FMA blocks can't amortize the horizontal
+/// reduction, and at tiny attention head dims (`d_head` 8-24) the scalar
+/// four-lane split measures ~2× faster. The switch depends only on `k`,
+/// so rows stay batch-invariant per tier.
+const DOT_AVX2_MIN_K: usize = 32;
+
+/// Row dot product on the requested instruction set: `dot4`'s fixed
+/// four-lane split on scalar, eight FMA lanes on AVX2 (with the
+/// [`DOT_AVX2_MIN_K`] short-operand fallback). Both depend only on the
+/// operand values and `k`, keeping `matmul_nt` rows batch-invariant per
+/// tier.
+#[inline]
+fn dispatch_dot(simd: Simd, x: &[f32], y: &[f32]) -> f32 {
+    match simd {
+        Simd::Scalar => dot4(x, y),
+        Simd::Avx2 if x.len() < DOT_AVX2_MIN_K => dot4(x, y),
+        Simd::Avx2 => {
+            #[cfg(target_arch = "x86_64")]
+            {
+                kernel::avx2::dot(x, y)
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            unreachable!("avx2 kernels requested on a non-x86_64 build");
+        }
+    }
+}
+
+/// `C[m×n] = A[m×k] · Bᵀ` where `B` is `[n×k]`, on the active kernel
+/// tier.
 ///
 /// Row-times-row dot products: both operands stream contiguously. Each
-/// dot is computed by `dot4`, which splits `k` into four independent
-/// accumulator lanes (fixed reduction order — see the module docs).
+/// dot has a fixed reduction order per tier — see the module docs.
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    matmul_nt_with(kernel::active_simd(), a, b)
+}
+
+/// [`matmul_nt`] on an explicit instruction set (per-tier tests, benches).
+pub fn matmul_nt_with(simd: Simd, a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.rows(), a.cols());
     let (n, kb) = (b.rows(), b.cols());
     assert_eq!(k, kb, "matmul_nt inner dims: {:?} x {:?}ᵀ", a.shape(), b.shape());
@@ -232,7 +317,7 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
             let i = row0 + ri;
             let a_row = &a_d[i * k..(i + 1) * k];
             for (j, c) in c_row.iter_mut().enumerate() {
-                *c = dot4(a_row, &b_d[j * k..(j + 1) * k]);
+                *c = dispatch_dot(simd, a_row, &b_d[j * k..(j + 1) * k]);
             }
         }
     });
@@ -278,8 +363,36 @@ fn tn_simple_rows(
 ///
 /// Both paths accumulate every output element in a single chain,
 /// ascending in the sample index `s`, so results are bitwise identical
-/// across paths, worker splits, and the pre-blocking kernel.
+/// (per tier) across paths, worker splits, and the pre-blocking kernel.
 pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    matmul_tn_with(kernel::active_simd(), a, b)
+}
+
+/// [`tn_simple_rows`] on the requested instruction set.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_tn_simple(
+    simd: Simd,
+    a: &[f32],
+    m: usize,
+    k: usize,
+    row0: usize,
+    b: &[f32],
+    n: usize,
+    chunk: &mut [f32],
+) {
+    match simd {
+        Simd::Scalar => tn_simple_rows(a, m, k, row0, b, n, chunk),
+        Simd::Avx2 => {
+            #[cfg(target_arch = "x86_64")]
+            kernel::avx2::tn_simple_rows(a, m, k, row0, b, n, chunk);
+            #[cfg(not(target_arch = "x86_64"))]
+            unreachable!("avx2 kernels requested on a non-x86_64 build");
+        }
+    }
+}
+
+/// [`matmul_tn`] on an explicit instruction set (per-tier tests, benches).
+pub fn matmul_tn_with(simd: Simd, a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.rows(), a.cols());
     let (mb, n) = (b.rows(), b.cols());
     assert_eq!(m, mb, "matmul_tn outer dims: {:?}ᵀ x {:?}", a.shape(), b.shape());
@@ -287,13 +400,13 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     let (a_d, b_d) = (a.data(), b.data());
     if k < PACK_MIN_ROWS || n < NR {
         par_rows_mut(out.data_mut(), n, MIN_ROWS_PER_THREAD, |row0, chunk| {
-            tn_simple_rows(a_d, m, k, row0, b_d, n, chunk);
+            dispatch_tn_simple(simd, a_d, m, k, row0, b_d, n, chunk);
         });
         return out;
     }
     let packed = pack_b_panels(b_d, m, n);
     par_rows_mut(out.data_mut(), n, MIN_ROWS_PER_THREAD, |row0, chunk| {
-        tn_packed_rows(a_d, m, k, row0, &packed, n, chunk);
+        tn_packed_rows(simd, a_d, m, k, row0, &packed, n, chunk);
     });
     out
 }
@@ -304,7 +417,9 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
 /// shared microkernel. Split out so tests can drive nonzero `row0`
 /// directly — on machines where the pool runs inline (1 core), the
 /// public entry point only ever produces a single `row0 = 0` chunk.
+#[allow(clippy::too_many_arguments)]
 fn tn_packed_rows(
+    simd: Simd,
     a: &[f32],
     m: usize,
     k: usize,
@@ -321,12 +436,14 @@ fn tn_packed_rows(
             at[r * m + s] = v;
         }
     }
-    gemm_packed_rows(&at, m, packed, n, chunk);
+    dispatch_packed(simd, &at, m, packed, n, chunk);
 }
 
 /// Reference `C = A · B`: textbook triple loop, no blocking, no packing,
-/// no parallelism. Kept as the oracle for the GEMM property tests and the
-/// kernel benchmarks' baseline.
+/// no parallelism, always scalar (tier-independent). Kept strictly as
+/// the cross-tier oracle for the GEMM property tests and the kernel
+/// benchmarks' baseline — never call it on a hot path.
+#[doc(hidden)]
 pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.rows(), a.cols());
     let (kb, n) = (b.rows(), b.cols());
@@ -372,11 +489,11 @@ pub fn sum_rows(x: &Tensor) -> Tensor {
 /// Largest input [`exp_approx`] flushes to zero (≈ `ln(f32::MIN_POSITIVE)`);
 /// below this, `e^x` is at best denormal and softmax treats it as an
 /// exact additive zero anyway.
-const EXP_UNDERFLOW: f32 = -87.336_54;
+pub(crate) const EXP_UNDERFLOW: f32 = -87.336_54;
 
 /// Largest input [`exp_approx`] evaluates; above this (`e^x > ~3.1e38`)
 /// it returns `+∞` like `f32::exp` effectively does at `f32` precision.
-const EXP_OVERFLOW: f32 = 88.0;
+pub(crate) const EXP_OVERFLOW: f32 = 88.0;
 
 /// Deterministic polynomial `e^x` — the softmax kernel's `exp`.
 ///
@@ -462,9 +579,21 @@ fn softmax_row(row: &mut [f32], valid: usize) {
 /// entries; the rest are forced to probability 0 (padding-mask semantics).
 pub fn softmax_rows(x: &mut Tensor, row_valid: Option<&[usize]>) {
     let n = x.cols();
-    for (r, row) in x.data_mut().chunks_mut(n).enumerate() {
-        let valid = row_valid.map_or(n, |v| v[r].min(n));
-        softmax_row(row, valid);
+    match kernel::active_simd() {
+        Simd::Scalar => {
+            for (r, row) in x.data_mut().chunks_mut(n).enumerate() {
+                let valid = row_valid.map_or(n, |v| v[r].min(n));
+                softmax_row(row, valid);
+            }
+        }
+        Simd::Avx2 => {
+            #[cfg(target_arch = "x86_64")]
+            kernel::avx2::softmax_rows(x.data_mut(), n, &mut |r| {
+                row_valid.map_or(n, |v| v[r].min(n))
+            });
+            #[cfg(not(target_arch = "x86_64"))]
+            unreachable!("avx2 kernels requested on a non-x86_64 build");
+        }
     }
 }
 
@@ -474,8 +603,18 @@ pub fn softmax_rows(x: &mut Tensor, row_valid: Option<&[usize]>) {
 pub fn softmax_rows_uniform(x: &mut Tensor, valid: usize) {
     let n = x.cols();
     let valid = valid.min(n);
-    for row in x.data_mut().chunks_mut(n) {
-        softmax_row(row, valid);
+    match kernel::active_simd() {
+        Simd::Scalar => {
+            for row in x.data_mut().chunks_mut(n) {
+                softmax_row(row, valid);
+            }
+        }
+        Simd::Avx2 => {
+            #[cfg(target_arch = "x86_64")]
+            kernel::avx2::softmax_rows(x.data_mut(), n, &mut |_| valid);
+            #[cfg(not(target_arch = "x86_64"))]
+            unreachable!("avx2 kernels requested on a non-x86_64 build");
+        }
     }
 }
 
@@ -561,18 +700,27 @@ mod tests {
         // The property advise_batch relies on: row i of a large GEMM is
         // bit-identical to the same row computed through a 1-row GEMM,
         // even though the two take different (packed vs simple) paths.
+        // Checked per tier through the explicit-simd entry point so a
+        // concurrent test switching the global tier cannot perturb it.
         let mut rng = crate::init::SeededRng::new(7);
         let a = Tensor::randn(&[64, 48], 1.0, &mut rng);
         let b = Tensor::randn(&[48, 96], 1.0, &mut rng);
-        let big = matmul(&a, &b);
-        for i in [0usize, 1, 31, 63] {
-            let single = matmul(&a.slice_rows(i, 1), &b);
-            assert_eq!(big.row(i), single.row(0), "row {i} differs across batch sizes");
-        }
-        // Mid-sized batch takes the packed path too; also must agree.
-        let mid = matmul(&a.slice_rows(16, 8), &b);
-        for r in 0..8 {
-            assert_eq!(big.row(16 + r), mid.row(r));
+        for simd in kernel::available_simds() {
+            let big = matmul_with(simd, &a, &b);
+            for i in [0usize, 1, 31, 63] {
+                let single = matmul_with(simd, &a.slice_rows(i, 1), &b);
+                assert_eq!(
+                    big.row(i),
+                    single.row(0),
+                    "{}: row {i} differs across batch sizes",
+                    simd.name()
+                );
+            }
+            // Mid-sized batch takes the packed path too; also must agree.
+            let mid = matmul_with(simd, &a.slice_rows(16, 8), &b);
+            for r in 0..8 {
+                assert_eq!(big.row(16 + r), mid.row(r), "{}", simd.name());
+            }
         }
     }
 
@@ -611,34 +759,47 @@ mod tests {
         let (m, k, n) = (37, 129, 33);
         let a = Tensor::randn(&[m, k], 1.0, &mut rng);
         let b = Tensor::randn(&[m, n], 1.0, &mut rng);
-        let whole = matmul_tn(&a, &b);
-        // Anchor against the naive ascending-s reference (bitwise: same
-        // single accumulation chain per element).
-        for i in 0..k {
-            for j in 0..n {
-                let mut acc = 0.0f32;
-                for s in 0..m {
-                    acc += a.data()[s * k + i] * b.data()[s * n + j];
+        for simd in kernel::available_simds() {
+            let whole = matmul_tn_with(simd, &a, &b);
+            // Anchor against the naive ascending-s reference with the
+            // tier's own multiply-add (plain on scalar, fused on avx2 —
+            // `f32::mul_add` matches the vector FMA lanes bitwise).
+            for i in 0..k {
+                for j in 0..n {
+                    let mut acc = 0.0f32;
+                    for s in 0..m {
+                        let (av, bv) = (a.data()[s * k + i], b.data()[s * n + j]);
+                        acc = match simd {
+                            Simd::Scalar => acc + av * bv,
+                            Simd::Avx2 => av.mul_add(bv, acc),
+                        };
+                    }
+                    assert_eq!(
+                        whole.data()[i * n + j].to_bits(),
+                        acc.to_bits(),
+                        "{}: ({i},{j})",
+                        simd.name()
+                    );
                 }
-                assert_eq!(whole.data()[i * n + j].to_bits(), acc.to_bits(), "({i},{j})");
             }
-        }
-        let packed = pack_b_panels(b.data(), m, n);
-        for chunk_rows in [1usize, 5, 64, 129] {
-            let mut pieced = vec![0.0f32; k * n];
-            let mut row0 = 0;
-            while row0 < k {
-                let rows = chunk_rows.min(k - row0);
-                let chunk = &mut pieced[row0 * n..(row0 + rows) * n];
-                tn_packed_rows(a.data(), m, k, row0, &packed, n, chunk);
-                row0 += rows;
-            }
-            for (i, (x, y)) in pieced.iter().zip(whole.data()).enumerate() {
-                assert_eq!(
-                    x.to_bits(),
-                    y.to_bits(),
-                    "chunk_rows {chunk_rows}, elem {i}: {x} vs {y}"
-                );
+            let packed = pack_b_panels(b.data(), m, n);
+            for chunk_rows in [1usize, 5, 64, 129] {
+                let mut pieced = vec![0.0f32; k * n];
+                let mut row0 = 0;
+                while row0 < k {
+                    let rows = chunk_rows.min(k - row0);
+                    let chunk = &mut pieced[row0 * n..(row0 + rows) * n];
+                    tn_packed_rows(simd, a.data(), m, k, row0, &packed, n, chunk);
+                    row0 += rows;
+                }
+                for (i, (x, y)) in pieced.iter().zip(whole.data()).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "{}: chunk_rows {chunk_rows}, elem {i}: {x} vs {y}",
+                        simd.name()
+                    );
+                }
             }
         }
     }

@@ -1,4 +1,5 @@
-//! Property tests for the blocked GEMM kernels against naive references.
+//! Property tests for the blocked GEMM kernels against naive references,
+//! run once per available kernel tier.
 //!
 //! Two claims per kernel, over randomized shapes crossing every blocking
 //! boundary (`MR`/`NR`/`KB` remainders, the pack-vs-simple dispatch,
@@ -6,20 +7,54 @@
 //!
 //! 1. **Bitwise determinism** — the blocked kernel accumulates every
 //!    output element in a single chain ascending in the contraction
-//!    index, exactly like the textbook triple loop, so the two agree
-//!    *bit for bit*, not just approximately. This is the property the
-//!    batched advisor and the serving cache lean on.
+//!    index, exactly like the textbook triple loop *with the tier's own
+//!    multiply-add* (plain `a*b + acc` on scalar, [`f32::mul_add`] on
+//!    AVX2/FMA — a scalar fused multiply-add is bitwise identical to one
+//!    vector FMA lane), so the two agree *bit for bit*, not just
+//!    approximately. This is the property the batched advisor and the
+//!    serving cache lean on.
 //! 2. Row slices are batch-size invariant: computing a sub-block alone
 //!    reproduces the same bits as the full product.
+//!
+//! Every assertion drives the explicit-simd `*_with` entry points so the
+//! test neither depends on nor perturbs the process-global tier.
 
 use pragformer_tensor::init::SeededRng;
-use pragformer_tensor::ops::{matmul, matmul_naive, matmul_tn};
+use pragformer_tensor::kernel::{available_simds, Simd};
+use pragformer_tensor::ops::{matmul_tn_with, matmul_with};
 use pragformer_tensor::Tensor;
 use proptest::prelude::*;
 
-/// Naive `C[k×n] = Aᵀ·B`: single chain per element, ascending sample
-/// index — the reduction order `matmul_tn` promises to preserve.
-fn matmul_tn_naive(a: &Tensor, b: &Tensor) -> Tensor {
+/// The tier's scalar multiply-add: what one accumulation step of the
+/// tier's kernels computes per element.
+fn madd(simd: Simd, a: f32, b: f32, acc: f32) -> f32 {
+    match simd {
+        Simd::Scalar => acc + a * b,
+        Simd::Avx2 => a.mul_add(b, acc),
+    }
+}
+
+/// Naive `C = A·B` with the tier's multiply-add: single ascending-`k`
+/// chain per element — the reduction order `matmul` promises per tier.
+fn matmul_naive_for(simd: Simd, a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let n = b.cols();
+    let mut out = Tensor::zeros(&[m, n]);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc = madd(simd, a.data()[i * k + p], b.data()[p * n + j], acc);
+            }
+            out.data_mut()[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+/// Naive `C[k×n] = Aᵀ·B` with the tier's multiply-add: single chain per
+/// element, ascending sample index — the order `matmul_tn` preserves.
+fn matmul_tn_naive_for(simd: Simd, a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.rows(), a.cols());
     let n = b.cols();
     assert_eq!(m, b.rows());
@@ -28,7 +63,7 @@ fn matmul_tn_naive(a: &Tensor, b: &Tensor) -> Tensor {
         for j in 0..n {
             let mut acc = 0.0f32;
             for s in 0..m {
-                acc += a.data()[s * k + i] * b.data()[s * n + j];
+                acc = madd(simd, a.data()[s * k + i], b.data()[s * n + j], acc);
             }
             out.data_mut()[i * n + j] = acc;
         }
@@ -53,14 +88,17 @@ proptest! {
         let mut rng = SeededRng::new(seed);
         let a = Tensor::randn(&[m, k], 1.0, &mut rng);
         let b = Tensor::randn(&[m, n], 1.0, &mut rng);
-        let fast = matmul_tn(&a, &b);
-        let slow = matmul_tn_naive(&a, &b);
-        prop_assert_eq!(fast.shape(), &[k, n]);
-        for (i, (x, y)) in fast.data().iter().zip(slow.data()).enumerate() {
-            prop_assert_eq!(
-                x.to_bits(), y.to_bits(),
-                "({m}x{k})ᵀ·({m}x{n}) elem {i}: blocked {x} vs naive {y}"
-            );
+        for simd in available_simds() {
+            let fast = matmul_tn_with(simd, &a, &b);
+            let slow = matmul_tn_naive_for(simd, &a, &b);
+            prop_assert_eq!(fast.shape(), &[k, n]);
+            for (i, (x, y)) in fast.data().iter().zip(slow.data()).enumerate() {
+                prop_assert_eq!(
+                    x.to_bits(), y.to_bits(),
+                    "{}: ({m}x{k})ᵀ·({m}x{n}) elem {i}: blocked {} vs naive {}",
+                    simd.name(), x, y
+                );
+            }
         }
     }
 
@@ -74,13 +112,16 @@ proptest! {
         let mut rng = SeededRng::new(seed);
         let a = Tensor::randn(&[m, k], 1.0, &mut rng);
         let b = Tensor::randn(&[k, n], 1.0, &mut rng);
-        let fast = matmul(&a, &b);
-        let slow = matmul_naive(&a, &b);
-        for (i, (x, y)) in fast.data().iter().zip(slow.data()).enumerate() {
-            prop_assert_eq!(
-                x.to_bits(), y.to_bits(),
-                "({m}x{k})·({k}x{n}) elem {i}: blocked {x} vs naive {y}"
-            );
+        for simd in available_simds() {
+            let fast = matmul_with(simd, &a, &b);
+            let slow = matmul_naive_for(simd, &a, &b);
+            for (i, (x, y)) in fast.data().iter().zip(slow.data()).enumerate() {
+                prop_assert_eq!(
+                    x.to_bits(), y.to_bits(),
+                    "{}: ({m}x{k})·({k}x{n}) elem {i}: blocked {} vs naive {}",
+                    simd.name(), x, y
+                );
+            }
         }
     }
 
@@ -94,21 +135,24 @@ proptest! {
         let mut rng = SeededRng::new(seed);
         let a = Tensor::randn(&[m, k], 1.0, &mut rng);
         let b = Tensor::randn(&[m, n], 1.0, &mut rng);
-        let full = matmul_tn(&a, &b);
         // Recompute from a single column of A (one output row): the row
-        // must reproduce the full product's bits exactly.
+        // must reproduce the full product's bits exactly, per tier.
         let i = k / 2;
         let mut col = Tensor::zeros(&[m, 1]);
         for s in 0..m {
             col.data_mut()[s] = a.data()[s * k + i];
         }
-        let row = matmul_tn(&col, &b);
-        for j in 0..n {
-            prop_assert_eq!(
-                row.data()[j].to_bits(),
-                full.data()[i * n + j].to_bits(),
-                "row {i} col {j} differs when computed standalone"
-            );
+        for simd in available_simds() {
+            let full = matmul_tn_with(simd, &a, &b);
+            let row = matmul_tn_with(simd, &col, &b);
+            for j in 0..n {
+                prop_assert_eq!(
+                    row.data()[j].to_bits(),
+                    full.data()[i * n + j].to_bits(),
+                    "{}: row {} col {} differs when computed standalone",
+                    simd.name(), i, j
+                );
+            }
         }
     }
 }

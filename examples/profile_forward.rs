@@ -6,7 +6,12 @@ use pragformer::tensor::init::SeededRng;
 use std::time::Instant;
 
 fn main() {
-    let cfg = ModelConfig::tiny(800);
+    // PRAGFORMER_PROFILE=small|paper picks a bigger shape (default tiny).
+    let cfg = match std::env::var("PRAGFORMER_PROFILE").as_deref() {
+        Ok("small") => ModelConfig::small(800),
+        Ok("paper") => ModelConfig::paper(800),
+        _ => ModelConfig::tiny(800),
+    };
     let mut rng = SeededRng::new(1);
     let mut model = PragFormer::new(&cfg, &mut rng);
     let seq = cfg.max_len;

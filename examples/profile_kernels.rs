@@ -22,6 +22,9 @@ fn time(label: &str, mut f: impl FnMut()) {
 }
 
 fn main() {
+    // Which GEMM backend the timings below exercise (override with
+    // PRAGFORMER_KERNEL=scalar|avx2|int8).
+    println!("{}", pragformer::tensor::kernel::describe());
     let mut rng = SeededRng::new(1);
     // Shapes from a tiny-scale batch-64 forward (seq 48, d16, 2 heads).
     let x = Tensor::randn(&[64 * 48, 16], 1.0, &mut rng);
@@ -76,6 +79,33 @@ fn main() {
     });
     probe_extra();
     probe_copy();
+    probe_elementwise();
+}
+
+// Elementwise layers at small-profile forward shapes (d48/d_ff 96,
+// seq 72): the non-GEMM share that bounds any kernel-tier speedup.
+fn probe_elementwise() {
+    use pragformer::tensor::nn::{gelu, Layer, LayerNorm};
+    let mut rng = SeededRng::new(3);
+    let h = Tensor::randn(&[72, 96], 1.0, &mut rng);
+    time("gelu 72x96", || {
+        std::hint::black_box(gelu(&h));
+    });
+    let scores = Tensor::randn(&[144, 72], 1.0, &mut rng);
+    time("softmax_rows_uniform 144x72", || {
+        let mut c = scores.clone();
+        ops::softmax_rows_uniform(&mut c, 72);
+        std::hint::black_box(c);
+    });
+    let x = Tensor::randn(&[72, 48], 1.0, &mut rng);
+    let mut ln = LayerNorm::new("ln", 48);
+    time("layernorm 72x48", || {
+        std::hint::black_box(ln.forward(&x, false));
+    });
+    let w = Tensor::randn(&[48, 48], 1.0, &mut rng);
+    time("matmul 72x48x48 (projection)", || {
+        std::hint::black_box(ops::matmul(&x, &w));
+    });
 }
 
 // Appended isolation probes (invoked only when PROBE=1).
