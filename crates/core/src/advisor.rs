@@ -40,10 +40,13 @@ use pragformer_cparse::{parse_snippet, ParseError};
 use pragformer_model::multitask::{self, MultiTaskConfig, MultiTaskExample, Task};
 use pragformer_model::trainer::Trainer;
 use pragformer_model::{MultiTaskPragFormer, PragFormer, TrunkWeightBytes};
+use pragformer_obs as obs;
 use pragformer_tensor::init::SeededRng;
 use pragformer_tensor::kernel::KernelTier;
 use pragformer_tensor::parallel::par_map_indexed;
 use pragformer_tokenize::{tokens_for, Representation, Vocab};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 /// Advice for one code snippet.
 #[derive(Clone, Debug)]
@@ -144,6 +147,68 @@ impl AdvisorBackend {
             "shared-trunk" => Some(AdvisorBackend::SharedTrunk),
             _ => None,
         }
+    }
+
+    /// Stable lowercase name (metric labels, logs) — the inverse of
+    /// [`AdvisorBackend::parse`].
+    pub fn name(self) -> &'static str {
+        match self {
+            AdvisorBackend::PerHead => "per-head",
+            AdvisorBackend::SharedTrunk => "shared-trunk",
+        }
+    }
+}
+
+/// Cached observability handles for one `(backend, kernel tier)` pair:
+/// the four per-stage span histograms
+/// (`pragformer_span_seconds{span="advise.*", backend, tier}`) plus the
+/// per-backend snippet counters. The registry is consulted once per pair
+/// (a lock plus allocations); every later batch reuses the `Arc`s
+/// wait-free. Returns `None` when observability is disabled, so the
+/// disabled hot path is a single atomic load with no clock reads.
+struct StageObs {
+    prepare: Arc<obs::Histogram>,
+    bucket: Arc<obs::Histogram>,
+    forward: Arc<obs::Histogram>,
+    post: Arc<obs::Histogram>,
+    snippets: Arc<obs::Counter>,
+    parse_errors: Arc<obs::Counter>,
+}
+
+impl StageObs {
+    fn get(backend: AdvisorBackend, tier: KernelTier) -> Option<&'static StageObs> {
+        if !obs::enabled() {
+            return None;
+        }
+        static CELLS: [[OnceLock<StageObs>; 2]; 3] = [const { [const { OnceLock::new() }; 2] }; 3];
+        let t = match tier {
+            KernelTier::Scalar => 0,
+            KernelTier::Avx2 => 1,
+            KernelTier::Int8 => 2,
+        };
+        let b = match backend {
+            AdvisorBackend::PerHead => 0,
+            AdvisorBackend::SharedTrunk => 1,
+        };
+        Some(CELLS[t][b].get_or_init(|| {
+            let labels = [("backend", backend.name()), ("tier", tier.name())];
+            StageObs {
+                prepare: obs::span_histogram("advise.prepare", &labels),
+                bucket: obs::span_histogram("advise.bucket", &labels),
+                forward: obs::span_histogram("advise.forward", &labels),
+                post: obs::span_histogram("advise.post", &labels),
+                snippets: obs::counter(
+                    "pragformer_advise_snippets_total",
+                    "Snippets through the advise front-end",
+                    &[("backend", backend.name())],
+                ),
+                parse_errors: obs::counter(
+                    "pragformer_advise_parse_errors_total",
+                    "Snippets that failed to parse",
+                    &[("backend", backend.name())],
+                ),
+            }
+        }))
     }
 }
 
@@ -456,13 +521,19 @@ impl Advisor {
 
         // Phase 4 — assemble per-input advice in input order (duplicates
         // share their unique slot's front-end + model results).
-        slots
+        let stage = StageObs::get(self.backend(), self.kernel_tier());
+        let t_post = stage.map(|_| Instant::now());
+        let out: Vec<Result<Advice, ParseError>> = slots
             .into_iter()
             .map(|u| match &prepared[u] {
                 Ok(p) => Ok(Self::advice_from_parts(probs_of[u], &p.compar)),
                 Err(e) => Err(e.clone()),
             })
-            .collect()
+            .collect();
+        if let (Some(s), Some(t0)) = (stage, t_post) {
+            s.post.observe(t0.elapsed().as_secs_f64());
+        }
+        out
     }
 
     /// The advisor's maximum (padded) sequence length.
@@ -482,8 +553,20 @@ impl Advisor {
 
     /// [`Advisor::prepare`] over a batch, parallelized on the persistent
     /// thread pool. Per-snippet parse errors surface in their own slot.
+    ///
+    /// Observability: records the whole pass into
+    /// `pragformer_span_seconds{span="advise.prepare"}` and advances the
+    /// per-backend snippet/parse-error counters.
     pub fn prepare_batch(&self, sources: &[&str]) -> Vec<Result<PreparedSnippet, ParseError>> {
-        par_map_indexed(sources.len(), 4, |u| self.prepare(sources[u]))
+        let stage = StageObs::get(self.backend(), self.kernel_tier());
+        let start = stage.map(|_| Instant::now());
+        let out = par_map_indexed(sources.len(), 4, |u| self.prepare(sources[u]));
+        if let (Some(s), Some(t0)) = (stage, start) {
+            s.prepare.observe(t0.elapsed().as_secs_f64());
+            s.snippets.add(sources.len() as u64);
+            s.parse_errors.add(out.iter().filter(|r| r.is_err()).count() as u64);
+        }
+        out
     }
 
     /// Runs the three classifier heads over a set of prepared snippets,
@@ -501,17 +584,28 @@ impl Advisor {
     /// which is what lets a serving layer cache these values across
     /// requests, under either backend.
     pub fn head_probs_batch(&mut self, snippets: &[&PreparedSnippet]) -> Vec<HeadProbs> {
+        let stage = StageObs::get(self.backend(), self.kernel_tier());
         let max_len = self.max_len;
-        // Bucket by padded length.
+        // Bucket by padded length. The bucketing/dedup sections across
+        // all buckets accumulate into one `advise.bucket` observation and
+        // the model forwards into one `advise.forward` observation, so
+        // the two spans partition this call's wall clock per batch.
+        let mut bucket_secs = 0.0f64;
+        let mut forward_secs = 0.0f64;
+        let t0 = stage.map(|_| Instant::now());
         let mut buckets: std::collections::BTreeMap<usize, Vec<usize>> =
             std::collections::BTreeMap::new();
         for (u, p) in snippets.iter().enumerate() {
             buckets.entry(Self::bucket_len(p.valid, max_len)).or_default().push(u);
         }
+        if let Some(t0) = t0 {
+            bucket_secs += t0.elapsed().as_secs_f64();
+        }
 
         let zero = HeadProbs { directive: 0.0, private: 0.0, reduction: 0.0 };
         let mut out = vec![zero; snippets.len()];
         for (&seq, members) in &buckets {
+            let t_dedup = stage.map(|_| Instant::now());
             let mut ids = Vec::new();
             let mut valid = Vec::new();
             // members[i] -> row in the deduplicated batch. Distinct
@@ -531,6 +625,10 @@ impl Advisor {
                     next_row
                 });
                 row_of.push(row);
+            }
+            let t_forward = stage.map(|_| Instant::now());
+            if let (Some(td), Some(tf)) = (t_dedup, t_forward) {
+                bucket_secs += (tf - td).as_secs_f64();
             }
             let probs: Vec<HeadProbs> = match &mut self.models {
                 Models::PerHead { directive, private, reduction } => {
@@ -555,9 +653,16 @@ impl Advisor {
                     })
                     .collect(),
             };
+            if let Some(tf) = t_forward {
+                forward_secs += tf.elapsed().as_secs_f64();
+            }
             for (slot, &u) in members.iter().enumerate() {
                 out[u] = probs[row_of[slot]];
             }
+        }
+        if let Some(s) = stage {
+            s.bucket.observe(bucket_secs);
+            s.forward.observe(forward_secs);
         }
         out
     }
@@ -892,6 +997,76 @@ mod tests {
         assert_eq!(AdvisorBackend::parse("shared-trunk"), Some(AdvisorBackend::SharedTrunk));
         assert_eq!(AdvisorBackend::parse("both"), None);
         assert_eq!(AdvisorBackend::default(), AdvisorBackend::SharedTrunk);
+    }
+
+    #[test]
+    fn advise_stages_land_in_the_span_registry() {
+        if !obs::enabled() {
+            return; // PRAGFORMER_OBS=off in the environment
+        }
+        let mut advisor = shared().lock().unwrap();
+        let labels =
+            [("backend", advisor.backend().name()), ("tier", advisor.kernel_tier().name())];
+        let stages: Vec<Arc<obs::Histogram>> =
+            ["advise.prepare", "advise.bucket", "advise.forward", "advise.post"]
+                .iter()
+                .map(|s| obs::span_histogram(s, &labels))
+                .collect();
+        let before: Vec<u64> = stages.iter().map(|h| h.count()).collect();
+        advisor
+            .advise_batch(&["for (i = 0; i < n; i++) a[i] = b[i] + c[i];"])
+            .pop()
+            .unwrap()
+            .unwrap();
+        for (h, b) in stages.iter().zip(&before) {
+            assert!(h.count() > *b, "every advise stage must observe at least once per batch");
+        }
+    }
+
+    #[test]
+    fn obs_off_advice_is_bitwise_identical_and_registers_nothing() {
+        // Hold the shared advisor for the whole test: serializing against
+        // the other advise tests keeps the registry quiet while disabled.
+        let mut advisor = shared().lock().unwrap();
+        let snippets: Vec<&str> = vec![
+            "for (i = 0; i < n; i++) a[i] = b[i] + c[i];",
+            "s = 0.0;\nfor (i = 0; i < n; i++) s += a[i] * b[i];",
+            "for (i = 0; i < ; i++ {", // parse error mid-batch
+        ];
+        obs::set_enabled(true);
+        let on = advisor.advise_batch(&snippets); // warm every registration
+        obs::set_enabled(false);
+        let len = obs::registry_len();
+        let off = advisor.advise_batch(&snippets);
+        assert_eq!(obs::registry_len(), len, "disabled advise must not register metrics");
+        obs::set_enabled(true);
+        for (i, (a, b)) in on.iter().zip(&off).enumerate() {
+            match (a, b) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.confidence.to_bits(), b.confidence.to_bits(), "snippet {i}");
+                    assert_eq!(
+                        a.private_probability.to_bits(),
+                        b.private_probability.to_bits(),
+                        "snippet {i}"
+                    );
+                    assert_eq!(
+                        a.reduction_probability.to_bits(),
+                        b.reduction_probability.to_bits(),
+                        "snippet {i}"
+                    );
+                    assert_eq!(a.compar_agrees, b.compar_agrees, "snippet {i}");
+                }
+                (Err(ea), Err(eb)) => assert_eq!(ea.to_string(), eb.to_string()),
+                other => panic!("snippet {i}: obs toggle changed ok/err shape: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn backend_name_roundtrips_through_parse() {
+        for b in [AdvisorBackend::PerHead, AdvisorBackend::SharedTrunk] {
+            assert_eq!(AdvisorBackend::parse(b.name()), Some(b));
+        }
     }
 
     #[test]

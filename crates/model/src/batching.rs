@@ -39,12 +39,73 @@
 //! proportion to its *valid* token count rather than `n × max_len`
 //! (measured in `BENCH_train_throughput.json`).
 
+use pragformer_obs as obs;
 use pragformer_tensor::init::SeededRng;
 use pragformer_tensor::nn::Param;
 use pragformer_tensor::optim::{clip_global_norm_visit, AdamW, Schedule};
 use pragformer_tensor::serialize::StateDict;
 use pragformer_tokenize::vocab::special;
 use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Registry handles for the training-loop metric families, fetched once
+/// per [`TrainLoop::fit`] call (`None` when observability is disabled).
+/// Counters accumulate across fits in one process; gauges hold the last
+/// epoch's values, so a scrape mid-training reads live progress.
+struct TrainObs {
+    epochs: Arc<obs::Counter>,
+    batches: Arc<obs::Counter>,
+    clip_events: Arc<obs::Counter>,
+    train_loss: Arc<obs::Gauge>,
+    valid_loss: Arc<obs::Gauge>,
+    accuracy: Arc<obs::Gauge>,
+    lr: Arc<obs::Gauge>,
+}
+
+impl TrainObs {
+    fn get() -> Option<TrainObs> {
+        if !obs::enabled() {
+            return None;
+        }
+        Some(TrainObs {
+            epochs: obs::counter(
+                "pragformer_train_epochs_total",
+                "Epochs completed by the shared train loop",
+                &[],
+            ),
+            batches: obs::counter(
+                "pragformer_train_batches_total",
+                "Optimizer steps taken by the shared train loop",
+                &[],
+            ),
+            clip_events: obs::counter(
+                "pragformer_train_clip_events_total",
+                "Batches whose global grad norm exceeded the clip threshold",
+                &[],
+            ),
+            train_loss: obs::gauge(
+                "pragformer_train_loss",
+                "Last epoch's weighted loss",
+                &[("split", "train")],
+            ),
+            valid_loss: obs::gauge(
+                "pragformer_train_loss",
+                "Last epoch's weighted loss",
+                &[("split", "valid")],
+            ),
+            accuracy: obs::gauge(
+                "pragformer_train_accuracy",
+                "Last epoch's validation accuracy",
+                &[("split", "valid")],
+            ),
+            lr: obs::gauge(
+                "pragformer_train_lr",
+                "Effective learning rate after the last optimizer step",
+                &[],
+            ),
+        })
+    }
+}
 
 /// Training hyper-parameters, shared by all objectives.
 #[derive(Clone, Debug)]
@@ -407,6 +468,7 @@ impl TrainLoop {
         let mut rng = SeededRng::new(cfg.seed);
         let mut history = Vec::with_capacity(cfg.epochs);
         let mut best: Option<(f32, StateDict)> = None;
+        let train_obs = TrainObs::get();
         for epoch in 1..=cfg.epochs {
             let plan = plan_epoch_grouped(
                 &train_lens,
@@ -427,15 +489,30 @@ impl TrainLoop {
                 opt.begin_step();
                 if weight > 0.0 {
                     if cfg.clip > 0.0 {
-                        clip_global_norm_visit(&mut |f| obj.visit_params(f), cfg.clip);
+                        let norm = clip_global_norm_visit(&mut |f| obj.visit_params(f), cfg.clip);
+                        if norm > cfg.clip {
+                            if let Some(t) = &train_obs {
+                                t.clip_events.inc();
+                            }
+                        }
                     }
                     obj.visit_params(&mut |p| opt.update(p));
                     loss_sum += loss * weight;
                     weight_sum += weight;
                 }
+                if let Some(t) = &train_obs {
+                    t.batches.inc();
+                }
             }
             let train_loss = if weight_sum > 0.0 { loss_sum / weight_sum } else { 0.0 };
             let (valid_loss, valid_accuracy) = evaluate(obj, valid, batch_size, self.max_len);
+            if let Some(t) = &train_obs {
+                t.epochs.inc();
+                t.train_loss.set(f64::from(train_loss));
+                t.valid_loss.set(f64::from(valid_loss));
+                t.accuracy.set(f64::from(valid_accuracy));
+                t.lr.set(f64::from(opt.current_lr()));
+            }
             history.push(EpochMetrics { epoch, train_loss, valid_loss, valid_accuracy });
             if !valid.is_empty() && best.as_ref().is_none_or(|(b, _)| valid_loss < *b) {
                 best = Some((valid_loss, obj.state_dict()));

@@ -1,0 +1,303 @@
+//! The three metric types: atomic, wait-free on every update.
+//!
+//! All three are plain structs over `AtomicU64`s. The registry hands them
+//! out as `Arc`s; the public constructors exist so code that must keep
+//! counting when the registry is [disabled](crate::enabled) (the serve
+//! scheduler's `ServerStats` snapshot) can hold *detached* instances that
+//! behave identically but are never scraped.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fixed bucket upper bounds for latency histograms: ~1-2.5-5 decades
+/// from 10µs to 1s. `+Inf` is implicit (derived from the total count).
+pub const LATENCY_BUCKETS: [f64; 16] = [
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5,
+    1.0,
+];
+
+/// Fixed bucket upper bounds for size distributions (batch sizes, queue
+/// depths): powers of two through 256.
+pub const SIZE_BUCKETS: [f64; 9] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0];
+
+/// A monotonically increasing `u64` counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A fresh counter at zero (detached — see the module docs; registry
+    /// users call [`crate::counter`] instead).
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value — for mirroring an externally-maintained
+    /// monotonic count (the serve advice cache keeps its own tallies).
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// An `f64` gauge (value stored as bits in an `AtomicU64`).
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge { bits: AtomicU64::new(0f64.to_bits()) }
+    }
+}
+
+impl Gauge {
+    /// A fresh gauge at zero (detached).
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `d` (CAS loop); returns the new value. Negative `d`
+    /// decrements.
+    pub fn add(&self, d: f64) -> f64 {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let new = f64::from_bits(cur) + d;
+            match self.bits.compare_exchange_weak(
+                cur,
+                new.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return new,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Raises the gauge to `v` if `v` is larger (high-water marks).
+    pub fn set_max(&self, v: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        while v > f64::from_bits(cur) {
+            match self.bits.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket histogram: per-bucket counts, a total count, and an
+/// `f64` sum — everything a Prometheus `_bucket`/`_sum`/`_count` family
+/// needs. Bounds are set at construction and never change.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Ascending finite upper bounds; the `+Inf` bucket is implicit.
+    bounds: Vec<f64>,
+    /// Non-cumulative per-bucket counts (same length as `bounds`);
+    /// observations above the last bound only advance `count`/`sum`.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// A fresh histogram with the given ascending upper bounds
+    /// (detached; registry users call [`crate::histogram`]).
+    pub fn new(bounds: &[f64]) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: bounds.iter().map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        if let Some(i) = self.bounds.iter().position(|&b| v <= b) {
+            self.buckets[i].fetch_add(1, Ordering::Relaxed);
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let new = f64::from_bits(cur) + v;
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                new.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Total observations.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    #[inline]
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// The configured upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Cumulative `(upper_bound, count ≤ bound)` pairs, ascending —
+    /// exactly the `_bucket{le=…}` series (without the `+Inf` row, which
+    /// equals [`Histogram::count`]).
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut cum = 0u64;
+        self.bounds
+            .iter()
+            .zip(&self.buckets)
+            .map(|(&b, c)| {
+                cum += c.load(Ordering::Relaxed);
+                (b, cum)
+            })
+            .collect()
+    }
+}
+
+/// A point-in-time copy of one registered histogram, with its identity —
+/// what [`crate::histogram_snapshots`] returns for profiling printouts
+/// and tests.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Metric family name.
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Cumulative `(le, count)` pairs (no `+Inf` row).
+    pub buckets: Vec<(f64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_add_set_get() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        c.set(7);
+        assert_eq!(c.get(), 7);
+    }
+
+    #[test]
+    fn gauge_add_and_set_max() {
+        let g = Gauge::new();
+        assert_eq!(g.add(2.5), 2.5);
+        assert_eq!(g.add(-1.0), 1.5);
+        g.set_max(10.0);
+        assert_eq!(g.get(), 10.0);
+        g.set_max(3.0); // lower: no-op
+        assert_eq!(g.get(), 10.0);
+        g.set(0.0);
+        assert_eq!(g.get(), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_accumulate_cumulatively() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.0, 1.5, 3.0, 100.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 0.5 + 1.0 + 1.5 + 3.0 + 100.0);
+        // le=1 → {0.5, 1.0}; le=2 → +{1.5}; le=4 → +{3.0}; 100 only in +Inf.
+        assert_eq!(h.cumulative_buckets(), vec![(1.0, 2), (2.0, 3), (4.0, 4)]);
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        use std::sync::Arc;
+        let h = Arc::new(Histogram::new(&LATENCY_BUCKETS));
+        let g = Arc::new(Gauge::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let h = Arc::clone(&h);
+                let g = Arc::clone(&g);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        h.observe(1e-4);
+                        g.add(1.0);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 4000);
+        assert_eq!(g.get(), 4000.0);
+        assert!((h.sum() - 4000.0 * 1e-4).abs() < 1e-9);
+    }
+}

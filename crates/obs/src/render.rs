@@ -1,0 +1,130 @@
+//! Prometheus text-format exposition (version 0.0.4).
+//!
+//! [`render_prometheus`] walks the registry's `BTreeMap` once, emitting
+//! `# HELP` / `# TYPE` headers the first time each family name appears
+//! and one sample line per series. Histograms expand to the standard
+//! `_bucket{le=…}` (cumulative, with a final `+Inf` row), `_sum`, and
+//! `_count` series. Output order is deterministic: families by name,
+//! series by sorted label set.
+
+use crate::registry::{registry, Labels, Metric};
+use std::fmt::Write as _;
+
+/// Escapes a label *value*: backslash, double quote, and newline, per the
+/// exposition format.
+fn escape_label_value(v: &str, out: &mut String) {
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
+    }
+}
+
+/// Escapes HELP text: backslash and newline (quotes are legal there).
+fn escape_help(v: &str, out: &mut String) {
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
+    }
+}
+
+/// Formats a sample value the way Prometheus expects: integral floats
+/// without a fractional part, `+Inf`-safe, shortest round-trip otherwise.
+fn format_value(v: f64, out: &mut String) {
+    if v == f64::INFINITY {
+        out.push_str("+Inf");
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        let _ = write!(out, "{}", v as i64);
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+/// Writes `name{k="v",…}` (or bare `name` when there are no labels),
+/// with `extra` appended after the registered labels (used for `le`).
+fn write_series(out: &mut String, name: &str, labels: &Labels, extra: Option<(&str, &str)>) {
+    out.push_str(name);
+    if !labels.is_empty() || extra.is_some() {
+        out.push('{');
+        let mut first = true;
+        for (k, v) in labels {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(k);
+            out.push_str("=\"");
+            escape_label_value(v, out);
+            out.push('"');
+        }
+        if let Some((k, v)) = extra {
+            if !first {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push_str("=\"");
+            escape_label_value(v, out);
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+}
+
+/// Renders every registered metric as Prometheus text exposition. Takes
+/// the registry lock for the walk; the atomic reads underneath are
+/// wait-free, so a concurrent scrape never stalls instrumented code.
+pub fn render_prometheus() -> String {
+    let reg = registry().lock().unwrap();
+    let mut out = String::with_capacity(4096);
+    let mut last_family: Option<String> = None;
+    for ((name, labels), entry) in reg.iter() {
+        if last_family.as_deref() != Some(name.as_str()) {
+            let kind = match entry.metric {
+                Metric::Counter(_) => "counter",
+                Metric::Gauge(_) => "gauge",
+                Metric::Histogram(_) => "histogram",
+            };
+            let _ = write!(out, "# HELP {name} ");
+            escape_help(&entry.help, &mut out);
+            out.push('\n');
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            last_family = Some(name.clone());
+        }
+        match &entry.metric {
+            Metric::Counter(c) => {
+                write_series(&mut out, name, labels, None);
+                let _ = writeln!(out, "{}", c.get());
+            }
+            Metric::Gauge(g) => {
+                write_series(&mut out, name, labels, None);
+                format_value(g.get(), &mut out);
+                out.push('\n');
+            }
+            Metric::Histogram(h) => {
+                let count = h.count();
+                let mut le = String::new();
+                for (bound, cum) in h.cumulative_buckets() {
+                    le.clear();
+                    format_value(bound, &mut le);
+                    write_series(&mut out, &format!("{name}_bucket"), labels, Some(("le", &le)));
+                    let _ = writeln!(out, "{cum}");
+                }
+                write_series(&mut out, &format!("{name}_bucket"), labels, Some(("le", "+Inf")));
+                let _ = writeln!(out, "{count}");
+                write_series(&mut out, &format!("{name}_sum"), labels, None);
+                format_value(h.sum(), &mut out);
+                out.push('\n');
+                write_series(&mut out, &format!("{name}_count"), labels, None);
+                let _ = writeln!(out, "{count}");
+            }
+        }
+    }
+    out
+}

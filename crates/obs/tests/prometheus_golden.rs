@@ -1,0 +1,167 @@
+//! Exact-format golden tests for the Prometheus text renderer.
+//!
+//! The registry is process-global and tests run concurrently, so each
+//! test uses family names unique to itself and asserts on the exact
+//! block the renderer emits for that family (header through last
+//! sample), extracted from the full exposition.
+
+use pragformer_obs as obs;
+
+/// The contiguous block for one family: its `# HELP` line through the
+/// last line before the next family's `# HELP` (or end of output).
+fn family_block(exposition: &str, family: &str) -> String {
+    let header = format!("# HELP {family} ");
+    let mut out = String::new();
+    let mut inside = false;
+    for line in exposition.lines() {
+        if line.starts_with(&header) {
+            inside = true;
+        } else if inside && line.starts_with("# HELP ") {
+            break;
+        }
+        if inside {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[test]
+fn counter_block_is_exact() {
+    obs::set_enabled(true);
+    let c = obs::counter(
+        "golden_counter_total",
+        "A counter for the golden test",
+        &[("backend", "shared-trunk"), ("tier", "avx2")],
+    );
+    c.add(42);
+    let block = family_block(&obs::render_prometheus(), "golden_counter_total");
+    assert_eq!(
+        block,
+        "# HELP golden_counter_total A counter for the golden test\n\
+         # TYPE golden_counter_total counter\n\
+         golden_counter_total{backend=\"shared-trunk\",tier=\"avx2\"} 42\n"
+    );
+}
+
+#[test]
+fn gauge_block_is_exact_with_multiple_series() {
+    obs::set_enabled(true);
+    // Registered out of label order on purpose: output must sort.
+    obs::gauge("golden_gauge", "A gauge", &[("split", "valid")]).set(0.875);
+    obs::gauge("golden_gauge", "A gauge", &[("split", "train")]).set(3.0);
+    let block = family_block(&obs::render_prometheus(), "golden_gauge");
+    assert_eq!(
+        block,
+        "# HELP golden_gauge A gauge\n\
+         # TYPE golden_gauge gauge\n\
+         golden_gauge{split=\"train\"} 3\n\
+         golden_gauge{split=\"valid\"} 0.875\n"
+    );
+}
+
+#[test]
+fn histogram_block_is_exact() {
+    obs::set_enabled(true);
+    let h = obs::histogram(
+        "golden_hist_seconds",
+        "A histogram",
+        &[("span", "advise.forward")],
+        &[0.01, 0.1, 1.0],
+    );
+    h.observe(0.005);
+    h.observe(0.05);
+    h.observe(0.05);
+    h.observe(5.0); // +Inf only
+    let block = family_block(&obs::render_prometheus(), "golden_hist_seconds");
+    assert_eq!(
+        block,
+        "# HELP golden_hist_seconds A histogram\n\
+         # TYPE golden_hist_seconds histogram\n\
+         golden_hist_seconds_bucket{span=\"advise.forward\",le=\"0.01\"} 1\n\
+         golden_hist_seconds_bucket{span=\"advise.forward\",le=\"0.1\"} 3\n\
+         golden_hist_seconds_bucket{span=\"advise.forward\",le=\"1\"} 3\n\
+         golden_hist_seconds_bucket{span=\"advise.forward\",le=\"+Inf\"} 4\n\
+         golden_hist_seconds_sum{span=\"advise.forward\"} 5.105\n\
+         golden_hist_seconds_count{span=\"advise.forward\"} 4\n"
+    );
+}
+
+#[test]
+fn label_values_and_help_are_escaped() {
+    obs::set_enabled(true);
+    obs::counter(
+        "golden_escaped_total",
+        "help with \\ backslash and\nnewline",
+        &[("path", "a\\b\"c\nd")],
+    )
+    .inc();
+    let block = family_block(&obs::render_prometheus(), "golden_escaped_total");
+    assert_eq!(
+        block,
+        "# HELP golden_escaped_total help with \\\\ backslash and\\nnewline\n\
+         # TYPE golden_escaped_total counter\n\
+         golden_escaped_total{path=\"a\\\\b\\\"c\\nd\"} 1\n"
+    );
+}
+
+#[test]
+fn unlabeled_metric_renders_bare_name() {
+    obs::set_enabled(true);
+    obs::counter("golden_bare_total", "No labels", &[]).add(7);
+    let block = family_block(&obs::render_prometheus(), "golden_bare_total");
+    assert_eq!(
+        block,
+        "# HELP golden_bare_total No labels\n\
+         # TYPE golden_bare_total counter\n\
+         golden_bare_total 7\n"
+    );
+}
+
+#[test]
+fn span_guard_appears_in_exposition() {
+    obs::set_enabled(true);
+    {
+        let _g = obs::span_with("golden.span", &[("tier", "scalar")]);
+    }
+    let text = obs::render_prometheus();
+    assert!(
+        text.contains("pragformer_span_seconds_count{span=\"golden.span\",tier=\"scalar\"} "),
+        "span family must appear in exposition; got:\n{}",
+        family_block(&text, "pragformer_span_seconds")
+    );
+}
+
+#[test]
+fn scrape_while_updating_concurrently_is_consistent() {
+    obs::set_enabled(true);
+    let h = obs::histogram(
+        "golden_concurrent_seconds",
+        "Scrape under load",
+        &[],
+        &obs::LATENCY_BUCKETS,
+    );
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let writers: Vec<_> = (0..3)
+        .map(|_| {
+            let h = std::sync::Arc::clone(&h);
+            let stop = std::sync::Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut n = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    h.observe(1e-4);
+                    n += 1;
+                }
+                n
+            })
+        })
+        .collect();
+    for _ in 0..20 {
+        let text = obs::render_prometheus();
+        assert!(text.contains("golden_concurrent_seconds_count"));
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let total: u64 = writers.into_iter().map(|t| t.join().unwrap()).sum();
+    assert_eq!(h.count(), total, "no observation may be lost under concurrent scrapes");
+}

@@ -41,6 +41,7 @@
 use crate::cache::{AdviceCache, CacheStats};
 use pragformer_core::{Advice, Advisor, HeadProbs, PreparedSnippet};
 use pragformer_cparse::ParseError;
+use pragformer_obs as obs;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TryRecvError};
@@ -147,10 +148,17 @@ impl Client {
     /// for queue space (backpressure), never for the model.
     pub fn submit(&self, source: &str) -> Result<Pending, ServeError> {
         let (reply_tx, reply_rx) = std::sync::mpsc::channel();
-        self.tx
-            .send(Msg::Request(Request { source: source.to_string(), reply: reply_tx }))
-            .map_err(|_| ServeError::Closed)?;
-        Ok(Pending { rx: reply_rx })
+        // Count the request as queued before the (possibly blocking) send
+        // so the depth gauge covers requests waiting for queue space too.
+        let depth = self.stats.queue_depth.add(1.0);
+        self.stats.queue_hwm.set_max(depth);
+        match self.tx.send(Msg::Request(Request { source: source.to_string(), reply: reply_tx })) {
+            Ok(()) => Ok(Pending { rx: reply_rx }),
+            Err(_) => {
+                self.stats.queue_depth.add(-1.0);
+                Err(ServeError::Closed)
+            }
+        }
     }
 }
 
@@ -168,14 +176,20 @@ impl Pending {
 }
 
 /// Aggregate serving counters (monotonic since server start).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// Requests answered (including parse errors).
     pub requests: u64,
     /// Batches formed by the collector.
     pub batches: u64,
+    /// Batches closed because they reached [`ServeConfig::max_batch`].
+    pub batches_full: u64,
+    /// Batches closed by deadline expiry (or queue exhaustion).
+    pub batches_deadline: u64,
     /// Largest batch observed.
     pub max_batch: u64,
+    /// High-water mark of the submit queue depth.
+    pub queue_hwm: u64,
     /// Cache lookups that skipped the model forward.
     pub cache_hits: u64,
     /// Cache lookups that required a forward.
@@ -184,26 +198,130 @@ pub struct ServerStats {
     pub cache_evictions: u64,
 }
 
-/// Atomics behind [`ServerStats`], shared with the collector thread.
-#[derive(Default)]
+/// The metrics behind [`ServerStats`], shared between clients, the
+/// collector thread and the registry.
+///
+/// Every handle lives in the global `pragformer_obs` registry under the
+/// `pragformer_serve_*` families, labeled `server="<N>"` with a
+/// process-unique instance number — several servers in one process
+/// (integration tests) never share counters. When observability is
+/// disabled the handles are detached metrics instead: the `stats` wire
+/// request and [`AdvisorServer::stats`] keep working, nothing is
+/// registered or scraped.
 struct StatsInner {
-    requests: AtomicU64,
-    batches: AtomicU64,
-    max_batch: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    cache_evictions: AtomicU64,
+    requests: Arc<obs::Counter>,
+    batches: Arc<obs::Counter>,
+    batches_full: Arc<obs::Counter>,
+    batches_deadline: Arc<obs::Counter>,
+    max_batch: Arc<obs::Gauge>,
+    queue_depth: Arc<obs::Gauge>,
+    queue_hwm: Arc<obs::Gauge>,
+    cache_hits: Arc<obs::Counter>,
+    cache_misses: Arc<obs::Counter>,
+    cache_evictions: Arc<obs::Counter>,
+    batch_size: Arc<obs::Histogram>,
+    deadline_wait: Arc<obs::Histogram>,
 }
 
 impl StatsInner {
+    fn new() -> StatsInner {
+        static NEXT_SERVER: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT_SERVER.fetch_add(1, Ordering::Relaxed).to_string();
+        let server = [("server", n.as_str())];
+        if obs::enabled() {
+            StatsInner {
+                requests: obs::counter(
+                    "pragformer_serve_requests_total",
+                    "Requests answered (including parse errors)",
+                    &server,
+                ),
+                batches: obs::counter(
+                    "pragformer_serve_batches_total",
+                    "Batches formed by the collector",
+                    &server,
+                ),
+                batches_full: obs::counter(
+                    "pragformer_serve_batch_flush_total",
+                    "Batches closed, by cause",
+                    &[("server", n.as_str()), ("cause", "full")],
+                ),
+                batches_deadline: obs::counter(
+                    "pragformer_serve_batch_flush_total",
+                    "Batches closed, by cause",
+                    &[("server", n.as_str()), ("cause", "deadline")],
+                ),
+                max_batch: obs::gauge(
+                    "pragformer_serve_max_batch",
+                    "Largest batch observed",
+                    &server,
+                ),
+                queue_depth: obs::gauge(
+                    "pragformer_serve_queue_depth",
+                    "Requests submitted but not yet collected",
+                    &server,
+                ),
+                queue_hwm: obs::gauge(
+                    "pragformer_serve_queue_hwm",
+                    "High-water mark of the submit queue depth",
+                    &server,
+                ),
+                cache_hits: obs::counter(
+                    "pragformer_serve_cache_hits_total",
+                    "Advice-cache lookups that skipped the model forward",
+                    &server,
+                ),
+                cache_misses: obs::counter(
+                    "pragformer_serve_cache_misses_total",
+                    "Advice-cache lookups that required a forward",
+                    &server,
+                ),
+                cache_evictions: obs::counter(
+                    "pragformer_serve_cache_evictions_total",
+                    "Advice-cache entries evicted to make room",
+                    &server,
+                ),
+                batch_size: obs::histogram(
+                    "pragformer_serve_batch_size",
+                    "Requests per collector batch",
+                    &server,
+                    &obs::SIZE_BUCKETS,
+                ),
+                deadline_wait: obs::histogram(
+                    "pragformer_serve_deadline_wait_seconds",
+                    "Wait from a batch's first request to its dispatch",
+                    &server,
+                    &obs::LATENCY_BUCKETS,
+                ),
+            }
+        } else {
+            StatsInner {
+                requests: Arc::new(obs::Counter::new()),
+                batches: Arc::new(obs::Counter::new()),
+                batches_full: Arc::new(obs::Counter::new()),
+                batches_deadline: Arc::new(obs::Counter::new()),
+                max_batch: Arc::new(obs::Gauge::new()),
+                queue_depth: Arc::new(obs::Gauge::new()),
+                queue_hwm: Arc::new(obs::Gauge::new()),
+                cache_hits: Arc::new(obs::Counter::new()),
+                cache_misses: Arc::new(obs::Counter::new()),
+                cache_evictions: Arc::new(obs::Counter::new()),
+                batch_size: Arc::new(obs::Histogram::new(&obs::SIZE_BUCKETS)),
+                deadline_wait: Arc::new(obs::Histogram::new(&obs::LATENCY_BUCKETS)),
+            }
+        }
+    }
+
     fn snapshot(&self) -> ServerStats {
         ServerStats {
-            requests: self.requests.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
-            max_batch: self.max_batch.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.cache_misses.load(Ordering::Relaxed),
-            cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
+            requests: self.requests.get(),
+            batches: self.batches.get(),
+            batches_full: self.batches_full.get(),
+            batches_deadline: self.batches_deadline.get(),
+            max_batch: self.max_batch.get() as u64,
+            queue_hwm: self.queue_hwm.get() as u64,
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            cache_evictions: self.cache_evictions.get(),
         }
     }
 }
@@ -221,7 +339,7 @@ impl AdvisorServer {
     /// Takes ownership of a trained advisor and starts the collector.
     pub fn start(advisor: Advisor, config: ServeConfig) -> AdvisorServer {
         let (tx, rx) = sync_channel::<Msg>(config.queue_capacity.max(1));
-        let stats = Arc::new(StatsInner::default());
+        let stats = Arc::new(StatsInner::new());
         let stats2 = Arc::clone(&stats);
         let collector = std::thread::Builder::new()
             .name("pragformer-serve-collector".to_string())
@@ -267,21 +385,28 @@ fn collector_loop(
 ) -> Advisor {
     let mut cache = AdviceCache::new(config.cache_capacity);
     let max_batch = config.max_batch.max(1);
+    // Every received request leaves the submit queue here, so the depth
+    // gauge decrements at each receive site.
+    let take = |r: Request| -> Request {
+        stats.queue_depth.add(-1.0);
+        r
+    };
     'serve: loop {
         // Block for the first request of the next batch.
         let first = match rx.recv() {
-            Ok(Msg::Request(r)) => r,
+            Ok(Msg::Request(r)) => take(r),
             Ok(Msg::Shutdown) | Err(_) => break 'serve,
         };
+        let formed = Instant::now();
         let mut batch = vec![first];
         let mut shutting_down = false;
-        let deadline = Instant::now() + config.deadline;
+        let deadline = formed + config.deadline;
         // Grow the batch until full, past-deadline, or shutdown.
         while batch.len() < max_batch {
             let remaining = deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
                 match rx.try_recv() {
-                    Ok(Msg::Request(r)) => batch.push(r),
+                    Ok(Msg::Request(r)) => batch.push(take(r)),
                     Ok(Msg::Shutdown) => {
                         shutting_down = true;
                         break;
@@ -290,7 +415,7 @@ fn collector_loop(
                 }
             } else {
                 match rx.recv_timeout(remaining) {
-                    Ok(Msg::Request(r)) => batch.push(r),
+                    Ok(Msg::Request(r)) => batch.push(take(r)),
                     Ok(Msg::Shutdown) => {
                         shutting_down = true;
                         break;
@@ -303,7 +428,8 @@ fn collector_loop(
                 }
             }
         }
-        process_batch(&mut advisor, &mut cache, &stats, batch);
+        let wait = formed.elapsed().as_secs_f64();
+        process_batch(&mut advisor, &mut cache, &stats, batch, max_batch, Some(wait));
         if shutting_down {
             break 'serve;
         }
@@ -314,7 +440,7 @@ fn collector_loop(
         let mut batch = Vec::new();
         while batch.len() < max_batch {
             match rx.try_recv() {
-                Ok(Msg::Request(r)) => batch.push(r),
+                Ok(Msg::Request(r)) => batch.push(take(r)),
                 Ok(Msg::Shutdown) => continue,
                 Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
             }
@@ -322,18 +448,24 @@ fn collector_loop(
         if batch.is_empty() {
             break;
         }
-        process_batch(&mut advisor, &mut cache, &stats, batch);
+        // Drain batches never waited on a deadline; their wait is not a
+        // meaningful latency sample.
+        process_batch(&mut advisor, &mut cache, &stats, batch, max_batch, None);
     }
     advisor
 }
 
 /// Answers one coalesced batch: front-end → cache → one forward over the
-/// misses → per-request replies.
+/// misses → per-request replies. `wait_secs` is the first-request-to-
+/// dispatch wait (`None` for shutdown-drain batches, which never waited
+/// on a deadline).
 fn process_batch(
     advisor: &mut Advisor,
     cache: &mut AdviceCache,
     stats: &StatsInner,
     batch: Vec<Request>,
+    max_batch: usize,
+    wait_secs: Option<f64>,
 ) {
     let sources: Vec<&str> = batch.iter().map(|r| r.source.as_str()).collect();
     let prepared: Vec<Result<PreparedSnippet, ParseError>> = advisor.prepare_batch(&sources);
@@ -375,13 +507,22 @@ fn process_batch(
 
     // Publish counters BEFORE replying: a client that has its answer in
     // hand must observe stats covering its own batch.
-    stats.requests.fetch_add(batch.len() as u64, Ordering::Relaxed);
-    stats.batches.fetch_add(1, Ordering::Relaxed);
-    stats.max_batch.fetch_max(batch.len() as u64, Ordering::Relaxed);
+    stats.requests.add(batch.len() as u64);
+    stats.batches.inc();
+    if batch.len() >= max_batch {
+        stats.batches_full.inc();
+    } else {
+        stats.batches_deadline.inc();
+    }
+    stats.max_batch.set_max(batch.len() as f64);
+    stats.batch_size.observe(batch.len() as f64);
+    if let Some(w) = wait_secs {
+        stats.deadline_wait.observe(w);
+    }
     let CacheStats { hits, misses, evictions } = cache.stats();
-    stats.cache_hits.store(hits, Ordering::Relaxed);
-    stats.cache_misses.store(misses, Ordering::Relaxed);
-    stats.cache_evictions.store(evictions, Ordering::Relaxed);
+    stats.cache_hits.set(hits);
+    stats.cache_misses.set(misses);
+    stats.cache_evictions.set(evictions);
 
     // Reply per request; a dropped receiver (client gone) is ignored.
     for (req, (p, key)) in batch.iter().zip(prepared.iter().zip(&keys)) {

@@ -20,6 +20,21 @@
 //! an `ok:false` error response (id 0 when the line was too broken to
 //! carry one) and keeps reading. Connections close when the peer closes.
 //!
+//! **Prometheus scraping.** The same listener speaks just enough
+//! HTTP/1.1 for a scrape: a connection whose first line starts with
+//! `GET ` is treated as an HTTP request — `GET /metrics` answers with
+//! the registry's text exposition (status 200,
+//! `Content-Type: text/plain; version=0.0.4`), any other path gets a
+//! 404, and the connection closes after one response. NDJSON peers are
+//! unaffected; scrapes are counted in
+//! `pragformer_serve_http_requests_total{path}` (label values limited to
+//! `/metrics` and `other` to bound cardinality).
+//!
+//! When `PRAGFORMER_LOG=debug`, each parsed request is stamped with a
+//! process-unique trace id and logged as one structured NDJSON line on
+//! stderr (`target="serve.tcp"`), correlating wire traffic with
+//! scheduler activity.
+//!
 //! [`TcpServer::shutdown`] (and `Drop`) stops accepting, wakes the
 //! accept loop with a loopback connect, and waits for handlers to wind
 //! down. Handlers poll a stop flag between reads (connections carry a
@@ -28,10 +43,11 @@
 
 use crate::scheduler::{Client, Pending};
 use crate::wire;
+use pragformer_obs as obs;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -98,6 +114,14 @@ impl TcpServer {
             })
             .expect("failed to spawn accept thread");
 
+        if obs::log_enabled(obs::Level::Info) {
+            obs::log_kv(
+                obs::Level::Info,
+                "serve.tcp",
+                "listener bound",
+                &[("addr", &local_addr.to_string())],
+            );
+        }
         Ok(TcpServer { local_addr, stop, active, accept_thread: Some(accept_thread) })
     }
 
@@ -159,6 +183,7 @@ fn handle_connection(stream: TcpStream, client: &Client, stop: &AtomicBool) {
     // partial bytes in the buffer for the next call, with no UTF-8
     // validation guard that could discard a prefix cut mid-character.
     let mut line: Vec<u8> = Vec::new();
+    let mut first = true;
     loop {
         match reader.read_until(b'\n', &mut line) {
             Ok(0) => return, // peer closed (any partial line is dropped)
@@ -173,6 +198,15 @@ fn handle_connection(stream: TcpStream, client: &Client, stop: &AtomicBool) {
             }
             Err(_) => return,
         }
+
+        // An HTTP request line on the NDJSON port means a Prometheus
+        // scrape (or a stray browser): answer one HTTP response and
+        // close, leaving JSON peers untouched.
+        if first && line.starts_with(b"GET ") {
+            handle_http(&mut reader, &mut writer, &line, stop);
+            return;
+        }
+        first = false;
 
         // Submit the line just read plus every *complete* line already
         // sitting in the read buffer, so a pipelined burst becomes one
@@ -204,6 +238,11 @@ fn handle_connection(stream: TcpStream, client: &Client, stop: &AtomicBool) {
                 // counters before replying) — so a pipelined stats line
                 // deterministically reflects the requests ahead of it.
                 Submitted::Stats(id) => out.push_str(&wire::format_stats(id, &client.stats())),
+                // Same ordering argument: the exposition is rendered
+                // after the burst's earlier requests were answered.
+                Submitted::Metrics(id) => {
+                    out.push_str(&wire::format_metrics(id, &obs::render_prometheus()))
+                }
             }
             out.push('\n');
         }
@@ -214,12 +253,29 @@ fn handle_connection(stream: TcpStream, client: &Client, stop: &AtomicBool) {
 }
 
 /// A request line after submission: in flight on the scheduler, already
-/// answered (blank line, malformed JSON, server closed), or a stats
-/// probe resolved when its turn to answer comes.
+/// answered (blank line, malformed JSON, server closed), or a
+/// stats/metrics probe resolved when its turn to answer comes.
 enum Submitted {
     Pending(u64, Pending),
     Immediate(String),
     Stats(u64),
+    Metrics(u64),
+}
+
+/// Logs one parsed request as a structured NDJSON stderr line with a
+/// fresh trace id (debug level only — the id allocation and formatting
+/// cost nothing when the level is off).
+fn trace_request(kind: &str, id: u64) {
+    if !obs::log_enabled(obs::Level::Debug) {
+        return;
+    }
+    let trace = obs::next_trace_id();
+    obs::log_kv(
+        obs::Level::Debug,
+        "serve.tcp",
+        "request",
+        &[("trace", &trace.to_string()), ("kind", kind), ("id", &id.to_string())],
+    );
 }
 
 /// Parses and submits one request line without waiting for the answer.
@@ -232,15 +288,102 @@ fn submit_line(client: &Client, line: &[u8]) -> Option<Submitted> {
         return None;
     }
     Some(match wire::parse_request(line) {
-        Ok(wire::WireRequest::Advise { id, code }) => match client.submit(&code) {
-            Ok(pending) => Submitted::Pending(id, pending),
-            Err(e) => Submitted::Immediate(wire::format_error(id, &e.to_string())),
-        },
-        // Stats never enter the scheduler queue — scraping them is free
-        // even under backpressure; the snapshot is taken when the answer
-        // loop reaches this line so it covers the burst's earlier
-        // requests.
-        Ok(wire::WireRequest::Stats { id }) => Submitted::Stats(id),
+        Ok(wire::WireRequest::Advise { id, code }) => {
+            trace_request("advise", id);
+            match client.submit(&code) {
+                Ok(pending) => Submitted::Pending(id, pending),
+                Err(e) => Submitted::Immediate(wire::format_error(id, &e.to_string())),
+            }
+        }
+        // Stats and metrics never enter the scheduler queue — scraping
+        // them is free even under backpressure; the snapshot is taken
+        // when the answer loop reaches this line so it covers the
+        // burst's earlier requests.
+        Ok(wire::WireRequest::Stats { id }) => {
+            trace_request("stats", id);
+            Submitted::Stats(id)
+        }
+        Ok(wire::WireRequest::Metrics { id }) => {
+            trace_request("metrics", id);
+            Submitted::Metrics(id)
+        }
         Err(msg) => Submitted::Immediate(wire::format_error(0, &format!("bad request: {msg}"))),
     })
+}
+
+/// Counts one HTTP request in
+/// `pragformer_serve_http_requests_total{path}`; `path_idx` 0 is
+/// `/metrics`, 1 is everything else (cardinality stays bounded no matter
+/// what peers request).
+fn record_http(path_idx: usize) {
+    if !obs::enabled() {
+        return;
+    }
+    static CELLS: [OnceLock<Arc<obs::Counter>>; 2] = [const { OnceLock::new() }; 2];
+    const PATHS: [&str; 2] = ["/metrics", "other"];
+    let counter = CELLS[path_idx].get_or_init(|| {
+        obs::counter(
+            "pragformer_serve_http_requests_total",
+            "HTTP requests served on the NDJSON listener, by path class.",
+            &[("path", PATHS[path_idx])],
+        )
+    });
+    counter.inc();
+}
+
+/// Answers one HTTP/1.1 request on a connection that opened with `GET `:
+/// drains the header block, serves `/metrics` (or a 404), and closes.
+/// Only the subset a Prometheus scraper needs is implemented.
+fn handle_http(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    request_line: &[u8],
+    stop: &AtomicBool,
+) {
+    // "GET /metrics HTTP/1.1\r\n" → "/metrics".
+    let path = std::str::from_utf8(request_line)
+        .ok()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .unwrap_or("")
+        .to_string();
+
+    // Drain headers until the blank line so well-behaved clients don't
+    // see a response racing their request (reads share the NDJSON
+    // timeout; keep polling the stop flag so shutdown stays bounded).
+    let mut header: Vec<u8> = Vec::new();
+    loop {
+        match reader.read_until(b'\n', &mut header) {
+            Ok(0) => break,
+            Ok(_) => {
+                if header == b"\r\n" || header == b"\n" {
+                    break;
+                }
+                if !header.ends_with(b"\n") {
+                    continue; // partial header line; keep appending
+                }
+                header.clear();
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+
+    let (status, content_type, body) = if path == "/metrics" {
+        record_http(0);
+        ("200 OK", "text/plain; version=0.0.4; charset=utf-8", obs::render_prometheus())
+    } else {
+        record_http(1);
+        ("404 Not Found", "text/plain; charset=utf-8", "not found\n".to_string())
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    let _ = writer.write_all(response.as_bytes());
+    let _ = writer.flush();
 }

@@ -12,8 +12,11 @@
 //! ← {"id":8,"ok":false,"error":"parse error: ..."}
 //! → {"id": 9, "stats": true}
 //! ← {"id":9,"ok":true,"stats":true,"requests":128,"batches":9,
-//!    "max_batch":64,"cache_hits":31,"cache_misses":97,
+//!    "batches_full":1,"batches_deadline":8,"max_batch":64,
+//!    "queue_hwm":70,"cache_hits":31,"cache_misses":97,
 //!    "cache_evictions":0}
+//! → {"id": 10, "metrics": true}
+//! ← {"id":10,"ok":true,"metrics":"# HELP pragformer_serve_requests_total ...\n..."}
 //! ```
 //!
 //! `id` is an opaque client-chosen correlation number echoed back
@@ -23,10 +26,13 @@
 //! bit-identical-to-`advise` guarantee intact.
 //!
 //! `stats` requests return the server's monotonic
-//! [`ServerStats`] counters (requests, batches formed, largest batch,
-//! cache hits/misses/evictions), so operators can scrape them with `nc`
+//! [`ServerStats`] counters (requests, batches formed — split by flush
+//! cause — largest batch, queue high-water mark, cache
+//! hits/misses/evictions), so operators can scrape them with `nc`
 //! instead of a debugger; they are answered by the connection handler
-//! directly and never enter the scheduler queue.
+//! directly and never enter the scheduler queue. `metrics` requests
+//! return the full Prometheus text exposition as one JSON string — the
+//! NDJSON twin of `GET /metrics` on the same port.
 //!
 //! The parser handles exactly the JSON subset the protocol emits: one
 //! flat object of string / number / bool / null fields, with standard
@@ -49,6 +55,11 @@ pub enum WireRequest {
     },
     /// Return the server's [`ServerStats`] counters.
     Stats {
+        /// Client-chosen correlation id, echoed back in the response.
+        id: u64,
+    },
+    /// Return the Prometheus text exposition as a JSON string.
+    Metrics {
         /// Client-chosen correlation id, echoed back in the response.
         id: u64,
     },
@@ -249,8 +260,9 @@ fn parse_object(line: &str) -> Result<BTreeMap<String, Scalar>, String> {
     Ok(fields)
 }
 
-/// Parses one request line: an advise request (`code` field) or a stats
-/// request (`stats: true`), never both.
+/// Parses one request line: an advise request (`code` field), a stats
+/// request (`stats: true`) or a metrics request (`metrics: true`), never
+/// more than one of the three.
 pub fn parse_request(line: &str) -> Result<WireRequest, String> {
     let fields = parse_object(line)?;
     let id = match fields.get("id") {
@@ -260,16 +272,25 @@ pub fn parse_request(line: &str) -> Result<WireRequest, String> {
         Some(other) => return Err(format!("\"id\" must be a non-negative integer, got {other:?}")),
         None => return Err("missing \"id\" field".to_string()),
     };
-    let stats = match fields.get("stats") {
-        Some(Scalar::Bool(b)) => *b,
-        None => false,
-        Some(other) => return Err(format!("\"stats\" must be a bool, got {other:?}")),
-    };
-    if stats {
-        if fields.contains_key("code") {
-            return Err("a request carries either \"code\" or \"stats\", not both".to_string());
+    let marker = |name: &str| -> Result<bool, String> {
+        match fields.get(name) {
+            Some(Scalar::Bool(b)) => Ok(*b),
+            None => Ok(false),
+            Some(other) => Err(format!("\"{name}\" must be a bool, got {other:?}")),
         }
+    };
+    let stats = marker("stats")?;
+    let metrics = marker("metrics")?;
+    if (stats && metrics) || ((stats || metrics) && fields.contains_key("code")) {
+        return Err(
+            "a request carries exactly one of \"code\", \"stats\" or \"metrics\"".to_string()
+        );
+    }
+    if stats {
         return Ok(WireRequest::Stats { id });
+    }
+    if metrics {
+        return Ok(WireRequest::Metrics { id });
     }
     let code = match fields.get("code") {
         Some(Scalar::Str(s)) => s.clone(),
@@ -285,9 +306,38 @@ pub fn parse_request(line: &str) -> Result<WireRequest, String> {
 pub fn format_stats(id: u64, s: &ServerStats) -> String {
     format!(
         "{{\"id\":{id},\"ok\":true,\"stats\":true,\"requests\":{},\"batches\":{},\
-         \"max_batch\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{}}}",
-        s.requests, s.batches, s.max_batch, s.cache_hits, s.cache_misses, s.cache_evictions,
+         \"batches_full\":{},\"batches_deadline\":{},\"max_batch\":{},\"queue_hwm\":{},\
+         \"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{}}}",
+        s.requests,
+        s.batches,
+        s.batches_full,
+        s.batches_deadline,
+        s.max_batch,
+        s.queue_hwm,
+        s.cache_hits,
+        s.cache_misses,
+        s.cache_evictions,
     )
+}
+
+/// Formats a metrics response line (no trailing newline): the full
+/// Prometheus text exposition as one JSON string field.
+pub fn format_metrics(id: u64, exposition: &str) -> String {
+    format!("{{\"id\":{id},\"ok\":true,\"metrics\":\"{}\"}}", escape_json(exposition))
+}
+
+/// Parses a metrics response line back into `(id, exposition)`.
+pub fn parse_metrics_response(line: &str) -> Result<(u64, String), String> {
+    let fields = parse_object(line)?;
+    let exposition = match fields.get("metrics") {
+        Some(Scalar::Str(s)) => s.clone(),
+        other => return Err(format!("not a metrics response (metrics = {other:?})")),
+    };
+    let id = match fields.get("id") {
+        Some(Scalar::Num(_, raw)) if raw.parse::<u64>().is_ok() => raw.parse::<u64>().unwrap(),
+        other => return Err(format!("\"id\" must be a non-negative integer, got {other:?}")),
+    };
+    Ok((id, exposition))
 }
 
 /// Parses a stats response line back into `(id, ServerStats)` (loopback
@@ -312,7 +362,10 @@ pub fn parse_stats_response(line: &str) -> Result<(u64, ServerStats), String> {
         ServerStats {
             requests: counter("requests")?,
             batches: counter("batches")?,
+            batches_full: counter("batches_full")?,
+            batches_deadline: counter("batches_deadline")?,
             max_batch: counter("max_batch")?,
+            queue_hwm: counter("queue_hwm")?,
             cache_hits: counter("cache_hits")?,
             cache_misses: counter("cache_misses")?,
             cache_evictions: counter("cache_evictions")?,
@@ -455,7 +508,10 @@ mod tests {
         let s = ServerStats {
             requests: u64::MAX,
             batches: 9,
+            batches_full: 1,
+            batches_deadline: 8,
             max_batch: 64,
+            queue_hwm: 70,
             cache_hits: 31,
             cache_misses: 97,
             cache_evictions: 2,
@@ -463,14 +519,38 @@ mod tests {
         let line = format_stats(7, &s);
         let (id, back) = parse_stats_response(&line).unwrap();
         assert_eq!(id, 7);
-        assert_eq!(back.requests, u64::MAX);
-        assert_eq!(back.batches, 9);
-        assert_eq!(back.max_batch, 64);
-        assert_eq!(back.cache_hits, 31);
-        assert_eq!(back.cache_misses, 97);
-        assert_eq!(back.cache_evictions, 2);
+        assert_eq!(back, s);
         // An advice response is not a stats response.
         assert!(parse_stats_response(&format_error(1, "nope")).is_err());
+    }
+
+    #[test]
+    fn metrics_request_parses_and_rejects_ambiguity() {
+        assert_eq!(
+            parse_request("{\"id\":6,\"metrics\":true}").unwrap(),
+            WireRequest::Metrics { id: 6 }
+        );
+        assert!(parse_request("{\"id\":6,\"metrics\":false}").is_err(), "missing code");
+        assert!(
+            parse_request("{\"id\":6,\"metrics\":true,\"stats\":true}").is_err(),
+            "both stats and metrics"
+        );
+        assert!(
+            parse_request("{\"id\":6,\"metrics\":true,\"code\":\"x;\"}").is_err(),
+            "both code and metrics"
+        );
+        assert!(parse_request("{\"id\":6,\"metrics\":\"yes\"}").is_err(), "non-bool metrics");
+    }
+
+    #[test]
+    fn metrics_response_roundtrip() {
+        let exposition = "# HELP x_total help \"quoted\"\n# TYPE x_total counter\nx_total 1\n";
+        let line = format_metrics(11, exposition);
+        assert!(!line.contains('\n'), "response must stay one NDJSON line");
+        let (id, back) = parse_metrics_response(&line).unwrap();
+        assert_eq!(id, 11);
+        assert_eq!(back, exposition);
+        assert!(parse_metrics_response(&format_error(1, "nope")).is_err());
     }
 
     #[test]

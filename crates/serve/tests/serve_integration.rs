@@ -425,3 +425,147 @@ fn tcp_stats_request_returns_live_counters() {
     tcp.shutdown();
     let _ = server.shutdown();
 }
+
+/// Issues one HTTP request against the NDJSON listener and returns
+/// `(status_line, body)`, reading until the server closes the socket.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    use std::io::Read;
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: localhost\r\nAccept: */*\r\n\r\n").as_bytes(),
+        )
+        .expect("send request");
+    stream.flush().unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header/body separator");
+    let status = head.lines().next().unwrap_or("").to_string();
+    (status, body.to_string())
+}
+
+/// `GET /metrics` on the NDJSON port returns a Prometheus exposition
+/// with the serving and per-stage advise families — while concurrent
+/// NDJSON advice traffic on other connections stays bit-identical to
+/// direct `advise`. Unknown paths get a 404; the NDJSON `metrics`
+/// request returns the same exposition in-band.
+#[test]
+fn tcp_metrics_scrape_coexists_with_advice() {
+    let mut advisor = Advisor::untrained(Scale::Tiny, 29);
+    let sources = snippets();
+    let direct: Vec<Advice> =
+        sources.iter().map(|s| advisor.advise(s).expect("snippet parses")).collect();
+
+    let server = AdvisorServer::start(
+        advisor,
+        ServeConfig { deadline: Duration::from_millis(1), ..ServeConfig::default() },
+    );
+    let tcp = TcpServer::bind("127.0.0.1:0", server.client(), 8).expect("bind loopback");
+    let addr = tcp.local_addr();
+
+    // Advice traffic: each thread round-trips every snippet over its own
+    // NDJSON connection while the scraper polls /metrics.
+    let advice_threads: Vec<_> = (0..3)
+        .map(|t| {
+            let sources = sources.clone();
+            std::thread::spawn(move || -> Vec<pragformer_serve::WireResponse> {
+                let stream = TcpStream::connect(addr).expect("connect");
+                let mut writer = stream.try_clone().unwrap();
+                let mut reader = BufReader::new(stream);
+                sources
+                    .iter()
+                    .enumerate()
+                    .map(|(i, src)| {
+                        let id = (t * 100 + i) as u64;
+                        writer
+                            .write_all(
+                                format!(
+                                    "{{\"id\": {id}, \"code\": \"{}\"}}\n",
+                                    pragformer_serve::wire::escape_json(src)
+                                )
+                                .as_bytes(),
+                            )
+                            .unwrap();
+                        writer.flush().unwrap();
+                        let mut line = String::new();
+                        reader.read_line(&mut line).expect("read response");
+                        pragformer_serve::wire::parse_response(&line).expect("parse response")
+                    })
+                    .collect()
+            })
+        })
+        .collect();
+
+    // Scrape concurrently with the advice traffic.
+    let (status, first_scrape) = http_get(addr, "/metrics");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+
+    for handle in advice_threads {
+        let responses = handle.join().expect("advice thread");
+        for (resp, want) in responses.iter().zip(&direct) {
+            assert!(resp.ok, "advice under scrape failed: {:?}", resp.error);
+            assert_eq!(
+                resp.confidence.to_bits(),
+                want.confidence.to_bits(),
+                "scraping must not perturb advice bits"
+            );
+            assert_eq!(resp.private_probability.to_bits(), want.private_probability.to_bits());
+            assert_eq!(resp.reduction_probability.to_bits(), want.reduction_probability.to_bits());
+        }
+    }
+
+    // A post-traffic scrape must carry the serving families and the
+    // per-stage advise histograms (the registry is process-global, so
+    // families from other tests may appear too — containment, not
+    // equality). With PRAGFORMER_OBS=off the exposition is legitimately
+    // empty; the HTTP path and the bit-identity contract above still
+    // hold.
+    let (status, exposition) = http_get(addr, "/metrics");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    if pragformer_obs::enabled() {
+        for family in [
+            "# TYPE pragformer_serve_requests_total counter",
+            "# TYPE pragformer_serve_batch_size histogram",
+            "# TYPE pragformer_serve_queue_depth gauge",
+            "# TYPE pragformer_span_seconds histogram",
+            "pragformer_span_seconds_bucket{backend=",
+        ] {
+            assert!(exposition.contains(family), "scrape missing {family:?}:\n{exposition}");
+        }
+        for span in ["advise.prepare", "advise.bucket", "advise.forward", "advise.post"] {
+            assert!(
+                exposition.contains(&format!("span=\"{span}\"")),
+                "scrape missing stage {span:?}"
+            );
+        }
+        assert!(
+            exposition.len() >= first_scrape.len(),
+            "exposition must not shrink as traffic accrues"
+        );
+    }
+
+    // Unknown paths 404 without disturbing the listener.
+    let (status, _) = http_get(addr, "/not-metrics");
+    assert_eq!(status, "HTTP/1.1 404 Not Found");
+
+    // The NDJSON `metrics` request returns the same exposition in-band.
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    writer.write_all(b"{\"id\": 9, \"metrics\": true}\n").unwrap();
+    writer.flush().unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read response");
+    let (id, wire_exposition) =
+        pragformer_serve::wire::parse_metrics_response(&line).expect("metrics response parses");
+    assert_eq!(id, 9);
+    if pragformer_obs::enabled() {
+        assert!(wire_exposition.contains("# TYPE pragformer_serve_requests_total counter"));
+        assert!(wire_exposition.contains("pragformer_serve_http_requests_total{path=\"/metrics\"}"));
+    }
+
+    drop(writer);
+    drop(reader);
+    tcp.shutdown();
+    let _ = server.shutdown();
+}

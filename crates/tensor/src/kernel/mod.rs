@@ -24,10 +24,11 @@
 //! `PRAGFORMER_KERNEL=scalar|avx2|int8` environment variable wins if set
 //! (an unavailable or unknown value falls back to detection with a note);
 //! otherwise runtime CPU detection (`is_x86_feature_detected!`) chooses
-//! between `Avx2` and `Scalar`. One startup line on stderr records the
-//! detected features, the chosen tier and its provenance, so recorded
-//! benchmarks are attributable. Harnesses can switch tiers in-process
-//! with [`set_tier`].
+//! between `Avx2` and `Scalar`. One structured NDJSON startup line on
+//! stderr (via `pragformer_obs::log_kv`, target `tensor.kernel`) records
+//! the detected features, the chosen tier and its provenance, so
+//! recorded benchmarks are attributable. Harnesses can switch tiers
+//! in-process with [`set_tier`].
 //!
 //! ## The tier contract
 //!
@@ -241,12 +242,16 @@ fn init_tier() -> KernelTier {
     // appears exactly once even under concurrent first use.
     match TIER.compare_exchange(0, encode(tier), Ordering::Relaxed, Ordering::Relaxed) {
         Ok(_) => {
-            eprintln!(
-                "pragformer kernels: tier={} (cpu: {}) [{}]{}",
-                tier.name(),
-                cpu_features(),
-                source,
-                note
+            let msg = if note.is_empty() {
+                String::from("kernel tier selected")
+            } else {
+                format!("kernel tier selected{note}")
+            };
+            pragformer_obs::log_kv(
+                pragformer_obs::Level::Info,
+                "tensor.kernel",
+                &msg,
+                &[("tier", tier.name()), ("cpu", cpu_features()), ("source", source)],
             );
             tier
         }
@@ -301,5 +306,26 @@ mod tests {
     fn describe_names_the_tier() {
         let d = describe();
         assert!(d.contains(active_tier().name()), "{d}");
+    }
+
+    #[test]
+    fn startup_log_line_is_emitted_at_most_once() {
+        if !pragformer_obs::log_enabled(pragformer_obs::Level::Info) || !pragformer_obs::enabled() {
+            return; // counter only advances when logging + registry are live
+        }
+        let lines = pragformer_obs::counter(
+            "pragformer_log_lines_total",
+            "NDJSON log lines emitted to stderr",
+            &[("level", "info"), ("target", "tensor.kernel")],
+        );
+        let initial = active_tier();
+        let after_first = lines.get();
+        assert!(after_first <= 1, "startup line must log at most once, saw {after_first}");
+        // Re-reads and explicit switches must not log again.
+        let _ = active_tier();
+        set_tier(KernelTier::Scalar).unwrap();
+        let _ = active_tier();
+        set_tier(initial).unwrap();
+        assert_eq!(lines.get(), after_first, "tier reads/switches must not re-log");
     }
 }

@@ -53,6 +53,8 @@
 use crate::kernel::{self, Simd};
 use crate::parallel::par_rows_mut;
 use crate::Tensor;
+use pragformer_obs as obs;
+use std::sync::{Arc, OnceLock};
 
 /// Minimum output rows each worker should own before a kernel dispatches
 /// to the pool. Dispatch on the persistent pool costs a few microseconds
@@ -221,9 +223,50 @@ fn dispatch_simple(simd: Simd, a_rows: &[f32], k: usize, b: &[f32], n: usize, c_
     }
 }
 
+/// GEMM entry-point indices into the cached counter table (and their
+/// `op` label values).
+const GEMM_OPS: [&str; 3] = ["nn", "nt", "tn"];
+const OP_NN: usize = 0;
+const OP_NT: usize = 1;
+const OP_TN: usize = 2;
+
+/// Records one tier-dispatched GEMM into
+/// `pragformer_gemm_{calls,flops}_total{op,simd}`. Registry lookups
+/// happen only on the first call per `(op, simd)`; afterwards this is an
+/// enabled check plus two relaxed atomic adds. `flops` counts the
+/// conventional `2·m·n·k` multiply-adds of the contraction.
+#[inline]
+fn record_gemm(op_idx: usize, simd: Simd, m: usize, n: usize, k: usize) {
+    if !obs::enabled() {
+        return;
+    }
+    /// Cached `(calls, flops)` counter handles for one `(op, simd)` cell.
+    type GemmCounters = (Arc<obs::Counter>, Arc<obs::Counter>);
+    static CELLS: [[OnceLock<GemmCounters>; 2]; 3] = [const { [const { OnceLock::new() }; 2] }; 3];
+    let s = match simd {
+        Simd::Scalar => 0,
+        Simd::Avx2 => 1,
+    };
+    let (calls, flops) = CELLS[op_idx][s].get_or_init(|| {
+        let labels = [("op", GEMM_OPS[op_idx]), ("simd", simd.name())];
+        (
+            obs::counter("pragformer_gemm_calls_total", "f32 GEMM entry-point calls", &labels),
+            obs::counter(
+                "pragformer_gemm_flops_total",
+                "Floating-point operations (2*m*n*k) issued by f32 GEMMs",
+                &labels,
+            ),
+        )
+    });
+    calls.inc();
+    flops.add(2 * (m as u64) * (n as u64) * (k as u64));
+}
+
 /// `C[m×n] = A[m×k] · B[k×n]` on the active kernel tier.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
-    matmul_with(kernel::active_simd(), a, b)
+    let simd = kernel::active_simd();
+    record_gemm(OP_NN, simd, a.rows(), b.cols(), a.cols());
+    matmul_with(simd, a, b)
 }
 
 /// [`matmul`] on an explicit instruction set (per-tier tests, benches).
@@ -302,7 +345,9 @@ fn dispatch_dot(simd: Simd, x: &[f32], y: &[f32]) -> f32 {
 /// Row-times-row dot products: both operands stream contiguously. Each
 /// dot has a fixed reduction order per tier — see the module docs.
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
-    matmul_nt_with(kernel::active_simd(), a, b)
+    let simd = kernel::active_simd();
+    record_gemm(OP_NT, simd, a.rows(), b.rows(), a.cols());
+    matmul_nt_with(simd, a, b)
 }
 
 /// [`matmul_nt`] on an explicit instruction set (per-tier tests, benches).
@@ -365,7 +410,9 @@ fn tn_simple_rows(
 /// ascending in the sample index `s`, so results are bitwise identical
 /// (per tier) across paths, worker splits, and the pre-blocking kernel.
 pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
-    matmul_tn_with(kernel::active_simd(), a, b)
+    let simd = kernel::active_simd();
+    record_gemm(OP_TN, simd, a.cols(), b.cols(), a.rows());
+    matmul_tn_with(simd, a, b)
 }
 
 /// [`tn_simple_rows`] on the requested instruction set.

@@ -224,17 +224,40 @@ fn run_tasks(n: usize, f: &(dyn Fn(usize) + Sync)) {
     run_tasks_on(global(), nested, n, f);
 }
 
+/// Records one job dispatch into
+/// `pragformer_pool_dispatch_total{path}` (`path` 0 = `inline`, 1 =
+/// `pooled`). Handles are cached after the first call per path.
+#[inline]
+fn record_dispatch(path: usize) {
+    if !pragformer_obs::enabled() {
+        return;
+    }
+    static CELLS: [std::sync::OnceLock<std::sync::Arc<pragformer_obs::Counter>>; 2] =
+        [const { std::sync::OnceLock::new() }; 2];
+    CELLS[path]
+        .get_or_init(|| {
+            pragformer_obs::counter(
+                "pragformer_pool_dispatch_total",
+                "Worker-pool job dispatches by execution path",
+                &[("path", if path == 0 { "inline" } else { "pooled" })],
+            )
+        })
+        .inc();
+}
+
 /// Pool-explicit core of `run_tasks`; tests drive it with a private
 /// pool so the cross-thread dispatch machinery (worker loop, latch,
 /// erased-lifetime job pointer, panic forwarding) executes even on
 /// single-core machines where the global pool is empty.
 fn run_tasks_on(pool: &Pool, nested: bool, n: usize, f: &(dyn Fn(usize) + Sync)) {
     if nested || pool.thread_count() == 0 || n == 1 {
+        record_dispatch(0);
         for i in 0..n {
             f(i);
         }
         return;
     }
+    record_dispatch(1);
     // With fewer tasks than workers, waking the whole pool costs more
     // than it saves: enlist only enough workers that everyone (including
     // the caller) could claim at least one task.

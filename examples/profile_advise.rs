@@ -1,11 +1,20 @@
-//! Ad-hoc timing breakdown of the advise pipeline (used while tuning the
-//! batched path; not part of the evaluation harness).
+//! Per-stage timing breakdown of the advise pipeline, read from the
+//! observability registry (used while tuning the batched path; not part
+//! of the evaluation harness).
 //!
 //! ```text
 //! cargo run --release --example profile_advise
 //! ```
+//!
+//! The pipeline stages (`advise.prepare` → `advise.bucket` →
+//! `advise.forward` → `advise.post`) record themselves into
+//! `pragformer_span_seconds{span,backend,tier}` histograms as a side
+//! effect of running; this binary just drives batches through and then
+//! prints the registry's view — the same numbers a Prometheus scrape of
+//! a serving process would report.
 
 use pragformer::core::{Advisor, Scale};
+use pragformer::obs;
 use std::time::Instant;
 
 fn main() {
@@ -14,7 +23,12 @@ fn main() {
         "for (i = 0; i < n; i++)\n  for (j = 0; j < n; j++)\n    x1[i] = x1[i] + A[i][j] * y_1[j];";
     let snippets: Vec<&str> = (0..64).map(|_| snippet).collect();
 
-    // Front-end cost.
+    if !obs::enabled() {
+        eprintln!("observability is disabled (PRAGFORMER_OBS=off); no spans will be recorded");
+    }
+
+    // Front-end cost (parse + tokenize + ComPar baseline), measured
+    // directly: these run outside the advise pipeline's spans.
     let t = Instant::now();
     for _ in 0..200 {
         let stmts = pragformer::cparse::parse_snippet(snippet).unwrap();
@@ -37,5 +51,34 @@ fn main() {
         }
         let per = t.elapsed() / (iters * batch) as u32;
         println!("advise_batch/{batch}: {per:?} per snippet");
+    }
+
+    // Per-stage breakdown from the span registry: one row per
+    // (stage, backend, tier) series the runs above populated.
+    let mut stages: Vec<_> = obs::histogram_snapshots()
+        .into_iter()
+        .filter(|s| s.name == "pragformer_span_seconds" && s.count > 0)
+        .collect();
+    stages.sort_by_key(|s| {
+        ["advise.prepare", "advise.bucket", "advise.forward", "advise.post"]
+            .iter()
+            .position(|&stage| s.label("span") == Some(stage))
+            .unwrap_or(usize::MAX)
+    });
+    let total: f64 = stages.iter().map(|s| s.sum).sum();
+    println!("\nper-stage spans (whole process, from the obs registry):");
+    println!("{:<16} {:>6} {:>12} {:>12} {:>7}", "stage", "calls", "total", "mean/call", "share");
+    for s in &stages {
+        let span = s.label("span").unwrap_or("?");
+        let share = if total > 0.0 { 100.0 * s.sum / total } else { 0.0 };
+        println!(
+            "{span:<16} {:>6} {:>10.3}ms {:>10.3}ms {share:>6.1}%",
+            s.count,
+            1e3 * s.sum,
+            1e3 * s.mean(),
+        );
+    }
+    if stages.is_empty() {
+        println!("(no spans recorded — registry disabled?)");
     }
 }

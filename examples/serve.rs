@@ -17,7 +17,10 @@
 //! answered by one JSON line carrying the verdict, the three head
 //! probabilities, S2S agreement, and a rendered `#pragma` suggestion.
 //! A `{"id": 2, "stats": true}` line returns the server's counters
-//! (requests, batches, cache hits/misses/evictions) on the same wire.
+//! (requests, batches, cache hits/misses/evictions) on the same wire;
+//! `{"id": 3, "metrics": true}` returns the Prometheus exposition as a
+//! JSON string, and plain `GET /metrics` on the same port answers an
+//! HTTP scrape.
 
 use pragformer_core::{Advisor, Scale};
 use pragformer_serve::{wire, AdvisorServer, ServeConfig, TcpServer};
@@ -128,6 +131,54 @@ fn smoke_test() {
     assert_eq!(stats.requests, 4);
     assert!(stats.cache_hits >= 1, "request 3 must hit the cross-request cache");
     assert_eq!(wire_stats.cache_hits, stats.cache_hits);
+
+    // The metrics wire request: the Prometheus exposition in-band.
+    writer.write_all(b"{\"id\": 6, \"metrics\": true}\n").expect("send metrics request");
+    writer.flush().expect("flush");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read metrics response");
+    let (id, inband) = wire::parse_metrics_response(&line).expect("metrics response parses");
+    assert_eq!(id, 6);
+
+    // A second connection scrapes GET /metrics over plain HTTP while the
+    // NDJSON connection stays open.
+    use std::io::Read;
+    let mut scrape = TcpStream::connect(addr).expect("connect scraper");
+    scrape
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n")
+        .expect("send HTTP request");
+    scrape.flush().expect("flush scraper");
+    let mut raw = String::new();
+    scrape.read_to_string(&mut raw).expect("read HTTP response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("HTTP header/body separator");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "scrape must succeed: {head}");
+    assert!(head.contains("text/plain; version=0.0.4"), "Prometheus content type: {head}");
+    for exposition in [body, inband.as_str()] {
+        if pragformer::obs::enabled() {
+            for family in [
+                "# TYPE pragformer_serve_requests_total counter",
+                "# TYPE pragformer_serve_batch_size histogram",
+                "# TYPE pragformer_span_seconds histogram",
+            ] {
+                assert!(exposition.contains(family), "scrape missing {family:?}");
+            }
+        }
+    }
+    eprintln!(
+        "smoke: GET /metrics returned {} bytes, {} families",
+        body.len(),
+        body.lines().filter(|l| l.starts_with("# TYPE")).count()
+    );
+
+    // The NDJSON connection still answers after the scrape.
+    writer
+        .write_all(b"{\"id\": 7, \"code\": \"for (i = 0; i < n; i++) a[i] = 2 * b[i];\"}\n")
+        .expect("send request");
+    writer.flush().expect("flush");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read response");
+    let e = wire::parse_response(&line).expect("well-formed response");
+    assert!(e.ok, "NDJSON connection must survive a concurrent HTTP scrape");
 
     drop(writer);
     drop(reader);

@@ -45,6 +45,27 @@ fn main() {
     );
     let best_acc = history.iter().map(|m| m.valid_accuracy).fold(0.0f32, f32::max);
     assert!(best_acc > 0.6, "validation accuracy stuck at {best_acc}");
+
+    // The training loop publishes its progress to the obs registry: the
+    // epoch counter must match the history and the loss gauge must hold
+    // the last epoch's value (same f32, widened).
+    if pragformer::obs::enabled() {
+        let metrics = pragformer::obs::render_prometheus();
+        assert!(
+            metrics.contains(&format!("pragformer_train_epochs_total {}", history.len())),
+            "epoch counter missing from registry"
+        );
+        assert!(
+            metrics.contains("pragformer_train_loss{split=\"train\"}"),
+            "train loss gauge missing from registry"
+        );
+        assert!(
+            metrics.contains("pragformer_train_batches_total "),
+            "batch counter missing from registry"
+        );
+        println!("train metrics registered: epochs={}, families OK", history.len());
+    }
+
     println!(
         "train smoke OK: loss {:.4} -> {:.4}, best acc {best_acc:.3}, {elapsed:.2?}",
         first.train_loss, last.train_loss

@@ -8,5 +8,6 @@ pub use pragformer_corpus as corpus;
 pub use pragformer_cparse as cparse;
 pub use pragformer_eval as eval;
 pub use pragformer_model as model;
+pub use pragformer_obs as obs;
 pub use pragformer_tensor as tensor;
 pub use pragformer_tokenize as tokenize;
