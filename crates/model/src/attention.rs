@@ -21,7 +21,7 @@
 use pragformer_tensor::init::SeededRng;
 use pragformer_tensor::nn::{Layer, Linear, Param};
 use pragformer_tensor::parallel::par_map_indexed;
-use pragformer_tensor::{ops, Tensor};
+use pragformer_tensor::{ops, scratch, Tensor};
 
 /// Multi-head self-attention block (projections + scaled dot-product +
 /// output projection).
@@ -62,31 +62,31 @@ impl MultiHeadSelfAttention {
     }
 
     /// Extracts head `h` of sequence `b` from a `[batch*seq, d_model]`
-    /// tensor into a `[seq, d_head]` tile.
+    /// tensor into a `[seq, d_head]` tile. The tile rides on
+    /// [`scratch`] capacity (no zero fill); the forward pass gives it
+    /// back once consumed, so steady-state tiles allocate nothing.
     fn head_tile(&self, x: &Tensor, b: usize, h: usize, seq: usize) -> Tensor {
         let dh = self.d_model / self.n_heads;
-        let mut out = Tensor::zeros(&[seq, dh]);
+        let mut data = scratch::take(seq * dh);
         for t in 0..seq {
             let row = x.row(b * seq + t);
-            out.row_mut(t).copy_from_slice(&row[h * dh..(h + 1) * dh]);
+            data.extend_from_slice(&row[h * dh..(h + 1) * dh]);
         }
-        out
+        Tensor::from_vec(&[seq, dh], data)
     }
 
     /// Like [`Self::head_tile`] but transposed: `[d_head, seq]`. Score
-    /// GEMMs (`Q·Kᵀ` and `dCtx·Vᵀ`) consume the transposed tile through
-    /// the packed [`ops::matmul`] microkernel, which is much faster on
-    /// these short-inner-dimension products than row-dot kernels.
+    /// GEMMs (`Q·Kᵀ` and `dCtx·Vᵀ`) consume the transposed tile so both
+    /// operands stream contiguously through the GEMM inner loop.
     fn head_tile_t(&self, x: &Tensor, b: usize, h: usize, seq: usize) -> Tensor {
         let dh = self.d_model / self.n_heads;
-        let mut out = Tensor::zeros(&[dh, seq]);
-        for t in 0..seq {
-            let row = &x.row(b * seq + t)[h * dh..(h + 1) * dh];
-            for (d, &v) in row.iter().enumerate() {
-                *out.at2_mut(d, t) = v;
+        let mut data = scratch::take(dh * seq);
+        for d in 0..dh {
+            for t in 0..seq {
+                data.push(x.row(b * seq + t)[h * dh + d]);
             }
         }
-        out
+        Tensor::from_vec(&[dh, seq], data)
     }
 
     /// Adds a `[seq, d_head]` tile back into head `h` of sequence `b`.
@@ -125,16 +125,23 @@ impl MultiHeadSelfAttention {
             let qt = self.head_tile(&q, b, h, seq);
             let ktt = self.head_tile_t(&k, b, h, seq);
             let vt = self.head_tile(&v, b, h, seq);
-            let mut scores = ops::matmul(&qt, &ktt);
+            // The per-call K/V tiles are too transient to pre-pack:
+            // matmul_unpacked runs the simple kernel (bitwise identical
+            // to the packed path) with zero pack builds per call.
+            let mut scores = ops::matmul_unpacked(&qt, &ktt);
             scores.map_in_place(|s| s * scale);
             ops::softmax_rows_uniform(&mut scores, vb);
-            let ctx = ops::matmul(&scores, &vt);
+            let ctx = ops::matmul_unpacked(&scores, &vt);
+            scratch::give(qt.into_data());
+            scratch::give(ktt.into_data());
+            scratch::give(vt.into_data());
             (scores, ctx)
         });
         let mut probs = Vec::with_capacity(batch * self.n_heads);
         for (bh, (scores, ctx)) in tiles.into_iter().enumerate() {
             let (b, h) = (bh / self.n_heads, bh % self.n_heads);
             self.add_head_tile(&mut context, &ctx, b, h, seq);
+            scratch::give(ctx.into_data());
             probs.push(scores);
         }
         let out = self.wo.forward(&context, true);

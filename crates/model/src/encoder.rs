@@ -152,7 +152,11 @@ impl Encoder {
         // the padded length (the bucketed-training determinism contract).
         let mut h = self.drop.forward_rows(&normed, train, seq, valid);
         for blk in &mut self.blocks {
-            h = blk.forward(&h, batch, seq, valid);
+            let next = blk.forward(&h, batch, seq, valid);
+            // The consumed activation buffer goes back to the scratch
+            // arena; the next batch's embedding gather (and the per-head
+            // attention tiles) draw from it instead of the allocator.
+            pragformer_tensor::scratch::give(std::mem::replace(&mut h, next).into_data());
         }
         h
     }
@@ -208,6 +212,28 @@ impl Encoder {
     /// Whether the int8 weight copies are currently built.
     pub fn int8_active(&self) -> bool {
         self.tok.is_quantized()
+    }
+
+    /// Builds pre-packed panel copies of every weight matrix for
+    /// zero-repack f32 inference. Embedding tables are gathers (no GEMM)
+    /// and hold no packed form. Idempotent: already-packed layers keep
+    /// their caches, so calling this per eval forward is cheap.
+    pub fn ensure_packed(&mut self) {
+        for blk in &mut self.blocks {
+            blk.for_each_linear(&mut |lin| lin.ensure_packed());
+        }
+    }
+
+    /// Drops every packed panel copy; forwards return to pack-per-call.
+    pub fn drop_packed(&mut self) {
+        for blk in &mut self.blocks {
+            blk.for_each_linear(&mut |lin| lin.drop_packed());
+        }
+    }
+
+    /// Whether the pre-packed weight copies are currently built.
+    pub fn packed_active(&self) -> bool {
+        self.blocks.first().is_some_and(|blk| blk.ff1.is_packed())
     }
 }
 

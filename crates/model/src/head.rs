@@ -19,8 +19,9 @@ use crate::config::ModelConfig;
 use crate::encoder::Encoder;
 use pragformer_tensor::init::SeededRng;
 use pragformer_tensor::kernel::quantize::{QuantizedEmbedding, QuantizedMatrix};
-use pragformer_tensor::kernel::{active_tier, KernelTier};
+use pragformer_tensor::kernel::{active_tier, prepack_enabled, KernelTier};
 use pragformer_tensor::nn::{Activation, ActivationKind, Dropout, Layer, Linear, Param};
+use pragformer_tensor::ops::PackedWeights;
 use pragformer_tensor::Tensor;
 
 /// The shared lower stack: embeddings + encoder blocks + CLS pooling.
@@ -39,18 +40,28 @@ pub struct Trunk {
     /// compare both paths without flipping the global tier under
     /// concurrently running models.
     int8_override: Option<bool>,
+    /// Per-model override of the f32 pre-packing decision: `Some(true)`
+    /// forces packed panels, `Some(false)` forces pack-per-call, `None`
+    /// follows the process-wide [`prepack_enabled`] switch. Irrelevant
+    /// while the int8 path is active (int8 wins).
+    prepack_override: Option<bool>,
 }
 
 impl Trunk {
     /// Builds a trunk from a config and seed.
     pub fn new(cfg: &ModelConfig, rng: &mut SeededRng) -> Self {
-        Self { encoder: Encoder::new(cfg, rng), cache: None, int8_override: None }
+        Self {
+            encoder: Encoder::new(cfg, rng),
+            cache: None,
+            int8_override: None,
+            prepack_override: None,
+        }
     }
 
     /// Wraps an already-built encoder (e.g. one restored from MLM
     /// pre-training).
     pub fn from_encoder(encoder: Encoder) -> Self {
-        Self { encoder, cache: None, int8_override: None }
+        Self { encoder, cache: None, int8_override: None, prepack_override: None }
     }
 
     /// Sets the model-local int8 override (see the field docs). Takes
@@ -62,6 +73,37 @@ impl Trunk {
     /// The current model-local int8 override.
     pub fn int8_override(&self) -> Option<bool> {
         self.int8_override
+    }
+
+    /// Sets the model-local pre-packing override (see the field docs).
+    /// Takes effect on the next eval forward.
+    pub fn set_prepack_override(&mut self, force: Option<bool>) {
+        self.prepack_override = force;
+    }
+
+    /// The current model-local pre-packing override.
+    pub fn prepack_override(&self) -> Option<bool> {
+        self.prepack_override
+    }
+
+    /// Whether the next eval forward will run on pre-packed f32 panels
+    /// (the override, or the process-wide switch when unset; always
+    /// `false` when the int8 path wins).
+    pub fn wants_prepack(&self) -> bool {
+        let int8 = self.int8_override.unwrap_or_else(|| active_tier() == KernelTier::Int8);
+        !int8 && self.prepack_override.unwrap_or_else(prepack_enabled)
+    }
+
+    /// Eagerly builds the weight caches the next eval forward would use
+    /// (int8 copies or pre-packed f32 panels), moving the one-time
+    /// pack/quantize cost out of the first request.
+    pub fn prepack_for_inference(&mut self) {
+        let int8 = self.int8_override.unwrap_or_else(|| active_tier() == KernelTier::Int8);
+        if int8 {
+            self.encoder.ensure_int8();
+        } else if self.prepack_override.unwrap_or_else(prepack_enabled) {
+            self.encoder.ensure_packed();
+        }
     }
 
     /// Model configuration.
@@ -100,6 +142,16 @@ impl Trunk {
             self.encoder.ensure_int8();
         } else {
             self.encoder.drop_int8();
+        }
+        // Pre-packed f32 panels follow the same lifecycle, one rung
+        // below int8 in priority: the int8 GEMM never reads f32 panels,
+        // so holding both would only waste memory.
+        let want_packed =
+            !train && !want_int8 && self.prepack_override.unwrap_or_else(prepack_enabled);
+        if want_packed {
+            self.encoder.ensure_packed();
+        } else {
+            self.encoder.drop_packed();
         }
         let batch = ids.len() / seq.max(1);
         let h = self.encoder.forward_seq(ids, valid, seq, train);
@@ -142,16 +194,20 @@ impl Trunk {
         let (d, dff) = (cfg.d_model, cfg.d_ff);
         let mut f32_bytes = 0usize;
         let mut int8_bytes = 0usize;
-        // Embedding tables: quantized per row under int8.
+        let mut prepacked_bytes = 0usize;
+        // Embedding tables: quantized per row under int8; never
+        // pre-packed (lookups are gathers, not GEMMs).
         for (rows, dim) in [(cfg.vocab, d), (cfg.max_len, d)] {
             f32_bytes += rows * dim * 4;
             int8_bytes += QuantizedEmbedding::bytes_for(rows, dim);
         }
-        // Weight matrices: quantized per output column under int8.
+        // Weight matrices: quantized per output column under int8,
+        // panel-packed (column-padded to the kernel's NR) when prepacked.
         let mats_per_layer = [(d, d), (d, d), (d, d), (d, d), (d, dff), (dff, d)];
         for (rows, cols) in mats_per_layer.into_iter().cycle().take(6 * cfg.n_layers) {
             f32_bytes += rows * cols * 4;
             int8_bytes += QuantizedMatrix::bytes_for(rows, cols);
+            prepacked_bytes += PackedWeights::bytes_for(rows, cols);
         }
         // Biases and LayerNorm affine params stay f32 in both tiers:
         // embedding LN (2d) + per layer 4 attention biases (4d), two
@@ -159,7 +215,7 @@ impl Trunk {
         let small = 2 * d + cfg.n_layers * (4 * d + 4 * d + dff + d);
         f32_bytes += small * 4;
         int8_bytes += small * 4;
-        TrunkWeightBytes { f32_bytes, int8_bytes }
+        TrunkWeightBytes { f32_bytes, int8_bytes, prepacked_bytes }
     }
 }
 
@@ -172,6 +228,11 @@ pub struct TrunkWeightBytes {
     /// Total bytes with every weight matrix / embedding table in its
     /// int8 form (i8 values + f32 scales); biases and LN params stay f32.
     pub int8_bytes: usize,
+    /// *Additional* bytes held while zero-repack inference is active:
+    /// one panel-packed copy per weight matrix (`⌈n/NR⌉·k·NR` floats
+    /// each). Embedding tables, biases and LN params hold no packed
+    /// form, so this is ≈ +1× the weight-matrix share of `f32_bytes`.
+    pub prepacked_bytes: usize,
 }
 
 impl TrunkWeightBytes {
@@ -230,6 +291,31 @@ impl ClassifierHead {
         self.drop.visit_params(f);
         self.fc2.visit_params(f);
     }
+
+    /// Visits both dense layers (cache management, weight accounting).
+    pub fn for_each_linear(&mut self, f: &mut dyn FnMut(&mut Linear)) {
+        f(&mut self.fc1);
+        f(&mut self.fc2);
+    }
+
+    /// Builds (or keeps) pre-packed panels for both dense layers. Heads
+    /// always run f32 — the int8 tier quantizes only the trunk — so
+    /// head packing applies under every kernel tier.
+    pub fn ensure_packed(&mut self) {
+        self.fc1.ensure_packed();
+        self.fc2.ensure_packed();
+    }
+
+    /// Drops the packed copies; forwards return to pack-per-call f32.
+    pub fn drop_packed(&mut self) {
+        self.fc1.drop_packed();
+        self.fc2.drop_packed();
+    }
+
+    /// Whether the packed copies are currently built.
+    pub fn is_packed(&self) -> bool {
+        self.fc1.is_packed()
+    }
 }
 
 #[cfg(test)]
@@ -260,6 +346,16 @@ mod tests {
         trunk.visit_params(&mut |p| traversed += p.value.len() * 4);
         assert_eq!(wb.f32_bytes, traversed, "static accounting drifted from real params");
         assert!(wb.int8_bytes < wb.f32_bytes);
+        // Packed panels cover exactly the weight matrices (no embeddings,
+        // no biases), padded up to the kernel's NR column multiple.
+        let (d, dff) = (cfg.d_model, cfg.d_ff);
+        let mat_f32 = cfg.n_layers * (4 * d * d + 2 * d * dff) * 4;
+        assert!(
+            wb.prepacked_bytes >= mat_f32 && wb.prepacked_bytes < wb.f32_bytes,
+            "prepacked {} outside [{mat_f32}, {})",
+            wb.prepacked_bytes,
+            wb.f32_bytes
+        );
         // Tiny dims carry proportionally more scale overhead than the
         // eval scales the ≤0.30 gate targets; still far below 1.
         assert!(wb.ratio() < 0.45, "ratio {}", wb.ratio());
@@ -292,6 +388,48 @@ mod tests {
         let back = trunk.forward_cls(&ids, &valid, cfg.max_len, false);
         trunk.clear_cache();
         assert_eq!(back, f32_cls, "f32 path must restore bitwise");
+    }
+
+    #[test]
+    fn prepack_override_is_bitwise_and_training_restores() {
+        let cfg = ModelConfig::tiny(12);
+        let mut rng = SeededRng::new(8);
+        let mut trunk = Trunk::new(&cfg, &mut rng);
+        let ids: Vec<usize> = (0..2 * cfg.max_len).map(|i| i % 12).collect();
+        let valid = [7usize, 9];
+        trunk.set_prepack_override(Some(false));
+        let plain = trunk.forward_cls(&ids, &valid, cfg.max_len, false);
+        trunk.clear_cache();
+        assert!(!trunk.encoder().packed_active());
+        trunk.set_prepack_override(Some(true));
+        assert!(trunk.wants_prepack());
+        let packed = trunk.forward_cls(&ids, &valid, cfg.max_len, false);
+        trunk.clear_cache();
+        assert!(trunk.encoder().packed_active(), "override must build packed caches");
+        // Same tier, same panel bytes: zero-repack must be bit-for-bit.
+        assert_eq!(plain, packed, "prepacked CLS diverged from pack-per-call");
+        // A training forward must tear the packed caches down even while
+        // the override is still set (backward refuses to run with them).
+        let _ = trunk.forward_cls(&ids, &valid, cfg.max_len, true);
+        trunk.clear_cache();
+        assert!(!trunk.encoder().packed_active(), "train forward left packed caches up");
+    }
+
+    #[test]
+    fn prepack_for_inference_packs_eagerly() {
+        let cfg = ModelConfig::tiny(12);
+        let mut rng = SeededRng::new(9);
+        let mut trunk = Trunk::new(&cfg, &mut rng);
+        trunk.set_prepack_override(Some(true));
+        assert!(!trunk.encoder().packed_active());
+        trunk.prepack_for_inference();
+        assert!(trunk.encoder().packed_active(), "eager packing did nothing");
+        // int8 wins: with the int8 override set, eager packing builds
+        // the quantized caches instead of f32 panels.
+        trunk.set_int8_override(Some(true));
+        assert!(!trunk.wants_prepack());
+        trunk.prepack_for_inference();
+        assert!(trunk.encoder().int8_active(), "int8 override must quantize eagerly");
     }
 
     #[test]

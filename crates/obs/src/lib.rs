@@ -46,6 +46,10 @@
 //! | `pragformer_advise_parse_errors_total` | counter | `backend` | core: snippets that failed to parse |
 //! | `pragformer_gemm_calls_total` | counter | `op` (`nn`/`nt`/`tn`), `simd` | tensor: f32 GEMM entry points |
 //! | `pragformer_gemm_flops_total` | counter | `op`, `simd` | tensor: `2·m·n·k` per GEMM |
+//! | `pragformer_pack_builds_total` | counter | — | tensor: B-panel pack builds (per-call repacks and one-time prepacks alike; zero steady-state delta under zero-repack inference) |
+//! | `pragformer_prepack_hits_total` | counter | — | tensor: GEMMs served from pre-packed weight panels |
+//! | `pragformer_packed_weight_bytes` | gauge | — | tensor: bytes held by live `PackedWeights` copies |
+//! | `pragformer_scratch_high_water_bytes` | gauge | — | tensor: scratch-arena pooled-bytes high-water mark |
 //! | `pragformer_pool_dispatch_total` | counter | `path` (`pooled`/`inline`) | tensor: worker-pool job dispatch |
 //! | `pragformer_serve_requests_total` | counter | `server` | serve: requests answered |
 //! | `pragformer_serve_batches_total` | counter | `server` | serve: batches formed |

@@ -30,6 +30,19 @@
 //! recorded benchmarks are attributable. Harnesses can switch tiers
 //! in-process with [`set_tier`].
 //!
+//! ## Pre-packed weights and weight memory
+//!
+//! The f32 tiers can additionally cache each weight matrix's packed
+//! column panels ([`crate::ops::PackedWeights`]) so inference never
+//! repacks (`PRAGFORMER_PREPACK=off|0|false` forces the legacy
+//! pack-per-call path; see [`prepack_enabled`]/[`set_prepack`]). The
+//! packed copy costs ≈ +1× the f32 weight bytes per cached matrix
+//! (exactly `⌈n/NR⌉·k·NR` floats): it is reported next to the existing
+//! `*_weight_bytes` accounting (`TrunkWeightBytes::prepacked_bytes` in
+//! the model crate) and live in the `pragformer_packed_weight_bytes`
+//! gauge. Training never holds packed copies (the backward pass asserts
+//! none, mirroring the int8 rule), so the overhead is inference-only.
+//!
 //! ## The tier contract
 //!
 //! * **Bitwise determinism *within* a tier.** Each tier accumulates
@@ -216,6 +229,48 @@ pub fn describe() -> String {
     format!("pragformer kernels: tier={} (cpu: {})", active_tier().name(), cpu_features())
 }
 
+/// 0 = uninitialized, 1 = prepack on, 2 = prepack off.
+static PREPACK: AtomicU8 = AtomicU8::new(0);
+
+/// Whether f32 weight pre-packing ([`crate::ops::PackedWeights`]) is
+/// wanted. Initialized lazily from `PRAGFORMER_PREPACK` (anything but
+/// `off`/`0`/`false` — including unset — means on, like
+/// `PRAGFORMER_OBS`); [`set_prepack`] overrides it in-process. Model
+/// code consults this before building or keeping packed caches; the
+/// kernels themselves accept packed operands regardless.
+#[inline]
+pub fn prepack_enabled() -> bool {
+    match PREPACK.load(Ordering::Relaxed) {
+        0 => init_prepack(),
+        v => v == 1,
+    }
+}
+
+/// Flips the prepack switch in-process (benches comparing prepacked vs
+/// repack arms, tests). Initializes from the environment first so the
+/// kill-switch log still appears when it was thrown.
+pub fn set_prepack(on: bool) {
+    let _ = prepack_enabled();
+    PREPACK.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+#[cold]
+fn init_prepack() -> bool {
+    let off = matches!(std::env::var("PRAGFORMER_PREPACK").as_deref(), Ok("off" | "0" | "false"));
+    let encoded = if off { 2 } else { 1 };
+    // First writer wins; only the winner logs the (rare) kill switch, so
+    // the line appears at most once per process.
+    if PREPACK.compare_exchange(0, encoded, Ordering::Relaxed, Ordering::Relaxed).is_ok() && off {
+        pragformer_obs::log_kv(
+            pragformer_obs::Level::Info,
+            "tensor.prepack",
+            "f32 weight pre-packing disabled",
+            &[("source", "PRAGFORMER_PREPACK")],
+        );
+    }
+    PREPACK.load(Ordering::Relaxed) == 1
+}
+
 #[cold]
 fn init_tier() -> KernelTier {
     let (mut tier, mut source) = if avx2_available() {
@@ -306,6 +361,22 @@ mod tests {
     fn describe_names_the_tier() {
         let d = describe();
         assert!(d.contains(active_tier().name()), "{d}");
+    }
+
+    #[test]
+    fn prepack_switch_toggles_and_restores() {
+        // The env decides the initial value (CI runs the suite once with
+        // PRAGFORMER_PREPACK=off); in-process toggles always win after.
+        let initial = prepack_enabled();
+        if std::env::var("PRAGFORMER_PREPACK").is_err() {
+            assert!(initial, "prepack must default to on when the env is unset");
+        }
+        set_prepack(false);
+        assert!(!prepack_enabled());
+        set_prepack(true);
+        assert!(prepack_enabled());
+        set_prepack(initial);
+        assert_eq!(prepack_enabled(), initial);
     }
 
     #[test]

@@ -230,6 +230,15 @@ impl QuantizedEmbedding {
         }
     }
 
+    /// Appends the dequantized row `r` to `out` — the arena-backed
+    /// gather path of `Embedding::lookup` (no zero fill before the
+    /// write, unlike [`QuantizedEmbedding::write_row`]).
+    pub fn extend_row(&self, r: usize, out: &mut Vec<f32>) {
+        assert!(r < self.rows, "embedding row {r} out of range {}", self.rows);
+        let s = self.scales[r];
+        out.extend(self.data[r * self.dim..(r + 1) * self.dim].iter().map(|&q| q as f32 * s));
+    }
+
     /// Bytes this quantized form occupies (i8 table + f32 scales).
     pub fn bytes(&self) -> usize {
         self.data.len() + self.scales.len() * 4
@@ -258,6 +267,23 @@ mod tests {
             for p in 0..17 {
                 let err = (w.at2(p, j) - back.at2(p, j)).abs();
                 assert!(err <= bound, "({p},{j}): err {err} > {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn extend_row_matches_write_row_bitwise() {
+        let mut rng = SeededRng::new(43);
+        let table = Tensor::randn(&[9, 6], 1.0, &mut rng);
+        let q = QuantizedEmbedding::quantize(&table);
+        for r in [0usize, 4, 8] {
+            let mut written = vec![0.0f32; 6];
+            q.write_row(r, &mut written);
+            let mut appended = Vec::new();
+            q.extend_row(r, &mut appended);
+            assert_eq!(appended.len(), 6);
+            for (a, b) in appended.iter().zip(&written) {
+                assert_eq!(a.to_bits(), b.to_bits(), "row {r}");
             }
         }
     }

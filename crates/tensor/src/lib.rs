@@ -12,7 +12,11 @@
 //! * [`ops`]: free functions for GEMM variants (cache-blocked, packed-B
 //!   microkernels), softmax, bias addition — the hot GEMM loops are
 //!   parallelized over rows on a persistent worker pool (see
-//!   [`parallel`]);
+//!   [`parallel`]); constant weight matrices can be packed once into
+//!   [`ops::PackedWeights`] so inference never repacks;
+//! * [`scratch`]: a per-thread reusable buffer arena the forward hot
+//!   loop draws its short-lived f32 scratch from (pack panels, attention
+//!   tiles, embedding gathers) instead of allocating fresh;
 //! * [`kernel`]: runtime-dispatched kernel tiers — portable scalar,
 //!   AVX2/FMA intrinsics, and an int8-quantized inference tier
 //!   ([`kernel::quantize`]) — selected once per process by CPU detection
@@ -53,6 +57,7 @@ pub mod nn;
 pub mod ops;
 pub mod optim;
 pub mod parallel;
+pub mod scratch;
 pub mod serialize;
 mod tensor;
 

@@ -65,22 +65,27 @@ impl Embedding {
 
     /// Gathers `ids` into an `[ids.len(), dim]` tensor.
     ///
+    /// The rows are appended straight into capacity drawn from the
+    /// [`crate::scratch`] arena — no zero-then-overwrite pass, and on a
+    /// warm arena no allocation either (the encoder recycles consumed
+    /// activation buffers back into the pool).
+    ///
     /// # Panics
     /// Panics when an id is out of range — upstream tokenizers are expected
     /// to map unknown symbols to `<unk>` long before this point.
     pub fn lookup(&mut self, ids: &[usize]) -> Tensor {
         let dim = self.dim();
         let vocab = self.vocab();
-        let mut out = Tensor::zeros(&[ids.len(), dim]);
-        for (r, &id) in ids.iter().enumerate() {
+        let mut data = crate::scratch::take(ids.len() * dim);
+        for &id in ids {
             assert!(id < vocab, "embedding id {id} out of range (vocab {vocab})");
             match &self.qt {
-                Some(q) => q.write_row(id, out.row_mut(r)),
-                None => out.row_mut(r).copy_from_slice(self.table.value.row(id)),
+                Some(q) => q.extend_row(id, &mut data),
+                None => data.extend_from_slice(self.table.value.row(id)),
             }
         }
         self.cache_ids = Some(ids.to_vec());
-        out
+        Tensor::from_vec(&[ids.len(), dim], data)
     }
 
     /// Scatter-adds `dy` rows into the table gradient.

@@ -3,7 +3,7 @@
 use super::{Layer, Param};
 use crate::init::{xavier_bound, SeededRng};
 use crate::kernel::quantize::{matmul_quant, QuantizedMatrix};
-use crate::ops;
+use crate::ops::{self, PackedWeights};
 use crate::Tensor;
 
 /// Dense affine transform over the last dimension.
@@ -13,10 +13,15 @@ use crate::Tensor;
 ///
 /// For the int8 inference tier the layer can hold a quantized copy of
 /// `W` ([`Linear::ensure_quantized`]); while present, `forward` runs the
-/// int8 GEMM instead of f32. The cache is inference-only — `backward`
-/// refuses to run with it set — and is dropped whenever parameters are
-/// handed out mutably (`visit_params`: optimizer steps, checkpoint
-/// restores), so it can never go stale.
+/// int8 GEMM instead of f32. The f32 tiers have the analogous
+/// [`Linear::ensure_packed`]: a [`PackedWeights`] copy of `W` whose
+/// panels were packed once, so `forward` skips the per-call pack while
+/// staying bitwise identical to the plain f32 path. Both caches are
+/// inference-only — `backward` refuses to run with either set — and are
+/// dropped whenever parameters are handed out mutably (`visit_params`:
+/// optimizer steps, checkpoint restores), so they can never go stale.
+/// When both are present the int8 copy wins (it exists only because a
+/// caller explicitly chose the int8 tier).
 pub struct Linear {
     /// Weight matrix `[in, out]`.
     pub w: Param,
@@ -24,6 +29,7 @@ pub struct Linear {
     pub b: Param,
     cache_x: Option<Tensor>,
     qw: Option<QuantizedMatrix>,
+    pw: Option<PackedWeights>,
 }
 
 impl Linear {
@@ -41,6 +47,7 @@ impl Linear {
             b: Param::new(format!("{name}.b"), Tensor::zeros(&[out_dim])),
             cache_x: None,
             qw: None,
+            pw: None,
         }
     }
 
@@ -77,14 +84,39 @@ impl Linear {
     pub fn quantized_weight_bytes(&self) -> usize {
         QuantizedMatrix::bytes_for(self.in_dim(), self.out_dim())
     }
+
+    /// Builds (or keeps) the pre-packed f32 panels of `W` used by
+    /// zero-repack inference. Idempotent; cheap when already present.
+    pub fn ensure_packed(&mut self) {
+        if self.pw.is_none() {
+            self.pw = Some(PackedWeights::pack(&self.w.value));
+        }
+    }
+
+    /// Drops the packed copy; `forward` returns to pack-per-call f32.
+    pub fn drop_packed(&mut self) {
+        self.pw = None;
+    }
+
+    /// Whether prepacked inference is active.
+    pub fn is_packed(&self) -> bool {
+        self.pw.is_some()
+    }
+
+    /// Bytes of the packed form of this layer's weight matrix (static
+    /// accounting; does not require the cache to exist).
+    pub fn packed_weight_bytes(&self) -> usize {
+        PackedWeights::bytes_for(self.in_dim(), self.out_dim())
+    }
 }
 
 impl Layer for Linear {
     fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
         assert_eq!(x.cols(), self.in_dim(), "Linear input dim");
-        let mut y = match &self.qw {
-            Some(q) => matmul_quant(x, q),
-            None => ops::matmul(x, &self.w.value),
+        let mut y = match (&self.qw, &self.pw) {
+            (Some(q), _) => matmul_quant(x, q),
+            (None, Some(p)) => ops::matmul_prepacked(x, p),
+            (None, None) => ops::matmul(x, &self.w.value),
         };
         ops::add_bias(&mut y, &self.b.value);
         self.cache_x = Some(x.clone());
@@ -93,6 +125,7 @@ impl Layer for Linear {
 
     fn backward(&mut self, dy: &Tensor) -> Tensor {
         assert!(self.qw.is_none(), "Linear::backward on a quantized (inference-only) layer");
+        assert!(self.pw.is_none(), "Linear::backward on a prepacked (inference-only) layer");
         let x = self.cache_x.take().expect("Linear::backward before forward");
         // dW = xᵀ·dy, db = Σ rows dy, dx = dy·Wᵀ
         self.w.grad.add_assign(&ops::matmul_tn(&x, dy));
@@ -103,9 +136,10 @@ impl Layer for Linear {
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         // Handing out &mut Params can change the weights (optimizer
-        // step, checkpoint restore): the quantized copy must not
+        // step, checkpoint restore): neither derived copy of W may
         // survive it.
         self.qw = None;
+        self.pw = None;
         f(&mut self.w);
         f(&mut self.b);
     }
@@ -172,6 +206,48 @@ mod tests {
         assert!(!lin.is_quantized(), "quantized cache survived visit_params");
         let y_back = lin.forward(&x, false);
         assert_eq!(y_back.data(), y32.data(), "f32 path must be restored exactly");
+    }
+
+    #[test]
+    fn packed_forward_is_bitwise_f32_and_cache_lifecycle() {
+        let mut rng = SeededRng::new(11);
+        let mut lin = Linear::new(6, 4, &mut rng);
+        let x = Tensor::randn(&[3, 6], 1.0, &mut rng);
+        let y32 = lin.forward(&x, false);
+        lin.ensure_packed();
+        assert!(lin.is_packed());
+        assert_eq!(lin.packed_weight_bytes(), PackedWeights::bytes_for(6, 4));
+        let yp = lin.forward(&x, false);
+        // Same tier, same panels: prepacked must be bit-for-bit f32.
+        assert_eq!(y32.data(), yp.data(), "prepacked forward diverged from f32");
+        // visit_params (optimizer step / state restore) must drop the cache.
+        lin.visit_params(&mut |_| {});
+        assert!(!lin.is_packed(), "packed cache survived visit_params");
+        let y_back = lin.forward(&x, false);
+        assert_eq!(y_back.data(), y32.data());
+    }
+
+    #[test]
+    fn int8_cache_wins_over_packed() {
+        let mut rng = SeededRng::new(12);
+        let mut lin = Linear::new(5, 3, &mut rng);
+        let x = Tensor::randn(&[2, 5], 1.0, &mut rng);
+        lin.ensure_quantized();
+        let y8 = lin.forward(&x, false);
+        lin.ensure_packed();
+        let y_both = lin.forward(&x, false);
+        assert_eq!(y8.data(), y_both.data(), "int8 must take priority over the packed copy");
+    }
+
+    #[test]
+    #[should_panic(expected = "prepacked (inference-only)")]
+    fn packed_backward_panics() {
+        let mut rng = SeededRng::new(13);
+        let mut lin = Linear::new(3, 3, &mut rng);
+        let x = Tensor::randn(&[2, 3], 1.0, &mut rng);
+        lin.ensure_packed();
+        let y = lin.forward(&x, true);
+        let _ = lin.backward(&Tensor::full(y.shape(), 1.0));
     }
 
     #[test]

@@ -23,6 +23,22 @@
 //!   slice of `Aᵀ` into contiguous rows first; tiny outputs fall back to
 //!   the outer-product loop.
 //!
+//! ## Pre-packed weights
+//!
+//! At inference `B` is almost always a constant weight matrix, so
+//! [`PackedWeights`] packs its panels **once** and [`matmul_prepacked`]
+//! runs the same packed microkernel against the cached panels — bitwise
+//! identical to [`matmul`] by construction (same panel bytes, same
+//! ascending-`k` chains) with zero per-call pack work. For genuinely
+//! per-call right-hand sides that are too transient to pack (attention's
+//! head tiles), [`matmul_unpacked`] runs the simple kernel on every
+//! shape — also bitwise identical — so the steady-state forward path
+//! issues **no** panel builds at all (`pack_b_panels_into` counts into
+//! `pragformer_pack_builds_total`; prepacked calls count into
+//! `pragformer_prepack_hits_total`). Per-call scratch (pack panels, the
+//! `matmul_tn` gather) is drawn from [`crate::scratch`] rather than
+//! allocated fresh.
+//!
 //! ## Kernel tiers
 //!
 //! Each GEMM dispatches once at entry on the process-wide kernel tier
@@ -52,8 +68,9 @@
 
 use crate::kernel::{self, Simd};
 use crate::parallel::par_rows_mut;
-use crate::Tensor;
+use crate::{scratch, Tensor};
 use pragformer_obs as obs;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// Minimum output rows each worker should own before a kernel dispatches
@@ -73,15 +90,39 @@ pub(crate) const NR: usize = 8;
 /// inner dimensions of attention GEMMs (`d_head` is 8–24).
 const KB: usize = 8;
 
-/// Packs `b` (`k × n`, row-major) into `⌈n/NR⌉` column panels.
+/// Counts one B-panel build into `pragformer_pack_builds_total` — both
+/// per-call repacks and one-time [`PackedWeights::pack`] builds land
+/// here, so a steady-state forward path shows a zero *delta* on this
+/// counter once warm.
+#[inline]
+fn record_pack_build() {
+    if !obs::enabled() {
+        return;
+    }
+    static BUILDS: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+    BUILDS
+        .get_or_init(|| {
+            obs::counter(
+                "pragformer_pack_builds_total",
+                "B-panel pack operations (per-call repacks + one-time prepacks)",
+                &[],
+            )
+        })
+        .inc();
+}
+
+/// Packs `b` (`k × n`, row-major) into `⌈n/NR⌉` column panels, writing
+/// into a caller-provided zeroed buffer of `⌈n/NR⌉·k·NR` floats.
 ///
 /// Panel `jp` holds columns `jp*NR .. jp*NR+NR` in `k`-major order:
 /// element `(p, c)` of the panel is `b[p, jp*NR + c]`, zero-padded when
-/// `n` is not a multiple of `NR`. The microkernel then reads one
-/// contiguous `NR`-wide stripe per `k` step.
-fn pack_b_panels(b: &[f32], k: usize, n: usize) -> Vec<f32> {
+/// `n` is not a multiple of `NR` (which is why `packed` must come in
+/// zeroed). The microkernel then reads one contiguous `NR`-wide stripe
+/// per `k` step.
+fn pack_b_panels_into(b: &[f32], k: usize, n: usize, packed: &mut [f32]) {
+    record_pack_build();
     let panels = n.div_ceil(NR);
-    let mut packed = vec![0.0f32; panels * k * NR];
+    debug_assert_eq!(packed.len(), panels * k * NR);
     for jp in 0..panels {
         let j0 = jp * NR;
         let w = NR.min(n - j0);
@@ -90,6 +131,15 @@ fn pack_b_panels(b: &[f32], k: usize, n: usize) -> Vec<f32> {
             panel[p * NR..p * NR + w].copy_from_slice(&b[p * n + j0..p * n + j0 + w]);
         }
     }
+}
+
+/// [`pack_b_panels_into`] into a fresh (non-arena) buffer — the
+/// long-lived [`PackedWeights`] build and test helpers. Hot paths use
+/// the arena-backed variant inside [`matmul_with`]/[`matmul_tn_with`].
+fn pack_b_panels(b: &[f32], k: usize, n: usize) -> Vec<f32> {
+    let panels = n.div_ceil(NR);
+    let mut packed = vec![0.0f32; panels * k * NR];
+    pack_b_panels_into(b, k, n, &mut packed);
     packed
 }
 
@@ -280,10 +330,168 @@ pub fn matmul_with(simd: Simd, a: &Tensor, b: &Tensor) -> Tensor {
         dispatch_simple(simd, a_d, k, b_d, n, out.data_mut());
         return out;
     }
-    let packed = pack_b_panels(b_d, k, n);
+    let mut packed = scratch::take_zeroed(n.div_ceil(NR) * k * NR);
+    pack_b_panels_into(b_d, k, n, &mut packed);
     par_rows_mut(out.data_mut(), n, MIN_ROWS_PER_THREAD, |row0, chunk| {
         let rows = chunk.len() / n;
         dispatch_packed(simd, &a_d[row0 * k..(row0 + rows) * k], k, &packed, n, chunk);
+    });
+    scratch::give(packed);
+    out
+}
+
+/// Total bytes held by live [`PackedWeights`] (mirrored to the
+/// `pragformer_packed_weight_bytes` gauge).
+static PACKED_WEIGHT_BYTES: AtomicUsize = AtomicUsize::new(0);
+
+/// Adjusts the live packed-weight byte total by `delta` and mirrors it
+/// to the gauge.
+fn adjust_packed_bytes(delta: isize) {
+    let new = if delta >= 0 {
+        PACKED_WEIGHT_BYTES.fetch_add(delta as usize, Ordering::Relaxed) + delta as usize
+    } else {
+        PACKED_WEIGHT_BYTES.fetch_sub((-delta) as usize, Ordering::Relaxed) - (-delta) as usize
+    };
+    if obs::enabled() {
+        static GAUGE: OnceLock<Arc<obs::Gauge>> = OnceLock::new();
+        GAUGE
+            .get_or_init(|| {
+                obs::gauge(
+                    "pragformer_packed_weight_bytes",
+                    "Bytes held by live pre-packed f32 weight panels",
+                    &[],
+                )
+            })
+            .set(new as f64);
+    }
+}
+
+/// A weight matrix's B-panels, packed once — the f32 twin of
+/// [`crate::kernel::quantize::QuantizedMatrix`].
+///
+/// Holds exactly the buffer [`matmul_with`] would build per call
+/// (`⌈n/NR⌉·k·NR` floats, zero-padded lanes included), so
+/// [`matmul_prepacked`] against it is **bitwise identical** to
+/// [`matmul`] against the original matrix on every tier, shape and
+/// worker split — same panel bytes, same microkernel, same ascending-`k`
+/// accumulation. Build cost is paid once (counted in
+/// `pragformer_pack_builds_total` like any pack); memory cost is ≈ +1×
+/// the f32 weight bytes, tracked in `pragformer_packed_weight_bytes`.
+pub struct PackedWeights {
+    k: usize,
+    n: usize,
+    panels: Vec<f32>,
+}
+
+impl PackedWeights {
+    /// Packs a `[k, n]` weight matrix's column panels once.
+    pub fn pack(w: &Tensor) -> PackedWeights {
+        let (k, n) = (w.rows(), w.cols());
+        let panels = pack_b_panels(w.data(), k, n);
+        adjust_packed_bytes((panels.len() * 4) as isize);
+        PackedWeights { k, n, panels }
+    }
+
+    /// Inner (contraction) dimension of the packed matrix.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output dimension of the packed matrix.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Bytes held by the packed panels.
+    pub fn bytes(&self) -> usize {
+        self.panels.len() * 4
+    }
+
+    /// Bytes [`PackedWeights::pack`] would hold for a `[k, n]` matrix —
+    /// static accounting without building anything.
+    pub fn bytes_for(k: usize, n: usize) -> usize {
+        n.div_ceil(NR) * k * NR * 4
+    }
+}
+
+impl Drop for PackedWeights {
+    fn drop(&mut self) {
+        adjust_packed_bytes(-((self.panels.len() * 4) as isize));
+    }
+}
+
+/// Counts one [`matmul_prepacked`] call into
+/// `pragformer_prepack_hits_total` (the pack-cache hit counter).
+#[inline]
+fn record_prepack_hit() {
+    if !obs::enabled() {
+        return;
+    }
+    static HITS: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+    HITS.get_or_init(|| {
+        obs::counter(
+            "pragformer_prepack_hits_total",
+            "f32 GEMMs served from pre-packed weight panels",
+            &[],
+        )
+    })
+    .inc();
+}
+
+/// `C[m×n] = A[m×k] · B` where `B`'s panels were packed once by
+/// [`PackedWeights::pack`] — zero per-call pack work, bitwise identical
+/// to [`matmul`] on the original matrix (see [`PackedWeights`]).
+pub fn matmul_prepacked(a: &Tensor, pw: &PackedWeights) -> Tensor {
+    let simd = kernel::active_simd();
+    record_gemm(OP_NN, simd, a.rows(), pw.n, a.cols());
+    record_prepack_hit();
+    matmul_prepacked_with(simd, a, pw)
+}
+
+/// [`matmul_prepacked`] on an explicit instruction set (per-tier tests,
+/// benches).
+pub fn matmul_prepacked_with(simd: Simd, a: &Tensor, pw: &PackedWeights) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    assert_eq!(k, pw.k, "matmul_prepacked inner dims: {:?} x [{}, {}]", a.shape(), pw.k, pw.n);
+    let n = pw.n;
+    let mut out = Tensor::zeros(&[m, n]);
+    let a_d = a.data();
+    // Every shape runs the packed microkernel (the panels already
+    // exist); small-m inputs that matmul would route through the simple
+    // kernel produce the same bits either way — the documented
+    // packed/simple equivalence.
+    par_rows_mut(out.data_mut(), n, MIN_ROWS_PER_THREAD, |row0, chunk| {
+        let rows = chunk.len() / n;
+        dispatch_packed(simd, &a_d[row0 * k..(row0 + rows) * k], k, &pw.panels, n, chunk);
+    });
+    out
+}
+
+/// `C[m×n] = A[m×k] · B[k×n]` without ever packing `B` — the simple
+/// kernel on every shape, bitwise identical to [`matmul`].
+///
+/// For right-hand sides too transient to pre-pack (attention's per-call
+/// head tiles): where [`matmul`] would pack per call, this skips the
+/// `O(k·n)` panel build and its buffer entirely, keeping the
+/// steady-state forward path free of `pragformer_pack_builds_total`
+/// increments.
+pub fn matmul_unpacked(a: &Tensor, b: &Tensor) -> Tensor {
+    let simd = kernel::active_simd();
+    record_gemm(OP_NN, simd, a.rows(), b.cols(), a.cols());
+    matmul_unpacked_with(simd, a, b)
+}
+
+/// [`matmul_unpacked`] on an explicit instruction set (per-tier tests,
+/// benches).
+pub fn matmul_unpacked_with(simd: Simd, a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (kb, n) = (b.rows(), b.cols());
+    assert_eq!(k, kb, "matmul_unpacked inner dims: {:?} x {:?}", a.shape(), b.shape());
+    let mut out = Tensor::zeros(&[m, n]);
+    let (a_d, b_d) = (a.data(), b.data());
+    par_rows_mut(out.data_mut(), n, MIN_ROWS_PER_THREAD, |row0, chunk| {
+        let rows = chunk.len() / n;
+        dispatch_simple(simd, &a_d[row0 * k..(row0 + rows) * k], k, b_d, n, chunk);
     });
     out
 }
@@ -451,10 +659,12 @@ pub fn matmul_tn_with(simd: Simd, a: &Tensor, b: &Tensor) -> Tensor {
         });
         return out;
     }
-    let packed = pack_b_panels(b_d, m, n);
+    let mut packed = scratch::take_zeroed(n.div_ceil(NR) * m * NR);
+    pack_b_panels_into(b_d, m, n, &mut packed);
     par_rows_mut(out.data_mut(), n, MIN_ROWS_PER_THREAD, |row0, chunk| {
         tn_packed_rows(simd, a_d, m, k, row0, &packed, n, chunk);
     });
+    scratch::give(packed);
     out
 }
 
@@ -476,7 +686,7 @@ fn tn_packed_rows(
     chunk: &mut [f32],
 ) {
     let rows = chunk.len() / n;
-    let mut at = vec![0.0f32; rows * m];
+    let mut at = scratch::take_zeroed(rows * m);
     for s in 0..m {
         let a_slice = &a[s * k + row0..s * k + row0 + rows];
         for (r, &v) in a_slice.iter().enumerate() {
@@ -484,6 +694,7 @@ fn tn_packed_rows(
         }
     }
     dispatch_packed(simd, &at, m, packed, n, chunk);
+    scratch::give(at);
 }
 
 /// Reference `C = A · B`: textbook triple loop, no blocking, no packing,
@@ -849,6 +1060,102 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The prepacked contract: for every tier and shape class (packed
+    /// path, small-m simple path, narrow-n simple path, k=1 edge),
+    /// `matmul_prepacked` and `matmul_unpacked` reproduce `matmul` bit
+    /// for bit.
+    #[test]
+    fn prepacked_and_unpacked_match_matmul_bitwise() {
+        let mut rng = crate::init::SeededRng::new(21);
+        for (m, k, n) in
+            [(1, 7, 5), (2, 16, 12), (4, 8, 8), (13, 17, 23), (64, 33, 41), (5, 1, 9), (3, 24, 64)]
+        {
+            let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+            let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+            let pw = PackedWeights::pack(&b);
+            assert_eq!((pw.k(), pw.n()), (k, n));
+            assert_eq!(pw.bytes(), PackedWeights::bytes_for(k, n));
+            for simd in kernel::available_simds() {
+                let base = matmul_with(simd, &a, &b);
+                let pre = matmul_prepacked_with(simd, &a, &pw);
+                let unp = matmul_unpacked_with(simd, &a, &b);
+                assert_eq!(pre.shape(), base.shape());
+                assert_eq!(unp.shape(), base.shape());
+                for (i, (x, y)) in base.data().iter().zip(pre.data()).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "{}: prepacked {m}x{k}x{n} elem {i}: {x} vs {y}",
+                        simd.name()
+                    );
+                }
+                for (i, (x, y)) in base.data().iter().zip(unp.data()).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "{}: unpacked {m}x{k}x{n} elem {i}: {x} vs {y}",
+                        simd.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Drives the prepacked worker-split path (nonzero `row0` offsets)
+    /// directly, like the `matmul_tn` twin below: on 1-core machines the
+    /// pool runs inline and the public entry point never splits.
+    #[test]
+    fn prepacked_worker_chunks_reassemble_bitwise() {
+        let mut rng = crate::init::SeededRng::new(22);
+        let (m, k, n) = (129, 48, 33);
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+        let pw = PackedWeights::pack(&b);
+        for simd in kernel::available_simds() {
+            let whole = matmul_prepacked_with(simd, &a, &pw);
+            for chunk_rows in [1usize, 5, 64, 129] {
+                let mut pieced = vec![0.0f32; m * n];
+                let mut row0 = 0;
+                while row0 < m {
+                    let rows = chunk_rows.min(m - row0);
+                    let chunk = &mut pieced[row0 * n..(row0 + rows) * n];
+                    dispatch_packed(
+                        simd,
+                        &a.data()[row0 * k..(row0 + rows) * k],
+                        k,
+                        &pw.panels,
+                        n,
+                        chunk,
+                    );
+                    row0 += rows;
+                }
+                for (i, (x, y)) in pieced.iter().zip(whole.data()).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "{}: chunk_rows {chunk_rows}, elem {i}: {x} vs {y}",
+                        simd.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_weight_bytes_track_live_instances() {
+        let mut rng = crate::init::SeededRng::new(23);
+        let b = Tensor::randn(&[48, 96], 1.0, &mut rng);
+        let before = PACKED_WEIGHT_BYTES.load(Ordering::Relaxed);
+        let pw = PackedWeights::pack(&b);
+        let live = PACKED_WEIGHT_BYTES.load(Ordering::Relaxed);
+        assert!(live >= before + pw.bytes(), "{live} vs {before} + {}", pw.bytes());
+        let bytes = pw.bytes();
+        drop(pw);
+        let after = PACKED_WEIGHT_BYTES.load(Ordering::Relaxed);
+        // Other tests pack concurrently; only our own delta is pinned.
+        assert!(after + bytes >= live, "drop must subtract exactly the packed bytes");
     }
 
     #[test]

@@ -21,7 +21,9 @@
 
 use pragformer_tensor::init::SeededRng;
 use pragformer_tensor::kernel::{available_simds, Simd};
-use pragformer_tensor::ops::{matmul_tn_with, matmul_with};
+use pragformer_tensor::ops::{
+    matmul_prepacked_with, matmul_tn_with, matmul_unpacked_with, matmul_with, PackedWeights,
+};
 use pragformer_tensor::Tensor;
 use proptest::prelude::*;
 
@@ -120,6 +122,40 @@ proptest! {
                     x.to_bits(), y.to_bits(),
                     "{}: ({m}x{k})·({k}x{n}) elem {i}: blocked {} vs naive {}",
                     simd.name(), x, y
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_prepacked_and_unpacked_match_matmul_bitwise(
+        // Up to 139 left-hand rows: crosses 2×MIN_ROWS_PER_THREAD so the
+        // parallel row split runs on multicore machines; small m and
+        // n < NR shapes exercise the pack-vs-simple dispatch boundary
+        // that matmul takes and matmul_prepacked deliberately does not.
+        m in 1usize..140,
+        k in 1usize..24,
+        n in 1usize..40,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+        let pw = PackedWeights::pack(&b);
+        for simd in available_simds() {
+            let base = matmul_with(simd, &a, &b);
+            let pre = matmul_prepacked_with(simd, &a, &pw);
+            let unp = matmul_unpacked_with(simd, &a, &b);
+            for (i, ((x, y), z)) in base.data().iter().zip(pre.data()).zip(unp.data()).enumerate() {
+                prop_assert_eq!(
+                    x.to_bits(), y.to_bits(),
+                    "{}: ({m}x{k})·({k}x{n}) elem {i}: matmul {} vs prepacked {}",
+                    simd.name(), x, y
+                );
+                prop_assert_eq!(
+                    x.to_bits(), z.to_bits(),
+                    "{}: ({m}x{k})·({k}x{n}) elem {i}: matmul {} vs unpacked {}",
+                    simd.name(), x, z
                 );
             }
         }

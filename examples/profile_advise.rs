@@ -53,6 +53,37 @@ fn main() {
         println!("advise_batch/{batch}: {per:?} per snippet");
     }
 
+    // Zero-repack smoke check: the batches above warmed every weight
+    // cache, so one more steady-state batch must serve its weight GEMMs
+    // from the pre-packed panels (hits grow) without a single B-panel
+    // rebuild (builds delta zero) or new arena high water.
+    let prepack_on = std::env::var("PRAGFORMER_PREPACK")
+        .map_or(true, |v| !matches!(v.as_str(), "off" | "0" | "false"));
+    if obs::enabled() && prepack_on {
+        let hits = obs::counter(
+            "pragformer_prepack_hits_total",
+            "f32 GEMMs served from pre-packed weight panels",
+            &[],
+        );
+        let builds = obs::counter(
+            "pragformer_pack_builds_total",
+            "B-panel pack operations (per-call repacks + one-time prepacks)",
+            &[],
+        );
+        let (h0, b0) = (hits.get(), builds.get());
+        let hw0 = pragformer::tensor::scratch::high_water_bytes();
+        std::hint::black_box(advisor.advise_batch(&snippets));
+        assert!(hits.get() > h0, "steady-state advise recorded no prepack hits");
+        assert_eq!(builds.get(), b0, "steady-state advise still rebuilds B panels");
+        println!(
+            "\nzero-repack steady state: +{} prepack hits, 0 pack builds, \
+             arena high water {} KiB (was {} KiB)",
+            hits.get() - h0,
+            pragformer::tensor::scratch::high_water_bytes() / 1024,
+            hw0 / 1024,
+        );
+    }
+
     // Per-stage breakdown from the span registry: one row per
     // (stage, backend, tier) series the runs above populated.
     let mut stages: Vec<_> = obs::histogram_snapshots()
