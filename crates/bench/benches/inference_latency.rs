@@ -9,7 +9,7 @@ use pragformer_baselines::{analyze_snippet, BowModel, BowTrainConfig, Strictness
 use pragformer_core::{Advisor, AdvisorBackend, Scale};
 use pragformer_model::{ModelConfig, PragFormer};
 use pragformer_tensor::init::SeededRng;
-use pragformer_tensor::kernel::{self, KernelTier};
+use pragformer_tensor::kernel::{self, KernelTier, Simd};
 use pragformer_tokenize::{tokens_for, Representation, Vocab};
 
 const TIERS: [KernelTier; 3] = [KernelTier::Scalar, KernelTier::Avx2, KernelTier::Int8];
@@ -80,6 +80,31 @@ fn bench_inference(c: &mut Criterion) {
                 );
             }
             model.set_prepack_override(None);
+        } else {
+            // Int8 sub-simd twins: the same quantized forward with the
+            // integer microkernel pinned to AVX2 vs scalar (bitwise
+            // identical outputs — only the latency differs). One warm
+            // forward per arm moves the one-time weight quantization
+            // out of the timing loop.
+            let prior_simd = kernel::int8_simd();
+            for simd in [Simd::Avx2, Simd::Scalar] {
+                if kernel::set_int8_simd(simd).is_err() {
+                    eprintln!(
+                        "(skipping pragformer_forward_int8_{}: unsupported on this CPU)",
+                        simd.name()
+                    );
+                    continue;
+                }
+                let _ = model.predict_proba(&ids, &[valid]);
+                group.bench_function(format!("pragformer_forward_int8_{}", simd.name()), |b| {
+                    b.iter_batched(
+                        || (ids.clone(), vec![valid]),
+                        |(ids, valid)| model.predict_proba(&ids, &valid),
+                        BatchSize::SmallInput,
+                    )
+                });
+            }
+            kernel::set_int8_simd(prior_simd).expect("restore int8 simd");
         }
     }
     kernel::set_tier(prior).expect("restore kernel tier");

@@ -19,6 +19,7 @@
 //! serial order so outputs stay bitwise deterministic for any batch size.
 
 use pragformer_tensor::init::SeededRng;
+use pragformer_tensor::kernel::quantize::QuantizedActivations;
 use pragformer_tensor::nn::{Layer, Linear, Param};
 use pragformer_tensor::parallel::par_map_indexed;
 use pragformer_tensor::{ops, scratch, Tensor};
@@ -106,11 +107,57 @@ impl MultiHeadSelfAttention {
     /// `x` is `[batch*seq, d_model]`; `valid[b]` is the non-pad prefix of
     /// sequence `b` (≥ 1, counting CLS).
     pub fn forward(&mut self, x: &Tensor, batch: usize, seq: usize, valid: &[usize]) -> Tensor {
+        let context = self.context_from(x, batch, seq, valid);
+        self.wo.forward(&context, true)
+    }
+
+    /// Forward pass fused with the residual connection: returns
+    /// `x + MHSA(x)`.
+    ///
+    /// On the int8 tier the output projection runs the fused
+    /// dequantize+bias+residual epilogue, so the residual add costs no
+    /// extra pass over the activations. On the f32 tiers this is exactly
+    /// `x.add(&self.forward(..))` — the same bits as the unfused form.
+    pub fn forward_residual(
+        &mut self,
+        x: &Tensor,
+        batch: usize,
+        seq: usize,
+        valid: &[usize],
+    ) -> Tensor {
+        let context = self.context_from(x, batch, seq, valid);
+        if self.wo.is_quantized() {
+            let qc = QuantizedActivations::quantize(&context);
+            let out = self.wo.forward_quant_residual(&qc, x);
+            qc.recycle();
+            out
+        } else {
+            x.add(&self.wo.forward(&context, true))
+        }
+    }
+
+    /// Projects Q/K/V, runs the masked score/context tiles, stores the
+    /// backward cache, and returns the merged `[batch*seq, d_model]`
+    /// context (pre output-projection).
+    ///
+    /// When the projection weights hold int8 copies, `x` is quantized
+    /// **once** and all three projections consume the same
+    /// [`QuantizedActivations`] — the per-layer requantization reuse whose
+    /// bitwise equivalence to quantize-per-GEMM is pinned by the tensor
+    /// crate's `int8_kernel_proptests`.
+    fn context_from(&mut self, x: &Tensor, batch: usize, seq: usize, valid: &[usize]) -> Tensor {
         assert_eq!(x.rows(), batch * seq, "activation rows");
         assert_eq!(valid.len(), batch, "valid lengths");
-        let q = self.wq.forward(x, true);
-        let k = self.wk.forward(x, true);
-        let v = self.wv.forward(x, true);
+        let (q, k, v) = if self.wq.is_quantized() {
+            let qx = QuantizedActivations::quantize(x);
+            let q = self.wq.forward_quant(&qx);
+            let k = self.wk.forward_quant(&qx);
+            let v = self.wv.forward_quant(&qx);
+            qx.recycle();
+            (q, k, v)
+        } else {
+            (self.wq.forward(x, true), self.wk.forward(x, true), self.wv.forward(x, true))
+        };
         // (valid lengths are consumed immediately for masking; only the
         // projected tensors and probabilities are cached for backward.)
         let dh = self.d_model / self.n_heads;
@@ -144,9 +191,8 @@ impl MultiHeadSelfAttention {
             scratch::give(ctx.into_data());
             probs.push(scores);
         }
-        let out = self.wo.forward(&context, true);
         self.cache = Some(Cache { batch, seq, q, k, v, probs });
-        out
+        context
     }
 
     /// Backward pass; returns gradient w.r.t. the input activations.

@@ -3,6 +3,7 @@
 use crate::attention::MultiHeadSelfAttention;
 use crate::config::ModelConfig;
 use pragformer_tensor::init::SeededRng;
+use pragformer_tensor::kernel::quantize::QuantizedActivations;
 use pragformer_tensor::nn::{
     Activation, ActivationKind, Dropout, Embedding, Layer, LayerNorm, Linear, Param,
 };
@@ -37,11 +38,30 @@ impl EncoderBlock {
     }
 
     /// Forward over `[batch*seq, d_model]` activations.
+    ///
+    /// On the int8 tier the whole block runs fused: the attention output
+    /// projection folds its residual add into the dequantize epilogue,
+    /// `ff1` fuses bias+GELU, and `ff2` fuses bias+residual — each
+    /// activation matrix is quantized exactly once for all its GEMM
+    /// consumers and the scratch-backed quantized buffers recycle
+    /// immediately. The f32 tiers keep the original unfused sequence
+    /// bit for bit.
     pub fn forward(&mut self, x: &Tensor, batch: usize, seq: usize, valid: &[usize]) -> Tensor {
-        let attn_out = self.attn.forward(x, batch, seq, valid);
-        let h = self.ln1.forward(&x.add(&attn_out), true);
-        let ff = self.ff2.forward(&self.act.forward(&self.ff1.forward(&h, true), true), true);
-        self.ln2.forward(&h.add(&ff), true)
+        let res1 = self.attn.forward_residual(x, batch, seq, valid);
+        let h = self.ln1.forward(&res1, true);
+        if self.ff1.is_quantized() {
+            let qh = QuantizedActivations::quantize(&h);
+            let mid = self.ff1.forward_quant_gelu(&qh);
+            qh.recycle();
+            let qmid = QuantizedActivations::quantize(&mid);
+            pragformer_tensor::scratch::give(mid.into_data());
+            let res2 = self.ff2.forward_quant_residual(&qmid, &h);
+            qmid.recycle();
+            self.ln2.forward(&res2, true)
+        } else {
+            let ff = self.ff2.forward(&self.act.forward(&self.ff1.forward(&h, true), true), true);
+            self.ln2.forward(&h.add(&ff), true)
+        }
     }
 
     /// Backward; returns gradient w.r.t. the block input.

@@ -18,7 +18,9 @@
 use crate::config::ModelConfig;
 use crate::encoder::Encoder;
 use pragformer_tensor::init::SeededRng;
-use pragformer_tensor::kernel::quantize::{QuantizedEmbedding, QuantizedMatrix};
+use pragformer_tensor::kernel::quantize::{
+    QuantizedActivations, QuantizedEmbedding, QuantizedMatrix,
+};
 use pragformer_tensor::kernel::{active_tier, prepack_enabled, KernelTier};
 use pragformer_tensor::nn::{Activation, ActivationKind, Dropout, Layer, Linear, Param};
 use pragformer_tensor::ops::PackedWeights;
@@ -103,6 +105,20 @@ impl Trunk {
             self.encoder.ensure_int8();
         } else if self.prepack_override.unwrap_or_else(prepack_enabled) {
             self.encoder.ensure_packed();
+        }
+        if pragformer_obs::enabled() && pragformer_obs::log_enabled(pragformer_obs::Level::Info) {
+            let wb = self.weight_bytes();
+            pragformer_obs::log_kv(
+                pragformer_obs::Level::Info,
+                "model.trunk",
+                "trunk inference caches built",
+                &[
+                    ("path", if int8 { "int8" } else { "f32" }),
+                    ("f32_bytes", &wb.f32_bytes.to_string()),
+                    ("int8_bytes", &wb.int8_bytes.to_string()),
+                    ("quant_scratch_bytes", &wb.quant_scratch_bytes.to_string()),
+                ],
+            );
         }
     }
 
@@ -215,7 +231,13 @@ impl Trunk {
         let small = 2 * d + cfg.n_layers * (4 * d + 4 * d + dff + d);
         f32_bytes += small * 4;
         int8_bytes += small * 4;
-        TrunkWeightBytes { f32_bytes, int8_bytes, prepacked_bytes }
+        // Quantized-activation scratch at the worst-case batch of one
+        // max_len sequence: the arena retains one d_model-wide i8 lane
+        // (shared in turn by the Q/K/V input, the attention output and
+        // the FFN input) plus the wider d_ff lane for the FFN midpoint.
+        let quant_scratch_bytes = QuantizedActivations::bytes_for(cfg.max_len, d)
+            + QuantizedActivations::bytes_for(cfg.max_len, dff);
+        TrunkWeightBytes { f32_bytes, int8_bytes, prepacked_bytes, quant_scratch_bytes }
     }
 }
 
@@ -233,6 +255,12 @@ pub struct TrunkWeightBytes {
     /// each). Embedding tables, biases and LN params hold no packed
     /// form, so this is ≈ +1× the weight-matrix share of `f32_bytes`.
     pub prepacked_bytes: usize,
+    /// *Additional* bytes retained by the scratch arena's i8 lane while
+    /// int8 inference is active: per-sequence quantized activations
+    /// (values + per-row scales) at the worst-case `max_len` shape —
+    /// one `d_model`-wide buffer and one `d_ff`-wide buffer. Scales with
+    /// batch rows, not with weights, and is zero on the f32 tiers.
+    pub quant_scratch_bytes: usize,
 }
 
 impl TrunkWeightBytes {
@@ -359,6 +387,10 @@ mod tests {
         // Tiny dims carry proportionally more scale overhead than the
         // eval scales the ≤0.30 gate targets; still far below 1.
         assert!(wb.ratio() < 0.45, "ratio {}", wb.ratio());
+        // Quantized-activation scratch: exactly the two worst-case
+        // per-sequence buffers (values + f32 row scales).
+        let expect = (cfg.max_len * (d + dff)) + 2 * cfg.max_len * 4;
+        assert_eq!(wb.quant_scratch_bytes, expect, "quant scratch accounting drifted");
     }
 
     #[test]
@@ -368,6 +400,9 @@ mod tests {
         let mut trunk = Trunk::new(&cfg, &mut rng);
         let ids: Vec<usize> = (0..2 * cfg.max_len).map(|i| i % 12).collect();
         let valid = [7usize, 9];
+        // Pin the f32 baseline model-locally so the test holds even when
+        // the process-wide tier is forced to int8 (CI's int8 sweep).
+        trunk.set_int8_override(Some(false));
         let f32_cls = trunk.forward_cls(&ids, &valid, cfg.max_len, false);
         trunk.clear_cache();
         assert!(!trunk.encoder().int8_active());
@@ -384,7 +419,7 @@ mod tests {
         let _ = trunk.forward_cls(&ids, &valid, cfg.max_len, true);
         trunk.clear_cache();
         assert!(!trunk.encoder().int8_active(), "train forward left int8 caches up");
-        trunk.set_int8_override(None);
+        trunk.set_int8_override(Some(false));
         let back = trunk.forward_cls(&ids, &valid, cfg.max_len, false);
         trunk.clear_cache();
         assert_eq!(back, f32_cls, "f32 path must restore bitwise");
@@ -397,6 +432,9 @@ mod tests {
         let mut trunk = Trunk::new(&cfg, &mut rng);
         let ids: Vec<usize> = (0..2 * cfg.max_len).map(|i| i % 12).collect();
         let valid = [7usize, 9];
+        // Prepack semantics are f32-only; pin the model off int8 so a
+        // process-wide int8 tier (CI's int8 sweep) can't preempt them.
+        trunk.set_int8_override(Some(false));
         trunk.set_prepack_override(Some(false));
         let plain = trunk.forward_cls(&ids, &valid, cfg.max_len, false);
         trunk.clear_cache();
@@ -420,6 +458,9 @@ mod tests {
         let cfg = ModelConfig::tiny(12);
         let mut rng = SeededRng::new(9);
         let mut trunk = Trunk::new(&cfg, &mut rng);
+        // Start pinned to f32 so eager packing is what's under test even
+        // when the process-wide tier is forced to int8 (CI's int8 sweep).
+        trunk.set_int8_override(Some(false));
         trunk.set_prepack_override(Some(true));
         assert!(!trunk.encoder().packed_active());
         trunk.prepack_for_inference();

@@ -48,6 +48,10 @@
 //! | `pragformer_gemm_flops_total` | counter | `op`, `simd` | tensor: `2·m·n·k` per GEMM |
 //! | `pragformer_pack_builds_total` | counter | — | tensor: B-panel pack builds (per-call repacks and one-time prepacks alike; zero steady-state delta under zero-repack inference) |
 //! | `pragformer_prepack_hits_total` | counter | — | tensor: GEMMs served from pre-packed weight panels |
+//! | `pragformer_int8_gemm_calls_total` | counter | `simd` | tensor: quantized int8 GEMM invocations |
+//! | `pragformer_int8_gemm_flops_total` | counter | `simd` | tensor: `2·m·n·k` per int8 GEMM |
+//! | `pragformer_quantize_rows_total` | counter | — | tensor: activation rows dynamically quantized to i8 (quantize-once reuse shows as fewer rows per forward) |
+//! | `pragformer_weight_quant_builds_total` | counter | — | tensor: weight matrices / embedding tables quantized to i8 (zero steady-state delta under int8 inference) |
 //! | `pragformer_packed_weight_bytes` | gauge | — | tensor: bytes held by live `PackedWeights` copies |
 //! | `pragformer_scratch_high_water_bytes` | gauge | — | tensor: scratch-arena pooled-bytes high-water mark |
 //! | `pragformer_pool_dispatch_total` | counter | `path` (`pooled`/`inline`) | tensor: worker-pool job dispatch |
@@ -74,9 +78,10 @@
 //! The `server` label is a process-unique instance number so several
 //! `AdvisorServer`s in one process (integration tests) never share
 //! counters; `tier` is the `pragformer_tensor::kernel` tier name
-//! (`scalar`/`avx2`/`int8`), `simd` the float instruction set
-//! (`scalar`/`avx2`), `backend` the advisor backend
-//! (`per-head`/`shared-trunk`).
+//! (`scalar`/`avx2`/`int8`), `simd` the instruction set within a tier
+//! (`scalar`/`avx2` — the float simd on the f32 GEMM counters, the
+//! integer sub-simd on the int8 GEMM counters), `backend` the advisor
+//! backend (`per-head`/`shared-trunk`).
 //!
 //! ## Logging
 //!

@@ -1,7 +1,10 @@
 //! AVX2/FMA twins of the scalar GEMM microkernels in [`crate::ops`],
 //! plus the vectorized elementwise kernels ([`softmax_rows`], [`gelu`],
 //! their shared [`exp8`]) that dominate forward time once the GEMMs are
-//! fast.
+//! fast, and the **integer int8 kernels** ([`quantize_row`],
+//! [`quant_gemm_rows`]) that are bitwise identical to their scalar
+//! twins — exact `i32` accumulation is order-free, so vectorizing it is
+//! free of the ULP caveats the f32 kernels carry.
 //!
 //! Same blocking scheme (`MR = 4` rows in lock-step over `NR = 8`-wide
 //! packed column panels), same accumulation order — each output element
@@ -18,16 +21,21 @@
 //! so the intrinsics never execute on an unsupported CPU.
 
 use core::arch::x86_64::{
-    __m256, _mm256_add_epi32, _mm256_add_ps, _mm256_andnot_ps, _mm256_blendv_ps,
-    _mm256_castsi256_ps, _mm256_cmp_ps, _mm256_cvtps_epi32, _mm256_div_ps, _mm256_fmadd_ps,
-    _mm256_fnmadd_ps, _mm256_loadu_ps, _mm256_max_ps, _mm256_mul_ps, _mm256_round_ps,
-    _mm256_set1_epi32, _mm256_set1_ps, _mm256_setzero_ps, _mm256_slli_epi32, _mm256_storeu_ps,
-    _mm256_sub_ps, _CMP_GT_OQ, _CMP_LT_OQ, _CMP_UNORD_Q, _MM_FROUND_NO_EXC,
-    _MM_FROUND_TO_NEAREST_INT,
+    __m128i, __m256, __m256i, _mm256_add_epi32, _mm256_add_ps, _mm256_andnot_ps, _mm256_blendv_ps,
+    _mm256_castsi256_ps, _mm256_castsi256_si128, _mm256_cmp_ps, _mm256_cvtepi32_ps,
+    _mm256_cvtepi8_epi16, _mm256_cvtps_epi32, _mm256_div_ps, _mm256_extracti128_si256,
+    _mm256_fmadd_ps, _mm256_fnmadd_ps, _mm256_loadu_ps, _mm256_madd_epi16, _mm256_max_ps,
+    _mm256_min_ps, _mm256_mul_ps, _mm256_round_ps, _mm256_set1_epi32, _mm256_set1_ps,
+    _mm256_setzero_ps, _mm256_setzero_si256, _mm256_slli_epi32, _mm256_storeu_ps,
+    _mm256_storeu_si256, _mm256_sub_ps, _mm_loadl_epi64, _mm_loadu_si128, _mm_packs_epi16,
+    _mm_packs_epi32, _mm_setr_epi8, _mm_shuffle_epi8, _mm_storel_epi64, _CMP_GT_OQ, _CMP_LT_OQ,
+    _CMP_UNORD_Q, _MM_FROUND_NO_EXC, _MM_FROUND_TO_NEAREST_INT,
 };
 
 use crate::nn::activation::{GELU_C, SQRT_2_OVER_PI};
 use crate::ops::{EXP_OVERFLOW, EXP_UNDERFLOW, MR, NR};
+
+use super::quantize::QMAX;
 
 #[inline]
 fn assert_supported() {
@@ -377,6 +385,289 @@ unsafe fn gelu8(v: __m256) -> __m256 {
     let e = exp8(_mm256_mul_ps(two, u));
     let t = _mm256_sub_ps(one, _mm256_div_ps(two, _mm256_add_ps(e, one)));
     _mm256_mul_ps(_mm256_mul_ps(_mm256_set1_ps(0.5), v), _mm256_add_ps(one, t))
+}
+
+/// In-place [`gelu`] over a flat slice — the int8 epilogue variant
+/// (activations are dequantized into their output buffer first).
+/// Identical lane arithmetic to [`gelu`].
+pub fn gelu_in_place(buf: &mut [f32]) {
+    assert_supported();
+    // SAFETY: CPU support asserted above.
+    unsafe { gelu_in_place_impl(buf) }
+}
+
+#[target_feature(enable = "avx2,fma")]
+unsafe fn gelu_in_place_impl(buf: &mut [f32]) {
+    let blocks = buf.len() / NR;
+    for bi in 0..blocks {
+        let v = _mm256_loadu_ps(buf.as_ptr().add(bi * NR));
+        _mm256_storeu_ps(buf.as_mut_ptr().add(bi * NR), gelu8(v));
+    }
+    let tail = buf.len() % NR;
+    if tail > 0 {
+        let mut tmp = [0.0f32; NR];
+        tmp[..tail].copy_from_slice(&buf[blocks * NR..]);
+        let v = gelu8(_mm256_loadu_ps(tmp.as_ptr()));
+        _mm256_storeu_ps(tmp.as_mut_ptr(), v);
+        buf[blocks * NR..].copy_from_slice(&tmp[..tail]);
+    }
+}
+
+/// AVX2 twin of the scalar per-row activation quantizer
+/// (`quantize::quantize_row`), **bitwise identical** to it: `abs` and
+/// `max` are exact under any order, the `v * inv` multiply is the same
+/// IEEE op per lane, and `_mm256_cvtps_epi32` rounds ties-to-even —
+/// exactly what the scalar path's `round_ties_even` does. Returns the
+/// row scale (`amax / 127`, `0.0` for an all-zero row).
+pub fn quantize_row(row: &[f32], out: &mut [i8]) -> f32 {
+    assert_supported();
+    // SAFETY: CPU support asserted above.
+    unsafe { quantize_row_impl(row, out) }
+}
+
+#[target_feature(enable = "avx2,fma")]
+unsafe fn quantize_row_impl(row: &[f32], out: &mut [i8]) -> f32 {
+    debug_assert_eq!(row.len(), out.len());
+    let blocks = row.len() / NR;
+    let sign = _mm256_set1_ps(-0.0);
+    let mut mv = _mm256_setzero_ps();
+    for bi in 0..blocks {
+        let v = _mm256_loadu_ps(row.as_ptr().add(bi * NR));
+        mv = _mm256_max_ps(mv, _mm256_andnot_ps(sign, v));
+    }
+    let mut lanes = [0.0f32; NR];
+    _mm256_storeu_ps(lanes.as_mut_ptr(), mv);
+    let mut amax = lanes.iter().copied().fold(0.0f32, f32::max);
+    for &v in &row[blocks * NR..] {
+        amax = amax.max(v.abs());
+    }
+    if amax == 0.0 {
+        out.iter_mut().for_each(|q| *q = 0);
+        return 0.0;
+    }
+    let inv = QMAX / amax;
+    let invv = _mm256_set1_ps(inv);
+    let lo_clamp = _mm256_set1_ps(-QMAX);
+    let hi_clamp = _mm256_set1_ps(QMAX);
+    for bi in 0..blocks {
+        let v = _mm256_mul_ps(_mm256_loadu_ps(row.as_ptr().add(bi * NR)), invv);
+        // Clamp in the float domain, then convert (rounds ties-to-even):
+        // equal to the scalar round-then-clamp for every finite input,
+        // since the clamp edges are exact integers.
+        let c = _mm256_max_ps(_mm256_min_ps(v, hi_clamp), lo_clamp);
+        let q32 = _mm256_cvtps_epi32(c);
+        // 8×i32 → 8×i8 (values already in [-127, 127], packs are exact).
+        let p16 = _mm_packs_epi32(_mm256_castsi256_si128(q32), _mm256_extracti128_si256::<1>(q32));
+        let p8 = _mm_packs_epi16(p16, p16);
+        _mm_storel_epi64(out.as_mut_ptr().add(bi * NR) as *mut __m128i, p8);
+    }
+    for (q, &v) in out[blocks * NR..].iter_mut().zip(&row[blocks * NR..]) {
+        *q = super::quantize::quantize_value(v, inv);
+    }
+    amax / QMAX
+}
+
+/// The `pshufb` control that interleaves two adjacent 8-byte panel
+/// stripes `[b0..b7, c0..c7]` into pairs `[b0,c0, b1,c1, …, b7,c7]` —
+/// the operand layout `_mm256_madd_epi16` wants.
+#[target_feature(enable = "avx2,fma")]
+unsafe fn interleave_mask() -> __m128i {
+    _mm_setr_epi8(0, 8, 1, 9, 2, 10, 3, 11, 4, 12, 5, 13, 6, 14, 7, 15)
+}
+
+/// Widens panel stripes `p` and `p+1` (16 contiguous bytes) into 16
+/// interleaved `i16` lanes `[b0,c0, …, b7,c7]`.
+#[inline]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn widen_stripe_pair(ptr: *const i8, mask: __m128i) -> __m256i {
+    let v = _mm_loadu_si128(ptr as *const __m128i);
+    _mm256_cvtepi8_epi16(_mm_shuffle_epi8(v, mask))
+}
+
+/// Widens a lone final stripe (8 bytes) into `[b0,0, b1,0, …, b7,0]` —
+/// the zero partner makes the pair `madd` a plain per-column product.
+#[inline]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn widen_stripe_single(ptr: *const i8, mask: __m128i) -> __m256i {
+    // The high 8 bytes of the 64-bit load are zero, so the same shuffle
+    // control interleaves each panel byte with a zero.
+    let v = _mm_loadl_epi64(ptr as *const __m128i);
+    _mm256_cvtepi8_epi16(_mm_shuffle_epi8(v, mask))
+}
+
+/// Two quantized activation values as the `[lo, hi]` i16 pair every
+/// 32-bit lane of the broadcast `madd` operand carries.
+#[inline]
+fn qa_pair(lo: i8, hi: i8) -> i32 {
+    (lo as i16 as u16 as u32 | ((hi as i16 as u16 as u32) << 16)) as i32
+}
+
+/// AVX2 twin of the scalar int8 panel GEMM
+/// (`quantize::quant_gemm_rows_scalar`) over a chunk of output rows,
+/// with the dequantize + optional bias/residual epilogue fused in —
+/// **bitwise identical** to the scalar kernel: the `i32` dot is exact
+/// under any summation order (`Σ|qa·qb| ≤ 127²·k ≪ i32::MAX`), the
+/// lane conversions/multiplies/FMAs match the scalar casts/`mul_add`
+/// bit for bit, and the ragged last panel runs the scalar epilogue.
+///
+/// Layout: `qa` is `rows × k` row-major quantized activations with one
+/// scale per row; `panels`/`b_scales` are the [`super::quantize`] column
+/// panels. `bias` has length `n`; `residual` is `rows × n`, matching
+/// `c_chunk`.
+#[allow(clippy::too_many_arguments)]
+pub fn quant_gemm_rows(
+    qa: &[i8],
+    a_scales: &[f32],
+    k: usize,
+    panels: &[i8],
+    b_scales: &[f32],
+    n: usize,
+    bias: Option<&[f32]>,
+    residual: Option<&[f32]>,
+    c_chunk: &mut [f32],
+) {
+    assert_supported();
+    // SAFETY: CPU support asserted above; all indexing is bounds-checked
+    // slice access.
+    unsafe { quant_gemm_rows_impl(qa, a_scales, k, panels, b_scales, n, bias, residual, c_chunk) }
+}
+
+#[target_feature(enable = "avx2,fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn quant_gemm_rows_impl(
+    qa: &[i8],
+    a_scales: &[f32],
+    k: usize,
+    panels: &[i8],
+    b_scales: &[f32],
+    n: usize,
+    bias: Option<&[f32]>,
+    residual: Option<&[f32]>,
+    c_chunk: &mut [f32],
+) {
+    let rows = c_chunk.len() / n;
+    let panels_count = n.div_ceil(NR);
+    let mask = interleave_mask();
+    let mut i = 0;
+    while i < rows {
+        let mr = MR.min(rows - i);
+        for jp in 0..panels_count {
+            let j0 = jp * NR;
+            let w = NR.min(n - j0);
+            let panel = &panels[jp * k * NR..(jp + 1) * k * NR];
+            let mut acc = [_mm256_setzero_si256(); MR];
+            if mr == MR {
+                // Four rows in lock-step: each widened stripe pair is
+                // loaded once and fed to all four rows' madd chains.
+                let row = |r: usize| &qa[(i + r) * k..(i + r + 1) * k];
+                let (q0, q1, q2, q3) = (row(0), row(1), row(2), row(3));
+                let (mut a0, mut a1, mut a2, mut a3) = (acc[0], acc[1], acc[2], acc[3]);
+                let mut p = 0;
+                while p + 2 <= k {
+                    let bv = widen_stripe_pair(panel.as_ptr().add(p * NR), mask);
+                    a0 = _mm256_add_epi32(
+                        a0,
+                        _mm256_madd_epi16(bv, _mm256_set1_epi32(qa_pair(q0[p], q0[p + 1]))),
+                    );
+                    a1 = _mm256_add_epi32(
+                        a1,
+                        _mm256_madd_epi16(bv, _mm256_set1_epi32(qa_pair(q1[p], q1[p + 1]))),
+                    );
+                    a2 = _mm256_add_epi32(
+                        a2,
+                        _mm256_madd_epi16(bv, _mm256_set1_epi32(qa_pair(q2[p], q2[p + 1]))),
+                    );
+                    a3 = _mm256_add_epi32(
+                        a3,
+                        _mm256_madd_epi16(bv, _mm256_set1_epi32(qa_pair(q3[p], q3[p + 1]))),
+                    );
+                    p += 2;
+                }
+                if p < k {
+                    let bv = widen_stripe_single(panel.as_ptr().add(p * NR), mask);
+                    a0 = _mm256_add_epi32(
+                        a0,
+                        _mm256_madd_epi16(bv, _mm256_set1_epi32(qa_pair(q0[p], 0))),
+                    );
+                    a1 = _mm256_add_epi32(
+                        a1,
+                        _mm256_madd_epi16(bv, _mm256_set1_epi32(qa_pair(q1[p], 0))),
+                    );
+                    a2 = _mm256_add_epi32(
+                        a2,
+                        _mm256_madd_epi16(bv, _mm256_set1_epi32(qa_pair(q2[p], 0))),
+                    );
+                    a3 = _mm256_add_epi32(
+                        a3,
+                        _mm256_madd_epi16(bv, _mm256_set1_epi32(qa_pair(q3[p], 0))),
+                    );
+                }
+                acc = [a0, a1, a2, a3];
+            } else {
+                for (r, acc_r) in acc.iter_mut().enumerate().take(mr) {
+                    let q_row = &qa[(i + r) * k..(i + r + 1) * k];
+                    let mut av = _mm256_setzero_si256();
+                    let mut p = 0;
+                    while p + 2 <= k {
+                        let bv = widen_stripe_pair(panel.as_ptr().add(p * NR), mask);
+                        av = _mm256_add_epi32(
+                            av,
+                            _mm256_madd_epi16(
+                                bv,
+                                _mm256_set1_epi32(qa_pair(q_row[p], q_row[p + 1])),
+                            ),
+                        );
+                        p += 2;
+                    }
+                    if p < k {
+                        let bv = widen_stripe_single(panel.as_ptr().add(p * NR), mask);
+                        av = _mm256_add_epi32(
+                            av,
+                            _mm256_madd_epi16(bv, _mm256_set1_epi32(qa_pair(q_row[p], 0))),
+                        );
+                    }
+                    *acc_r = av;
+                }
+            }
+            for (r, &acc_r) in acc.iter().enumerate().take(mr) {
+                let a_scale = a_scales[i + r];
+                let o0 = (i + r) * n + j0;
+                if w == NR {
+                    let accf = _mm256_cvtepi32_ps(acc_r);
+                    let sv = _mm256_mul_ps(
+                        _mm256_set1_ps(a_scale),
+                        _mm256_loadu_ps(b_scales.as_ptr().add(j0)),
+                    );
+                    let mut v = match bias {
+                        Some(b) => _mm256_fmadd_ps(accf, sv, _mm256_loadu_ps(b.as_ptr().add(j0))),
+                        None => _mm256_mul_ps(accf, sv),
+                    };
+                    if let Some(res) = residual {
+                        v = _mm256_add_ps(v, _mm256_loadu_ps(res.as_ptr().add(o0)));
+                    }
+                    _mm256_storeu_ps(c_chunk.as_mut_ptr().add(o0), v);
+                } else {
+                    // Ragged last panel: the scalar epilogue, bitwise
+                    // equal to a zero-padded vector lane.
+                    let mut lanes = [0i32; NR];
+                    _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc_r);
+                    for (c, &lane) in lanes.iter().enumerate().take(w) {
+                        let j = j0 + c;
+                        let s = a_scale * b_scales[j];
+                        let mut v = match bias {
+                            Some(b) => (lane as f32).mul_add(s, b[j]),
+                            None => lane as f32 * s,
+                        };
+                        if let Some(res) = residual {
+                            v += res[o0 + c];
+                        }
+                        c_chunk[o0 + c] = v;
+                    }
+                }
+            }
+        }
+        i += mr;
+    }
 }
 
 #[cfg(test)]

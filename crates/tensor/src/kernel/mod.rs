@@ -1,12 +1,15 @@
 //! Kernel tiers: runtime-dispatched compute backends for the GEMM stack.
 //!
-//! Every dense kernel in [`crate::ops`] runs on one of three **tiers**,
-//! selected once per process:
+//! ## The tier lattice
+//!
+//! Every dense kernel in [`crate::ops`] runs on one point of a small
+//! lattice, selected once per process. Three **tiers** pick the
+//! numeric regime:
 //!
 //! * [`KernelTier::Scalar`] — the portable f32 microkernels (the only
 //!   tier before this module existed). Bit-for-bit identical to the
 //!   historical kernels on every platform.
-//! * [`KernelTier::Avx2`] — the same `MR×NR` packed microkernels
+//! * [`KernelTier::Avx2`] — the same `MR×NR` packed f32 microkernels
 //!   reimplemented with `core::arch::x86_64` AVX2/FMA intrinsics behind
 //!   `#[target_feature]` (see [`self`] internals). Selected by default
 //!   when the CPU reports `avx2` **and** `fma`.
@@ -18,17 +21,31 @@
 //!   accuracy for speed and memory, so turning it on is an explicit
 //!   choice (env override or a model-level switch).
 //!
+//! The int8 tier additionally splits on the instruction set its
+//! *integer* kernels use — the **int8 sub-simd** ([`int8_simd`] /
+//! [`set_int8_simd`]): `int8-avx2` runs the `_mm256_madd_epi16`
+//! microkernels in [`self`]'s AVX2 module, `int8-scalar` the portable
+//! `i32` loops. Because exact integer accumulation is associative and
+//! order-free, the two int8 points are **bitwise identical** — a
+//! stronger contract than the f32 tiers can offer, and what lets the
+//! parity suite pin the vectorized kernels against the scalar ones.
+//! The full lattice is therefore: `scalar` / `avx2` (f32) /
+//! `int8-scalar` / `int8-avx2`.
+//!
 //! ## Selection
 //!
 //! The tier is picked lazily on first kernel use: the
-//! `PRAGFORMER_KERNEL=scalar|avx2|int8` environment variable wins if set
-//! (an unavailable or unknown value falls back to detection with a note);
-//! otherwise runtime CPU detection (`is_x86_feature_detected!`) chooses
-//! between `Avx2` and `Scalar`. One structured NDJSON startup line on
-//! stderr (via `pragformer_obs::log_kv`, target `tensor.kernel`) records
-//! the detected features, the chosen tier and its provenance, so
-//! recorded benchmarks are attributable. Harnesses can switch tiers
-//! in-process with [`set_tier`].
+//! `PRAGFORMER_KERNEL=scalar|avx2|int8|int8-scalar` environment variable
+//! wins if set (an unavailable or unknown value falls back to detection
+//! with a note; `int8-scalar` selects the int8 tier **and** forces its
+//! integer kernels scalar); otherwise runtime CPU detection
+//! (`is_x86_feature_detected!`) chooses between `Avx2` and `Scalar`. One
+//! structured NDJSON startup line on stderr (via
+//! `pragformer_obs::log_kv`, target `tensor.kernel`) records the
+//! detected features, the chosen tier, its int8 sub-simd and provenance,
+//! so recorded benchmarks are attributable. Harnesses can switch tiers
+//! in-process with [`set_tier`] and the int8 sub-simd with
+//! [`set_int8_simd`].
 //!
 //! ## Pre-packed weights and weight memory
 //!
@@ -45,21 +62,29 @@
 //!
 //! ## The tier contract
 //!
-//! * **Bitwise determinism *within* a tier.** Each tier accumulates
-//!   every output element in a single chain ascending in the contraction
-//!   index, so per-row results are bitwise identical across batch sizes,
-//!   padding lengths, worker splits and the packed/simple dispatch —
-//!   the repo-wide row-determinism contract (`advise_batch` == sequential
-//!   `advise`, serve-cache reuse) holds under every tier. Proptested per
-//!   tier in `tests/kernel_tier_proptests.rs`.
-//! * **Parity bounds *across* tiers.** Tiers legitimately differ in
-//!   their bits: `Avx2` fuses each multiply-add into one rounding,
-//!   `Int8` quantizes trunk weights. Cross-tier agreement is bounded,
-//!   not bitwise: Avx2-vs-Scalar differences are a few ULP per reduction
-//!   step, and the `Int8` trunk is gated by an accuracy harness
-//!   (`run_int8_parity`: macro-F1 within ±2 points of f32 on every
-//!   head). Checkpoints, caches and recorded probabilities are only
-//!   comparable within one tier.
+//! * **Bitwise determinism *within* a lattice point.** Each tier
+//!   accumulates every output element in a single chain ascending in the
+//!   contraction index, so per-row results are bitwise identical across
+//!   batch sizes, padding lengths, worker splits and the packed/simple
+//!   dispatch — the repo-wide row-determinism contract (`advise_batch`
+//!   == sequential `advise`, serve-cache reuse) holds under every tier.
+//!   Proptested per tier in `tests/kernel_tier_proptests.rs`.
+//! * **Which pairs are bitwise-comparable.** Within the f32 regime,
+//!   prepacked vs repack is bitwise per tier (proptest-pinned), but
+//!   `scalar` vs `avx2` is **not**: AVX2 fuses each multiply-add into
+//!   one rounding, so the two differ by a few ULP per reduction step.
+//!   Within the int8 regime the opposite holds: `int8-scalar` vs
+//!   `int8-avx2` **is bitwise** — quantization rounds ties-to-even on
+//!   both paths, the `i32` dot is exact on both, and the dequantize
+//!   epilogues use the same FMA contractions — pinned by
+//!   `tests/int8_kernel_proptests.rs`. (The int8 epilogue's GELU
+//!   dispatches on the *float* simd, identical for both int8 points on
+//!   one machine.)
+//! * **Parity bounds *across* regimes.** f32 vs int8 agreement is
+//!   bounded, not bitwise: the `Int8` trunk is gated by an accuracy
+//!   harness (`run_int8_parity`: macro-F1 within ±2 points of f32 on
+//!   every head). Checkpoints, caches and recorded probabilities are
+//!   only comparable within one lattice point.
 
 #[cfg(target_arch = "x86_64")]
 pub(crate) mod avx2;
@@ -226,7 +251,55 @@ pub fn set_tier(tier: KernelTier) -> Result<(), String> {
 /// One-line description of the detection outcome and active tier
 /// (what the startup log prints; `profile_kernels` prints it too).
 pub fn describe() -> String {
-    format!("pragformer kernels: tier={} (cpu: {})", active_tier().name(), cpu_features())
+    format!(
+        "pragformer kernels: tier={} int8_simd={} (cpu: {})",
+        active_tier().name(),
+        int8_simd().name(),
+        cpu_features()
+    )
+}
+
+/// 0 = uninitialized; otherwise 1 = scalar, 2 = avx2.
+static INT8_SIMD: AtomicU8 = AtomicU8::new(0);
+
+/// The instruction set the **integer** int8 kernels (quantized GEMM and
+/// per-row activation quantization) run on. Defaults to the best
+/// available set; `PRAGFORMER_KERNEL=int8-scalar` pins it scalar at
+/// startup. Independent of [`active_simd`], which governs the float
+/// kernels — both int8 sub-simds produce bitwise-identical output (see
+/// the [module docs](self)).
+#[inline]
+pub fn int8_simd() -> Simd {
+    match INT8_SIMD.load(Ordering::Relaxed) {
+        0 => init_int8_simd(),
+        1 => Simd::Scalar,
+        _ => Simd::Avx2,
+    }
+}
+
+/// Switches the int8 sub-simd in-process (bench twin arms, parity
+/// suites). Fails when AVX2 is requested but unavailable. Process-global
+/// with the same concurrency caveat as [`set_tier`].
+pub fn set_int8_simd(simd: Simd) -> Result<(), String> {
+    if simd == Simd::Avx2 && !avx2_available() {
+        return Err(format!("int8 simd 'avx2' unavailable on this CPU ({})", cpu_features()));
+    }
+    INT8_SIMD.store(if simd == Simd::Scalar { 1 } else { 2 }, Ordering::Relaxed);
+    Ok(())
+}
+
+#[cold]
+fn init_int8_simd() -> Simd {
+    let forced_scalar = matches!(std::env::var("PRAGFORMER_KERNEL").as_deref(), Ok("int8-scalar"));
+    let simd = if forced_scalar || !avx2_available() { Simd::Scalar } else { Simd::Avx2 };
+    let encoded = if simd == Simd::Scalar { 1 } else { 2 };
+    // First writer wins, same as the tier; no dedicated log line — the
+    // tier startup line records the resolved int8 sub-simd.
+    let _ = INT8_SIMD.compare_exchange(0, encoded, Ordering::Relaxed, Ordering::Relaxed);
+    match INT8_SIMD.load(Ordering::Relaxed) {
+        1 => Simd::Scalar,
+        _ => Simd::Avx2,
+    }
 }
 
 /// 0 = uninitialized, 1 = prepack on, 2 = prepack off.
@@ -280,7 +353,11 @@ fn init_tier() -> KernelTier {
     };
     let mut note = String::new();
     if let Ok(v) = std::env::var("PRAGFORMER_KERNEL") {
-        match KernelTier::parse(&v) {
+        // `int8-scalar` is the int8 tier with its integer kernels pinned
+        // scalar; the pin itself lives in `init_int8_simd`.
+        let parsed =
+            if v == "int8-scalar" { Some(KernelTier::Int8) } else { KernelTier::parse(&v) };
+        match parsed {
             Some(KernelTier::Avx2) if !avx2_available() => {
                 note = format!(" (PRAGFORMER_KERNEL={v} unavailable on this CPU; falling back)");
             }
@@ -306,7 +383,12 @@ fn init_tier() -> KernelTier {
                 pragformer_obs::Level::Info,
                 "tensor.kernel",
                 &msg,
-                &[("tier", tier.name()), ("cpu", cpu_features()), ("source", source)],
+                &[
+                    ("tier", tier.name()),
+                    ("int8_simd", int8_simd().name()),
+                    ("cpu", cpu_features()),
+                    ("source", source),
+                ],
             );
             tier
         }
@@ -361,6 +443,28 @@ mod tests {
     fn describe_names_the_tier() {
         let d = describe();
         assert!(d.contains(active_tier().name()), "{d}");
+        assert!(d.contains("int8_simd="), "{d}");
+    }
+
+    #[test]
+    fn int8_simd_defaults_to_best_available_and_switches() {
+        let initial = int8_simd();
+        if std::env::var("PRAGFORMER_KERNEL").as_deref() == Ok("int8-scalar") {
+            assert_eq!(initial, Simd::Scalar, "int8-scalar must pin the integer kernels scalar");
+        } else if std::env::var("PRAGFORMER_KERNEL").is_err() {
+            let want = if avx2_available() { Simd::Avx2 } else { Simd::Scalar };
+            assert_eq!(initial, want);
+        }
+        set_int8_simd(Simd::Scalar).unwrap();
+        assert_eq!(int8_simd(), Simd::Scalar);
+        if avx2_available() {
+            set_int8_simd(Simd::Avx2).unwrap();
+            assert_eq!(int8_simd(), Simd::Avx2);
+        } else {
+            assert!(set_int8_simd(Simd::Avx2).is_err());
+        }
+        set_int8_simd(initial).unwrap();
+        assert_eq!(int8_simd(), initial);
     }
 
     #[test]

@@ -8,15 +8,29 @@
 //! `scales[j] = max_p |w[p][j]| / 127` — symmetric, zero-point-free, so
 //! the quantized GEMM needs no offset corrections.
 //!
-//! [`matmul_quant`] quantizes each activation row dynamically (one scale
-//! per row), accumulates in exact `i32` — the contraction lengths in this
-//! codebase (`k ≤ a few hundred`) keep `Σ |qa·qb| ≤ 127²·k` far below
-//! `i32::MAX`, so integer accumulation is associative and order-free —
-//! then rescales with one f32 multiply per output element. Because the
-//! integer dot is exact and the row's quantization depends only on the
-//! row's own values, quantized results are trivially bitwise invariant
-//! to batch size, padding and worker splits: the same per-tier contract
-//! the float kernels uphold, here for free.
+//! [`QuantizedActivations`] quantizes activation rows dynamically (one
+//! scale per row) into scratch-backed `i8` buffers — built **once** per
+//! activation matrix and fed to every GEMM consumer (the attention
+//! Q/K/V projections share one), so steady-state int8 inference
+//! allocates nothing and requantizes nothing twice.
+//! [`matmul_quant_reuse`] consumes them: exact `i32` panel dots — the
+//! contraction lengths in this codebase (`k ≤ a few hundred`) keep
+//! `Σ |qa·qb| ≤ 127²·k` far below `i32::MAX`, so integer accumulation
+//! is associative and order-free — then one f32 rescale per output
+//! element with the bias / GELU / residual epilogue fused in
+//! ([`QuantEpilogue`]). [`matmul_quant`] is the convenience wrapper
+//! (quantize, multiply, recycle).
+//!
+//! The integer kernels dispatch on [`super::int8_simd`]: the AVX2 path
+//! (`_mm256_madd_epi16` microkernels in `super::avx2`) is **bitwise
+//! identical** to the scalar `i32` loops — quantization rounds
+//! ties-to-even on both, the dot is exact on both, and the epilogues
+//! use the same FMA contractions — pinned by
+//! `tests/int8_kernel_proptests.rs`. Because the integer dot is exact
+//! and a row's quantization depends only on the row's own values,
+//! quantized results are also bitwise invariant to batch size, padding
+//! and worker splits: the same per-tier contract the float kernels
+//! uphold, here for free.
 //!
 //! This tier is **inference-only**: quantized caches never participate
 //! in backward passes (the nn layers assert this), and accuracy is gated
@@ -26,7 +40,10 @@
 //!
 //! [`KernelTier::Int8`]: super::KernelTier::Int8
 
-use crate::Tensor;
+use super::Simd;
+use crate::{scratch, Tensor};
+use pragformer_obs as obs;
+use std::sync::{Arc, OnceLock};
 
 /// Panel width — matches `ops::NR` so the int8 panels mirror the f32
 /// packing layout.
@@ -34,7 +51,11 @@ pub(crate) const NR: usize = 8;
 
 /// Quantization range: symmetric `[-127, 127]` (−128 is unused so the
 /// range is symmetric and `-q` is always representable).
-const QMAX: f32 = 127.0;
+pub(crate) const QMAX: f32 = 127.0;
+
+/// Minimum output rows per worker for the parallel int8 GEMM — same
+/// granularity the f32 `ops::matmul` uses.
+const MIN_ROWS_PER_THREAD: usize = 32;
 
 /// A `k × n` weight matrix quantized per output column to `i8`, packed
 /// into `NR`-wide k-major column panels (zero-padded in the last panel).
@@ -80,6 +101,7 @@ impl QuantizedMatrix {
                 }
             }
         }
+        record_weight_quant_build();
         QuantizedMatrix { k, n, panels, scales }
     }
 
@@ -128,15 +150,17 @@ impl QuantizedMatrix {
     }
 }
 
-/// `round(v * inv)` clamped to the symmetric i8 range.
+/// `round_ties_even(v * inv)` clamped to the symmetric i8 range.
+/// Ties-to-even is the rounding `_mm256_cvtps_epi32` performs, which is
+/// what keeps the AVX2 quantizer bitwise identical to this one.
 #[inline]
-fn quantize_value(v: f32, inv: f32) -> i8 {
-    (v * inv).round().clamp(-QMAX, QMAX) as i8
+pub(crate) fn quantize_value(v: f32, inv: f32) -> i8 {
+    (v * inv).round_ties_even().clamp(-QMAX, QMAX) as i8
 }
 
-/// Quantizes one activation row symmetrically; returns its scale.
-/// An all-zero row quantizes to zeros with scale `0.0`.
-fn quantize_row(row: &[f32], out: &mut [i8]) -> f32 {
+/// Quantizes one activation row symmetrically (scalar path); returns
+/// its scale. An all-zero row quantizes to zeros with scale `0.0`.
+pub(crate) fn quantize_row(row: &[f32], out: &mut [i8]) -> f32 {
     let amax = row.iter().fold(0.0f32, |m, v| m.max(v.abs()));
     if amax == 0.0 {
         out.iter_mut().for_each(|q| *q = 0);
@@ -149,41 +173,310 @@ fn quantize_row(row: &[f32], out: &mut [i8]) -> f32 {
     amax / QMAX
 }
 
+/// [`quantize_row`] on an explicit instruction set (both produce the
+/// same bits; the dispatch is purely a speed choice).
+fn quantize_row_with(simd: Simd, row: &[f32], out: &mut [i8]) -> f32 {
+    match simd {
+        #[cfg(target_arch = "x86_64")]
+        Simd::Avx2 => super::avx2::quantize_row(row, out),
+        #[cfg(not(target_arch = "x86_64"))]
+        Simd::Avx2 => unreachable!("avx2 int8 simd selected on a non-x86_64 build"),
+        Simd::Scalar => quantize_row(row, out),
+    }
+}
+
+/// An activation matrix quantized per row to `i8`, built **once** and
+/// fed to every quantized GEMM that consumes the same activations
+/// (`matmul_quant_reuse`). Buffers ride the [`crate::scratch`] arena's
+/// i8/f32 lanes — call [`recycle`](Self::recycle) when the last
+/// consumer is done so steady state allocates nothing.
+pub struct QuantizedActivations {
+    m: usize,
+    k: usize,
+    /// Row-major `i8` values, `m × k` (scratch-backed).
+    data: Vec<i8>,
+    /// Per-row scales, length `m` (scratch-backed).
+    scales: Vec<f32>,
+}
+
+impl QuantizedActivations {
+    /// Quantizes a `[m × k]` activation matrix per row on the active
+    /// [`super::int8_simd`].
+    pub fn quantize(a: &Tensor) -> QuantizedActivations {
+        Self::quantize_with(super::int8_simd(), a)
+    }
+
+    /// [`quantize`](Self::quantize) on an explicit instruction set
+    /// (bitwise identical either way; used by the parity proptests).
+    pub fn quantize_with(simd: Simd, a: &Tensor) -> QuantizedActivations {
+        let (m, k) = (a.rows(), a.cols());
+        let d = a.data();
+        let mut data = scratch::take_i8(m * k);
+        data.resize(m * k, 0);
+        let mut scales = scratch::take(m);
+        for i in 0..m {
+            scales.push(quantize_row_with(
+                simd,
+                &d[i * k..(i + 1) * k],
+                &mut data[i * k..(i + 1) * k],
+            ));
+        }
+        record_quantize_rows(m);
+        QuantizedActivations { m, k, data, scales }
+    }
+
+    /// Activation rows.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Columns per row (the GEMM contraction length).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Parks both buffers back in the scratch arena for the next
+    /// quantization. (Dropping instead is correct but re-allocates.)
+    pub fn recycle(self) {
+        scratch::give_i8(self.data);
+        scratch::give(self.scales);
+    }
+
+    /// Bytes a `rows × k` quantized activation matrix occupies (i8
+    /// values + f32 row scales) — static scratch-memory accounting.
+    pub fn bytes_for(rows: usize, k: usize) -> usize {
+        rows * k + rows * 4
+    }
+}
+
+/// The epilogue fused into the quantized GEMM's dequantize pass: what
+/// would otherwise be 1–2 extra passes over the f32 output (bias add,
+/// GELU, residual add) happens while the freshly dequantized row is hot.
+///
+/// The GELU variant dispatches on the **float** [`super::active_simd`]
+/// (not the int8 sub-simd), so `int8-scalar` and `int8-avx2` stay
+/// bitwise identical on one machine.
+#[derive(Clone, Copy)]
+pub enum QuantEpilogue<'a> {
+    /// Plain dequantize: `C = acc · (a_scale · b_scale)`.
+    None,
+    /// `C = acc ⊗ scales + bias` (one FMA per element).
+    Bias(&'a [f32]),
+    /// [`Bias`](Self::Bias), then tanh-GELU in place.
+    BiasGelu(&'a [f32]),
+    /// [`Bias`](Self::Bias), then `+ residual` (`m × n`, the layer
+    /// input of a residual block).
+    BiasResidual(&'a [f32], &'a [f32]),
+}
+
 /// `C[m×n] = A[m×k] · dequant(QB)` computed in int8: dynamic per-row
 /// activation quantization, exact `i32` panel dot products, one f32
-/// rescale per output element.
+/// rescale per output element. Convenience wrapper over
+/// [`QuantizedActivations`] + [`matmul_quant_reuse`] (quantize,
+/// multiply, recycle) for single-consumer call sites and tests.
 pub fn matmul_quant(a: &Tensor, qb: &QuantizedMatrix) -> Tensor {
-    let (m, k) = (a.rows(), a.cols());
-    assert_eq!(k, qb.k, "matmul_quant inner dims: {:?} x {}x{}", a.shape(), qb.k, qb.n);
+    matmul_quant_with(super::int8_simd(), a, qb)
+}
+
+/// [`matmul_quant`] on an explicit instruction set.
+pub fn matmul_quant_with(simd: Simd, a: &Tensor, qb: &QuantizedMatrix) -> Tensor {
+    let qa = QuantizedActivations::quantize_with(simd, a);
+    let out = matmul_quant_reuse_with(simd, &qa, qb, QuantEpilogue::None);
+    qa.recycle();
+    out
+}
+
+/// The quantized GEMM over pre-quantized activations, with the
+/// dequantize epilogue fused: `C[m×n] = epilogue(QA · QB)`. Row chunks
+/// run on the worker pool (the integer dot is exact, so the split is
+/// invisible in the bits).
+pub fn matmul_quant_reuse(
+    qa: &QuantizedActivations,
+    qb: &QuantizedMatrix,
+    epilogue: QuantEpilogue,
+) -> Tensor {
+    matmul_quant_reuse_with(super::int8_simd(), qa, qb, epilogue)
+}
+
+/// [`matmul_quant_reuse`] on an explicit instruction set.
+pub fn matmul_quant_reuse_with(
+    simd: Simd,
+    qa: &QuantizedActivations,
+    qb: &QuantizedMatrix,
+    epilogue: QuantEpilogue,
+) -> Tensor {
+    let (m, k) = (qa.m, qa.k);
+    assert_eq!(k, qb.k, "matmul_quant inner dims: {m}x{k} x {}x{}", qb.k, qb.n);
     let n = qb.n;
+    let (bias, residual, gelu) = match epilogue {
+        QuantEpilogue::None => (None, None, false),
+        QuantEpilogue::Bias(b) => (Some(b), None, false),
+        QuantEpilogue::BiasGelu(b) => (Some(b), None, true),
+        QuantEpilogue::BiasResidual(b, r) => (Some(b), Some(r), false),
+    };
+    if let Some(b) = bias {
+        assert_eq!(b.len(), n, "epilogue bias length");
+    }
+    if let Some(r) = residual {
+        assert_eq!(r.len(), m * n, "epilogue residual shape");
+    }
+    record_int8_gemm(simd, m, n, k);
+    // The epilogue GELU runs on the float simd — identical for both
+    // int8 sub-simds, preserving their bitwise-identity contract.
+    let float_simd = super::active_simd();
     let mut out = Tensor::zeros(&[m, n]);
-    let a_d = a.data();
-    let o = out.data_mut();
-    let panels_count = n.div_ceil(NR);
-    let mut qa = vec![0i8; k];
-    for i in 0..m {
-        let a_scale = quantize_row(&a_d[i * k..(i + 1) * k], &mut qa);
-        let c_row = &mut o[i * n..(i + 1) * n];
-        if a_scale == 0.0 {
-            continue; // row of exact zeros stays exact zeros
+    crate::parallel::par_rows_mut(out.data_mut(), n, MIN_ROWS_PER_THREAD, |row0, chunk| {
+        let rows = chunk.len() / n;
+        let qa_chunk = &qa.data[row0 * k..(row0 + rows) * k];
+        let scales_chunk = &qa.scales[row0..row0 + rows];
+        let res_chunk = residual.map(|r| &r[row0 * n..(row0 + rows) * n]);
+        match simd {
+            #[cfg(target_arch = "x86_64")]
+            Simd::Avx2 => super::avx2::quant_gemm_rows(
+                qa_chunk,
+                scales_chunk,
+                k,
+                &qb.panels,
+                &qb.scales,
+                n,
+                bias,
+                res_chunk,
+                chunk,
+            ),
+            #[cfg(not(target_arch = "x86_64"))]
+            Simd::Avx2 => unreachable!("avx2 int8 simd selected on a non-x86_64 build"),
+            Simd::Scalar => quant_gemm_rows_scalar(
+                qa_chunk,
+                scales_chunk,
+                k,
+                &qb.panels,
+                &qb.scales,
+                n,
+                bias,
+                res_chunk,
+                chunk,
+            ),
         }
+        if gelu {
+            crate::nn::activation::gelu_in_place_with(float_simd, chunk);
+        }
+    });
+    out
+}
+
+/// The scalar int8 panel GEMM over a chunk of output rows, epilogue
+/// fused — the reference the AVX2 kernel is bitwise-pinned against.
+#[allow(clippy::too_many_arguments)]
+fn quant_gemm_rows_scalar(
+    qa: &[i8],
+    a_scales: &[f32],
+    k: usize,
+    panels: &[i8],
+    b_scales: &[f32],
+    n: usize,
+    bias: Option<&[f32]>,
+    residual: Option<&[f32]>,
+    c_chunk: &mut [f32],
+) {
+    let rows = c_chunk.len() / n;
+    let panels_count = n.div_ceil(NR);
+    for i in 0..rows {
+        let qa_row = &qa[i * k..(i + 1) * k];
+        let a_scale = a_scales[i];
         for jp in 0..panels_count {
             let j0 = jp * NR;
             let w = NR.min(n - j0);
-            let panel = &qb.panels[jp * k * NR..(jp + 1) * k * NR];
+            let panel = &panels[jp * k * NR..(jp + 1) * k * NR];
             let mut acc = [0i32; NR];
-            for (p, &qa_v) in qa.iter().enumerate() {
+            for (p, &qa_v) in qa_row.iter().enumerate() {
                 let stripe = &panel[p * NR..(p + 1) * NR];
                 for c in 0..NR {
                     acc[c] += qa_v as i32 * stripe[c] as i32;
                 }
             }
-            for c in 0..w {
-                c_row[j0 + c] = acc[c] as f32 * (a_scale * qb.scales[j0 + c]);
+            for (c, &lane) in acc.iter().enumerate().take(w) {
+                let j = j0 + c;
+                let s = a_scale * b_scales[j];
+                let mut v = match bias {
+                    Some(b) => (lane as f32).mul_add(s, b[j]),
+                    None => lane as f32 * s,
+                };
+                if let Some(res) = residual {
+                    v += res[i * n + j];
+                }
+                c_chunk[i * n + j] = v;
             }
         }
     }
-    out
+}
+
+/// Advances `pragformer_quantize_rows_total` — how many activation rows
+/// were dynamically quantized (the quantize-once reuse shows up here as
+/// fewer rows per forward).
+fn record_quantize_rows(rows: usize) {
+    if rows == 0 || !obs::enabled() {
+        return;
+    }
+    static CELL: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        obs::counter(
+            "pragformer_quantize_rows_total",
+            "Activation rows dynamically quantized to i8",
+            &[],
+        )
+    })
+    .add(rows as u64);
+}
+
+/// Advances the weight-quantization build counter — steady-state int8
+/// inference must not rebuild quantized weights
+/// (`examples/profile_advise.rs` asserts a zero delta after warm-up).
+fn record_weight_quant_build() {
+    if !obs::enabled() {
+        return;
+    }
+    static CELL: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        obs::counter(
+            "pragformer_weight_quant_builds_total",
+            "Weight matrices / embedding tables quantized to i8",
+            &[],
+        )
+    })
+    .inc();
+}
+
+/// Cached handles for the per-simd int8 GEMM counters (same idiom as
+/// `ops::record_gemm`: registry lookups happen once per series).
+struct Int8GemmCounters {
+    calls: Arc<obs::Counter>,
+    flops: Arc<obs::Counter>,
+}
+
+/// Advances `pragformer_int8_gemm_{calls,flops}_total{simd}`.
+fn record_int8_gemm(simd: Simd, m: usize, n: usize, k: usize) {
+    if !obs::enabled() {
+        return;
+    }
+    static CELLS: [OnceLock<Int8GemmCounters>; 2] = [OnceLock::new(), OnceLock::new()];
+    let idx = match simd {
+        Simd::Scalar => 0,
+        Simd::Avx2 => 1,
+    };
+    let c = CELLS[idx].get_or_init(|| Int8GemmCounters {
+        calls: obs::counter(
+            "pragformer_int8_gemm_calls_total",
+            "Quantized int8 GEMM invocations",
+            &[("simd", simd.name())],
+        ),
+        flops: obs::counter(
+            "pragformer_int8_gemm_flops_total",
+            "Int8 multiply-accumulate ops (2·m·n·k) executed by quantized GEMMs",
+            &[("simd", simd.name())],
+        ),
+    });
+    c.calls.inc();
+    c.flops.add(2 * (m as u64) * (n as u64) * (k as u64));
 }
 
 /// An embedding table quantized per *row* to `i8` (each row is one
@@ -208,6 +501,7 @@ impl QuantizedEmbedding {
         for r in 0..rows {
             scales[r] = quantize_row(&d[r * dim..(r + 1) * dim], &mut data[r * dim..(r + 1) * dim]);
         }
+        record_weight_quant_build();
         QuantizedEmbedding { rows, dim, data, scales }
     }
 

@@ -44,6 +44,22 @@ fn gelu_scalar(v: f32) -> f32 {
     0.5 * v * (1.0 + (SQRT_2_OVER_PI * (v + GELU_C * v * v * v)).tanh())
 }
 
+/// In-place [`gelu`] over a flat slice on an explicit *float* simd —
+/// the int8 GEMM's fused epilogue. The int8 kernels always pass
+/// [`crate::kernel::active_simd`] here (never the int8 sub-simd), so
+/// `int8-scalar` and `int8-avx2` apply bit-identical GELUs.
+pub(crate) fn gelu_in_place_with(simd: crate::kernel::Simd, buf: &mut [f32]) {
+    match simd {
+        crate::kernel::Simd::Scalar => buf.iter_mut().for_each(|v| *v = gelu_scalar(*v)),
+        crate::kernel::Simd::Avx2 => {
+            #[cfg(target_arch = "x86_64")]
+            crate::kernel::avx2::gelu_in_place(buf);
+            #[cfg(not(target_arch = "x86_64"))]
+            unreachable!("avx2 kernels requested on a non-x86_64 build");
+        }
+    }
+}
+
 /// GELU backward given the forward input.
 pub fn gelu_backward(x: &Tensor, dy: &Tensor) -> Tensor {
     x.zip(dy, |v, d| {

@@ -2,7 +2,9 @@
 
 use super::{Layer, Param};
 use crate::init::{xavier_bound, SeededRng};
-use crate::kernel::quantize::{matmul_quant, QuantizedMatrix};
+use crate::kernel::quantize::{
+    matmul_quant_reuse, QuantEpilogue, QuantizedActivations, QuantizedMatrix,
+};
 use crate::ops::{self, PackedWeights};
 use crate::Tensor;
 
@@ -108,17 +110,61 @@ impl Linear {
     pub fn packed_weight_bytes(&self) -> usize {
         PackedWeights::bytes_for(self.in_dim(), self.out_dim())
     }
+
+    /// Int8 forward over **pre-quantized** activations with the bias
+    /// fused into the dequantize epilogue — the quantize-once path
+    /// siblings sharing one input use (attention Q/K/V). Requires the
+    /// quantized cache ([`Linear::ensure_quantized`]).
+    pub fn forward_quant(&self, qx: &QuantizedActivations) -> Tensor {
+        let qw = self.qw.as_ref().expect("forward_quant on an unquantized layer");
+        matmul_quant_reuse(qx, qw, QuantEpilogue::Bias(self.b.value.data()))
+    }
+
+    /// [`Linear::forward_quant`] with tanh-GELU fused after the bias —
+    /// the feed-forward `ff1` epilogue.
+    pub fn forward_quant_gelu(&self, qx: &QuantizedActivations) -> Tensor {
+        let qw = self.qw.as_ref().expect("forward_quant_gelu on an unquantized layer");
+        matmul_quant_reuse(qx, qw, QuantEpilogue::BiasGelu(self.b.value.data()))
+    }
+
+    /// [`Linear::forward_quant`] with a residual add fused after the
+    /// bias — the attention output / `ff2` epilogue. `residual` is the
+    /// block input, shaped like the output.
+    pub fn forward_quant_residual(&self, qx: &QuantizedActivations, residual: &Tensor) -> Tensor {
+        let qw = self.qw.as_ref().expect("forward_quant_residual on an unquantized layer");
+        assert_eq!(residual.shape(), &[qx.m(), self.out_dim()], "residual shape");
+        matmul_quant_reuse(
+            qx,
+            qw,
+            QuantEpilogue::BiasResidual(self.b.value.data(), residual.data()),
+        )
+    }
 }
 
 impl Layer for Linear {
     fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
         assert_eq!(x.cols(), self.in_dim(), "Linear input dim");
-        let mut y = match (&self.qw, &self.pw) {
-            (Some(q), _) => matmul_quant(x, q),
-            (None, Some(p)) => ops::matmul_prepacked(x, p),
-            (None, None) => ops::matmul(x, &self.w.value),
+        let y = match (&self.qw, &self.pw) {
+            (Some(_), _) => {
+                // Same fused path as `forward_quant`, so a layer fed a
+                // shared pre-quantized input produces identical bits to
+                // one quantizing its own (the quantize-once pin).
+                let qx = QuantizedActivations::quantize(x);
+                let y = self.forward_quant(&qx);
+                qx.recycle();
+                y
+            }
+            (None, Some(p)) => {
+                let mut y = ops::matmul_prepacked(x, p);
+                ops::add_bias(&mut y, &self.b.value);
+                y
+            }
+            (None, None) => {
+                let mut y = ops::matmul(x, &self.w.value);
+                ops::add_bias(&mut y, &self.b.value);
+                y
+            }
         };
-        ops::add_bias(&mut y, &self.b.value);
         self.cache_x = Some(x.clone());
         y
     }

@@ -16,6 +16,10 @@
 //!   can recycle tensors they own (`Tensor::into_data`) even when the
 //!   buffer was not born here.
 //!
+//! The int8 tier keeps a parallel **i8 lane** ([`take_i8`] / [`give_i8`])
+//! for quantized-activation buffers, so dynamic requantization also
+//! allocates nothing at steady state.
+//!
 //! Pools are `thread_local`, so the persistent worker pool
 //! ([`crate::parallel`]) reuses buffers without any cross-thread
 //! synchronization; each pool keeps at most `MAX_POOLED` buffers and
@@ -25,7 +29,8 @@
 //! ## Accounting
 //!
 //! [`retained_bytes`] is the total capacity currently parked across all
-//! pools; [`high_water_bytes`] its process-lifetime maximum, mirrored to
+//! pools (both lanes, byte-accurate per element type);
+//! [`high_water_bytes`] its process-lifetime maximum, mirrored to
 //! the `pragformer_scratch_high_water_bytes` gauge. A stable high-water
 //! mark across repeated forwards is the observable "zero heap growth"
 //! signal (`examples/profile_advise.rs` asserts it after warm-up).
@@ -40,6 +45,7 @@ const MAX_POOLED: usize = 8;
 
 thread_local! {
     static POOL: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+    static POOL_I8: RefCell<Vec<Vec<i8>>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Total capacity (bytes) parked across all per-thread pools.
@@ -72,12 +78,11 @@ fn note_high_water() {
     }
 }
 
-/// An **empty** `Vec<f32>` with at least `min_capacity` capacity —
-/// reused from the current thread's pool when a large-enough buffer is
-/// parked (best fit), freshly allocated otherwise. Pair with [`give`].
-pub fn take(min_capacity: usize) -> Vec<f32> {
-    let reused = POOL.with(|cell| {
-        let mut pool = cell.borrow_mut();
+/// Best-fit take from one pool lane; `elem_bytes` keeps the retained
+/// byte accounting exact per element type.
+fn take_from<T>(pool: &RefCell<Vec<Vec<T>>>, min_capacity: usize, elem_bytes: usize) -> Vec<T> {
+    let reused = {
+        let mut pool = pool.borrow_mut();
         let mut best: Option<usize> = None;
         for i in 0..pool.len() {
             let c = pool[i].capacity();
@@ -86,13 +91,50 @@ pub fn take(min_capacity: usize) -> Vec<f32> {
             }
         }
         best.map(|i| pool.swap_remove(i))
-    });
+    };
     if let Some(mut buf) = reused {
-        RETAINED.fetch_sub(buf.capacity() * 4, Ordering::Relaxed);
+        RETAINED.fetch_sub(buf.capacity() * elem_bytes, Ordering::Relaxed);
         buf.clear();
         return buf;
     }
     Vec::with_capacity(min_capacity)
+}
+
+/// Largest-wins give into one pool lane (see [`give`] for the policy).
+fn give_to<T>(pool: &RefCell<Vec<Vec<T>>>, buf: Vec<T>, elem_bytes: usize) {
+    if buf.capacity() == 0 {
+        return;
+    }
+    // How many elements of retained capacity the pool gained: the whole
+    // buffer when there was room, the capacity difference when it
+    // displaced a smaller parked buffer, zero when rejected.
+    let gained = {
+        let mut pool = pool.borrow_mut();
+        if pool.len() < MAX_POOLED {
+            let cap = buf.capacity();
+            pool.push(buf);
+            cap
+        } else {
+            let smallest = (0..pool.len()).min_by_key(|&i| pool[i].capacity()).unwrap();
+            if pool[smallest].capacity() < buf.capacity() {
+                let old = std::mem::replace(&mut pool[smallest], buf);
+                pool[smallest].capacity() - old.capacity()
+            } else {
+                0
+            }
+        }
+    };
+    if gained > 0 {
+        RETAINED.fetch_add(gained * elem_bytes, Ordering::Relaxed);
+        note_high_water();
+    }
+}
+
+/// An **empty** `Vec<f32>` with at least `min_capacity` capacity —
+/// reused from the current thread's pool when a large-enough buffer is
+/// parked (best fit), freshly allocated otherwise. Pair with [`give`].
+pub fn take(min_capacity: usize) -> Vec<f32> {
+    POOL.with(|cell| take_from(cell, min_capacity, 4))
 }
 
 /// A zero-filled `Vec<f32>` of exactly `len` elements on reused (or
@@ -108,31 +150,21 @@ pub fn take_zeroed(len: usize) -> Vec<f32> {
 /// parked) is dropped, so pools converge on the largest working-set
 /// buffers. Accepts any `Vec<f32>`, not just ones born from [`take`].
 pub fn give(buf: Vec<f32>) {
-    if buf.capacity() == 0 {
-        return;
-    }
-    // Returns how many f32s of retained capacity the pool gained: the
-    // whole buffer when there was room, the capacity difference when it
-    // displaced a smaller parked buffer, zero when rejected.
-    let gained = POOL.with(|cell| {
-        let mut pool = cell.borrow_mut();
-        if pool.len() < MAX_POOLED {
-            let cap = buf.capacity();
-            pool.push(buf);
-            return cap;
-        }
-        let smallest = (0..pool.len()).min_by_key(|&i| pool[i].capacity()).unwrap();
-        if pool[smallest].capacity() < buf.capacity() {
-            let old = std::mem::replace(&mut pool[smallest], buf);
-            pool[smallest].capacity() - old.capacity()
-        } else {
-            0
-        }
-    });
-    if gained > 0 {
-        RETAINED.fetch_add(gained * 4, Ordering::Relaxed);
-        note_high_water();
-    }
+    POOL.with(|cell| give_to(cell, buf, 4));
+}
+
+/// The i8 lane of [`take`]: an **empty** `Vec<i8>` with at least
+/// `min_capacity` capacity, reused from the current thread's i8 pool
+/// when possible. Quantized-activation buffers ride this lane so int8
+/// inference allocates nothing at steady state. Pair with [`give_i8`].
+pub fn take_i8(min_capacity: usize) -> Vec<i8> {
+    POOL_I8.with(|cell| take_from(cell, min_capacity, 1))
+}
+
+/// The i8 lane of [`give`]: parks an `i8` buffer for the next
+/// [`take_i8`], same largest-wins policy and shared byte accounting.
+pub fn give_i8(buf: Vec<i8>) {
+    POOL_I8.with(|cell| give_to(cell, buf, 1));
 }
 
 /// Total bytes currently parked across all per-thread pools.
@@ -184,6 +216,23 @@ mod tests {
         // Draining the pool lowers retained but never the high-water.
         let _drain = take(1);
         assert!(high_water_bytes() >= after);
+    }
+
+    #[test]
+    fn i8_lane_reuses_and_accounts_bytes() {
+        let mut buf = take_i8(512);
+        assert!(buf.capacity() >= 512);
+        buf.extend(std::iter::repeat_n(-3i8, 512));
+        let ptr = buf.as_ptr();
+        let cap = buf.capacity();
+        give_i8(buf);
+        // Parking i8 capacity must register in the (monotone) high-water
+        // mark; exact retained deltas race with concurrent tests.
+        assert!(high_water_bytes() >= cap);
+        let again = take_i8(cap);
+        assert_eq!(again.as_ptr(), ptr, "same-thread take_i8 must reuse the parked buffer");
+        assert!(again.is_empty(), "reused i8 buffers come back cleared");
+        give_i8(again);
     }
 
     #[test]

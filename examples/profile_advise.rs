@@ -84,6 +84,49 @@ fn main() {
         );
     }
 
+    // Int8 steady-state check: flip to the quantized tier, warm the
+    // weight caches and the i8 scratch lane, then assert one more batch
+    // quantizes activations only — zero weight requantizations and zero
+    // arena high-water growth (the quantize-once path runs entirely on
+    // recycled buffers).
+    let prior_tier = pragformer::tensor::kernel::active_tier();
+    if obs::enabled()
+        && pragformer::tensor::kernel::set_tier(pragformer::tensor::kernel::KernelTier::Int8)
+            .is_ok()
+    {
+        let quant_builds = obs::counter(
+            "pragformer_weight_quant_builds_total",
+            "Weight matrices / embedding tables quantized to i8",
+            &[],
+        );
+        let quant_rows = obs::counter(
+            "pragformer_quantize_rows_total",
+            "Activation rows dynamically quantized to i8",
+            &[],
+        );
+        // Two warm batches: the first builds the int8 weight copies, the
+        // second settles the i8 lane's high-water mark.
+        std::hint::black_box(advisor.advise_batch(&snippets));
+        std::hint::black_box(advisor.advise_batch(&snippets));
+        let (b0, r0) = (quant_builds.get(), quant_rows.get());
+        let hw0 = pragformer::tensor::scratch::high_water_bytes();
+        std::hint::black_box(advisor.advise_batch(&snippets));
+        assert!(quant_rows.get() > r0, "int8 advise quantized no activation rows");
+        assert_eq!(quant_builds.get(), b0, "steady-state int8 advise requantized weights");
+        assert_eq!(
+            pragformer::tensor::scratch::high_water_bytes(),
+            hw0,
+            "steady-state int8 advise grew the scratch high-water mark"
+        );
+        println!(
+            "\nint8 steady state: +{} activation rows quantized, 0 weight requantizations, \
+             arena high water {} KiB",
+            quant_rows.get() - r0,
+            hw0 / 1024,
+        );
+        pragformer::tensor::kernel::set_tier(prior_tier).expect("restore kernel tier");
+    }
+
     // Per-stage breakdown from the span registry: one row per
     // (stage, backend, tier) series the runs above populated.
     let mut stages: Vec<_> = obs::histogram_snapshots()
