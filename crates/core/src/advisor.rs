@@ -433,6 +433,38 @@ impl Advisor {
         }
     }
 
+    /// Advisor-local fused-attention override, forwarded to every
+    /// backing trunk: `Some(true)` runs the fused QKV +
+    /// single-pass-softmax fast path, `Some(false)` the legacy split
+    /// path, `None` follows the process-wide `PRAGFORMER_ATTN` switch.
+    /// Either way every probability is bitwise identical per kernel
+    /// tier — fusion moves work, never bits.
+    pub fn set_attn_fused(&mut self, force: Option<bool>) {
+        match &mut self.models {
+            Models::PerHead { directive, private, reduction } => {
+                directive.set_attn_fused_override(force);
+                private.set_attn_fused_override(force);
+                reduction.set_attn_fused_override(force);
+            }
+            Models::SharedTrunk(model) => model.set_attn_fused_override(force),
+        }
+    }
+
+    /// Bytes retained by attention backward caches across every backing
+    /// trunk. The advise path runs eval-mode (cache-free) forwards only,
+    /// so this is always zero for a serving advisor — the invariant the
+    /// `profile_advise` example asserts in steady state.
+    pub fn retained_attention_bytes(&self) -> usize {
+        match &self.models {
+            Models::PerHead { directive, private, reduction } => {
+                directive.retained_attention_bytes()
+                    + private.retained_attention_bytes()
+                    + reduction.retained_attention_bytes()
+            }
+            Models::SharedTrunk(model) => model.retained_attention_bytes(),
+        }
+    }
+
     /// Eagerly builds the inference weight caches every backing model
     /// would build on its first eval forward (packed f32 panels, or int8
     /// copies under that tier), so the first advise request pays no

@@ -46,9 +46,20 @@ impl EncoderBlock {
     /// consumers and the scratch-backed quantized buffers recycle
     /// immediately. The f32 tiers keep the original unfused sequence
     /// bit for bit.
-    pub fn forward(&mut self, x: &Tensor, batch: usize, seq: usize, valid: &[usize]) -> Tensor {
-        let res1 = self.attn.forward_residual(x, batch, seq, valid);
-        let h = self.ln1.forward(&res1, true);
+    ///
+    /// `train` picks the attention/layer mode: a train forward stores
+    /// every backward cache, an inference forward stores none (see the
+    /// [`crate::attention`] docs).
+    pub fn forward(
+        &mut self,
+        x: &Tensor,
+        batch: usize,
+        seq: usize,
+        valid: &[usize],
+        train: bool,
+    ) -> Tensor {
+        let res1 = self.attn.forward_residual(x, batch, seq, valid, train);
+        let h = self.ln1.forward(&res1, train);
         if self.ff1.is_quantized() {
             let qh = QuantizedActivations::quantize(&h);
             let mid = self.ff1.forward_quant_gelu(&qh);
@@ -57,10 +68,11 @@ impl EncoderBlock {
             pragformer_tensor::scratch::give(mid.into_data());
             let res2 = self.ff2.forward_quant_residual(&qmid, &h);
             qmid.recycle();
-            self.ln2.forward(&res2, true)
+            self.ln2.forward(&res2, train)
         } else {
-            let ff = self.ff2.forward(&self.act.forward(&self.ff1.forward(&h, true), true), true);
-            self.ln2.forward(&h.add(&ff), true)
+            let ff =
+                self.ff2.forward(&self.act.forward(&self.ff1.forward(&h, train), train), train);
+            self.ln2.forward(&h.add(&ff), train)
         }
     }
 
@@ -172,7 +184,7 @@ impl Encoder {
         // the padded length (the bucketed-training determinism contract).
         let mut h = self.drop.forward_rows(&normed, train, seq, valid);
         for blk in &mut self.blocks {
-            let next = blk.forward(&h, batch, seq, valid);
+            let next = blk.forward(&h, batch, seq, valid, train);
             // The consumed activation buffer goes back to the scratch
             // arena; the next batch's embedding gather (and the per-head
             // attention tiles) draw from it instead of the allocator.
@@ -209,23 +221,38 @@ impl Encoder {
         self.blocks.last().and_then(EncoderBlock::last_attention)
     }
 
-    /// Builds int8 copies of every weight matrix and embedding table for
-    /// quantized inference. Idempotent: already-quantized layers keep
-    /// their caches, so calling this per eval forward is cheap.
-    pub fn ensure_int8(&mut self) {
-        self.tok.ensure_quantized();
-        self.pos.ensure_quantized();
-        for blk in &mut self.blocks {
-            blk.for_each_linear(&mut |lin| lin.ensure_quantized());
+    /// Configures every inference weight cache in one idempotent pass:
+    /// `int8` builds (or drops, when false) the quantized copies of all
+    /// weight matrices and embedding tables, `packed` the pre-packed f32
+    /// panels, and `fused_attn` the per-block fused QKV cache. The
+    /// attention blocks own their projection caches so the fused cache
+    /// can *replace* the per-projection `wq`/`wk`/`wv` copies instead of
+    /// duplicating them — calling this per eval forward is cheap because
+    /// every already-built cache is kept, and nothing is rebuilt when a
+    /// regime stays put (the pack/quantize counters stay flat in steady
+    /// state).
+    pub fn configure_inference_caches(&mut self, int8: bool, packed: bool, fused_attn: bool) {
+        if int8 {
+            self.tok.ensure_quantized();
+            self.pos.ensure_quantized();
+        } else {
+            self.tok.drop_quantized();
+            self.pos.drop_quantized();
         }
-    }
-
-    /// Drops every int8 copy; forwards return to pure f32.
-    pub fn drop_int8(&mut self) {
-        self.tok.drop_quantized();
-        self.pos.drop_quantized();
         for blk in &mut self.blocks {
-            blk.for_each_linear(&mut |lin| lin.drop_quantized());
+            blk.attn.configure_inference_caches(int8, packed, fused_attn);
+            for lin in [&mut blk.ff1, &mut blk.ff2] {
+                if int8 {
+                    lin.ensure_quantized();
+                } else {
+                    lin.drop_quantized();
+                }
+                if packed && !int8 {
+                    lin.ensure_packed();
+                } else {
+                    lin.drop_packed();
+                }
+            }
         }
     }
 
@@ -234,26 +261,20 @@ impl Encoder {
         self.tok.is_quantized()
     }
 
-    /// Builds pre-packed panel copies of every weight matrix for
-    /// zero-repack f32 inference. Embedding tables are gathers (no GEMM)
-    /// and hold no packed form. Idempotent: already-packed layers keep
-    /// their caches, so calling this per eval forward is cheap.
-    pub fn ensure_packed(&mut self) {
-        for blk in &mut self.blocks {
-            blk.for_each_linear(&mut |lin| lin.ensure_packed());
-        }
-    }
-
-    /// Drops every packed panel copy; forwards return to pack-per-call.
-    pub fn drop_packed(&mut self) {
-        for blk in &mut self.blocks {
-            blk.for_each_linear(&mut |lin| lin.drop_packed());
-        }
-    }
-
     /// Whether the pre-packed weight copies are currently built.
     pub fn packed_active(&self) -> bool {
         self.blocks.first().is_some_and(|blk| blk.ff1.is_packed())
+    }
+
+    /// Whether the fused QKV attention caches are currently built.
+    pub fn attn_fused_active(&self) -> bool {
+        self.blocks.first().is_some_and(|blk| blk.attn.fused_active())
+    }
+
+    /// Bytes retained by the attention backward caches across every
+    /// block — zero after any inference forward (cache-free mode).
+    pub fn retained_attention_bytes(&self) -> usize {
+        self.blocks.iter().map(|blk| blk.attn.retained_cache_bytes()).sum()
     }
 }
 
@@ -320,20 +341,22 @@ mod tests {
         // compare the loss delta against the accumulated gradient.
         // The sequence is kept short explicitly: central differences in
         // f32 accumulate noise linearly with the number of positions a
-        // shared embedding row feeds.
-        let cfg = ModelConfig { max_len: 16, ..ModelConfig::tiny(12) };
+        // shared embedding row feeds. Dropout is zeroed so the train-mode
+        // forwards (only train forwards retain backward caches) stay
+        // deterministic for the FD probes.
+        let cfg = ModelConfig { max_len: 16, dropout: 0.0, ..ModelConfig::tiny(12) };
         let mut rng = SeededRng::new(5);
         let mut enc = Encoder::new(&cfg, &mut rng);
         let ids: Vec<usize> = (0..cfg.max_len).map(|i| (i * 3 + 1) % 12).collect();
         let valid = vec![cfg.max_len];
 
         let loss = |enc: &mut Encoder| -> f32 {
-            let h = enc.forward(&ids, &valid, false);
+            let h = enc.forward(&ids, &valid, true);
             h.data().iter().map(|v| v.sin()).sum()
         };
 
         enc.visit_params(&mut |p| p.zero_grad());
-        let h = enc.forward(&ids, &valid, false);
+        let h = enc.forward(&ids, &valid, true);
         let dh = h.map(|v| v.cos());
         enc.backward(&dh);
 

@@ -21,7 +21,7 @@ use pragformer_tensor::init::SeededRng;
 use pragformer_tensor::kernel::quantize::{
     QuantizedActivations, QuantizedEmbedding, QuantizedMatrix,
 };
-use pragformer_tensor::kernel::{active_tier, prepack_enabled, KernelTier};
+use pragformer_tensor::kernel::{active_tier, attn_fused_enabled, prepack_enabled, KernelTier};
 use pragformer_tensor::nn::{Activation, ActivationKind, Dropout, Layer, Linear, Param};
 use pragformer_tensor::ops::PackedWeights;
 use pragformer_tensor::Tensor;
@@ -47,6 +47,13 @@ pub struct Trunk {
     /// follows the process-wide [`prepack_enabled`] switch. Irrelevant
     /// while the int8 path is active (int8 wins).
     prepack_override: Option<bool>,
+    /// Per-model override of the fused-attention decision: `Some(true)`
+    /// forces the fused QKV + single-pass-softmax fast path at
+    /// inference, `Some(false)` forces the legacy split path, `None`
+    /// follows the process-wide [`attn_fused_enabled`] switch
+    /// (`PRAGFORMER_ATTN`). Orthogonal to the int8/prepack axes — the
+    /// fused cache takes whatever form the active tier implies.
+    attn_fused_override: Option<bool>,
 }
 
 impl Trunk {
@@ -57,13 +64,20 @@ impl Trunk {
             cache: None,
             int8_override: None,
             prepack_override: None,
+            attn_fused_override: None,
         }
     }
 
     /// Wraps an already-built encoder (e.g. one restored from MLM
     /// pre-training).
     pub fn from_encoder(encoder: Encoder) -> Self {
-        Self { encoder, cache: None, int8_override: None, prepack_override: None }
+        Self {
+            encoder,
+            cache: None,
+            int8_override: None,
+            prepack_override: None,
+            attn_fused_override: None,
+        }
     }
 
     /// Sets the model-local int8 override (see the field docs). Takes
@@ -88,24 +102,41 @@ impl Trunk {
         self.prepack_override
     }
 
+    /// Sets the model-local fused-attention override (see the field
+    /// docs). Takes effect on the next eval forward.
+    pub fn set_attn_fused_override(&mut self, force: Option<bool>) {
+        self.attn_fused_override = force;
+    }
+
+    /// The current model-local fused-attention override.
+    pub fn attn_fused_override(&self) -> Option<bool> {
+        self.attn_fused_override
+    }
+
     /// Whether the next eval forward will run on pre-packed f32 panels
     /// (the override, or the process-wide switch when unset; always
     /// `false` when the int8 path wins).
     pub fn wants_prepack(&self) -> bool {
+        self.inference_wants().1
+    }
+
+    /// The cache regimes an eval forward runs under: `(int8, packed,
+    /// fused_attn)` after applying the model-local overrides on top of
+    /// the process-wide switches (int8 wins over packed; fused attention
+    /// is orthogonal and takes whichever form the winner implies).
+    fn inference_wants(&self) -> (bool, bool, bool) {
         let int8 = self.int8_override.unwrap_or_else(|| active_tier() == KernelTier::Int8);
-        !int8 && self.prepack_override.unwrap_or_else(prepack_enabled)
+        let packed = !int8 && self.prepack_override.unwrap_or_else(prepack_enabled);
+        let fused = self.attn_fused_override.unwrap_or_else(attn_fused_enabled);
+        (int8, packed, fused)
     }
 
     /// Eagerly builds the weight caches the next eval forward would use
-    /// (int8 copies or pre-packed f32 panels), moving the one-time
-    /// pack/quantize cost out of the first request.
+    /// (int8 copies, pre-packed f32 panels, fused QKV panels), moving
+    /// the one-time pack/quantize cost out of the first request.
     pub fn prepack_for_inference(&mut self) {
-        let int8 = self.int8_override.unwrap_or_else(|| active_tier() == KernelTier::Int8);
-        if int8 {
-            self.encoder.ensure_int8();
-        } else if self.prepack_override.unwrap_or_else(prepack_enabled) {
-            self.encoder.ensure_packed();
-        }
+        let (int8, packed, fused) = self.inference_wants();
+        self.encoder.configure_inference_caches(int8, packed, fused);
         if pragformer_obs::enabled() && pragformer_obs::log_enabled(pragformer_obs::Level::Info) {
             let wb = self.weight_bytes();
             pragformer_obs::log_kv(
@@ -132,13 +163,26 @@ impl Trunk {
         &self.encoder
     }
 
+    /// Bytes retained by the encoder's attention backward caches — zero
+    /// after any inference forward (see [`crate::attention`]).
+    pub fn retained_attention_bytes(&self) -> usize {
+        self.encoder.retained_attention_bytes()
+    }
+
     /// Forward over `batch × seq` flattened ids (`seq ≤ max_len`),
     /// returning the `[batch, d_model]` CLS representations.
     ///
     /// Per row, the result is **bitwise identical** for every batch size
     /// and every padded length `seq ≥ valid[b]` (see
     /// [`Encoder::forward_seq`]) — the property every head, cache and
-    /// serving layer above this trunk relies on.
+    /// serving layer above this trunk relies on. Eval forwards exploit
+    /// the same property from the inside: the padded length is clamped
+    /// to the batch's longest valid prefix before the encoder runs, so
+    /// rows the attention mask would discard are never embedded,
+    /// projected, or normalized at all. The clamp is output-invisible
+    /// by exactly the contract above (pinned by the padding-invariance
+    /// proptests); training keeps the caller's padding because the
+    /// backward cache records the caller-visible geometry.
     pub fn forward_cls(
         &mut self,
         ids: &[usize],
@@ -146,37 +190,52 @@ impl Trunk {
         seq: usize,
         train: bool,
     ) -> Tensor {
-        // Quantized inference is gated here (not in the layers): eval
-        // forwards under the Int8 tier — or a model-local override —
-        // run on int8 weight copies; training always runs f32. The
-        // ensure/drop pair is idempotent and the copies are invalidated
-        // by any parameter mutation, so this stays correct across
-        // train/eval interleavings and checkpoint restores.
-        let want_int8 =
-            !train && self.int8_override.unwrap_or_else(|| active_tier() == KernelTier::Int8);
-        if want_int8 {
-            self.encoder.ensure_int8();
+        // Inference cache regimes are gated here (not in the layers):
+        // eval forwards under the Int8 tier — or a model-local override
+        // — run on int8 weight copies, f32 eval forwards on pre-packed
+        // panels, and the attention blocks on fused QKV caches; training
+        // always runs plain f32 with everything torn down (backward
+        // refuses to run over inference caches). The configure pass is
+        // idempotent and the copies are invalidated by any parameter
+        // mutation, so this stays correct across train/eval
+        // interleavings and checkpoint restores.
+        if train {
+            self.encoder.configure_inference_caches(false, false, false);
         } else {
-            self.encoder.drop_int8();
-        }
-        // Pre-packed f32 panels follow the same lifecycle, one rung
-        // below int8 in priority: the int8 GEMM never reads f32 panels,
-        // so holding both would only waste memory.
-        let want_packed =
-            !train && !want_int8 && self.prepack_override.unwrap_or_else(prepack_enabled);
-        if want_packed {
-            self.encoder.ensure_packed();
-        } else {
-            self.encoder.drop_packed();
+            let (int8, packed, fused) = self.inference_wants();
+            self.encoder.configure_inference_caches(int8, packed, fused);
         }
         let batch = ids.len() / seq.max(1);
-        let h = self.encoder.forward_seq(ids, valid, seq, train);
+        // Eval-only padded-length clamp (see the doc comment): run at
+        // the longest valid prefix instead of the caller's padding.
+        let mut run_seq = seq;
+        let mut gathered: Vec<usize> = Vec::new();
+        if !train && batch > 0 {
+            let m = valid.iter().copied().max().unwrap_or(seq).clamp(1, seq.max(1));
+            if m < seq {
+                run_seq = m;
+                if batch > 1 {
+                    gathered.reserve(batch * m);
+                    for b in 0..batch {
+                        gathered.extend_from_slice(&ids[b * seq..b * seq + m]);
+                    }
+                }
+            }
+        }
+        let run_ids: &[usize] = if run_seq == seq {
+            ids
+        } else if batch > 1 {
+            &gathered
+        } else {
+            &ids[..run_seq]
+        };
+        let h = self.encoder.forward_seq(run_ids, valid, run_seq, train);
         let d_model = self.config().d_model;
         let mut cls = Tensor::zeros(&[batch, d_model]);
         for b in 0..batch {
-            cls.row_mut(b).copy_from_slice(h.row(b * seq));
+            cls.row_mut(b).copy_from_slice(h.row(b * run_seq));
         }
-        self.cache = Some((batch, seq));
+        self.cache = Some((batch, run_seq));
         cls
     }
 
@@ -254,6 +313,11 @@ pub struct TrunkWeightBytes {
     /// one panel-packed copy per weight matrix (`⌈n/NR⌉·k·NR` floats
     /// each). Embedding tables, biases and LN params hold no packed
     /// form, so this is ≈ +1× the weight-matrix share of `f32_bytes`.
+    /// With the fused attention fast path active the per-layer Q/K/V
+    /// panels are held as one `[d, 3d]` pack instead of three `[d, d]`
+    /// packs — identical bytes for `NR`-multiple `d_model` (every real
+    /// profile) and never more, so this total stays an exact/upper
+    /// accounting either way.
     pub prepacked_bytes: usize,
     /// *Additional* bytes retained by the scratch arena's i8 lane while
     /// int8 inference is active: per-sequence quantized activations
@@ -451,6 +515,33 @@ mod tests {
         let _ = trunk.forward_cls(&ids, &valid, cfg.max_len, true);
         trunk.clear_cache();
         assert!(!trunk.encoder().packed_active(), "train forward left packed caches up");
+    }
+
+    #[test]
+    fn attn_fused_override_is_bitwise_and_training_restores() {
+        let cfg = ModelConfig::tiny(12);
+        let mut rng = SeededRng::new(10);
+        let mut trunk = Trunk::new(&cfg, &mut rng);
+        let ids: Vec<usize> = (0..2 * cfg.max_len).map(|i| i % 12).collect();
+        let valid = [7usize, 9];
+        // Pin the model off int8 so the comparison is pure f32 under
+        // every process-wide tier (CI's int8 sweep).
+        trunk.set_int8_override(Some(false));
+        trunk.set_attn_fused_override(Some(false));
+        let split = trunk.forward_cls(&ids, &valid, cfg.max_len, false);
+        trunk.clear_cache();
+        assert!(!trunk.encoder().attn_fused_active());
+        trunk.set_attn_fused_override(Some(true));
+        let fused = trunk.forward_cls(&ids, &valid, cfg.max_len, false);
+        trunk.clear_cache();
+        assert!(trunk.encoder().attn_fused_active(), "override must build fused caches");
+        // One QKV GEMM + single-pass softmax must not move a bit.
+        assert_eq!(split, fused, "fused attention CLS diverged from split path");
+        // A training forward must tear the fused caches down even while
+        // the override is still set (backward refuses to run with them).
+        let _ = trunk.forward_cls(&ids, &valid, cfg.max_len, true);
+        trunk.clear_cache();
+        assert!(!trunk.encoder().attn_fused_active(), "train forward left fused caches up");
     }
 
     #[test]

@@ -64,6 +64,21 @@ impl PragFormer {
         self.trunk.set_prepack_override(force);
     }
 
+    /// Model-local fused-attention override: `Some(true)` forces the
+    /// fused QKV + single-pass-softmax fast path at inference,
+    /// `Some(false)` forces the legacy split path, `None` follows the
+    /// process-wide `PRAGFORMER_ATTN` switch (see
+    /// [`crate::head::Trunk::set_attn_fused_override`]).
+    pub fn set_attn_fused_override(&mut self, force: Option<bool>) {
+        self.trunk.set_attn_fused_override(force);
+    }
+
+    /// Bytes retained by the trunk's attention backward caches — zero
+    /// after any eval forward (cache-free inference mode).
+    pub fn retained_attention_bytes(&self) -> usize {
+        self.trunk.retained_attention_bytes()
+    }
+
     /// Eagerly builds the inference weight caches the next eval forward
     /// would use (trunk int8 copies or packed f32 panels, plus head
     /// panels), moving the one-time pack cost out of the first request.

@@ -21,8 +21,10 @@ fn dloss_of(y: &Tensor) -> Tensor {
 /// central finite differences.
 ///
 /// `tol` bounds the relative error `|num − ana| / max(1, |num|, |ana|)`.
-/// Dropout layers must be checked in eval mode (this helper always runs
-/// with `train = false` to stay deterministic).
+/// The analytic pass runs with `train = true` (only train forwards
+/// retain backward caches); the finite-difference probes run in eval
+/// mode, which is bitwise identical for every deterministic layer. Do
+/// not check stochastic layers (dropout) through this helper.
 ///
 /// # Panics
 /// Panics with a diagnostic on the first coordinate whose analytic and
@@ -32,7 +34,7 @@ pub fn check_layer<L: Layer>(mut layer: L, x: &Tensor, tol: f32) {
 
     // Analytic pass.
     layer.zero_grad();
-    let y = layer.forward(x, false);
+    let y = layer.forward(x, true);
     let dx = layer.backward(&dloss_of(&y));
 
     // Input gradient.

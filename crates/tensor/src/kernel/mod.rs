@@ -344,6 +344,53 @@ fn init_prepack() -> bool {
     PREPACK.load(Ordering::Relaxed) == 1
 }
 
+/// 0 = uninitialized, 1 = fused on, 2 = fused off.
+static ATTN_FUSED: AtomicU8 = AtomicU8::new(0);
+
+/// Whether the fused attention fast path (one QKV GEMM, single-pass
+/// scaled softmax, cache-free inference tiles) is wanted. Initialized
+/// lazily from `PRAGFORMER_ATTN` (anything but `unfused`/`off`/`0`/
+/// `false` — including unset — means on); [`set_attn_fused`] overrides
+/// it in-process. Model code consults this before taking the fused
+/// path; both paths are bitwise identical, so this is a pure kill
+/// switch for triage and twin benches.
+#[inline]
+pub fn attn_fused_enabled() -> bool {
+    match ATTN_FUSED.load(Ordering::Relaxed) {
+        0 => init_attn_fused(),
+        v => v == 1,
+    }
+}
+
+/// Flips the fused-attention switch in-process (benches comparing
+/// fused vs unfused arms, tests). Initializes from the environment
+/// first so the kill-switch log still appears when it was thrown.
+pub fn set_attn_fused(on: bool) {
+    let _ = attn_fused_enabled();
+    ATTN_FUSED.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+#[cold]
+fn init_attn_fused() -> bool {
+    let off = matches!(
+        std::env::var("PRAGFORMER_ATTN").as_deref(),
+        Ok("unfused" | "off" | "0" | "false")
+    );
+    let encoded = if off { 2 } else { 1 };
+    // First writer wins; only the winner logs the (rare) kill switch, so
+    // the line appears at most once per process.
+    if ATTN_FUSED.compare_exchange(0, encoded, Ordering::Relaxed, Ordering::Relaxed).is_ok() && off
+    {
+        pragformer_obs::log_kv(
+            pragformer_obs::Level::Info,
+            "tensor.attn",
+            "fused attention fast path disabled",
+            &[("source", "PRAGFORMER_ATTN")],
+        );
+    }
+    ATTN_FUSED.load(Ordering::Relaxed) == 1
+}
+
 #[cold]
 fn init_tier() -> KernelTier {
     let (mut tier, mut source) = if avx2_available() {
@@ -481,6 +528,22 @@ mod tests {
         assert!(prepack_enabled());
         set_prepack(initial);
         assert_eq!(prepack_enabled(), initial);
+    }
+
+    #[test]
+    fn attn_fused_switch_toggles_and_restores() {
+        // The env decides the initial value (CI runs the suite once with
+        // PRAGFORMER_ATTN=unfused); in-process toggles always win after.
+        let initial = attn_fused_enabled();
+        if std::env::var("PRAGFORMER_ATTN").is_err() {
+            assert!(initial, "fused attention must default to on when the env is unset");
+        }
+        set_attn_fused(false);
+        assert!(!attn_fused_enabled());
+        set_attn_fused(true);
+        assert!(attn_fused_enabled());
+        set_attn_fused(initial);
+        assert_eq!(attn_fused_enabled(), initial);
     }
 
     #[test]

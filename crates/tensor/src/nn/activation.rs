@@ -99,8 +99,8 @@ impl Activation {
 }
 
 impl Layer for Activation {
-    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
-        self.cache_x = Some(x.clone());
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        self.cache_x = if train { Some(x.clone()) } else { None };
         match self.kind {
             ActivationKind::Relu => relu(x),
             ActivationKind::Gelu => gelu(x),

@@ -36,7 +36,7 @@ impl LayerNorm {
 }
 
 impl Layer for LayerNorm {
-    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         let d = self.dim();
         assert_eq!(x.cols(), d, "LayerNorm dim");
         let n = x.rows();
@@ -60,7 +60,14 @@ impl Layer for LayerNorm {
                 y_row[j] = xh_row[j] * g[j] + b[j];
             }
         }
-        self.cache = Some((xhat, inv_std));
+        // The normalized copy exists only for backward; inference
+        // recycles it instead of retaining a `[n, d]` tensor per call.
+        if train {
+            self.cache = Some((xhat, inv_std));
+        } else {
+            self.cache = None;
+            crate::scratch::give(xhat.into_data());
+        }
         y
     }
 

@@ -142,7 +142,7 @@ impl Linear {
 }
 
 impl Layer for Linear {
-    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         assert_eq!(x.cols(), self.in_dim(), "Linear input dim");
         let y = match (&self.qw, &self.pw) {
             (Some(_), _) => {
@@ -165,7 +165,9 @@ impl Layer for Linear {
                 y
             }
         };
-        self.cache_x = Some(x.clone());
+        // The input clone exists only for backward; inference forwards
+        // neither build one nor keep an earlier pass's alive.
+        self.cache_x = if train { Some(x.clone()) } else { None };
         y
     }
 

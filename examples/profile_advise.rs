@@ -75,11 +75,61 @@ fn main() {
         std::hint::black_box(advisor.advise_batch(&snippets));
         assert!(hits.get() > h0, "steady-state advise recorded no prepack hits");
         assert_eq!(builds.get(), b0, "steady-state advise still rebuilds B panels");
+        assert_eq!(
+            pragformer::tensor::scratch::high_water_bytes(),
+            hw0,
+            "steady-state advise grew the scratch high-water mark"
+        );
         println!(
             "\nzero-repack steady state: +{} prepack hits, 0 pack builds, \
-             arena high water {} KiB (was {} KiB)",
+             arena high water {} KiB (flat)",
             hits.get() - h0,
-            pragformer::tensor::scratch::high_water_bytes() / 1024,
+            hw0 / 1024,
+        );
+    }
+
+    // Cache-free attention steady state: eval forwards retain zero
+    // attention bytes (no backward caches, no probability tiles), and —
+    // when the fused fast path is on — one more batch serves every QKV
+    // projection from the warm fused caches (hits grow) without a single
+    // rebuild or new arena high water.
+    assert_eq!(
+        advisor.retained_attention_bytes(),
+        0,
+        "eval forwards must retain zero attention bytes"
+    );
+    let attn_fused_on = std::env::var("PRAGFORMER_ATTN")
+        .map_or(true, |v| !matches!(v.as_str(), "unfused" | "off" | "0" | "false"));
+    if obs::enabled() && attn_fused_on {
+        let qkv_builds = obs::counter(
+            "pragformer_attn_fused_qkv_builds_total",
+            "Fused QKV weight cache builds (pack or quantize of wq|wk|wv)",
+            &[],
+        );
+        let qkv_hits = obs::counter(
+            "pragformer_attn_fused_qkv_hits_total",
+            "QKV projections served by the fused single-GEMM fast path",
+            &[],
+        );
+        let (b0, h0) = (qkv_builds.get(), qkv_hits.get());
+        let hw0 = pragformer::tensor::scratch::high_water_bytes();
+        std::hint::black_box(advisor.advise_batch(&snippets));
+        assert!(qkv_hits.get() > h0, "steady-state advise missed the fused QKV fast path");
+        assert_eq!(qkv_builds.get(), b0, "steady-state advise rebuilt fused QKV caches");
+        assert_eq!(
+            advisor.retained_attention_bytes(),
+            0,
+            "fused-path advise retained attention bytes"
+        );
+        assert_eq!(
+            pragformer::tensor::scratch::high_water_bytes(),
+            hw0,
+            "steady-state fused advise grew the scratch high-water mark"
+        );
+        println!(
+            "fused-attention steady state: +{} fused QKV hits, 0 rebuilds, \
+             0 retained attention bytes, arena high water {} KiB (flat)",
+            qkv_hits.get() - h0,
             hw0 / 1024,
         );
     }

@@ -1,0 +1,63 @@
+//! End-to-end pin of the fused attention fast path: the advise pipeline
+//! returns bit-identical probabilities with the fast path on and off,
+//! on both the f32 and int8 trunks.
+//!
+//! This is the outermost layer of the fused-vs-split equality ladder
+//! (GEMM columns → softmax epilogue → attention block → trunk CLS →
+//! advice), randomized over generated corpus snippets. The model-local
+//! overrides pin each regime, so the process-wide `PRAGFORMER_KERNEL`
+//! sweep in CI reruns the same comparison on every tier this CPU has.
+
+use pragformer_core::{Advisor, Scale};
+use pragformer_corpus::generate;
+use proptest::prelude::*;
+
+/// Advice probability bits for a batch of snippets (parse failures keep
+/// a slot so the two runs stay aligned).
+fn advice_bits(advisor: &mut Advisor, snippets: &[&str]) -> Vec<Option<[u32; 3]>> {
+    advisor
+        .advise_batch(snippets)
+        .into_iter()
+        .map(|r| {
+            r.ok().map(|a| {
+                [
+                    a.confidence.to_bits(),
+                    a.private_probability.to_bits(),
+                    a.reduction_probability.to_bits(),
+                ]
+            })
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    #[test]
+    fn advice_bits_are_invariant_to_the_fused_fast_path(
+        corpus_seed in 0u64..10_000,
+        model_seed in 1u64..100,
+    ) {
+        let db = generate(&Scale::Tiny.generator(corpus_seed));
+        let codes: Vec<String> = db.records().iter().take(12).map(|r| r.code()).collect();
+        let snippets: Vec<&str> = codes.iter().map(String::as_str).collect();
+        let mut advisor = Advisor::untrained(Scale::Tiny, model_seed);
+        for int8 in [false, true] {
+            advisor.set_int8(Some(int8));
+            advisor.set_attn_fused(Some(false));
+            let split = advice_bits(&mut advisor, &snippets);
+            advisor.set_attn_fused(Some(true));
+            let fused = advice_bits(&mut advisor, &snippets);
+            prop_assert!(
+                split.iter().any(Option::is_some),
+                "no snippet produced advice (all parse failures?)"
+            );
+            prop_assert_eq!(
+                split, fused,
+                "int8={}: advice bits moved with the fused fast path", int8
+            );
+            // The advise path is eval-only and therefore cache-free.
+            prop_assert_eq!(advisor.retained_attention_bytes(), 0);
+        }
+    }
+}
